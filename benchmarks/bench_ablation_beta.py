@@ -1,0 +1,47 @@
+"""Ablation: the EBA potential-use weight beta (§3.2's unused refinement).
+
+The paper fixes beta = 1 (plain average of actual and potential energy).
+Sweeping beta in [0, 1] shows the design trade-off: beta=0 collapses EBA
+into the naive Energy baseline (rewarding idle reservation of hardware),
+while growing beta shifts charges toward time-based accounting on
+high-TDP nodes.
+"""
+
+import pytest
+
+from repro.accounting.methods import EnergyBasedAccounting
+from repro.experiments.table1_cpu_costs import build_inputs
+
+BETAS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def sweep() -> dict[float, dict[str, float]]:
+    records, pricings = build_inputs()
+    out = {}
+    for beta in BETAS:
+        method = EnergyBasedAccounting(beta=beta)
+        raw = {
+            m: method.charge(records[m], pricings[m]) for m in records
+        }
+        base = raw["Desktop"]
+        out[beta] = {m: v / base for m, v in raw.items()}
+    return out
+
+
+def test_beta_sweep(benchmark, capsys):
+    results = benchmark(sweep)
+    with capsys.disabled():
+        print("\nEBA beta ablation (normalized to Desktop):")
+        header = f"{'beta':>6}" + "".join(f"{m:>15}" for m in results[1.0])
+        print(header)
+        for beta, row in results.items():
+            print(f"{beta:>6.2f}" + "".join(f"{v:>15.2f}" for v in row.values()))
+
+    # beta=0 is the pure-energy column: ratios equal the energy ratios.
+    assert results[0.0]["Cascade Lake"] == pytest.approx(35.8 / 18.3, rel=1e-6)
+    # Zen3 is cheaper than Desktop at beta=0 (it uses the least energy)
+    # but costs more once the potential term is active.
+    assert results[0.0]["Zen3"] < 1.0
+    assert results[1.0]["Zen3"] > 1.0
+    # The published Table 1 corresponds to beta=1.
+    assert results[1.0]["Cascade Lake"] == pytest.approx(1.90, abs=0.05)

@@ -1,0 +1,66 @@
+"""Ablation: accelerated vs linear depreciation inside CBA, fleet-wide.
+
+DESIGN.md calls out the depreciation schedule as the paper's key design
+choice (§4.3).  This bench re-runs the Greedy policy under CBA with each
+schedule and reports how placement and attributed carbon shift: under
+linear depreciation old machines look relatively *more* expensive, so
+the incentive to keep them busy weakens.
+"""
+
+from repro.accounting.methods import CarbonBasedAccounting
+from repro.carbon.embodied import DoubleDecliningBalance, LinearDepreciation
+from repro.experiments._simulation import scenario, workload
+from repro.sim.engine import MultiClusterSimulator
+from repro.sim.policies import GreedyPolicy
+
+SCALE = 3_000
+SEED = 0
+
+
+def run_both():
+    machines = dict(scenario("baseline", SEED))
+    wl = workload("baseline", SCALE, SEED)
+    out = {}
+    for label, schedule in (
+        ("accelerated", DoubleDecliningBalance()),
+        ("linear", LinearDepreciation()),
+    ):
+        # Replace each machine's published (DDB) rate with the schedule's
+        # own rate so the ablation actually changes the fleet economics.
+        from dataclasses import replace
+
+        adjusted = {
+            name: replace(
+                m,
+                carbon_rate_g_per_h=schedule.rate_per_hour(
+                    m.node.embodied_carbon_g, m.node.age_years(2023)
+                ),
+            )
+            for name, m in machines.items()
+        }
+        method = CarbonBasedAccounting(schedule=schedule)
+        result = MultiClusterSimulator(adjusted, method, GreedyPolicy()).run(wl)
+        out[label] = result
+    return out
+
+
+def test_depreciation_ablation(run_once, benchmark, capsys):
+    results = run_once(benchmark, run_both)
+    with capsys.disabled():
+        print("\nCBA depreciation-schedule ablation (Greedy policy):")
+        for label, result in results.items():
+            dist = result.machine_distribution()
+            total = sum(dist.values())
+            shares = ", ".join(f"{m}={100 * n / total:.0f}%" for m, n in dist.items())
+            print(
+                f"  {label:<12} attributed={result.total_attributed_carbon_g() / 1e3:9.1f} kg"
+                f"   {shares}"
+            )
+
+    accel = results["accelerated"].machine_distribution()
+    linear = results["linear"].machine_distribution()
+    # Under accelerated depreciation the old Theta carries almost no
+    # embodied rate, so Greedy uses it at least as much as under linear.
+    assert accel["Theta"] >= linear["Theta"]
+    # Both complete the whole workload.
+    assert results["accelerated"].n_jobs == results["linear"].n_jobs

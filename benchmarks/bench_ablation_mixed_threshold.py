@@ -1,0 +1,45 @@
+"""Ablation: the Mixed policy's speedup threshold (paper fixes 2x).
+
+Sweeping the threshold traces the cost/completion-time frontier between
+pure Greedy (threshold -> infinity) and pure EFT-like behaviour
+(threshold -> 1).
+"""
+
+from repro.accounting.methods import EnergyBasedAccounting
+from repro.experiments._simulation import scenario, workload
+from repro.sim.engine import MultiClusterSimulator
+from repro.sim.policies import MixedPolicy
+
+SCALE = 3_000
+SEED = 0
+THRESHOLDS = (1.25, 1.5, 2.0, 3.0, 5.0)
+
+
+def run_sweep():
+    machines = dict(scenario("baseline", SEED))
+    wl = workload("baseline", SCALE, SEED)
+    method = EnergyBasedAccounting()
+    out = {}
+    for threshold in THRESHOLDS:
+        policy = MixedPolicy(speedup_threshold=threshold)
+        out[threshold] = MultiClusterSimulator(machines, method, policy).run(wl)
+    return out
+
+
+def test_mixed_threshold_sweep(run_once, benchmark, capsys):
+    results = run_once(benchmark, run_sweep)
+    with capsys.disabled():
+        print("\nMixed-policy speedup-threshold ablation:")
+        for threshold, result in results.items():
+            print(
+                f"  threshold={threshold:<5} cost={result.total_cost():.3e} "
+                f"makespan={result.makespan_s / 3600.0:8.1f} h "
+                f"energy={result.total_energy_j() / 3.6e9:6.3f} MWh"
+            )
+
+    costs = [results[t].total_cost() for t in THRESHOLDS]
+    makespans = [results[t].makespan_s for t in THRESHOLDS]
+    # Larger thresholds chase cost: the most patient Mixed is cheapest.
+    assert costs[-1] == min(costs)
+    # And the least patient finishes at least as fast as the most patient.
+    assert makespans[0] <= makespans[-1] * 1.05

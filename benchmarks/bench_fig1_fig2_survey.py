@@ -1,0 +1,20 @@
+"""Figs. 1 and 2: survey aggregates regenerated from respondent rows."""
+
+from repro.experiments import fig1_survey, fig2_survey
+from repro.survey.schema import FIG1_COUNTS
+
+
+def test_fig1(benchmark, capsys):
+    counts = benchmark(fig1_survey.run)
+    with capsys.disabled():
+        print("\n" + fig1_survey.format_table())
+    assert counts == FIG1_COUNTS
+
+
+def test_fig2(benchmark, capsys):
+    counts = benchmark(fig2_survey.run)
+    with capsys.disabled():
+        print("\n" + fig2_survey.format_table())
+    assert fig2_survey.ranking()[-1] == "Energy"
+    assert counts["Performance"][3] == 83
+    assert counts["Energy"][3] == 25

@@ -1,0 +1,14 @@
+"""Fig. 4: application runtime/energy grid on the four CPU nodes."""
+
+from repro.experiments import fig4_apps
+
+
+def test_fig4(benchmark, capsys):
+    rows = benchmark(fig4_apps.run)
+    with capsys.disabled():
+        print("\n" + fig4_apps.format_table())
+
+    assert len(rows) == 28
+    summary = fig4_apps.tradeoff_summary()
+    # Fig. 4's headline: performance and efficiency do not always align.
+    assert any(v["fastest"] != v["most_efficient"] for v in summary.values())

@@ -1,0 +1,27 @@
+"""Fig. 5: the EBA simulation study (work, completion, distribution)."""
+
+from repro.experiments import fig5_eba_simulation
+from repro.experiments._simulation import DEFAULT_SCALE
+
+SEED = 0
+
+
+def test_fig5(run_once, benchmark, capsys):
+    works = run_once(
+        benchmark, fig5_eba_simulation.work_with_fixed_allocation, DEFAULT_SCALE, SEED
+    )
+    with capsys.disabled():
+        print("\n" + fig5_eba_simulation.format_report(DEFAULT_SCALE, SEED))
+
+    # Fig. 5a shape: Greedy ~ Energy > Mixed > EFT/Runtime > fixed.
+    assert works["Greedy"] >= 0.98 * max(works.values())
+    assert works["Energy"] / works["Greedy"] > 0.95
+    assert works["Greedy"] / works["EFT"] > 1.1
+    assert works["Theta"] == min(works.values())
+
+    # Fig. 5c shape: Greedy mostly avoids Theta; Runtime favours IC.
+    dist = fig5_eba_simulation.machine_distribution(DEFAULT_SCALE, SEED)
+    greedy = dist["Greedy"]
+    assert greedy["Theta"] / sum(greedy.values()) < 0.10
+    runtime = dist["Runtime"]
+    assert max(runtime, key=runtime.__getitem__) == "IC"

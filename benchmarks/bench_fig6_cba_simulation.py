@@ -1,0 +1,22 @@
+"""Fig. 6: fixed-allocation work under CBA charging."""
+
+from repro.experiments import fig6_cba_simulation
+from repro.experiments._simulation import DEFAULT_SCALE
+
+SEED = 0
+
+
+def test_fig6(run_once, benchmark, capsys):
+    works = run_once(
+        benchmark, fig6_cba_simulation.work_with_fixed_allocation, DEFAULT_SCALE, SEED
+    )
+    with capsys.disabled():
+        print("\n" + fig6_cba_simulation.format_report(DEFAULT_SCALE, SEED))
+
+    shifts = fig6_cba_simulation.eba_vs_cba_shift(DEFAULT_SCALE, SEED)
+    # Paper: under CBA the Energy policy loses work (FASTER's embodied
+    # rate) and Runtime/IC gain.
+    assert shifts["Energy"] < 1.0
+    assert shifts["IC"] > 1.0
+    assert shifts["FASTER"] < 1.0
+    assert works["Greedy"] >= max(works.values()) * 0.999

@@ -1,0 +1,32 @@
+"""Fig. 7: the low-carbon high-variability scenario."""
+
+import pytest
+
+from repro.experiments import fig7_low_carbon
+from repro.experiments._simulation import DEFAULT_SCALE
+
+SEED = 0
+
+
+def test_fig7(run_once, benchmark, capsys):
+    works = run_once(
+        benchmark, fig7_low_carbon.work_with_fixed_allocation, DEFAULT_SCALE, SEED
+    )
+    with capsys.disabled():
+        print("\n" + fig7_low_carbon.format_report(DEFAULT_SCALE, SEED))
+
+    # 7a: the carbon-aware Greedy completes significantly more work.
+    for other in ("Energy", "Mixed", "EFT", "Runtime"):
+        assert works["Greedy"] > works[other] * 1.1
+
+    # 7b: regional day shapes — AU-SA must dip at midday.
+    profiles = fig7_low_carbon.day_intensity(seed=SEED)
+    au = next(v for k, v in profiles.items() if "AU-SA" in k)
+    assert au[12:15].mean() < au[:3].mean()
+
+    # 7c: the cheapest endpoint shifts between Theta and IC over the day.
+    shares = fig7_low_carbon.cheapest_endpoint_by_hour(DEFAULT_SCALE, SEED)
+    assert max(s["Theta"] for s in shares.values()) > 0.5
+    assert max(s["IC"] for s in shares.values()) > 0.5
+    for row in shares.values():
+        assert sum(row.values()) == pytest.approx(1.0)

@@ -1,0 +1,29 @@
+"""Figs. 9 and 10: the user-study game outcomes."""
+
+import numpy as np
+
+from repro.experiments import fig9_user_study, fig10_job_probability
+
+
+def test_fig9(run_once, benchmark, capsys):
+    data = run_once(benchmark, fig9_user_study.run, 90, 11)
+    with capsys.disabled():
+        print("\n" + fig9_user_study.format_report(90, 11))
+
+    energy = data["energy"]
+    jobs = data["jobs"]
+    # V3 uses ~40% less energy (paper: 1928 vs 3262 kWh).
+    assert 0.45 < np.mean(energy[3]) / np.mean(energy[1]) < 0.75
+    # V1 vs V2 indistinguishable; V3 decisive.
+    assert data["ttests"]["v3_vs_v1"] < 0.001
+    assert abs(np.mean(energy[2]) / np.mean(energy[1]) - 1.0) < 0.10
+    # V3 completes fewer jobs (paper: 9.7 vs 14.5).
+    assert np.mean(jobs[3]) < np.mean(jobs[1])
+
+
+def test_fig10(run_once, benchmark, capsys):
+    corr = run_once(benchmark, fig10_job_probability.correlations, 90, 11)
+    with capsys.disabled():
+        print("\n" + fig10_job_probability.format_report(90, 11))
+    for v, (r, p) in corr.items():
+        assert p > 0.01 or abs(r) < 0.5, (v, r, p)

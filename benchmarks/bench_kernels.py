@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the substrate kernels.
+
+Not a paper artifact — these track the performance of the hot paths the
+reproduction depends on (tiled Cholesky, PageRank, the simulated RAPL
+integrator, workload generation, and the event engine), so regressions
+in the substrates are visible in CI.
+"""
+
+import numpy as np
+
+from repro.accounting.methods import EnergyBasedAccounting
+from repro.apps.cholesky import random_spd, tiled_cholesky
+from repro.apps.graph import pagerank
+from repro.hardware.rapl import SimulatedRAPL
+from repro.sim.engine import MultiClusterSimulator
+from repro.sim.policies import GreedyPolicy
+from repro.sim.scenarios import baseline_scenario
+from repro.sim.workload import PatelWorkloadGenerator, WorkloadConfig
+
+
+def test_tiled_cholesky_256(benchmark):
+    a = random_spd(256, seed=0)
+    l = benchmark(tiled_cholesky, a, 64)
+    assert np.allclose(l @ l.T, a, atol=1e-6)
+
+
+def test_pagerank_2k_nodes(benchmark):
+    import networkx as nx
+
+    g = nx.gnp_random_graph(2000, 0.005, seed=0, directed=True)
+    ranks = benchmark(pagerank, g)
+    assert abs(sum(ranks.values()) - 1.0) < 1e-6
+
+
+def test_rapl_integration(benchmark):
+    def advance_day():
+        meter = SimulatedRAPL(package_power=lambda t: 200.0 + 50.0 * np.sin(t / 3600.0))
+        for _ in range(24):
+            meter.advance(3600.0)
+        return meter
+
+    meter = benchmark(advance_day)
+    assert meter.now == 24 * 3600.0
+
+
+def test_workload_generation_2k(benchmark):
+    machines = baseline_scenario(days=10, seed=0)
+
+    def gen():
+        cfg = WorkloadConfig(n_base_jobs=2000, seed=0)
+        return PatelWorkloadGenerator(machines, cfg).generate()
+
+    wl = benchmark(gen)
+    assert len(wl) > 3800
+
+
+def test_engine_throughput_2k_jobs(run_once, benchmark):
+    machines = baseline_scenario(days=10, seed=0)
+    cfg = WorkloadConfig(n_base_jobs=1000, seed=0)
+    wl = PatelWorkloadGenerator(machines, cfg).generate()
+    sim = MultiClusterSimulator(machines, EnergyBasedAccounting(), GreedyPolicy())
+    result = run_once(benchmark, sim.run, wl)
+    assert result.n_jobs == len(wl)

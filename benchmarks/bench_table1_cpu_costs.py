@@ -1,0 +1,18 @@
+"""Table 1: normalized Cholesky costs on CPU nodes."""
+
+import pytest
+
+from repro.experiments import table1_cpu_costs
+
+
+def test_table1(benchmark, capsys):
+    table = benchmark(table1_cpu_costs.run)
+    with capsys.disabled():
+        print("\n" + table1_cpu_costs.format_table())
+
+    eba = table.normalized("EBA", "Desktop")
+    paper = table1_cpu_costs.PAPER_TABLE1
+    for machine, expect in paper.items():
+        assert eba[machine] == pytest.approx(expect["EBA"], abs=0.06)
+    assert table.cheapest("Peak") == "Cascade Lake"
+    assert table.cheapest("EBA") == "Desktop"

@@ -1,0 +1,13 @@
+"""Table 2: GPU specifications and SCARIF-derived carbon rates."""
+
+from repro.experiments import table2_gpu_specs
+
+
+def test_table2(benchmark, capsys):
+    rows = benchmark(table2_gpu_specs.run)
+    with capsys.disabled():
+        print("\n" + table2_gpu_specs.format_table())
+
+    assert len(rows) == 10
+    for key, ratio in table2_gpu_specs.scarif_check().items():
+        assert 0.5 <= ratio <= 2.0, key

@@ -1,0 +1,17 @@
+"""Table 3: GPU Cholesky costs under EBA / CBA / Perf."""
+
+import pytest
+
+from repro.experiments import table3_gpu_costs
+
+
+def test_table3(benchmark, capsys):
+    table = benchmark(table3_gpu_costs.run)
+    with capsys.disabled():
+        print("\n" + table3_gpu_costs.format_table())
+
+    perf = table.normalized("Perf")
+    for (model, count), expect in table3_gpu_costs.PAPER_TABLE3.items():
+        assert perf[f"{model}x{count}"] == pytest.approx(expect["Perf"], abs=0.01)
+    assert table.cheapest("EBA") == "P100x2"
+    assert table.cheapest("CBA") == "P100x2"

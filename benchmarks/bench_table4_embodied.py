@@ -1,0 +1,21 @@
+"""Table 4: linear vs accelerated embodied-carbon attribution."""
+
+import pytest
+
+from repro.experiments import table4_embodied
+
+
+def test_table4(benchmark, capsys):
+    rows = benchmark(table4_embodied.run)
+    with capsys.disabled():
+        print("\n" + table4_embodied.format_table())
+
+    by_machine = {r.machine: r for r in rows}
+    paper = table4_embodied.PAPER_TABLE4
+    for machine, expect in paper.items():
+        row = by_machine[machine]
+        assert row.operational_mg == pytest.approx(expect["operational"], abs=0.15)
+        assert row.accelerated_mg == pytest.approx(expect["accelerated"], abs=0.15)
+    # Accelerated charges old machines less, new machines more.
+    assert by_machine["Cascade Lake"].accelerated_mg < by_machine["Cascade Lake"].linear_mg
+    assert by_machine["Zen3"].accelerated_mg > by_machine["Zen3"].linear_mg

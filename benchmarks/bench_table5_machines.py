@@ -1,0 +1,20 @@
+"""Table 5: simulation machine characteristics."""
+
+import pytest
+
+from repro.experiments import table5_machines
+
+
+def test_table5(benchmark, capsys):
+    rows = benchmark(table5_machines.run)
+    with capsys.disabled():
+        print("\n" + table5_machines.format_table())
+
+    paper = table5_machines.PAPER_TABLE5
+    for row in rows:
+        assert row.carbon_rate_g_per_h == pytest.approx(
+            paper[row.machine]["rate"], rel=0.01
+        )
+        assert row.avg_intensity_g_per_kwh == pytest.approx(
+            paper[row.machine]["intensity"], rel=0.01
+        )

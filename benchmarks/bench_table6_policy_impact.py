@@ -1,0 +1,24 @@
+"""Table 6: energy and operational/attributed carbon per policy."""
+
+from repro.experiments import table6_policy_impact
+from repro.experiments._simulation import DEFAULT_SCALE
+
+SEED = 0
+
+
+def test_table6(run_once, benchmark, capsys):
+    rows = run_once(benchmark, table6_policy_impact.run, DEFAULT_SCALE, SEED)
+    with capsys.disabled():
+        print("\n" + table6_policy_impact.format_table(DEFAULT_SCALE, SEED))
+
+    by_policy = {r.policy: r for r in rows}
+    # Energy policy consumes the least; EFT/Runtime clearly more.
+    assert by_policy["Energy"].energy_mwh <= min(
+        r.energy_mwh for r in rows
+    ) * 1.001
+    assert by_policy["EFT"].energy_mwh > by_policy["Energy"].energy_mwh * 1.1
+    assert by_policy["Runtime"].energy_mwh > by_policy["Energy"].energy_mwh * 1.05
+    # Greedy-CBA attributes the least carbon (the §5.5 takeaway).
+    assert by_policy["Greedy - CBA"].attributed_kg == min(
+        r.attributed_kg for r in rows
+    )

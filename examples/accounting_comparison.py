@@ -1,0 +1,39 @@
+"""The Section 4 hardware study: Tables 1-4 end to end.
+
+Prices the calibrated Cholesky runs on the four CPU nodes and ten GPU
+configurations under all five accounting methods, and contrasts linear
+vs accelerated embodied-carbon attribution.
+
+Run:  python examples/accounting_comparison.py
+"""
+
+from repro.experiments import (
+    fig4_apps,
+    table1_cpu_costs,
+    table2_gpu_specs,
+    table3_gpu_costs,
+    table4_embodied,
+)
+
+
+def main() -> None:
+    for section in (
+        fig4_apps.format_table(),
+        table1_cpu_costs.format_table(),
+        table2_gpu_specs.format_table(),
+        table3_gpu_costs.format_table(),
+        table4_embodied.format_table(),
+    ):
+        print(section)
+        print("\n" + "=" * 70 + "\n")
+
+    table = table1_cpu_costs.run()
+    print(
+        "Takeaway: the Peak baseline makes "
+        f"{table.cheapest('Peak')} cheapest even though it uses the most "
+        "energy; EBA and CBA make the efficient machines cheapest."
+    )
+
+
+if __name__ == "__main__":
+    main()

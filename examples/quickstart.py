@@ -1,0 +1,55 @@
+"""Quickstart: impact-based accounting on the green-ACCESS platform.
+
+Registers the paper's four CPU nodes, opens a fungible allocation, asks
+the prediction service where a function is cheapest, submits it, and
+prints the receipt — the full §4 loop in a dozen lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.accounting import EnergyBasedAccounting, pricing_for_node
+from repro.faas import GreenAccess
+from repro.hardware.catalog import (
+    CPU_EXPERIMENT_NODES,
+    CPU_EXPERIMENT_YEAR,
+    TABLE1_CARBON_INTENSITY,
+)
+
+
+def main() -> None:
+    # A platform charging with EBA (Eq. 1); balances are in joules.
+    platform = GreenAccess(method=EnergyBasedAccounting(), unit="J")
+
+    for node in CPU_EXPERIMENT_NODES:
+        pricing = pricing_for_node(
+            node, CPU_EXPERIMENT_YEAR, TABLE1_CARBON_INTENSITY[node.name]
+        )
+        platform.register_machine(node, pricing)
+
+    platform.grant("alice", 2_000.0)
+
+    print("Expected EBA cost of the Cholesky function per machine:")
+    for machine, cost in sorted(
+        platform.estimate_costs("Cholesky").items(), key=lambda kv: kv[1]
+    ):
+        print(f"  {machine:<14} {cost:8.1f} J")
+
+    # No machine given: the platform places the job where it is cheapest.
+    receipt = platform.submit("alice", "Cholesky")
+    print(
+        f"\nSubmitted Cholesky -> {receipt.machine}: "
+        f"{receipt.duration_s:.2f} s, {receipt.measured_energy_j:.1f} J measured, "
+        f"charged {receipt.charged:.1f} {receipt.unit} "
+        f"(balance {receipt.balance_after:.1f})"
+    )
+
+    # Pin a machine and compare.
+    receipt2 = platform.submit("alice", "Cholesky", machine="Cascade Lake")
+    print(
+        f"Pinned to Cascade Lake: charged {receipt2.charged:.1f} {receipt2.unit} "
+        f"— {receipt2.charged / receipt.charged:.2f}x the platform's choice"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""The Section 5 simulation study at a reduced scale.
+
+Generates a Patel-style workload, runs the eight §5.3 selection policies
+under EBA and CBA, and prints the Fig. 5 / Table 6 / Fig. 6 reports.
+Pass ``--paper-scale`` to run the full 142,380-job workload (slower).
+
+Run:  python examples/simulation_study.py [--paper-scale] [--jobs N]
+"""
+
+import argparse
+
+from repro.experiments import (
+    fig5_eba_simulation,
+    fig6_cba_simulation,
+    table5_machines,
+    table6_policy_impact,
+)
+from repro.experiments._simulation import DEFAULT_SCALE, PAPER_SCALE
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="run the full 71,190 x2 job workload",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="base jobs before the x2 repeat"
+    )
+    args = parser.parse_args()
+    scale = args.jobs or (PAPER_SCALE if args.paper_scale else DEFAULT_SCALE)
+
+    print(table5_machines.format_table())
+    print("\n" + "=" * 70 + "\n")
+    print(fig5_eba_simulation.format_report(scale=scale))
+    print("\n" + "=" * 70 + "\n")
+    print(table6_policy_impact.format_table(scale=scale))
+    print("\n" + "=" * 70 + "\n")
+    print(fig6_cba_simulation.format_report(scale=scale))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""repro — reproduction of *Core Hours and Carbon Credits: Incentivizing
+Sustainability in HPC* (Kamatar et al., SC 2025).
+
+The package implements the paper's two impact-based accounting methods —
+**EBA** (Energy-Based Accounting) and **CBA** (Carbon-Based Accounting) —
+together with every substrate the evaluation depends on:
+
+* :mod:`repro.hardware` — machine catalog, simulated RAPL, power models;
+* :mod:`repro.carbon` — carbon-intensity traces, embodied-carbon
+  depreciation, SCARIF-style estimation;
+* :mod:`repro.accounting` — the five charging schemes and fungible
+  allocations;
+* :mod:`repro.apps` — the benchmark applications and their calibrated
+  cross-machine profiles;
+* :mod:`repro.faas` — the green-ACCESS platform analogue;
+* :mod:`repro.ml` — GMM + KNN cross-platform prediction;
+* :mod:`repro.sim` — the multi-machine batch simulator and selection
+  policies;
+* :mod:`repro.study` — the user-study scheduling game;
+* :mod:`repro.survey` — the HPC-user survey data and analysis;
+* :mod:`repro.experiments` — one entry point per paper table/figure.
+
+Quickstart::
+
+    from repro.accounting import (
+        EnergyBasedAccounting, UsageRecord, pricing_for_node,
+    )
+    from repro.hardware.catalog import ZEN3_NODE
+
+    pricing = pricing_for_node(ZEN3_NODE, current_year=2024, intensity=300.0)
+    eba = EnergyBasedAccounting()
+    cost = eba.charge(
+        UsageRecord(machine="Zen3", duration_s=5.65, energy_j=16.8, cores=7),
+        pricing,
+    )
+"""
+
+from repro.accounting import (
+    AccountingMethod,
+    Allocation,
+    AllocationExhausted,
+    AllocationLedger,
+    CarbonBasedAccounting,
+    EnergyAccounting,
+    EnergyBasedAccounting,
+    MachinePricing,
+    PeakAccounting,
+    RuntimeAccounting,
+    UsageRecord,
+    all_methods,
+    method_by_name,
+    pricing_for_gpu_config,
+    pricing_for_node,
+)
+from repro.carbon import (
+    CarbonIntensityTrace,
+    DoubleDecliningBalance,
+    LinearDepreciation,
+    ScarifEstimator,
+    carbon_rate_per_hour,
+    trace_for_region,
+)
+from repro.hardware import MachineCatalog, NodeSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccountingMethod",
+    "Allocation",
+    "AllocationExhausted",
+    "AllocationLedger",
+    "CarbonBasedAccounting",
+    "EnergyAccounting",
+    "EnergyBasedAccounting",
+    "MachinePricing",
+    "PeakAccounting",
+    "RuntimeAccounting",
+    "UsageRecord",
+    "all_methods",
+    "method_by_name",
+    "pricing_for_gpu_config",
+    "pricing_for_node",
+    "CarbonIntensityTrace",
+    "DoubleDecliningBalance",
+    "LinearDepreciation",
+    "ScarifEstimator",
+    "carbon_rate_per_hour",
+    "trace_for_region",
+    "MachineCatalog",
+    "NodeSpec",
+    "__version__",
+]

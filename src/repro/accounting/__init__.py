@@ -1,0 +1,73 @@
+"""Impact-based accounting — the paper's primary contribution.
+
+Five accounting methods price a job from its measured resource usage
+(§4.2): the three baselines (**Runtime**, **Energy**, **Peak**) and the
+two proposed methods, **EBA** (Energy-Based Accounting, Eq. 1) and
+**CBA** (Carbon-Based Accounting, Eq. 2).  All five share one interface
+so the FaaS platform, the batch simulator, and the user-study game can
+swap charging schemes without code changes.
+
+:mod:`repro.accounting.allocation` implements the fungible-allocation
+ledger (§3.1) that the costs are debited from.
+"""
+
+from repro.accounting.base import (
+    AccountingMethod,
+    MachinePricing,
+    UsageRecord,
+    pricing_for_node,
+    pricing_for_gpu_config,
+)
+from repro.accounting.methods import (
+    RuntimeAccounting,
+    EnergyAccounting,
+    PeakAccounting,
+    EnergyBasedAccounting,
+    CarbonBasedAccounting,
+    all_methods,
+    method_by_name,
+)
+from repro.accounting.allocation import (
+    Allocation,
+    AllocationExhausted,
+    AllocationLedger,
+    Transaction,
+)
+from repro.accounting.comparison import CostTable, normalized_cost_table
+from repro.accounting.exchange import (
+    ExchangeRate,
+    exchange_rate,
+    reference_basket,
+    service_unit_rates,
+)
+from repro.accounting.incentives import (
+    EfficiencyPriorityScore,
+    FugakuPointsAccounting,
+)
+
+__all__ = [
+    "AccountingMethod",
+    "MachinePricing",
+    "UsageRecord",
+    "pricing_for_node",
+    "pricing_for_gpu_config",
+    "RuntimeAccounting",
+    "EnergyAccounting",
+    "PeakAccounting",
+    "EnergyBasedAccounting",
+    "CarbonBasedAccounting",
+    "all_methods",
+    "method_by_name",
+    "Allocation",
+    "AllocationExhausted",
+    "AllocationLedger",
+    "Transaction",
+    "CostTable",
+    "normalized_cost_table",
+    "ExchangeRate",
+    "exchange_rate",
+    "reference_basket",
+    "service_unit_rates",
+    "EfficiencyPriorityScore",
+    "FugakuPointsAccounting",
+]

@@ -1,0 +1,149 @@
+"""Fungible allocations (§3.1) and the debit ledger.
+
+A fungible allocation is a budget in the accounting method's native unit
+(core-hours, joules, gCO2e, ...) that may be redeemed on any machine the
+user can reach — the paper's framing of ACCESS credits, Chameleon
+node-hours, and Google Compute Units.  The ledger enforces admission
+control: a job whose *estimated* cost exceeds the remaining balance is
+refused, which is what makes "work completed with a fixed allocation"
+(Fig. 5a/6/7a) a well-defined quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class AllocationExhausted(RuntimeError):
+    """Raised when a debit would drive an allocation's balance negative."""
+
+    def __init__(self, requested: float, remaining: float) -> None:
+        super().__init__(
+            f"allocation exhausted: requested {requested:.6g}, "
+            f"remaining {remaining:.6g}"
+        )
+        self.requested = requested
+        self.remaining = remaining
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One ledger entry: a debit (job charge) or credit (grant)."""
+
+    amount: float
+    balance_after: float
+    machine: str = ""
+    job_id: str = ""
+    kind: str = "debit"
+
+
+@dataclass
+class Allocation:
+    """A single user's fungible allocation.
+
+    Attributes
+    ----------
+    user:
+        Owner identifier.
+    unit:
+        Human-readable unit of the balance (e.g. ``"core-hours"``,
+        ``"J"``, ``"gCO2e"``) — informational, set by the accounting
+        method in use.
+    balance:
+        Remaining credit.
+    """
+
+    user: str
+    unit: str
+    balance: float
+    transactions: list[Transaction] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.balance < 0:
+            raise ValueError("initial balance cannot be negative")
+        self._granted = self.balance
+
+    # ------------------------------------------------------------------
+    @property
+    def granted(self) -> float:
+        """Total credit ever granted (initial + later grants)."""
+        return self._granted
+
+    @property
+    def spent(self) -> float:
+        """Total amount debited so far."""
+        return self._granted - self.balance
+
+    def can_afford(self, amount: float) -> bool:
+        """Whether a debit of ``amount`` would be admitted."""
+        return amount <= self.balance + 1e-12
+
+    def debit(self, amount: float, machine: str = "", job_id: str = "") -> Transaction:
+        """Charge ``amount`` against the balance.
+
+        Raises :class:`AllocationExhausted` when the balance is
+        insufficient — admission control happens here, atomically with
+        the debit, so concurrent submission paths cannot overdraw.
+        """
+        if amount < 0:
+            raise ValueError("debit amount cannot be negative")
+        if not self.can_afford(amount):
+            raise AllocationExhausted(amount, self.balance)
+        self.balance -= amount
+        txn = Transaction(
+            amount=amount,
+            balance_after=self.balance,
+            machine=machine,
+            job_id=job_id,
+            kind="debit",
+        )
+        self.transactions.append(txn)
+        return txn
+
+    def grant(self, amount: float) -> Transaction:
+        """Add credit (a new award or a refund)."""
+        if amount < 0:
+            raise ValueError("grant amount cannot be negative")
+        self.balance += amount
+        self._granted += amount
+        txn = Transaction(
+            amount=amount, balance_after=self.balance, kind="credit"
+        )
+        self.transactions.append(txn)
+        return txn
+
+
+@dataclass
+class AllocationLedger:
+    """All allocations known to a platform, keyed by user."""
+
+    unit: str = "credits"
+    _allocations: dict[str, Allocation] = field(default_factory=dict)
+
+    def open(self, user: str, balance: float) -> Allocation:
+        """Create an allocation for ``user``; error if one exists."""
+        if user in self._allocations:
+            raise ValueError(f"user {user!r} already has an allocation")
+        alloc = Allocation(user=user, unit=self.unit, balance=balance)
+        self._allocations[user] = alloc
+        return alloc
+
+    def get(self, user: str) -> Allocation:
+        try:
+            return self._allocations[user]
+        except KeyError:
+            raise KeyError(f"user {user!r} has no allocation") from None
+
+    def __contains__(self, user: str) -> bool:
+        return user in self._allocations
+
+    def __len__(self) -> int:
+        return len(self._allocations)
+
+    @property
+    def users(self) -> list[str]:
+        return sorted(self._allocations)
+
+    def total_spent(self) -> float:
+        """Sum of all users' spend — a provider-side utilization metric."""
+        return sum(a.spent for a in self._allocations.values())

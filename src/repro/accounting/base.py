@@ -1,0 +1,252 @@
+"""Accounting interfaces: usage records, machine pricing views, and the
+method base class.
+
+Accounting methods deliberately see a *narrow* view of the world:
+
+* a :class:`UsageRecord` — what one job measurably consumed, and
+* a :class:`MachinePricing` — the static pricing attributes of the
+  machine it ran on (TDP, peak rating, embodied carbon, grid intensity).
+
+Keeping the interface this small is what lets the same five methods
+price a FaaS function invocation (§4.2), a simulated batch job (§5), and
+a move in the user-study game (§6).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, replace
+
+from repro.carbon.intensity import CarbonIntensityTrace, constant_trace
+from repro.hardware.node import GPUNodeSpec, NodeSpec
+
+
+@dataclass(frozen=True)
+class UsageRecord:
+    """What one job consumed on one machine.
+
+    Attributes
+    ----------
+    machine:
+        Name of the machine the job ran on (must match a
+        :class:`MachinePricing`).
+    duration_s:
+        Wall-clock duration ``d_j`` (seconds).
+    energy_j:
+        Energy ``e_j`` attributed to the job by the monitor (joules).
+    cores:
+        Cores (or whole GPUs) the user *requested* — what time-based
+        methods (Runtime, Peak) charge for.
+    provisioned_cores:
+        Cores the runtime actually occupied, as measured by the monitor.
+        EBA's potential-use term and CBA's embodied share attribute by
+        occupancy, which can differ from the request when a kernel's
+        thread scaling differs between machines.  Defaults to ``cores``.
+    start_time_s:
+        Absolute start time, used to look up the grid carbon intensity
+        ``I_f(t)``.
+    job_id:
+        Optional identifier carried through to ledgers and reports.
+    """
+
+    machine: str
+    duration_s: float
+    energy_j: float
+    cores: int = 1
+    provisioned_cores: int | None = None
+    start_time_s: float = 0.0
+    job_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0:
+            raise ValueError("duration cannot be negative")
+        if self.energy_j < 0:
+            raise ValueError("energy cannot be negative")
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if self.provisioned_cores is not None and self.provisioned_cores <= 0:
+            raise ValueError("provisioned_cores must be positive")
+
+    @property
+    def occupancy(self) -> int:
+        """Cores actually occupied (falls back to the request)."""
+        return self.provisioned_cores if self.provisioned_cores is not None else self.cores
+
+
+@dataclass(frozen=True)
+class MachinePricing:
+    """Static pricing attributes of one machine.
+
+    Attributes
+    ----------
+    name:
+        Machine name.
+    total_cores:
+        Cores on the priced unit (node).  A job's TDP / embodied share is
+        ``cores / total_cores``.
+    tdp_watts:
+        Full-unit TDP, the ``TDP_R`` of Eq. (1).
+    peak_rating:
+        Per-core peak-performance rating used by the ``Peak`` baseline.
+        For CPU machines this is a per-thread PassMark-style score [39];
+        for GPU configurations it is per-GPU GFLOP/s.  Only ratios
+        between machines matter.
+    embodied_carbon_g:
+        Total embodied carbon of the unit (gCO2e).
+    age_years:
+        Whole years since deployment at pricing time.
+    intensity:
+        Grid carbon-intensity trace at the hosting facility.
+    carbon_rate_override_g_per_h:
+        If set, CBA uses this per-unit embodied rate directly instead of
+        deriving it from ``embodied_carbon_g`` (Table 2 publishes rates,
+        not totals, for the GPU configurations).
+    whole_unit:
+        True when the unit is always allocated whole (the paper assumes
+        an entire GPU configuration per job), making the share 1.0
+        regardless of ``cores``.
+    """
+
+    name: str
+    total_cores: int
+    tdp_watts: float
+    peak_rating: float
+    embodied_carbon_g: float = 0.0
+    age_years: int = 0
+    intensity: CarbonIntensityTrace | None = None
+    carbon_rate_override_g_per_h: float | None = None
+    whole_unit: bool = False
+
+    def __post_init__(self) -> None:
+        if self.total_cores <= 0:
+            raise ValueError("total_cores must be positive")
+        if self.tdp_watts <= 0:
+            raise ValueError("TDP must be positive")
+
+    # ------------------------------------------------------------------
+    def share(self, cores: int) -> float:
+        """Fraction of the unit a ``cores``-wide job occupies."""
+        if self.whole_unit:
+            return 1.0
+        return min(1.0, cores / self.total_cores)
+
+    def attributed_tdp_watts(self, cores: int) -> float:
+        """TDP attributed to a ``cores``-wide job (Eq. 1's potential use)."""
+        return self.tdp_watts * self.share(cores)
+
+    def intensity_at(self, time_s: float) -> float:
+        """Grid carbon intensity (gCO2e/kWh) at ``time_s``."""
+        if self.intensity is None:
+            raise ValueError(
+                f"machine {self.name!r} has no carbon-intensity trace; "
+                "CBA pricing requires one"
+            )
+        return self.intensity.at(time_s)
+
+    def with_intensity(self, g_per_kwh: float) -> "MachinePricing":
+        """Copy of this pricing with a flat intensity (scenario helper)."""
+        return replace(
+            self, intensity=constant_trace(f"{self.name}-flat", g_per_kwh)
+        )
+
+
+class AccountingMethod(abc.ABC):
+    """A charging scheme: maps a usage record to an allocation cost.
+
+    Cost units are method-specific (core-hours, joules, gCO2e, ...);
+    comparisons across methods always normalize within a method first
+    (see :mod:`repro.accounting.comparison`), exactly as the paper's
+    tables do.
+    """
+
+    #: Short name used in tables ("Runtime", "Energy", "Peak", "EBA", "CBA").
+    name: str = "?"
+
+    @abc.abstractmethod
+    def charge(self, record: UsageRecord, machine: MachinePricing) -> float:
+        """Cost of ``record`` on ``machine``, in this method's units."""
+
+    def estimate(
+        self,
+        machine: MachinePricing,
+        duration_s: float,
+        energy_j: float,
+        cores: int = 1,
+        start_time_s: float = 0.0,
+    ) -> float:
+        """Price a *predicted* execution — the green-ACCESS prediction
+        endpoint uses this to show expected costs before submission."""
+        record = UsageRecord(
+            machine=machine.name,
+            duration_s=duration_s,
+            energy_j=energy_j,
+            cores=cores,
+            start_time_s=start_time_s,
+        )
+        return self.charge(record, machine)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+# ---------------------------------------------------------------------------
+# Constructors from hardware specs
+# ---------------------------------------------------------------------------
+def pricing_for_node(
+    node: NodeSpec,
+    current_year: int,
+    intensity: CarbonIntensityTrace | float | None = None,
+) -> MachinePricing:
+    """Build a pricing view for a CPU node.
+
+    ``intensity`` may be a trace, a flat gCO2e/kWh value, or None (CBA
+    will then refuse to price).
+    """
+    trace: CarbonIntensityTrace | None
+    if intensity is None:
+        trace = None
+    elif isinstance(intensity, CarbonIntensityTrace):
+        trace = intensity
+    else:
+        trace = constant_trace(f"{node.name}-flat", float(intensity))
+    return MachinePricing(
+        name=node.name,
+        total_cores=node.cores,
+        tdp_watts=node.tdp_watts,
+        peak_rating=node.peak_gflops_per_core,
+        embodied_carbon_g=node.embodied_carbon_g,
+        age_years=node.age_years(current_year),
+        intensity=trace,
+    )
+
+
+def pricing_for_gpu_config(
+    config: GPUNodeSpec,
+    current_year: int,
+    intensity: CarbonIntensityTrace | float | None = None,
+    carbon_rate_g_per_h: float | None = None,
+) -> MachinePricing:
+    """Build a pricing view for a whole-unit GPU configuration.
+
+    ``carbon_rate_g_per_h`` passes through a published per-configuration
+    embodied rate (Table 2); when omitted CBA derives one from the
+    configuration's estimated embodied total.
+    """
+    trace: CarbonIntensityTrace | None
+    if intensity is None:
+        trace = None
+    elif isinstance(intensity, CarbonIntensityTrace):
+        trace = intensity
+    else:
+        trace = constant_trace(f"{config.name}-flat", float(intensity))
+    return MachinePricing(
+        name=config.name,
+        total_cores=config.count,
+        tdp_watts=config.tdp_watts,
+        peak_rating=config.gpu.peak_gflops,
+        embodied_carbon_g=config.embodied_carbon_g,
+        age_years=config.age_years(current_year),
+        intensity=trace,
+        carbon_rate_override_g_per_h=carbon_rate_g_per_h,
+        whole_unit=True,
+    )

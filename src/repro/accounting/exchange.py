@@ -1,0 +1,116 @@
+"""Exchange rates between allocation currencies (§3.1's fungibility).
+
+ACCESS grants *service units* exchangeable for machine-specific
+allocations at published rates; Google standardizes core-time into
+Compute Units.  This module provides the same machinery for impact-based
+currencies so a site can migrate: quote how many EBA-joules or
+CBA-grams an existing core-hour grant is worth on a reference workload,
+and convert user balances between methods.
+
+The exchange rate between two accounting methods is defined empirically,
+as the paper's user study had to do for V3 ("we attempted to give an
+equivalent sized allocation"): price a *reference basket* of usage
+records under both methods and take the cost ratio.  The basket defaults
+to the paper's seven benchmark applications on the machine in question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accounting.base import AccountingMethod, MachinePricing, UsageRecord
+from repro.apps.registry import APP_REGISTRY
+
+
+def reference_basket(machine: str) -> list[UsageRecord]:
+    """The default basket: every benchmark application's run on
+    ``machine`` (skipping apps without a profile there)."""
+    basket = []
+    for profile in APP_REGISTRY.values():
+        if machine not in profile.runs:
+            continue
+        run = profile.runs[machine]
+        basket.append(
+            UsageRecord(
+                machine=machine,
+                duration_s=run.runtime_s,
+                energy_j=run.energy_j,
+                cores=run.requested_cores,
+                provisioned_cores=run.provisioned_cores,
+            )
+        )
+    return basket
+
+
+@dataclass(frozen=True)
+class ExchangeRate:
+    """``1 unit of source`` is worth ``rate`` units of ``target``."""
+
+    source: str
+    target: str
+    rate: float
+
+    def convert(self, amount: float) -> float:
+        """Convert a balance from the source to the target currency."""
+        if amount < 0:
+            raise ValueError("cannot convert a negative balance")
+        return amount * self.rate
+
+    def inverse(self) -> "ExchangeRate":
+        if self.rate <= 0:
+            raise ValueError("rate must be positive to invert")
+        return ExchangeRate(
+            source=self.target, target=self.source, rate=1.0 / self.rate
+        )
+
+
+def exchange_rate(
+    source: AccountingMethod,
+    target: AccountingMethod,
+    pricing: MachinePricing,
+    basket: list[UsageRecord] | None = None,
+) -> ExchangeRate:
+    """Empirical exchange rate between two methods on one machine.
+
+    Defined as ``total target cost / total source cost`` over the
+    basket, so converting a source-currency balance with the returned
+    rate preserves how much of the basket it can buy.
+    """
+    basket = basket if basket is not None else reference_basket(pricing.name)
+    if not basket:
+        raise ValueError(f"no reference basket for machine {pricing.name!r}")
+    source_total = sum(source.charge(r, pricing) for r in basket)
+    target_total = sum(target.charge(r, pricing) for r in basket)
+    if source_total <= 0:
+        raise ValueError(
+            f"basket has zero cost under {source.name}; rate undefined"
+        )
+    return ExchangeRate(
+        source=source.name, target=target.name, rate=target_total / source_total
+    )
+
+
+def service_unit_rates(
+    method: AccountingMethod,
+    pricings: dict[str, MachinePricing],
+    reference_machine: str,
+) -> dict[str, float]:
+    """ACCESS-style machine exchange rates under one accounting method.
+
+    Returns, per machine, how many service units one unit of work costs
+    relative to the reference machine: ``rate[m] = cost_m / cost_ref``
+    over each machine's own basket.  Machines with rate < 1 are
+    discounted — under EBA/CBA these are precisely the efficient ones,
+    which is the incentive the paper wants the exchange rate to carry.
+    """
+    if reference_machine not in pricings:
+        raise KeyError(f"unknown reference machine {reference_machine!r}")
+
+    def basket_cost(machine: str) -> float:
+        basket = reference_basket(machine)
+        if not basket:
+            raise ValueError(f"no basket for {machine!r}")
+        return sum(method.charge(r, pricings[machine]) for r in basket)
+
+    ref = basket_cost(reference_machine)
+    return {m: basket_cost(m) / ref for m in pricings}

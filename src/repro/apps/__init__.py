@@ -1,0 +1,49 @@
+"""Benchmark applications (§4.2.1's "five applications from the SeBS
+benchmark and two scientific applications") as real, runnable kernels,
+plus the calibrated cross-machine profiles that drive the paper's
+tables.
+
+Two layers:
+
+* **Kernels** — actual NumPy/NetworkX implementations (tiled Cholesky,
+  MatMul, PageRank, BFS, MST, Lennard-Jones MD, DNA k-mer analysis) that
+  the FaaS endpoints execute for real.  They run at laptop-friendly
+  problem sizes.
+* **Profiles** (:mod:`repro.apps.registry`) — measured (runtime, energy)
+  per (application, machine) pairs.  Values for Cholesky come straight
+  from Tables 1 and 3; the other six applications carry profiles
+  consistent with Fig. 4's spread of energy/performance trade-offs.
+"""
+
+from repro.apps.registry import (
+    AppProfile,
+    APP_REGISTRY,
+    CPU_APP_NAMES,
+    GPU_CHOLESKY_PROFILES,
+    app_names,
+    get_profile,
+    kernel_for,
+)
+from repro.apps.cholesky import tiled_cholesky, cholesky_task_graph
+from repro.apps.linalg import blocked_matmul
+from repro.apps.graph import pagerank, bfs_levels, minimum_spanning_tree
+from repro.apps.md import lennard_jones_md
+from repro.apps.dna import dna_kmer_profile
+
+__all__ = [
+    "AppProfile",
+    "APP_REGISTRY",
+    "CPU_APP_NAMES",
+    "GPU_CHOLESKY_PROFILES",
+    "app_names",
+    "get_profile",
+    "kernel_for",
+    "tiled_cholesky",
+    "cholesky_task_graph",
+    "blocked_matmul",
+    "pagerank",
+    "bfs_levels",
+    "minimum_spanning_tree",
+    "lennard_jones_md",
+    "dna_kmer_profile",
+]

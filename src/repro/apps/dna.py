@@ -1,0 +1,97 @@
+"""DNA sequence analysis (the "DNA Viz." SeBS application).
+
+The SeBS DNA-visualization workload parses a sequence and produces the
+data behind a squiggle plot.  Our kernel computes the same ingredients:
+k-mer frequency spectrum, per-window GC content, and the 2-D
+squiggle-walk coordinates (A: up-right, T: down-right, C/G: vertical
+splits), which is the part that dominates runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_BASES = np.frombuffer(b"ACGT", dtype=np.uint8)
+
+
+def random_sequence(length: int, seed: int | None = 0, gc_bias: float = 0.5) -> str:
+    """A random DNA sequence with adjustable GC fraction."""
+    if not 0 <= gc_bias <= 1:
+        raise ValueError("gc_bias must be within [0, 1]")
+    rng = np.random.default_rng(seed)
+    p_at = (1 - gc_bias) / 2
+    p_gc = gc_bias / 2
+    idx = rng.choice(4, size=length, p=[p_at, p_gc, p_gc, p_at])
+    return _BASES[idx].tobytes().decode("ascii")
+
+
+@dataclass(frozen=True)
+class DNAProfile:
+    """Output of :func:`dna_kmer_profile`."""
+
+    kmer_counts: dict[str, int]
+    gc_windows: np.ndarray
+    squiggle: np.ndarray  # (n+1, 2) walk coordinates
+
+    @property
+    def gc_content(self) -> float:
+        return float(self.gc_windows.mean()) if len(self.gc_windows) else 0.0
+
+
+def dna_kmer_profile(sequence: str, k: int = 4, window: int = 100) -> DNAProfile:
+    """Compute the k-mer spectrum, windowed GC content, and squiggle walk.
+
+    The k-mer count is vectorized by encoding bases as 2-bit integers and
+    sliding a polynomial rolling hash; invalid characters raise.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    seq = sequence.upper()
+    raw = np.frombuffer(seq.encode("ascii"), dtype=np.uint8)
+    code = np.full(raw.shape, -1, dtype=np.int64)
+    for value, base in enumerate(b"ACGT"):
+        code[raw == base] = value
+    if np.any(code < 0):
+        bad = chr(int(raw[np.argmax(code < 0)]))
+        raise ValueError(f"invalid base {bad!r} in sequence")
+
+    n = len(code)
+    counts: dict[str, int] = {}
+    if n >= k:
+        # Rolling 2-bit hash of every k-mer.
+        weights = 4 ** np.arange(k - 1, -1, -1, dtype=np.int64)
+        windows = np.lib.stride_tricks.sliding_window_view(code, k)
+        hashes = windows @ weights
+        uniq, freq = np.unique(hashes, return_counts=True)
+        for h, f in zip(uniq, freq):
+            letters = []
+            value = int(h)
+            for _ in range(k):
+                letters.append("ACGT"[value % 4])
+                value //= 4
+            counts["".join(reversed(letters))] = int(f)
+
+    # Windowed GC content.
+    is_gc = ((code == 1) | (code == 2)).astype(float)
+    n_windows = n // window
+    if n_windows:
+        gc = is_gc[: n_windows * window].reshape(n_windows, window).mean(axis=1)
+    else:
+        gc = np.empty(0)
+
+    # Squiggle walk: x advances on A/T, y on C/G, with signs per base.
+    dx = np.select([code == 0, code == 3], [1.0, 1.0], default=0.0)
+    dy = np.select(
+        [code == 0, code == 3, code == 1, code == 2],
+        [1.0, -1.0, 1.0, -1.0],
+        default=0.0,
+    )
+    walk = np.zeros((n + 1, 2))
+    walk[1:, 0] = np.cumsum(dx)
+    walk[1:, 1] = np.cumsum(dy)
+
+    return DNAProfile(kmer_counts=counts, gc_windows=gc, squiggle=walk)

@@ -1,0 +1,35 @@
+"""Dense linear-algebra kernels (the SeBS-style MatMul application)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def blocked_matmul(a: np.ndarray, b: np.ndarray, block: int = 128) -> np.ndarray:
+    """Cache-blocked matrix multiply ``a @ b``.
+
+    Blocking matters for the *real* execution path on large inputs (see
+    the hpc-parallel guide's cache-effects section); each inner product
+    of blocks is delegated to BLAS via ``@``.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("inputs must be 2-D")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+    if block <= 0:
+        raise ValueError("block must be positive")
+
+    m, k = a.shape
+    _, n = b.shape
+    out = np.zeros((m, n))
+    for i0 in range(0, m, block):
+        i1 = min(i0 + block, m)
+        for k0 in range(0, k, block):
+            k1 = min(k0 + block, k)
+            a_blk = a[i0:i1, k0:k1]
+            for j0 in range(0, n, block):
+                j1 = min(j0 + block, n)
+                out[i0:i1, j0:j1] += a_blk @ b[k0:k1, j0:j1]
+    return out

@@ -1,0 +1,110 @@
+"""Hourly carbon-intensity traces.
+
+CBA (Eq. 2) needs ``I_f(t)``: the grid carbon intensity at facility ``f``
+when a job runs, in gCO2e/kWh.  The paper retrieves hourly data from
+Electricity Maps starting January 2023; this module provides the trace
+container that the simulator and the accounting code query.  Synthetic
+trace *generation* lives in :mod:`repro.carbon.grids`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class CarbonIntensityTrace:
+    """An hourly carbon-intensity time series for one grid region.
+
+    Attributes
+    ----------
+    region:
+        Region code, e.g. ``"AU-SA"``.
+    hourly_g_per_kwh:
+        Intensity for hour ``i`` (relative to the trace epoch).  The
+        trace repeats cyclically past its end, which matches how the
+        simulation uses a single year of data for multi-year horizons.
+    """
+
+    region: str
+    hourly_g_per_kwh: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.hourly_g_per_kwh, dtype=float)
+        if values.ndim != 1 or len(values) == 0:
+            raise ValueError("trace must be a non-empty 1-D array")
+        if np.any(values < 0):
+            raise ValueError("carbon intensity cannot be negative")
+        object.__setattr__(self, "hourly_g_per_kwh", values)
+
+    def __len__(self) -> int:
+        return len(self.hourly_g_per_kwh)
+
+    # ------------------------------------------------------------------
+    def at(self, time_s: float) -> float:
+        """Intensity (gCO2e/kWh) at ``time_s`` seconds past the epoch."""
+        hour = int(time_s // SECONDS_PER_HOUR) % len(self.hourly_g_per_kwh)
+        return float(self.hourly_g_per_kwh[hour])
+
+    def at_many(self, times_s: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`at` for an array of times."""
+        hours = (np.asarray(times_s) // SECONDS_PER_HOUR).astype(int) % len(self)
+        return self.hourly_g_per_kwh[hours]
+
+    def average_over(self, start_s: float, duration_s: float) -> float:
+        """Time-weighted mean intensity over ``[start, start+duration]``.
+
+        Jobs spanning several hours should be charged the mean intensity
+        over their run, not the submit-hour snapshot; both behaviours are
+        offered and the accounting method chooses.
+        """
+        if duration_s < 0:
+            raise ValueError("duration cannot be negative")
+        if duration_s < 1e-9 or start_s + duration_s == start_s:
+            # Sub-nanosecond or sub-ulp duration: the window degenerates
+            # to a point (and the integral below would divide rounding
+            # noise by a (sub)normal, producing garbage).
+            return self.at(start_s)
+        edges = np.arange(
+            np.floor(start_s / SECONDS_PER_HOUR),
+            np.floor((start_s + duration_s) / SECONDS_PER_HOUR) + 2,
+        ) * SECONDS_PER_HOUR
+        edges[0] = start_s
+        edges[-1] = start_s + duration_s
+        widths = np.diff(edges)
+        mids = (edges[:-1] + edges[1:]) / 2.0
+        vals = self.at_many(mids)
+        return float((vals * widths).sum() / duration_s)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        """Mean intensity over the whole trace."""
+        return float(self.hourly_g_per_kwh.mean())
+
+    @property
+    def min(self) -> float:
+        return float(self.hourly_g_per_kwh.min())
+
+    @property
+    def max(self) -> float:
+        return float(self.hourly_g_per_kwh.max())
+
+    def day_profile(self, day: int = 0) -> np.ndarray:
+        """The 24 hourly values of day ``day`` (used for Fig. 7b)."""
+        start = (day * 24) % len(self)
+        idx = (start + np.arange(24)) % len(self)
+        return self.hourly_g_per_kwh[idx]
+
+
+def constant_trace(region: str, g_per_kwh: float, hours: int = 24) -> CarbonIntensityTrace:
+    """A flat trace — what the Table 5 yearly-average scenario uses."""
+    if g_per_kwh < 0:
+        raise ValueError("carbon intensity cannot be negative")
+    return CarbonIntensityTrace(
+        region=region, hourly_g_per_kwh=np.full(hours, float(g_per_kwh))
+    )

@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro ...``.
+
+Subcommands map one-to-one onto the experiment modules so the whole
+reproduction is drivable without writing Python:
+
+* ``tables`` — print the hardware-study tables (1-5) and Figs. 1/2/4;
+* ``simulate`` — the §5 study (Figs. 5/6, Table 6) at a chosen scale;
+* ``low-carbon`` — the §5.6 scenario (Fig. 7);
+* ``study`` — the §6 game study (Figs. 9/10);
+* ``quote`` — price a function on every machine under any method.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        fig1_survey,
+        fig2_survey,
+        fig4_apps,
+        table1_cpu_costs,
+        table2_gpu_specs,
+        table3_gpu_costs,
+        table4_embodied,
+        table5_machines,
+    )
+
+    sections = {
+        "fig1": fig1_survey.format_table,
+        "fig2": fig2_survey.format_table,
+        "fig4": fig4_apps.format_table,
+        "table1": table1_cpu_costs.format_table,
+        "table2": table2_gpu_specs.format_table,
+        "table3": table3_gpu_costs.format_table,
+        "table4": table4_embodied.format_table,
+        "table5": table5_machines.format_table,
+    }
+    wanted = args.only or list(sections)
+    for name in wanted:
+        if name not in sections:
+            print(f"unknown table {name!r}; known: {', '.join(sections)}", file=sys.stderr)
+            return 2
+        print(sections[name]())
+        print()
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        fig5_eba_simulation,
+        fig6_cba_simulation,
+        table6_policy_impact,
+    )
+
+    print(fig5_eba_simulation.format_report(scale=args.scale, seed=args.seed))
+    print()
+    print(table6_policy_impact.format_table(scale=args.scale, seed=args.seed))
+    print()
+    print(fig6_cba_simulation.format_report(scale=args.scale, seed=args.seed))
+    return 0
+
+
+def _cmd_low_carbon(args: argparse.Namespace) -> int:
+    from repro.experiments import fig7_low_carbon
+
+    print(fig7_low_carbon.format_report(scale=args.scale, seed=args.seed))
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.experiments import fig9_user_study, fig10_job_probability
+
+    print(fig9_user_study.format_report(n_users=args.users, seed=args.seed))
+    print()
+    print(fig10_job_probability.format_report(n_users=args.users, seed=args.seed))
+    return 0
+
+
+def _cmd_quote(args: argparse.Namespace) -> int:
+    from repro.accounting.base import pricing_for_node
+    from repro.accounting.methods import method_by_name
+    from repro.faas.predictor import PredictionService
+    from repro.hardware.catalog import (
+        CPU_EXPERIMENT_NODES,
+        CPU_EXPERIMENT_YEAR,
+        TABLE1_CARBON_INTENSITY,
+    )
+    from repro.apps.registry import APP_REGISTRY
+
+    try:
+        method = method_by_name(args.method)
+    except KeyError as err:
+        print(err, file=sys.stderr)
+        return 2
+    profile = APP_REGISTRY.get(args.function)
+    if profile is None:
+        print(
+            f"unknown function {args.function!r}; known: {', '.join(sorted(APP_REGISTRY))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    pricings = {
+        node.name: pricing_for_node(
+            node, CPU_EXPERIMENT_YEAR, TABLE1_CARBON_INTENSITY[node.name]
+        )
+        for node in CPU_EXPERIMENT_NODES
+    }
+    service = PredictionService()
+    quotes = service.quote(profile.signature, method, pricings, cores=args.cores)
+    print(f"expected {method.name} cost of {args.function!r} ({args.cores} cores):")
+    for machine, cost in sorted(quotes.items(), key=lambda kv: kv[1]):
+        print(f"  {machine:<14} {cost:12.4g}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Core Hours and Carbon Credits' (SC 2025)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tables = sub.add_parser("tables", help="print the hardware-study tables")
+    p_tables.add_argument(
+        "--only", nargs="*", metavar="NAME",
+        help="subset, e.g. table1 table4 fig2",
+    )
+    p_tables.set_defaults(fn=_cmd_tables)
+
+    p_sim = sub.add_parser("simulate", help="run the section-5 simulation study")
+    p_sim.add_argument("--scale", type=int, default=6_000,
+                       help="base jobs before the x2 repetition")
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(fn=_cmd_simulate)
+
+    p_low = sub.add_parser("low-carbon", help="run the section-5.6 scenario")
+    p_low.add_argument("--scale", type=int, default=6_000)
+    p_low.add_argument("--seed", type=int, default=0)
+    p_low.set_defaults(fn=_cmd_low_carbon)
+
+    p_study = sub.add_parser("study", help="run the section-6 user study")
+    p_study.add_argument("--users", type=int, default=90)
+    p_study.add_argument("--seed", type=int, default=11)
+    p_study.set_defaults(fn=_cmd_study)
+
+    p_quote = sub.add_parser("quote", help="price a function across machines")
+    p_quote.add_argument("function", help="benchmark function name, e.g. Cholesky")
+    p_quote.add_argument("--method", default="EBA",
+                         help="Runtime | Energy | Peak | EBA | CBA")
+    p_quote.add_argument("--cores", type=int, default=8)
+    p_quote.set_defaults(fn=_cmd_quote)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

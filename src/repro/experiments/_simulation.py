@@ -1,0 +1,101 @@
+"""Shared simulation-study driver for Figs. 5-7 and Table 6.
+
+Running the eight policies over the workload is the expensive part and
+several experiments consume the same runs, so this module memoizes
+(scenario, method, scale, seed) -> per-policy results.
+
+``scale`` is the number of *base* jobs before the x2 repetition; the
+paper's full scale is 71,190.  The default (6,000 -> 12,000 jobs) keeps
+a full 8-policy sweep under a minute while preserving queue contention;
+pass ``scale=71_190`` for the paper-scale run.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.accounting.base import AccountingMethod
+from repro.accounting.methods import CarbonBasedAccounting, EnergyBasedAccounting
+from repro.sim.engine import MultiClusterSimulator, SimulationResult
+from repro.sim.policies import standard_policies
+from repro.sim.scenarios import SimMachine, baseline_scenario, low_carbon_scenario
+from repro.sim.workload import PatelWorkloadGenerator, Workload, WorkloadConfig
+
+DEFAULT_SCALE = 6_000
+PAPER_SCALE = 71_190
+
+
+def method_for(name: str) -> AccountingMethod:
+    if name.upper() == "EBA":
+        return EnergyBasedAccounting()
+    if name.upper() == "CBA":
+        return CarbonBasedAccounting()
+    raise KeyError(f"simulation methods are EBA or CBA, not {name!r}")
+
+
+@lru_cache(maxsize=4)
+def scenario(name: str, seed: int = 0) -> tuple[tuple[str, SimMachine], ...]:
+    if name == "baseline":
+        machines = baseline_scenario(days=40, seed=seed)
+    elif name == "low-carbon":
+        machines = low_carbon_scenario(days=40, seed=seed)
+    else:
+        raise KeyError(f"unknown scenario {name!r}")
+    return tuple(machines.items())
+
+
+@lru_cache(maxsize=4)
+def workload(scenario_name: str, scale: int, seed: int = 0) -> Workload:
+    machines = dict(scenario(scenario_name, seed))
+    cfg = WorkloadConfig(n_base_jobs=scale, seed=seed)
+    return PatelWorkloadGenerator(machines, cfg).generate()
+
+
+@lru_cache(maxsize=16)
+def policy_sweep(
+    scenario_name: str = "baseline",
+    method_name: str = "EBA",
+    scale: int = DEFAULT_SCALE,
+    seed: int = 0,
+) -> dict[str, SimulationResult]:
+    """Run all eight policies; memoized per configuration."""
+    machines = dict(scenario(scenario_name, seed))
+    wl = workload(scenario_name, scale, seed)
+    method = method_for(method_name)
+    results: dict[str, SimulationResult] = {}
+    for policy in standard_policies():
+        sim = MultiClusterSimulator(machines, method, policy)
+        results[policy.name] = sim.run(wl)
+    return results
+
+
+def greedy_budget(
+    scenario_name: str = "baseline",
+    method_name: str = "EBA",
+    scale: int = DEFAULT_SCALE,
+    seed: int = 0,
+    fraction: float = 0.5,
+) -> float:
+    """The fixed allocation: a fraction of what Greedy spends on the
+    whole workload (every policy gets the same budget)."""
+    results = policy_sweep(scenario_name, method_name, scale, seed)
+    return fraction * results["Greedy"].total_cost()
+
+
+def budget_matching_work(
+    results: dict[str, SimulationResult], target_work: float
+) -> float:
+    """Binary-search the budget at which Greedy completes ``target_work``
+    core-hours — Fig. 6's setup ("we allow a user employing Greedy to run
+    the same amount of work as in Figure 5a")."""
+    greedy = results["Greedy"]
+    lo, hi = 0.0, greedy.total_cost()
+    if greedy.work_with_budget(hi) <= target_work:
+        return hi
+    for _ in range(60):
+        mid = (lo + hi) / 2.0
+        if greedy.work_with_budget(mid) < target_work:
+            lo = mid
+        else:
+            hi = mid
+    return hi

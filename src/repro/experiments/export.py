@@ -1,0 +1,216 @@
+"""CSV export of every figure/table's underlying data.
+
+The paper ships plots; this reproduction ships the numbers.  ``export_all``
+writes one CSV per artifact into a directory so any plotting tool can
+regenerate the figures.  Each writer is also callable on its own.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Callable
+
+from repro.experiments import (
+    fig1_survey,
+    fig2_survey,
+    fig4_apps,
+    fig5_eba_simulation,
+    fig6_cba_simulation,
+    fig7_low_carbon,
+    fig9_user_study,
+    fig10_job_probability,
+    table1_cpu_costs,
+    table2_gpu_specs,
+    table3_gpu_costs,
+    table4_embodied,
+    table5_machines,
+    table6_policy_impact,
+)
+
+
+def _write(path: Path, header: list[str], rows: list[list]) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def export_fig1(path: Path) -> Path:
+    counts = fig1_survey.run()
+    rows = [[m, c["yes"], c["no"], c["na"]] for m, c in counts.items()]
+    return _write(path, ["metric", "yes", "no", "na"], rows)
+
+
+def export_fig2(path: Path) -> Path:
+    counts = fig2_survey.run()
+    rows = [[f, c[1], c[2], c[3]] for f, c in counts.items()]
+    return _write(path, ["factor", "not_important", "middling", "very_important"], rows)
+
+
+def export_fig4(path: Path) -> Path:
+    rows = [[r.app, r.machine, r.runtime_s, r.energy_j] for r in fig4_apps.run()]
+    return _write(path, ["app", "machine", "runtime_s", "energy_j"], rows)
+
+
+def export_table1(path: Path) -> Path:
+    table = table1_cpu_costs.run()
+    eba = table.normalized("EBA", "Desktop")
+    cba = table.normalized("CBA", "Desktop")
+    peak = table.normalized("Peak")
+    rows = []
+    for machine in table.machines:
+        runtime, energy = table.metrics[machine]
+        rows.append([machine, runtime, energy, eba[machine], cba[machine], peak[machine]])
+    return _write(
+        path, ["machine", "runtime_s", "energy_j", "eba", "cba", "peak"], rows
+    )
+
+
+def export_table2(path: Path) -> Path:
+    rows = [
+        [r.model, r.year, r.gflops, r.tdp_watts, r.count, r.carbon_rate_g_per_h]
+        for r in table2_gpu_specs.run()
+    ]
+    return _write(
+        path, ["gpu", "year", "gflops", "tdp_w", "count", "carbon_rate_g_per_h"], rows
+    )
+
+
+def export_table3(path: Path) -> Path:
+    table = table3_gpu_costs.run()
+    eba = table.normalized("EBA")
+    cba = table.normalized("CBA")
+    perf = table.normalized("Perf")
+    rows = []
+    for machine in table.machines:
+        runtime, energy_kj = table.metrics[machine]
+        rows.append([machine, runtime, energy_kj, eba[machine], cba[machine], perf[machine]])
+    return _write(
+        path, ["config", "runtime_s", "energy_kj", "eba", "cba", "perf"], rows
+    )
+
+
+def export_table4(path: Path) -> Path:
+    rows = [
+        [r.machine, r.age_years, r.operational_mg, r.linear_mg, r.accelerated_mg]
+        for r in table4_embodied.run()
+    ]
+    return _write(
+        path,
+        ["machine", "age_years", "operational_mg", "linear_mg", "accelerated_mg"],
+        rows,
+    )
+
+
+def export_table5(path: Path) -> Path:
+    rows = [
+        [r.machine, r.year_deployed, r.cpu_model, r.cores, r.cpu_tdp_w,
+         r.idle_power_w, r.carbon_rate_g_per_h, r.avg_intensity_g_per_kwh]
+        for r in table5_machines.run()
+    ]
+    return _write(
+        path,
+        ["machine", "year", "cpu", "cores", "tdp_w", "idle_w",
+         "carbon_rate_g_per_h", "avg_intensity_g_per_kwh"],
+        rows,
+    )
+
+
+def export_fig5(path: Path, scale: int, seed: int = 0) -> Path:
+    works = fig5_eba_simulation.work_with_fixed_allocation(scale, seed)
+    dist = fig5_eba_simulation.machine_distribution(scale, seed)
+    rows = []
+    for policy, work in works.items():
+        row = [policy, work]
+        machines = dist.get(policy, {})
+        row.extend(machines.get(m, "") for m in ("FASTER", "Desktop", "IC", "Theta"))
+        rows.append(row)
+    return _write(
+        path,
+        ["policy", "work_core_hours", "jobs_FASTER", "jobs_Desktop", "jobs_IC", "jobs_Theta"],
+        rows,
+    )
+
+
+def export_table6(path: Path, scale: int, seed: int = 0) -> Path:
+    rows = [
+        [r.policy, r.energy_mwh, r.operational_kg, r.attributed_kg]
+        for r in table6_policy_impact.run(scale, seed)
+    ]
+    return _write(
+        path, ["policy", "energy_mwh", "operational_kg", "attributed_kg"], rows
+    )
+
+
+def export_fig6(path: Path, scale: int, seed: int = 0) -> Path:
+    works = fig6_cba_simulation.work_with_fixed_allocation(scale, seed)
+    shifts = fig6_cba_simulation.eba_vs_cba_shift(scale, seed)
+    rows = [[p, works[p], shifts[p]] for p in works]
+    return _write(path, ["policy", "work_core_hours", "cba_over_eba"], rows)
+
+
+def export_fig7(path: Path, scale: int, seed: int = 0) -> Path:
+    shares = fig7_low_carbon.cheapest_endpoint_by_hour(scale, seed)
+    machines = sorted(next(iter(shares.values())))
+    rows = [[hour] + [shares[hour][m] for m in machines] for hour in sorted(shares)]
+    return _write(path, ["hour"] + machines, rows)
+
+
+def export_fig9(path: Path, n_users: int = 90, seed: int = 11) -> Path:
+    data = fig9_user_study.run(n_users, seed)
+    rows = []
+    for version in (1, 2, 3):
+        for energy, jobs in zip(data["energy"][version], data["jobs"][version]):
+            rows.append([version, energy, int(jobs)])
+    return _write(path, ["version", "energy_kwh", "jobs_completed"], rows)
+
+
+def export_fig10(path: Path, n_users: int = 90, seed: int = 11) -> Path:
+    points = fig10_job_probability.run(n_users, seed)
+    rows = []
+    for version, pts in points.items():
+        for energy, prob in pts:
+            rows.append([version, energy, prob])
+    return _write(path, ["version", "mean_energy_kwh", "run_probability"], rows)
+
+
+#: Every exporter, keyed by artifact name.  Simulation exporters take a
+#: scale; the rest only a path.
+SIMPLE_EXPORTERS: dict[str, Callable[[Path], Path]] = {
+    "fig1": export_fig1,
+    "fig2": export_fig2,
+    "fig4": export_fig4,
+    "table1": export_table1,
+    "table2": export_table2,
+    "table3": export_table3,
+    "table4": export_table4,
+    "table5": export_table5,
+}
+
+SIM_EXPORTERS: dict[str, Callable[..., Path]] = {
+    "fig5": export_fig5,
+    "table6": export_table6,
+    "fig6": export_fig6,
+    "fig7": export_fig7,
+}
+
+STUDY_EXPORTERS: dict[str, Callable[..., Path]] = {
+    "fig9": export_fig9,
+    "fig10": export_fig10,
+}
+
+
+def export_all(directory: str | Path, scale: int = 1500, seed: int = 0) -> list[Path]:
+    """Write every artifact's CSV into ``directory``; returns the paths."""
+    directory = Path(directory)
+    written = []
+    for name, exporter in SIMPLE_EXPORTERS.items():
+        written.append(exporter(directory / f"{name}.csv"))
+    for name, exporter in SIM_EXPORTERS.items():
+        written.append(exporter(directory / f"{name}.csv", scale, seed))
+    for name, exporter in STUDY_EXPORTERS.items():
+        written.append(exporter(directory / f"{name}.csv"))
+    return written

@@ -1,0 +1,37 @@
+"""Fig. 1: awareness of sustainability metrics for one's own machines.
+
+Regenerates the yes/no/not-applicable counts per metric from the
+respondent-level table and checks them against the released aggregates.
+"""
+
+from __future__ import annotations
+
+from repro.survey.analysis import analyze
+from repro.survey.data import generate_respondents
+from repro.survey.schema import FIG1_COUNTS, FIG1_METRICS
+
+
+def run(seed: int = 0) -> dict[str, dict[str, int]]:
+    """Fig. 1's counts, recomputed from respondent rows."""
+    return analyze(generate_respondents(seed)).fig1_counts
+
+
+def format_table(seed: int = 0) -> str:
+    counts = run(seed)
+    lines = [
+        'Fig. 1: "Are you aware of how the HPC resources you use perform',
+        '         on the following sustainability metrics?"',
+        f"{'Metric':<18}{'Yes':>6}{'No':>6}{'N/A':>6}   (published)",
+    ]
+    for metric in FIG1_METRICS:
+        c = counts[metric]
+        p = FIG1_COUNTS[metric]
+        lines.append(
+            f"{metric:<18}{c['yes']:>6}{c['no']:>6}{c['na']:>6}"
+            f"   ({p['yes']}/{p['no']}/{p['na']})"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_table())

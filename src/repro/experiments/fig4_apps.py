@@ -1,0 +1,76 @@
+"""Fig. 4: runtime and energy of seven applications on four CPU nodes.
+
+The paper's point is qualitative: machines trade off differently per
+application — the fastest node is frequently not the most efficient.
+``run`` returns the full (app, machine) grid; ``tradeoff_summary``
+computes, per application, the fastest and the most efficient machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.registry import APP_REGISTRY, CPU_APP_NAMES
+
+
+@dataclass(frozen=True)
+class AppRow:
+    app: str
+    machine: str
+    runtime_s: float
+    energy_j: float
+
+
+def run() -> list[AppRow]:
+    """All (application, machine) measurements, Fig. 4's data."""
+    rows = []
+    for app in CPU_APP_NAMES:
+        profile = APP_REGISTRY[app]
+        for machine, r in profile.runs.items():
+            rows.append(
+                AppRow(
+                    app=app,
+                    machine=machine,
+                    runtime_s=r.runtime_s,
+                    energy_j=r.energy_j,
+                )
+            )
+    return rows
+
+
+def tradeoff_summary() -> dict[str, dict[str, str]]:
+    """Per app: which machine wins on time and which on energy."""
+    out = {}
+    for app in CPU_APP_NAMES:
+        profile = APP_REGISTRY[app]
+        out[app] = {
+            "fastest": profile.fastest_machine(),
+            "most_efficient": profile.most_efficient_machine(),
+        }
+    return out
+
+
+def format_table() -> str:
+    rows = run()
+    machines = list(APP_REGISTRY[CPU_APP_NAMES[0]].runs)
+    lines = ["Fig. 4: runtime (s) / energy (J) per application and node", ""]
+    header = f"{'App':<10}" + "".join(f"{m:>20}" for m in machines)
+    lines += [header, "-" * len(header)]
+    for app in CPU_APP_NAMES:
+        profile = APP_REGISTRY[app]
+        cells = "".join(
+            f"{profile.runs[m].runtime_s:>9.2f}/{profile.runs[m].energy_j:<10.1f}"
+            for m in machines
+        )
+        lines.append(f"{app:<10}" + cells)
+    lines.append("")
+    for app, winners in tradeoff_summary().items():
+        lines.append(
+            f"{app:<10} fastest={winners['fastest']:<13} "
+            f"efficient={winners['most_efficient']}"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_table())

@@ -1,0 +1,76 @@
+"""Table 1: normalized Cholesky costs on four CPU nodes.
+
+Prices the Table 1 metrics (runtime, energy) under EBA, CBA, and the
+Peak baseline, normalized to Desktop as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.accounting.base import MachinePricing, UsageRecord, pricing_for_node
+from repro.accounting.comparison import CostTable, normalized_cost_table
+from repro.accounting.methods import (
+    CarbonBasedAccounting,
+    EnergyBasedAccounting,
+    PeakAccounting,
+)
+from repro.apps.registry import APP_REGISTRY
+from repro.hardware.catalog import (
+    CPU_EXPERIMENT_NODES,
+    CPU_EXPERIMENT_YEAR,
+    TABLE1_CARBON_INTENSITY,
+)
+
+#: Paper values for the EXPERIMENTS.md comparison.
+PAPER_TABLE1 = {
+    "Desktop": {"EBA": 1.0, "CBA": 1.0, "Peak": 1.43},
+    "Cascade Lake": {"EBA": 1.90, "CBA": 1.20, "Peak": 1.0},
+    "Ice Lake": {"EBA": 1.10, "CBA": 1.10, "Peak": 1.06},
+    "Zen3": {"EBA": 1.05, "CBA": 1.15, "Peak": 1.36},
+}
+
+
+def build_inputs() -> tuple[dict[str, UsageRecord], dict[str, MachinePricing]]:
+    """Usage records (Cholesky profile) and pricing views per node."""
+    profile = APP_REGISTRY["Cholesky"]
+    records: dict[str, UsageRecord] = {}
+    pricings: dict[str, MachinePricing] = {}
+    for node in CPU_EXPERIMENT_NODES:
+        run = profile.run_on(node.name)
+        records[node.name] = UsageRecord(
+            machine=node.name,
+            duration_s=run.runtime_s,
+            energy_j=run.energy_j,
+            cores=run.requested_cores,
+            provisioned_cores=run.provisioned_cores,
+        )
+        pricings[node.name] = pricing_for_node(
+            node, CPU_EXPERIMENT_YEAR, TABLE1_CARBON_INTENSITY[node.name]
+        )
+    return records, pricings
+
+
+def run() -> CostTable:
+    """Compute the Table 1 cost table."""
+    records, pricings = build_inputs()
+    methods = [EnergyBasedAccounting(), CarbonBasedAccounting(), PeakAccounting()]
+    return normalized_cost_table(records, pricings, methods)
+
+
+def format_table() -> str:
+    """Render Table 1 as text, normalized to Desktop (EBA/CBA) with the
+    Peak column shown relative to its own minimum, as the paper does."""
+    table = run()
+    lines = [
+        "Table 1: Cholesky on CPU nodes (normalized costs)",
+        table.format(reference="Desktop"),
+        "",
+        "Peak normalized to cheapest (paper convention): "
+        + ", ".join(
+            f"{m}={v:.2f}" for m, v in table.normalized("Peak").items()
+        ),
+    ]
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_table())

@@ -1,0 +1,82 @@
+"""Table 2: GPU node specifications and per-configuration carbon rates.
+
+The published carbon rates were computed with SCARIF; ``run`` reproduces
+the table from the catalog and ``scarif_check`` regenerates the rates
+from our SCARIF-style estimator, reporting the ratio to the published
+value (the tests assert it stays within a small factor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.carbon.embodied import DoubleDecliningBalance
+from repro.carbon.scarif import ScarifEstimator
+from repro.hardware.catalog import (
+    GPU_CARBON_INTENSITY,
+    GPU_CARBON_RATE,
+    GPU_EXPERIMENT_YEAR,
+    gpu_experiment_nodes,
+)
+
+
+@dataclass(frozen=True)
+class GPURow:
+    model: str
+    year: int
+    gflops: float
+    tdp_watts: float
+    count: int
+    carbon_rate_g_per_h: float
+
+
+def run() -> list[GPURow]:
+    """Table 2's rows, in table order."""
+    rows = []
+    for config in gpu_experiment_nodes():
+        rows.append(
+            GPURow(
+                model=config.gpu.model,
+                year=config.gpu.year,
+                gflops=config.gpu.peak_gflops,
+                tdp_watts=config.gpu.tdp_watts,
+                count=config.count,
+                carbon_rate_g_per_h=GPU_CARBON_RATE[(config.gpu.model, config.count)],
+            )
+        )
+    return rows
+
+
+def scarif_check() -> dict[tuple[str, int], float]:
+    """Estimated/published carbon-rate ratio per configuration."""
+    estimator = ScarifEstimator()
+    schedule = DoubleDecliningBalance()
+    out = {}
+    for config in gpu_experiment_nodes():
+        total = estimator.estimate_gpu_node_g(config)
+        age = config.age_years(GPU_EXPERIMENT_YEAR)
+        estimated = schedule.rate_per_hour(total, age)
+        published = GPU_CARBON_RATE[(config.gpu.model, config.count)]
+        out[(config.gpu.model, config.count)] = estimated / published
+    return out
+
+
+def format_table() -> str:
+    lines = [
+        f"Table 2: GPU nodes (avg carbon intensity {GPU_CARBON_INTENSITY} gCO2e/kWh)",
+        f"{'GPU':<6}{'Year':>6}{'GFlop/s':>9}{'TDP':>6}{'#':>3}{'Rate(g/h)':>11}",
+    ]
+    for row in run():
+        lines.append(
+            f"{row.model:<6}{row.year:>6}{row.gflops:>9.0f}{row.tdp_watts:>6.0f}"
+            f"{row.count:>3}{row.carbon_rate_g_per_h:>11.1f}"
+        )
+    lines.append("")
+    lines.append("SCARIF-style estimate / published rate:")
+    for (model, count), ratio in scarif_check().items():
+        lines.append(f"  {model} x{count}: {ratio:.2f}")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_table())

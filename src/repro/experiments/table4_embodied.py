@@ -1,0 +1,84 @@
+"""Table 4: operational carbon vs linear vs accelerated embodied carbon.
+
+Runs the same Cholesky profiles as Table 1 at the Table 4 run-time grid
+intensities, decomposing each node's charge into operational carbon and
+the embodied carbon attributed under the two depreciation schedules.
+Units are mgCO2e, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accounting.base import UsageRecord, pricing_for_node
+from repro.accounting.methods import CarbonBasedAccounting
+from repro.carbon.embodied import DoubleDecliningBalance, LinearDepreciation
+from repro.apps.registry import APP_REGISTRY
+from repro.hardware.catalog import (
+    CPU_EXPERIMENT_NODES,
+    CPU_EXPERIMENT_YEAR,
+    TABLE4_CARBON_INTENSITY,
+)
+
+#: Paper values (mgCO2e) for the EXPERIMENTS.md comparison.
+PAPER_TABLE4 = {
+    "Desktop": {"age": 3, "operational": 2.1, "linear": 1.5, "accelerated": 0.6},
+    "Cascade Lake": {"age": 4, "operational": 2.8, "linear": 1.0, "accelerated": 0.3},
+    "Ice Lake": {"age": 2, "operational": 0.9, "linear": 1.4, "accelerated": 1.0},
+    "Zen3": {"age": 1, "operational": 1.2, "linear": 1.3, "accelerated": 1.6},
+}
+
+
+@dataclass(frozen=True)
+class EmbodiedRow:
+    machine: str
+    age_years: int
+    operational_mg: float
+    linear_mg: float
+    accelerated_mg: float
+
+
+def run() -> list[EmbodiedRow]:
+    profile = APP_REGISTRY["Cholesky"]
+    cba_linear = CarbonBasedAccounting(schedule=LinearDepreciation())
+    cba_accel = CarbonBasedAccounting(schedule=DoubleDecliningBalance())
+    rows = []
+    for node in CPU_EXPERIMENT_NODES:
+        run_ = profile.run_on(node.name)
+        record = UsageRecord(
+            machine=node.name,
+            duration_s=run_.runtime_s,
+            energy_j=run_.energy_j,
+            cores=run_.requested_cores,
+            provisioned_cores=run_.provisioned_cores,
+        )
+        pricing = pricing_for_node(
+            node, CPU_EXPERIMENT_YEAR, TABLE4_CARBON_INTENSITY[node.name]
+        )
+        rows.append(
+            EmbodiedRow(
+                machine=node.name,
+                age_years=pricing.age_years,
+                operational_mg=cba_accel.operational_charge(record, pricing) * 1e3,
+                linear_mg=cba_linear.embodied_charge(record, pricing) * 1e3,
+                accelerated_mg=cba_accel.embodied_charge(record, pricing) * 1e3,
+            )
+        )
+    return rows
+
+
+def format_table() -> str:
+    lines = [
+        "Table 4: operational vs embodied carbon attribution (mgCO2e)",
+        f"{'Machine':<14}{'Age':>5}{'Operational':>13}{'Linear':>9}{'Accel.':>9}",
+    ]
+    for row in run():
+        lines.append(
+            f"{row.machine:<14}{row.age_years:>5}{row.operational_mg:>13.1f}"
+            f"{row.linear_mg:>9.1f}{row.accelerated_mg:>9.1f}"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_table())

@@ -1,0 +1,71 @@
+"""Table 5: the simulation machines and their derived carbon rates.
+
+Reproduces every column of Table 5 from the catalog: the carbon rate is
+*derived* (double-declining balance of the node's embodied total at the
+2023 simulation year), not stored, so this experiment doubles as a check
+of the embodied-carbon inversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.scenarios import baseline_scenario
+
+#: Paper values for the EXPERIMENTS.md comparison.
+PAPER_TABLE5 = {
+    "FASTER": {"year": 2023, "cores": 64, "tdp": 205, "idle": 205.0, "rate": 105.2, "intensity": 389},
+    "Desktop": {"year": 2022, "cores": 16, "tdp": 65, "idle": 6.51, "rate": 12.2, "intensity": 454},
+    "IC": {"year": 2021, "cores": 48, "tdp": 205, "idle": 136.0, "rate": 16.7, "intensity": 454},
+    "Theta": {"year": 2017, "cores": 64, "tdp": 215, "idle": 110.0, "rate": 2.0, "intensity": 502},
+}
+
+
+@dataclass(frozen=True)
+class MachineRow:
+    machine: str
+    year_deployed: int
+    cpu_model: str
+    cores: int
+    cpu_tdp_w: float
+    idle_power_w: float
+    carbon_rate_g_per_h: float
+    avg_intensity_g_per_kwh: float
+
+
+def run(days: int = 40, seed: int = 0) -> list[MachineRow]:
+    rows = []
+    for name, machine in baseline_scenario(days=days, seed=seed).items():
+        node = machine.node
+        rows.append(
+            MachineRow(
+                machine=name,
+                year_deployed=node.year_deployed,
+                cpu_model=node.cpu.model,
+                cores=node.cores,
+                cpu_tdp_w=node.cpu.tdp_watts,
+                idle_power_w=node.idle_power_watts,
+                carbon_rate_g_per_h=machine.carbon_rate_g_per_h,
+                avg_intensity_g_per_kwh=machine.intensity.mean,
+            )
+        )
+    return rows
+
+
+def format_table() -> str:
+    lines = [
+        "Table 5: simulation machines",
+        f"{'Machine':<9}{'Year':>6}{'Cores':>7}{'TDP':>6}{'Idle':>8}"
+        f"{'Rate(g/h)':>11}{'AvgI':>7}",
+    ]
+    for row in run():
+        lines.append(
+            f"{row.machine:<9}{row.year_deployed:>6}{row.cores:>7}"
+            f"{row.cpu_tdp_w:>6.0f}{row.idle_power_w:>8.2f}"
+            f"{row.carbon_rate_g_per_h:>11.1f}{row.avg_intensity_g_per_kwh:>7.0f}"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_table())

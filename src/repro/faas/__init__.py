@@ -1,0 +1,42 @@
+"""green-ACCESS analogue: a FaaS platform with impact-based accounting.
+
+The paper's prototype (Fig. 3) has three components: a frontend with
+accounting and admission control, Globus Compute endpoints executing
+functions on HPC machines, and a Kafka/Faust pipeline streaming RAPL and
+performance-counter data to an endpoint monitor that disaggregates node
+energy into per-task energy.  This package mirrors that dataflow
+in-process:
+
+* :mod:`repro.faas.bus` — a topic-based message bus with consumer
+  offsets (the Kafka stand-in);
+* :mod:`repro.faas.endpoint` — executes function invocations on a
+  simulated node, emitting counter and RAPL messages while jobs run;
+* :mod:`repro.faas.monitor` — the Faust-style streaming consumer: RAPL
+  wrap-around handling, online power-model fitting, per-process energy
+  attribution;
+* :mod:`repro.faas.predictor` — the prediction endpoint (KNN over
+  benchmark profiles) that quotes expected runtime/energy/cost;
+* :mod:`repro.faas.platform` — the frontend tying everything to the
+  allocation ledger.
+"""
+
+from repro.faas.bus import Message, MessageBus
+from repro.faas.endpoint import Endpoint, Invocation, InvocationResult
+from repro.faas.monitor import EndpointMonitor, TaskEnergyReport
+from repro.faas.predictor import PredictionService, Prediction
+from repro.faas.platform import GreenAccess, SubmissionReceipt, AdmissionError
+
+__all__ = [
+    "Message",
+    "MessageBus",
+    "Endpoint",
+    "Invocation",
+    "InvocationResult",
+    "EndpointMonitor",
+    "TaskEnergyReport",
+    "PredictionService",
+    "Prediction",
+    "GreenAccess",
+    "SubmissionReceipt",
+    "AdmissionError",
+]

@@ -1,0 +1,94 @@
+"""In-memory topic bus with Kafka-like consumer semantics.
+
+Producers append to named topics; consumers poll from a per-(topic,
+group) offset, so independent consumer groups each see the full stream
+and a group never sees a message twice.  This is the minimal contract
+the monitor needs from Kafka, and keeping it explicit (rather than
+direct function calls) preserves the paper's architecture: endpoints do
+not know who consumes their telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class Message:
+    """One bus record."""
+
+    topic: str
+    key: str
+    value: dict[str, Any]
+    timestamp: float
+    offset: int
+
+
+class MessageBus:
+    """Append-only topic log with consumer-group offsets."""
+
+    def __init__(self, max_retained: int | None = None) -> None:
+        """``max_retained`` bounds per-topic history (old records are
+        dropped from the head, like Kafka retention); ``None`` keeps all.
+        """
+        if max_retained is not None and max_retained < 1:
+            raise ValueError("max_retained must be positive")
+        self._topics: dict[str, list[Message]] = {}
+        self._base_offset: dict[str, int] = {}
+        self._offsets: dict[tuple[str, str], int] = {}
+        self._max_retained = max_retained
+
+    # ------------------------------------------------------------------
+    def publish(
+        self, topic: str, key: str, value: dict[str, Any], timestamp: float = 0.0
+    ) -> Message:
+        """Append a record to ``topic`` and return it."""
+        log = self._topics.setdefault(topic, [])
+        base = self._base_offset.setdefault(topic, 0)
+        msg = Message(
+            topic=topic,
+            key=key,
+            value=dict(value),
+            timestamp=timestamp,
+            offset=base + len(log),
+        )
+        log.append(msg)
+        if self._max_retained is not None and len(log) > self._max_retained:
+            drop = len(log) - self._max_retained
+            del log[:drop]
+            self._base_offset[topic] = base + drop
+        return msg
+
+    def topics(self) -> list[str]:
+        return sorted(self._topics)
+
+    def end_offset(self, topic: str) -> int:
+        """Offset one past the newest record of ``topic``."""
+        return self._base_offset.get(topic, 0) + len(self._topics.get(topic, []))
+
+    # ------------------------------------------------------------------
+    def poll(self, topic: str, group: str, max_messages: int | None = None) -> list[Message]:
+        """Fetch unseen records for a consumer group and advance its offset."""
+        log = self._topics.get(topic, [])
+        base = self._base_offset.get(topic, 0)
+        position = self._offsets.get((topic, group), 0)
+        # A consumer that fell behind retention resumes at the log head.
+        position = max(position, base)
+        start = position - base
+        batch = log[start:] if max_messages is None else log[start : start + max_messages]
+        if batch:
+            self._offsets[(topic, group)] = batch[-1].offset + 1
+        else:
+            self._offsets[(topic, group)] = position
+        return list(batch)
+
+    def iter_all(self, topic: str) -> Iterator[Message]:
+        """Iterate every retained record (offset-independent inspection)."""
+        return iter(list(self._topics.get(topic, [])))
+
+    def lag(self, topic: str, group: str) -> int:
+        """Unconsumed records for ``group`` on ``topic``."""
+        return self.end_offset(topic) - max(
+            self._offsets.get((topic, group), 0), self._base_offset.get(topic, 0)
+        )

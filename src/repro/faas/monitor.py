@@ -1,0 +1,233 @@
+"""The endpoint monitor: a Faust-style streaming consumer.
+
+Consumes the endpoint telemetry topics and turns node-level RAPL deltas
+into **per-task energy**, following the paper's pipeline (§4.1,
+component 3):
+
+1. pair consecutive RAPL readings into interval energies (handling the
+   32-bit counter wrap-around);
+2. feed (summed counters, interval power) observations into an online
+   linear power-model fit;
+3. attribute each interval's dynamic energy to the processes active in
+   it, proportional to their modelled power;
+4. aggregate per-process energy into per-task energy via the lifecycle
+   events.
+
+Intervals observed before the model has enough data are buffered and
+attributed when the fit matures (or at :meth:`finalize`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faas.bus import Message, MessageBus
+from repro.faas.endpoint import COUNTER_TOPIC, ENERGY_TOPIC, TASK_TOPIC
+from repro.hardware.power_model import (
+    LinearPowerModel,
+    PowerModelFitter,
+    disaggregate_energy,
+)
+from repro.hardware.rapl import counter_delta_joules
+
+
+@dataclass
+class TaskEnergyReport:
+    """Energy attributed to one task by the monitor."""
+
+    task_id: str
+    user: str
+    endpoint: str
+    energy_j: float = 0.0
+    start_s: float = 0.0
+    end_s: float = 0.0
+    cores: int = 1
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.end_s - self.start_s)
+
+
+@dataclass
+class _Interval:
+    start: float
+    end: float
+    energy_j: float
+    counters: dict[int, np.ndarray]
+    cores: dict[int, int]
+    total_cores: int
+
+
+class EndpointMonitor:
+    """Aggregates telemetry from one or more endpoints into task energy.
+
+    Parameters
+    ----------
+    bus:
+        The bus endpoints publish to.
+    group:
+        Consumer-group name (distinct monitors see independent offsets).
+    min_fit_observations:
+        Observations required before the fitted model replaces the
+        bootstrap attribution.
+    """
+
+    def __init__(
+        self,
+        bus: MessageBus,
+        group: str = "green-access-monitor",
+        min_fit_observations: int = 8,
+    ) -> None:
+        self.bus = bus
+        self.group = group
+        self.min_fit_observations = min_fit_observations
+
+        self._fitters: dict[str, PowerModelFitter] = {}
+        self._models: dict[str, LinearPowerModel] = {}
+        self._last_energy: dict[str, Message] = {}
+        self._pending: dict[str, list[_Interval]] = {}
+        self._window_counters: dict[str, dict[int, np.ndarray]] = {}
+        self._window_cores: dict[str, dict[int, int]] = {}
+        self._pid_energy: dict[tuple[str, int], float] = {}
+        self._pid_task: dict[tuple[str, int], str] = {}
+        self._reports: dict[str, TaskEnergyReport] = {}
+
+    # ------------------------------------------------------------------
+    def process(self) -> None:
+        """Drain new telemetry and attribute what is attributable.
+
+        Messages from the three topics are interleaved by timestamp
+        before dispatch (ties broken task -> counters -> energy), so an
+        energy reading is always paired with exactly the counter samples
+        of its own interval — regardless of how late the consumer polls.
+        """
+        batches = (
+            (0, self.bus.poll(TASK_TOPIC, self.group)),
+            (1, self.bus.poll(COUNTER_TOPIC, self.group)),
+            (2, self.bus.poll(ENERGY_TOPIC, self.group)),
+        )
+        merged = sorted(
+            ((msg.timestamp, priority, idx, msg)
+             for priority, batch in batches
+             for idx, msg in enumerate(batch)),
+            key=lambda item: item[:3],
+        )
+        handlers = {0: self._on_task_event, 1: self._on_counters, 2: self._on_energy}
+        for _, priority, _, msg in merged:
+            handlers[priority](msg)
+        self._flush_pending(final=False)
+
+    def finalize(self) -> dict[str, TaskEnergyReport]:
+        """Attribute everything buffered and return per-task reports."""
+        self.process()
+        self._flush_pending(final=True)
+        return dict(self._reports)
+
+    def model_for(self, endpoint: str) -> LinearPowerModel | None:
+        """The current fitted power model of an endpoint, if any."""
+        return self._models.get(endpoint)
+
+    # ------------------------------------------------------------------
+    def _on_task_event(self, msg: Message) -> None:
+        endpoint = msg.key
+        value = msg.value
+        pid_key = (endpoint, int(value["pid"]))
+        if value["event"] == "start":
+            task_id = str(value["task_id"])
+            self._pid_task[pid_key] = task_id
+            self._reports[task_id] = TaskEnergyReport(
+                task_id=task_id,
+                user=str(value.get("user", "")),
+                endpoint=endpoint,
+                start_s=msg.timestamp,
+                cores=int(value.get("cores", 1)),
+            )
+        elif value["event"] == "end":
+            task_id = self._pid_task.get(pid_key)
+            if task_id and task_id in self._reports:
+                self._reports[task_id].end_s = msg.timestamp
+
+    def _on_counters(self, msg: Message) -> None:
+        endpoint = msg.key
+        vec = np.array(
+            [
+                float(msg.value["instructions_per_sec"]),
+                float(msg.value["llc_misses_per_sec"]),
+            ]
+        )
+        pid = int(msg.value["pid"])
+        self._window_counters.setdefault(endpoint, {})[pid] = vec
+        self._window_cores.setdefault(endpoint, {})[pid] = int(
+            msg.value.get("cores", 1)
+        )
+
+    def _on_energy(self, msg: Message) -> None:
+        endpoint = msg.key
+        prev = self._last_energy.get(endpoint)
+        self._last_energy[endpoint] = msg
+        if prev is None:
+            return
+        dt = msg.timestamp - prev.timestamp
+        if dt <= 0:
+            return
+        energy = counter_delta_joules(
+            int(prev.value["package_raw"]),
+            int(msg.value["package_raw"]),
+            float(msg.value["energy_unit_j"]),
+        )
+        counters = self._window_counters.pop(endpoint, {})
+        cores = self._window_cores.pop(endpoint, {})
+        interval = _Interval(
+            start=prev.timestamp,
+            end=msg.timestamp,
+            energy_j=energy,
+            counters=counters,
+            cores=cores,
+            total_cores=int(msg.value.get("total_cores", 1)),
+        )
+        # Observe node-level (summed counters, mean power) for the fit.
+        fitter = self._fitters.setdefault(endpoint, PowerModelFitter())
+        summed = (
+            np.sum(list(counters.values()), axis=0)
+            if counters
+            else np.zeros(2)
+        )
+        fitter.observe(summed, energy / dt)
+        if fitter.n_observations >= self.min_fit_observations:
+            self._models[endpoint] = fitter.fit()
+        self._pending.setdefault(endpoint, []).append(interval)
+
+    # ------------------------------------------------------------------
+    def _flush_pending(self, final: bool) -> None:
+        for endpoint, intervals in self._pending.items():
+            model = self._models.get(endpoint)
+            if model is None:
+                if not final:
+                    continue
+                fitter = self._fitters.get(endpoint)
+                if fitter is not None and fitter.n_observations >= 3:
+                    model = fitter.fit()
+                else:
+                    # Bootstrap: zero-idle model, attribute dynamically
+                    # by counters via equal weights.
+                    model = LinearPowerModel(idle_watts=0.0, weights=np.array([1e-9, 1e-9]))
+            for interval in intervals:
+                if not interval.counters:
+                    continue
+                shares = disaggregate_energy(
+                    model,
+                    interval.energy_j,
+                    interval.end - interval.start,
+                    interval.counters,
+                    interval.cores,
+                    interval.total_cores,
+                )
+                for pid, joules in shares.items():
+                    key = (endpoint, pid)
+                    self._pid_energy[key] = self._pid_energy.get(key, 0.0) + joules
+                    task_id = self._pid_task.get(key)
+                    if task_id and task_id in self._reports:
+                        self._reports[task_id].energy_j += joules
+            intervals.clear()

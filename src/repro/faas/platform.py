@@ -1,0 +1,223 @@
+"""The green-ACCESS frontend: submission, admission control, accounting.
+
+Ties the pieces together the way Fig. 3 draws them: users submit
+functions; the platform quotes expected costs (prediction service),
+checks the user's fungible allocation (admission control), forwards the
+invocation to the chosen endpoint, lets the monitor attribute measured
+energy, and finally debits the *measured* charge from the allocation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.accounting.allocation import AllocationLedger
+from repro.accounting.base import AccountingMethod, MachinePricing, UsageRecord
+from repro.accounting.methods import EnergyBasedAccounting
+from repro.apps.registry import APP_REGISTRY, kernel_for
+from repro.faas.bus import MessageBus
+from repro.faas.endpoint import Endpoint, Invocation
+from repro.faas.monitor import EndpointMonitor
+from repro.faas.predictor import PredictionService
+from repro.hardware.counters import BALANCED, WorkloadSignature
+from repro.hardware.node import NodeSpec
+
+
+class AdmissionError(RuntimeError):
+    """Submission refused: estimated cost exceeds the remaining allocation."""
+
+
+@dataclass(frozen=True)
+class SubmissionReceipt:
+    """Everything the user learns about a completed invocation."""
+
+    task_id: str
+    function: str
+    machine: str
+    user: str
+    duration_s: float
+    measured_energy_j: float
+    charged: float
+    unit: str
+    balance_after: float
+    estimated_cost: float
+    return_value: Any = None
+
+
+@dataclass
+class RegisteredMachine:
+    endpoint: Endpoint
+    pricing: MachinePricing
+
+
+class GreenAccess:
+    """The platform frontend.
+
+    Parameters
+    ----------
+    method:
+        Accounting method charges are debited under (EBA by default).
+    unit:
+        Display unit of the allocation balances.
+    real_execution:
+        When True, submissions run the *real* kernels registered in
+        :mod:`repro.apps.registry` and are charged for simulated-RAPL
+        measured energy; when False (default) submissions replay the
+        calibrated profiles — deterministic, and what the paper's cost
+        tables are computed from.
+    """
+
+    def __init__(
+        self,
+        method: AccountingMethod | None = None,
+        unit: str = "J",
+        real_execution: bool = False,
+        seed: int | None = 0,
+    ) -> None:
+        self.method = method if method is not None else EnergyBasedAccounting()
+        self.bus = MessageBus()
+        self.ledger = AllocationLedger(unit=unit)
+        self.monitor = EndpointMonitor(self.bus)
+        self.predictor = PredictionService()
+        self.real_execution = real_execution
+        self._machines: dict[str, RegisteredMachine] = {}
+        self._task_counter = itertools.count(1)
+        self._seed = seed
+        self.receipts: list[SubmissionReceipt] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_machine(self, node: NodeSpec, pricing: MachinePricing) -> Endpoint:
+        """Deploy an endpoint for ``node`` (the paper's GCE + monitor)."""
+        if pricing.name != node.name:
+            raise ValueError(
+                f"pricing is for {pricing.name!r}, node is {node.name!r}"
+            )
+        if node.name in self._machines:
+            raise ValueError(f"machine {node.name!r} already registered")
+        endpoint = Endpoint(
+            name=node.name, node=node, bus=self.bus, seed=self._seed
+        )
+        self._machines[node.name] = RegisteredMachine(
+            endpoint=endpoint, pricing=pricing
+        )
+        return endpoint
+
+    def grant(self, user: str, amount: float) -> None:
+        """Open (or top up) a user's fungible allocation."""
+        if user in self.ledger:
+            self.ledger.get(user).grant(amount)
+        else:
+            self.ledger.open(user, amount)
+
+    @property
+    def machines(self) -> list[str]:
+        return sorted(self._machines)
+
+    def pricing(self, machine: str) -> MachinePricing:
+        return self._machines[machine].pricing
+
+    # ------------------------------------------------------------------
+    # Cost estimation
+    # ------------------------------------------------------------------
+    def estimate_costs(self, function: str, cores: int = 8) -> dict[str, float]:
+        """Expected cost of ``function`` on every registered machine."""
+        signature = self._signature(function)
+        pricings = {n: m.pricing for n, m in self._machines.items()}
+        return self.predictor.quote(signature, self.method, pricings, cores=cores)
+
+    def _signature(self, function: str) -> WorkloadSignature:
+        profile = APP_REGISTRY.get(function)
+        return profile.signature if profile is not None else BALANCED
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        user: str,
+        function: str,
+        machine: str | None = None,
+        cores: int = 8,
+        callable_override: Callable[[], Any] | None = None,
+    ) -> SubmissionReceipt:
+        """Run ``function`` for ``user`` and debit the measured charge.
+
+        With ``machine=None`` the platform places the job on the machine
+        with the lowest *expected* cost — the guidance mechanism the
+        paper credits for steering users to efficient resources.
+        """
+        if user not in self.ledger:
+            raise KeyError(f"user {user!r} has no allocation")
+        if not self._machines:
+            raise RuntimeError("no machines registered")
+
+        estimates = self.estimate_costs(function, cores=cores)
+        if machine is None:
+            machine = min(estimates, key=estimates.__getitem__)
+        if machine not in self._machines:
+            raise KeyError(f"machine {machine!r} is not registered")
+        estimate = estimates.get(machine, 0.0)
+
+        allocation = self.ledger.get(user)
+        if not allocation.can_afford(estimate):
+            raise AdmissionError(
+                f"estimated cost {estimate:.4g} {self.ledger.unit} exceeds "
+                f"balance {allocation.balance:.4g} for user {user!r}"
+            )
+
+        registered = self._machines[machine]
+        task_id = f"task-{next(self._task_counter)}"
+        profile = None
+        call: Callable[[], Any] | None = callable_override
+        if not self.real_execution and callable_override is None:
+            app = APP_REGISTRY.get(function)
+            if app is not None and machine in app.runs:
+                profile = app.runs[machine]
+        if profile is None and call is None:
+            call = kernel_for(function)
+
+        invocation = Invocation(
+            task_id=task_id,
+            function=function,
+            user=user,
+            cores=cores,
+            profile=profile,
+            callable=call,
+            signature=self._signature(function),
+        )
+        result = registered.endpoint.execute(invocation)
+
+        reports = self.monitor.finalize()
+        report = reports[task_id]
+
+        record = UsageRecord(
+            machine=machine,
+            duration_s=result.duration_s,
+            energy_j=report.energy_j,
+            cores=result.cores,
+            provisioned_cores=result.provisioned_cores,
+            start_time_s=result.start_s,
+            job_id=task_id,
+        )
+        charge = self.method.charge(record, registered.pricing)
+        txn = allocation.debit(charge, machine=machine, job_id=task_id)
+
+        receipt = SubmissionReceipt(
+            task_id=task_id,
+            function=function,
+            machine=machine,
+            user=user,
+            duration_s=result.duration_s,
+            measured_energy_j=report.energy_j,
+            charged=charge,
+            unit=self.ledger.unit,
+            balance_after=txn.balance_after,
+            estimated_cost=estimate,
+            return_value=result.return_value,
+        )
+        self.receipts.append(receipt)
+        return receipt

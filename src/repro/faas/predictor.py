@@ -1,0 +1,149 @@
+"""The prediction endpoint (Fig. 3, component 1).
+
+Users "access a prediction service that provides estimates of the energy
+consumption of their jobs" before submitting.  Following the two-stage
+method the paper adapts from Pham et al. [43], the service trains one
+KNN per target machine over the benchmark applications' counter
+signatures, predicting (runtime, mean power); energy follows as
+``power x runtime`` and expected costs are quoted under any accounting
+method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accounting.base import AccountingMethod, MachinePricing
+from repro.apps.registry import APP_REGISTRY, AppProfile
+from repro.hardware.counters import WorkloadSignature
+from repro.ml.knn import KNNRegressor
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Quoted execution estimate for one machine."""
+
+    machine: str
+    runtime_s: float
+    energy_j: float
+
+    @property
+    def mean_power_w(self) -> float:
+        return self.energy_j / self.runtime_s if self.runtime_s > 0 else 0.0
+
+
+class PredictionService:
+    """KNN-backed runtime/energy estimates across machines.
+
+    Parameters
+    ----------
+    profiles:
+        Training corpus; defaults to the paper's seven benchmark
+        applications.
+    k:
+        Neighbours per query.
+    """
+
+    def __init__(
+        self,
+        profiles: dict[str, AppProfile] | None = None,
+        k: int = 3,
+    ) -> None:
+        self.profiles = dict(profiles if profiles is not None else APP_REGISTRY)
+        if not self.profiles:
+            raise ValueError("need at least one training profile")
+        self.k = k
+        self._models: dict[str, KNNRegressor] = {}
+        self._train()
+
+    def _features(self, signature: WorkloadSignature) -> np.ndarray:
+        # Log-scale counters: rates span orders of magnitude and KNN
+        # distances should compare ratios, not differences.
+        return np.array(
+            [np.log10(signature.ips), np.log10(signature.llc_mpki + 1e-3)]
+        )
+
+    def _train(self) -> None:
+        machines: set[str] = set()
+        for profile in self.profiles.values():
+            machines.update(profile.machines())
+        for machine in machines:
+            feats, targets = [], []
+            for profile in self.profiles.values():
+                if machine not in profile.runs:
+                    continue
+                run = profile.runs[machine]
+                feats.append(self._features(profile.signature))
+                targets.append([run.runtime_s, run.mean_power_w])
+            if not feats:
+                continue
+            model = KNNRegressor(k=min(self.k, len(feats)))
+            model.fit(np.array(feats), np.array(targets))
+            self._models[machine] = model
+
+    # ------------------------------------------------------------------
+    @property
+    def machines(self) -> list[str]:
+        return sorted(self._models)
+
+    def predict(
+        self, signature: WorkloadSignature, machine: str
+    ) -> Prediction:
+        """Estimate runtime and energy of a workload on ``machine``."""
+        try:
+            model = self._models[machine]
+        except KeyError:
+            raise KeyError(
+                f"no training data for machine {machine!r}; "
+                f"known: {self.machines}"
+            ) from None
+        runtime, power = model.predict(self._features(signature))[0]
+        runtime = max(float(runtime), 1e-6)
+        power = max(float(power), 0.0)
+        return Prediction(
+            machine=machine, runtime_s=runtime, energy_j=power * runtime
+        )
+
+    def predict_all(self, signature: WorkloadSignature) -> dict[str, Prediction]:
+        """Estimates for every known machine."""
+        return {m: self.predict(signature, m) for m in self.machines}
+
+    def quote(
+        self,
+        signature: WorkloadSignature,
+        method: AccountingMethod,
+        pricings: dict[str, MachinePricing],
+        cores: int = 8,
+        start_time_s: float = 0.0,
+    ) -> dict[str, float]:
+        """Expected allocation cost per machine under ``method``."""
+        quotes: dict[str, float] = {}
+        for machine, pricing in pricings.items():
+            if machine not in self._models:
+                continue
+            pred = self.predict(signature, machine)
+            quotes[machine] = method.estimate(
+                pricing,
+                duration_s=pred.runtime_s,
+                energy_j=pred.energy_j,
+                cores=cores,
+                start_time_s=start_time_s,
+            )
+        return quotes
+
+    def cheapest(
+        self,
+        signature: WorkloadSignature,
+        method: AccountingMethod,
+        pricings: dict[str, MachinePricing],
+        cores: int = 8,
+        start_time_s: float = 0.0,
+    ) -> str:
+        """Machine with the lowest expected cost — the platform's default
+        placement when the user expresses no preference."""
+        quotes = self.quote(signature, method, pricings, cores, start_time_s)
+        if not quotes:
+            raise RuntimeError("no machine can be quoted")
+        return min(quotes, key=quotes.__getitem__)

@@ -1,0 +1,45 @@
+"""Hardware substrate: node models, the paper's machine catalog, simulated
+RAPL energy counters, performance-counter traces, and the linear power
+model used to disaggregate node energy into per-process energy.
+
+The paper measures energy on real Intel/AMD CPUs via RAPL and on NVIDIA
+GPUs via NVML.  Neither is available here, so this package provides a
+parametric substitute: every node carries a utilization-dependent power
+curve, and :class:`repro.hardware.rapl.SimulatedRAPL` exposes the same
+wrap-around MSR counter semantics client code would see on hardware.
+"""
+
+from repro.hardware.node import CPUSpec, GPUSpec, NodeSpec, GPUNodeSpec
+from repro.hardware.catalog import (
+    MachineCatalog,
+    cpu_experiment_nodes,
+    gpu_experiment_nodes,
+    simulation_machines,
+)
+from repro.hardware.counters import CounterSample, CounterTraceGenerator
+from repro.hardware.rapl import SimulatedRAPL, RAPLDomain
+from repro.hardware.nvml import SimulatedNVML
+from repro.hardware.power_model import (
+    LinearPowerModel,
+    PowerModelFitter,
+    disaggregate_energy,
+)
+
+__all__ = [
+    "CPUSpec",
+    "GPUSpec",
+    "NodeSpec",
+    "GPUNodeSpec",
+    "MachineCatalog",
+    "cpu_experiment_nodes",
+    "gpu_experiment_nodes",
+    "simulation_machines",
+    "CounterSample",
+    "CounterTraceGenerator",
+    "SimulatedRAPL",
+    "RAPLDomain",
+    "SimulatedNVML",
+    "LinearPowerModel",
+    "PowerModelFitter",
+    "disaggregate_energy",
+]

@@ -1,0 +1,214 @@
+"""Node, CPU, and GPU specification dataclasses.
+
+A :class:`NodeSpec` is the unit the accounting models reason about: it
+carries everything Eq. (1) and Eq. (2) of the paper need — TDP, idle
+power, peak performance, deployment year, and embodied carbon — plus a
+simple utilization→power curve used by the simulated RAPL meter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A CPU model, as found on a spec sheet.
+
+    Attributes
+    ----------
+    model:
+        Marketing name, e.g. ``"Intel Xeon 6248R"``.
+    cores:
+        Physical cores per socket.
+    tdp_watts:
+        Thermal Design Power of one socket, in watts.
+    base_clock_ghz:
+        Base clock, used only for rough peak-performance estimates.
+    peak_gflops:
+        Peak double-precision GFLOP/s per socket (manufacturer reported,
+        or PassMark-derived when the paper cites PassMark [39]).
+    year:
+        Year the part was released.
+    """
+
+    model: str
+    cores: int
+    tdp_watts: float
+    base_clock_ghz: float
+    peak_gflops: float
+    year: int
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError(f"CPU {self.model!r}: cores must be positive")
+        if self.tdp_watts <= 0:
+            raise ValueError(f"CPU {self.model!r}: TDP must be positive")
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A GPU model (Table 2 of the paper).
+
+    Attributes
+    ----------
+    model:
+        e.g. ``"V100"``.
+    year:
+        Deployment year used for embodied-carbon depreciation.
+    peak_gflops:
+        Manufacturer-reported single-precision GFLOP/s.
+    tdp_watts:
+        Board TDP in watts.
+    """
+
+    model: str
+    year: int
+    peak_gflops: float
+    tdp_watts: float
+
+    def __post_init__(self) -> None:
+        if self.tdp_watts <= 0:
+            raise ValueError(f"GPU {self.model!r}: TDP must be positive")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A CPU node: the resource unit priced by the accounting models.
+
+    Attributes
+    ----------
+    name:
+        Short machine name used throughout tables (e.g. ``"Zen3"``).
+    cpu:
+        The CPU model installed.
+    sockets:
+        Number of CPU sockets.
+    year_deployed:
+        Year the node entered service (drives embodied-carbon
+        depreciation, Section 3.3).
+    idle_power_watts:
+        Power drawn by all sockets when running only monitoring code
+        (Table 5 "Idle Power").
+    embodied_carbon_g:
+        Total embodied carbon of the node, in gCO2e (from manufacturer
+        datasheets or the SCARIF estimator).
+    node_count:
+        How many identical nodes the machine has (used by the batch
+        simulator's queue model).
+    dram_gb:
+        Installed DRAM, used by the SCARIF-style embodied estimator.
+    """
+
+    name: str
+    cpu: CPUSpec
+    sockets: int = 1
+    year_deployed: int = 2020
+    idle_power_watts: float = 0.0
+    embodied_carbon_g: float = 0.0
+    node_count: int = 1
+    dram_gb: int = 64
+
+    def __post_init__(self) -> None:
+        if self.sockets <= 0:
+            raise ValueError(f"Node {self.name!r}: sockets must be positive")
+        if self.node_count <= 0:
+            raise ValueError(f"Node {self.name!r}: node_count must be positive")
+        if self.idle_power_watts < 0:
+            raise ValueError(f"Node {self.name!r}: idle power cannot be negative")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def cores(self) -> int:
+        """Total physical cores on the node."""
+        return self.cpu.cores * self.sockets
+
+    @property
+    def tdp_watts(self) -> float:
+        """Total CPU TDP of the node (all sockets), in watts.
+
+        This is the ``TDP_R`` of Eq. (1).
+        """
+        return self.cpu.tdp_watts * self.sockets
+
+    @property
+    def peak_gflops(self) -> float:
+        """Aggregate peak GFLOP/s across sockets."""
+        return self.cpu.peak_gflops * self.sockets
+
+    @property
+    def peak_gflops_per_core(self) -> float:
+        """Peak GFLOP/s per core — the per-thread peak the ``Peak``
+        accounting baseline charges for."""
+        return self.peak_gflops / self.cores
+
+    def age_years(self, current_year: int) -> int:
+        """Whole years since deployment (floored at zero)."""
+        return max(0, current_year - self.year_deployed)
+
+    # ------------------------------------------------------------------
+    # Power curve
+    # ------------------------------------------------------------------
+    def power_at_utilization(self, utilization: float) -> float:
+        """Node CPU power (W) at a fractional utilization in ``[0, 1]``.
+
+        A standard affine model: idle power plus a load-proportional
+        share of the idle→TDP headroom.  Real processors are mildly
+        super-linear near the top of the range; the affine model is what
+        RAPL-based software power meters fit in practice [20, 46], and
+        it is all the accounting methods require.
+        """
+        u = min(1.0, max(0.0, utilization))
+        return self.idle_power_watts + u * (self.tdp_watts - self.idle_power_watts)
+
+    def energy_at_utilization(self, utilization: float, seconds: float) -> float:
+        """Energy (J) for a run at constant ``utilization`` for ``seconds``."""
+        return self.power_at_utilization(utilization) * seconds
+
+    def node_hours(self, seconds: float) -> float:
+        """Node-hours for a run of ``seconds`` on one node."""
+        return seconds / SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class GPUNodeSpec:
+    """A GPU node configuration: ``count`` identical GPUs of one model.
+
+    The paper (Section 4.2.2) allocates whole GPUs to jobs and computes
+    an embodied-carbon rate per GPU-count configuration (Table 2), so
+    the configuration — not the individual board — is the priced unit.
+    """
+
+    gpu: GPUSpec
+    count: int
+    host_idle_power_watts: float = 0.0
+    embodied_carbon_g: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("GPU count must be positive")
+
+    @property
+    def name(self) -> str:
+        return f"{self.gpu.model}x{self.count}"
+
+    @property
+    def tdp_watts(self) -> float:
+        """Aggregate board TDP across the configured GPUs."""
+        return self.gpu.tdp_watts * self.count
+
+    @property
+    def peak_gflops(self) -> float:
+        """Aggregate peak single-precision GFLOP/s."""
+        return self.gpu.peak_gflops * self.count
+
+    def age_years(self, current_year: int) -> int:
+        return max(0, current_year - self.gpu.year)
+
+
+# Convenience alias: accounting code accepts either node kind.
+AnyNode = NodeSpec | GPUNodeSpec

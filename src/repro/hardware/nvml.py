@@ -1,0 +1,111 @@
+"""Simulated NVML (NVIDIA Management Library) power telemetry.
+
+The paper's GPU measurements come from board-level power sensors ("For
+GPUs, we assume that an entire GPU is allocated to each job", §4.1).
+NVML exposes *instantaneous* power in milliwatts per board — unlike
+RAPL's cumulative energy counters — so energy must be obtained by
+sampling and integrating, and the sampling cadence becomes a measurement
+error the monitor owns.  This meter reproduces those semantics:
+
+* per-board instantaneous power queries (mW, like
+  ``nvmlDeviceGetPowerUsage``);
+* power clamped to the board's power limit (boards enforce TDP);
+* a sampling integrator with the trapezoid rule, the standard client
+  idiom, whose error the tests characterize against analytic truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.hardware.node import GPUSpec
+
+
+@dataclass
+class _Board:
+    spec: GPUSpec
+    power_fn: Callable[[float], float]
+
+
+class SimulatedNVML:
+    """A node's worth of GPU boards with NVML-style power queries.
+
+    Parameters
+    ----------
+    boards:
+        GPU specs, one per installed board.
+    idle_watts:
+        Board idle draw when no power function is installed (defaults
+        to a typical ~12% of TDP).
+    """
+
+    def __init__(self, boards: list[GPUSpec], idle_fraction: float = 0.12) -> None:
+        if not boards:
+            raise ValueError("need at least one board")
+        if not 0.0 <= idle_fraction <= 1.0:
+            raise ValueError("idle fraction must be in [0, 1]")
+        self._boards = [
+            _Board(
+                spec=spec,
+                power_fn=(lambda t, s=spec: idle_fraction * s.tdp_watts),
+            )
+            for spec in boards
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def device_count(self) -> int:
+        return len(self._boards)
+
+    def set_load(self, index: int, power_fn: Callable[[float], float]) -> None:
+        """Install a workload power curve on one board."""
+        self._boards[index].power_fn = power_fn
+
+    def power_usage_mw(self, index: int, t: float) -> int:
+        """Instantaneous board power in milliwatts (the NVML unit),
+        clamped to the board's enforced power limit."""
+        board = self._boards[index]
+        watts = board.power_fn(t)
+        if watts < 0:
+            raise ValueError(f"negative power {watts} on board {index}")
+        watts = min(watts, board.spec.tdp_watts)
+        return int(round(watts * 1000.0))
+
+    def power_limit_mw(self, index: int) -> int:
+        return int(round(self._boards[index].spec.tdp_watts * 1000.0))
+
+    # ------------------------------------------------------------------
+    def integrate_energy_j(
+        self,
+        index: int,
+        start_s: float,
+        end_s: float,
+        sample_period_s: float = 1.0,
+    ) -> float:
+        """Client-side energy estimate: sample power on a fixed cadence
+        and integrate with the trapezoid rule — exactly what real NVML
+        consumers must do, with the same aliasing error."""
+        if end_s < start_s:
+            raise ValueError("end must not precede start")
+        if sample_period_s <= 0:
+            raise ValueError("sample period must be positive")
+        if end_s == start_s:
+            return 0.0
+        times = np.arange(start_s, end_s, sample_period_s)
+        times = np.append(times, end_s)
+        watts = np.array(
+            [self.power_usage_mw(index, float(t)) / 1000.0 for t in times]
+        )
+        return float(np.trapezoid(watts, times))
+
+    def node_energy_j(
+        self, start_s: float, end_s: float, sample_period_s: float = 1.0
+    ) -> float:
+        """Summed sampled energy across every board."""
+        return sum(
+            self.integrate_energy_j(i, start_s, end_s, sample_period_s)
+            for i in range(self.device_count)
+        )

@@ -1,0 +1,182 @@
+"""Linear power model and per-process energy disaggregation.
+
+RAPL measures whole-package energy, but green-ACCESS provisions jobs by
+core, so the monitor must split node energy between concurrent processes.
+The paper's approach (§4.1, component 3, following SmartWatts [20] and
+Schmitt et al. [46]) is:
+
+1. collect per-process hardware counters and node-level RAPL energy,
+2. periodically fit a power model ``P = b + w . x`` between summed
+   counters ``x`` and measured node power,
+3. use the fitted model to attribute each interval's *dynamic* energy to
+   processes in proportion to their modelled power, and split the idle
+   (static) energy by provisioned core share.
+
+The fit is ordinary least squares with non-negativity clipping — power
+models with negative counter weights are physically meaningless and make
+attribution unstable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.counters import COUNTER_FEATURES
+
+
+@dataclass(frozen=True)
+class LinearPowerModel:
+    """``power = idle_watts + weights . counters`` (watts).
+
+    ``weights`` is ordered like
+    :data:`repro.hardware.counters.COUNTER_FEATURES`.
+    """
+
+    idle_watts: float
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.weights) != len(COUNTER_FEATURES):
+            raise ValueError(
+                f"expected {len(COUNTER_FEATURES)} weights, got {len(self.weights)}"
+            )
+
+    def predict(self, counters: np.ndarray) -> np.ndarray:
+        """Predict power (W) for an ``(n, 2)`` counter matrix."""
+        counters = np.atleast_2d(np.asarray(counters, dtype=float))
+        return self.idle_watts + counters @ self.weights
+
+    def dynamic_power(self, counters: np.ndarray) -> np.ndarray:
+        """Counter-driven (above-idle) component of predicted power."""
+        counters = np.atleast_2d(np.asarray(counters, dtype=float))
+        return counters @ self.weights
+
+
+class PowerModelFitter:
+    """Incrementally refittable OLS power model.
+
+    The monitor streams ``(counter_vector, measured_watts)`` observations
+    into :meth:`observe` and calls :meth:`fit` periodically.  A ridge
+    term keeps the fit stable when one counter barely varies (e.g. a
+    fleet of near-identical compute-bound jobs).
+    """
+
+    def __init__(self, ridge: float = 1e-9, max_observations: int = 4096) -> None:
+        if max_observations < 8:
+            raise ValueError("need at least 8 observations of history")
+        self.ridge = ridge
+        self.max_observations = max_observations
+        self._x: list[np.ndarray] = []
+        self._y: list[float] = []
+
+    def observe(self, counters: np.ndarray, watts: float) -> None:
+        """Record one node-level observation."""
+        vec = np.asarray(counters, dtype=float).ravel()
+        if vec.shape != (len(COUNTER_FEATURES),):
+            raise ValueError(f"counter vector must have shape ({len(COUNTER_FEATURES)},)")
+        if watts < 0:
+            raise ValueError("measured power cannot be negative")
+        self._x.append(vec)
+        self._y.append(float(watts))
+        if len(self._x) > self.max_observations:
+            # Keep the newest window; power behaviour drifts with workload mix.
+            self._x = self._x[-self.max_observations :]
+            self._y = self._y[-self.max_observations :]
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._x)
+
+    def fit(self) -> LinearPowerModel:
+        """Fit and return the current model.
+
+        Counters are standardized before the ridge solve so the penalty
+        is scale-free; negative counter weights are clipped to zero and
+        the intercept floored at zero.
+        """
+        if len(self._x) < len(COUNTER_FEATURES) + 1:
+            raise RuntimeError(
+                f"need at least {len(COUNTER_FEATURES) + 1} observations, "
+                f"have {len(self._x)}"
+            )
+        x = np.array(self._x)
+        y = np.array(self._y)
+        scale = x.std(axis=0)
+        scale[scale == 0] = 1.0
+        xs = x / scale
+        a = np.hstack([np.ones((len(xs), 1)), xs])
+        gram = a.T @ a + self.ridge * np.eye(a.shape[1])
+        coef = np.linalg.solve(gram, a.T @ y)
+        intercept = max(0.0, float(coef[0]))
+        weights = np.clip(coef[1:] / scale, 0.0, None)
+        return LinearPowerModel(idle_watts=intercept, weights=weights)
+
+
+def disaggregate_energy(
+    model: LinearPowerModel,
+    interval_energy_j: float,
+    interval_s: float,
+    process_counters: dict[int, np.ndarray],
+    process_cores: dict[int, int],
+    total_cores: int,
+    charge_idle: bool = False,
+) -> dict[int, float]:
+    """Split one interval's node energy across processes.
+
+    Parameters
+    ----------
+    model:
+        The fitted power model.
+    interval_energy_j:
+        Measured node energy over the interval (from RAPL deltas).
+    interval_s:
+        Interval length in seconds.
+    process_counters:
+        Per-pid counter vectors observed during the interval.
+    process_cores:
+        Per-pid provisioned core counts.
+    total_cores:
+        Cores on the node.
+    charge_idle:
+        If true, the idle portion of the interval energy is also charged,
+        split by provisioned-core share.  green-ACCESS charges only the
+        *measured task* energy here (the potential-use half of Eq. (1)
+        handles capacity), so the default is False: idle energy stays
+        with the provider.
+
+    Returns
+    -------
+    dict mapping pid to attributed joules.  Attributions are
+    non-negative and sum to at most ``interval_energy_j``.
+    """
+    if interval_energy_j < 0:
+        raise ValueError("interval energy cannot be negative")
+    if interval_s <= 0:
+        raise ValueError("interval must have positive length")
+    if not process_counters:
+        return {}
+
+    pids = sorted(process_counters)
+    counters = np.array([process_counters[p] for p in pids], dtype=float)
+    dyn_power = np.clip(model.dynamic_power(counters), 0.0, None)
+
+    idle_energy = min(interval_energy_j, model.idle_watts * interval_s)
+    dynamic_energy = max(0.0, interval_energy_j - idle_energy)
+
+    total_dyn = float(dyn_power.sum())
+    if total_dyn > 0:
+        dyn_share = dyn_power / total_dyn
+    else:
+        # No counter activity: split dynamic energy by core share.
+        cores = np.array([process_cores.get(p, 1) for p in pids], dtype=float)
+        dyn_share = cores / cores.sum()
+
+    attributed = dynamic_energy * dyn_share
+
+    if charge_idle and total_cores > 0:
+        cores = np.array([process_cores.get(p, 1) for p in pids], dtype=float)
+        attributed = attributed + idle_energy * cores / total_cores
+
+    return {pid: float(e) for pid, e in zip(pids, attributed)}

@@ -1,0 +1,14 @@
+"""Small ML substrate: EM Gaussian mixture and a KNN regressor.
+
+The paper's simulation methodology (§5.2) generates realistic hardware
+performance counters for each job with a **Gaussian Mixture Model**
+trained on Institutional Cluster data, then predicts per-machine runtime
+and power with a **KNN** model trained on benchmark applications
+(following Pham et al. [43]).  scikit-learn is not available offline, so
+both are implemented here from scratch on NumPy.
+"""
+
+from repro.ml.gmm import GaussianMixture
+from repro.ml.knn import KNNRegressor
+
+__all__ = ["GaussianMixture", "KNNRegressor"]

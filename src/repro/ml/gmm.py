@@ -1,0 +1,170 @@
+"""Gaussian Mixture Model fit by Expectation-Maximization.
+
+Full-covariance components, k-means++-style initialization, log-domain
+responsibilities for numerical stability, and covariance regularization.
+The API mirrors the scikit-learn estimator surface (``fit`` /
+``sample`` / ``score_samples`` / ``predict``) that the paper's
+methodology implies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _log_gaussian(x: np.ndarray, mean: np.ndarray, cov: np.ndarray) -> np.ndarray:
+    """Log density of N(mean, cov) at rows of ``x``."""
+    d = x.shape[1]
+    chol = np.linalg.cholesky(cov)
+    diff = x - mean
+    # Solve L y = diff^T for the Mahalanobis term.
+    y = np.linalg.solve(chol, diff.T)
+    maha = (y**2).sum(axis=0)
+    log_det = 2.0 * np.log(np.diag(chol)).sum()
+    return -0.5 * (d * np.log(2.0 * np.pi) + log_det + maha)
+
+
+class GaussianMixture:
+    """EM-fitted Gaussian mixture.
+
+    Parameters
+    ----------
+    n_components:
+        Number of mixture components.
+    max_iter, tol:
+        EM stopping criteria (iterations / mean log-likelihood change).
+    reg_covar:
+        Diagonal regularization added to every covariance, scaled by the
+        per-feature variance so the parameter is dimensionless.
+    seed:
+        Seed for initialization and :meth:`sample`.
+    """
+
+    def __init__(
+        self,
+        n_components: int = 3,
+        max_iter: int = 200,
+        tol: float = 1e-6,
+        reg_covar: float = 1e-6,
+        seed: int | None = 0,
+    ) -> None:
+        if n_components < 1:
+            raise ValueError("need at least one component")
+        self.n_components = n_components
+        self.max_iter = max_iter
+        self.tol = tol
+        self.reg_covar = reg_covar
+        self.seed = seed
+        self.weights_: np.ndarray | None = None
+        self.means_: np.ndarray | None = None
+        self.covariances_: np.ndarray | None = None
+        self.converged_: bool = False
+        self.n_iter_: int = 0
+
+    # ------------------------------------------------------------------
+    def _init_params(self, x: np.ndarray, rng: np.random.Generator) -> None:
+        n, d = x.shape
+        # k-means++ style seeding: spread initial means out.
+        means = [x[rng.integers(n)]]
+        for _ in range(1, self.n_components):
+            d2 = np.min(
+                [np.sum((x - m) ** 2, axis=1) for m in means], axis=0
+            )
+            total = d2.sum()
+            if total <= 0:
+                means.append(x[rng.integers(n)])
+                continue
+            probs = d2 / total
+            means.append(x[rng.choice(n, p=probs)])
+        self.means_ = np.array(means)
+        var = x.var(axis=0) + 1e-12
+        self.covariances_ = np.array(
+            [np.diag(var) for _ in range(self.n_components)]
+        )
+        self.weights_ = np.full(self.n_components, 1.0 / self.n_components)
+
+    def _estimate_log_prob(self, x: np.ndarray) -> np.ndarray:
+        """(n, k) matrix of log p(x | component) + log weight."""
+        assert self.means_ is not None
+        out = np.empty((x.shape[0], self.n_components))
+        for k in range(self.n_components):
+            out[:, k] = _log_gaussian(x, self.means_[k], self.covariances_[k])
+        return out + np.log(self.weights_)
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray) -> "GaussianMixture":
+        """Fit the mixture to rows of ``x``."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D (n_samples, n_features)")
+        n, d = x.shape
+        if n < self.n_components:
+            raise ValueError(
+                f"need >= {self.n_components} samples, got {n}"
+            )
+        rng = np.random.default_rng(self.seed)
+        self._init_params(x, rng)
+        reg = self.reg_covar * (x.var(axis=0) + 1e-12)
+
+        prev_ll = -np.inf
+        for it in range(1, self.max_iter + 1):
+            # E-step in log domain.
+            log_prob = self._estimate_log_prob(x)
+            log_norm = np.logaddexp.reduce(log_prob, axis=1)
+            resp = np.exp(log_prob - log_norm[:, None])
+            ll = log_norm.mean()
+
+            # M-step.
+            nk = resp.sum(axis=0) + 1e-12
+            self.weights_ = nk / n
+            self.means_ = (resp.T @ x) / nk[:, None]
+            for k in range(self.n_components):
+                diff = x - self.means_[k]
+                cov = (resp[:, k][:, None] * diff).T @ diff / nk[k]
+                cov[np.diag_indices(d)] += reg
+                self.covariances_[k] = cov
+
+            self.n_iter_ = it
+            if abs(ll - prev_ll) < self.tol:
+                self.converged_ = True
+                break
+            prev_ll = ll
+        return self
+
+    # ------------------------------------------------------------------
+    def _check_fitted(self) -> None:
+        if self.means_ is None:
+            raise RuntimeError("model is not fitted")
+
+    def score_samples(self, x: np.ndarray) -> np.ndarray:
+        """Log-likelihood of each row of ``x`` under the mixture."""
+        self._check_fitted()
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return np.logaddexp.reduce(self._estimate_log_prob(x), axis=1)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Most likely component per row."""
+        self._check_fitted()
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return np.argmax(self._estimate_log_prob(x), axis=1)
+
+    def sample(self, n: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Draw ``n`` samples from the fitted mixture."""
+        self._check_fitted()
+        if n < 1:
+            raise ValueError("n must be positive")
+        rng = rng if rng is not None else np.random.default_rng(self.seed)
+        counts = rng.multinomial(n, self.weights_)
+        chunks = []
+        for k, c in enumerate(counts):
+            if c == 0:
+                continue
+            chunks.append(
+                rng.multivariate_normal(
+                    self.means_[k], self.covariances_[k], size=c,
+                    method="cholesky",
+                )
+            )
+        out = np.vstack(chunks)
+        rng.shuffle(out)
+        return out

@@ -1,0 +1,85 @@
+"""K-nearest-neighbour regression (the Pham et al. [43] predictor).
+
+The paper predicts a job's runtime and power on machine B from its
+hardware counters measured on machine A, using a KNN trained on
+benchmark applications profiled on both machines.  Features are
+standardized (counters span orders of magnitude) and predictions are
+inverse-distance-weighted means of the neighbours' targets; multi-output
+targets are supported so runtime and power predict jointly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class KNNRegressor:
+    """Inverse-distance-weighted KNN regressor.
+
+    Parameters
+    ----------
+    k:
+        Neighbours consulted per query (clipped to the training size).
+    standardize:
+        Whether to z-score features using training statistics.
+    """
+
+    def __init__(self, k: int = 3, standardize: bool = True) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.standardize = standardize
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+        self._single_output = False
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNRegressor":
+        """Store the training set (KNN is lazy)."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float)
+        if y.ndim == 1:
+            self._single_output = True
+            y = y[:, None]
+        if len(x) != len(y):
+            raise ValueError("x and y must have the same number of rows")
+        if len(x) == 0:
+            raise ValueError("training set cannot be empty")
+        if self.standardize:
+            self._mean = x.mean(axis=0)
+            scale = x.std(axis=0)
+            scale[scale == 0] = 1.0
+            self._scale = scale
+            x = (x - self._mean) / self._scale
+        self._x = x
+        self._y = y
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict targets for rows of ``x``."""
+        if self._x is None or self._y is None:
+            raise RuntimeError("model is not fitted")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if self.standardize:
+            x = (x - self._mean) / self._scale
+
+        # Full pairwise distances: training sets here are tiny (tens of
+        # benchmark runs), so the O(n*q) matrix is the fast path.
+        d2 = ((x[:, None, :] - self._x[None, :, :]) ** 2).sum(axis=-1)
+        k = min(self.k, len(self._x))
+        idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        rows = np.arange(len(x))[:, None]
+        nd2 = d2[rows, idx]
+
+        # Inverse-distance weights; exact matches get full weight.
+        with np.errstate(divide="ignore"):
+            w = 1.0 / np.sqrt(nd2)
+        exact = ~np.isfinite(w)
+        w = np.where(exact, 0.0, w)
+        any_exact = exact.any(axis=1)
+        w[any_exact] = exact[any_exact].astype(float)
+        w /= w.sum(axis=1, keepdims=True)
+
+        preds = np.einsum("qk,qkt->qt", w, self._y[idx])
+        return preds[:, 0] if self._single_output else preds

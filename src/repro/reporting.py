@@ -1,0 +1,166 @@
+"""Provider-side reporting over simulation results.
+
+The paper's §7 flags a provider-behaviour concern: "EBA/CBA may increase
+the energy use or carbon footprint of a single machine in order to
+reduce the overall impact, which could make sites reluctant to adopt
+these approaches."  Adoption therefore needs exactly the report this
+module produces: per-machine load, energy, and carbon next to the
+fleet-wide totals, so a site can see whether it is the machine being
+asked to absorb load for the global good.
+
+All functions consume :class:`~repro.sim.engine.SimulationResult`
+objects, so they work on plain, shifted, and migrating runs alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import SimulationResult
+from repro.units import JOULES_PER_KWH
+
+
+@dataclass(frozen=True)
+class MachineReport:
+    """One machine's share of a simulation run."""
+
+    machine: str
+    jobs: int
+    core_hours: float
+    energy_mwh: float
+    operational_carbon_kg: float
+    attributed_carbon_kg: float
+    mean_queue_wait_h: float
+
+    @property
+    def energy_per_core_hour_kwh(self) -> float:
+        """Delivered efficiency: site-level kWh per core-hour served."""
+        if self.core_hours <= 0:
+            return 0.0
+        return self.energy_mwh * 1e3 / self.core_hours
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """The provider consortium's view of one run."""
+
+    policy: str
+    method: str
+    machines: list[MachineReport]
+    total_energy_mwh: float
+    total_operational_kg: float
+    total_attributed_kg: float
+
+    def machine(self, name: str) -> MachineReport:
+        for report in self.machines:
+            if report.machine == name:
+                return report
+        raise KeyError(f"no machine {name!r} in the report")
+
+    def load_shares(self) -> dict[str, float]:
+        """Fraction of fleet core-hours served per machine."""
+        total = sum(m.core_hours for m in self.machines)
+        if total <= 0:
+            return {m.machine: 0.0 for m in self.machines}
+        return {m.machine: m.core_hours / total for m in self.machines}
+
+
+def fleet_report(result: SimulationResult) -> FleetReport:
+    """Aggregate a simulation run into the provider view."""
+    per_machine: dict[str, dict[str, float]] = {
+        name: {
+            "jobs": 0, "core_s": 0.0, "energy": 0.0,
+            "op": 0.0, "attr": 0.0, "wait": 0.0,
+        }
+        for name in result.machines
+    }
+    for outcome in result.outcomes:
+        acc = per_machine.setdefault(
+            outcome.machine,
+            {"jobs": 0, "core_s": 0.0, "energy": 0.0, "op": 0.0, "attr": 0.0, "wait": 0.0},
+        )
+        acc["jobs"] += 1
+        acc["core_s"] += outcome.cores * outcome.runtime_s
+        acc["energy"] += outcome.energy_j
+        acc["op"] += outcome.operational_carbon_g
+        acc["attr"] += outcome.attributed_carbon_g
+        acc["wait"] += outcome.queue_wait_s
+
+    machines = []
+    for name, acc in per_machine.items():
+        jobs = int(acc["jobs"])
+        machines.append(
+            MachineReport(
+                machine=name,
+                jobs=jobs,
+                core_hours=acc["core_s"] / 3600.0,
+                energy_mwh=acc["energy"] / JOULES_PER_KWH / 1e3,
+                operational_carbon_kg=acc["op"] / 1e3,
+                attributed_carbon_kg=acc["attr"] / 1e3,
+                mean_queue_wait_h=(acc["wait"] / jobs / 3600.0) if jobs else 0.0,
+            )
+        )
+    machines.sort(key=lambda m: m.machine)
+    return FleetReport(
+        policy=result.policy,
+        method=result.method,
+        machines=machines,
+        total_energy_mwh=result.total_energy_j() / JOULES_PER_KWH / 1e3,
+        total_operational_kg=result.total_operational_carbon_g() / 1e3,
+        total_attributed_kg=result.total_attributed_carbon_g() / 1e3,
+    )
+
+
+def local_global_tension(
+    baseline: SimulationResult, candidate: SimulationResult
+) -> dict[str, dict[str, float]]:
+    """Quantify the §7 concern between two runs of the same workload.
+
+    Returns, per machine, the change in served energy (MWh) going from
+    ``baseline`` to ``candidate``, alongside the fleet-wide change — so
+    a provider can see "my machine burns +X MWh so the fleet saves Y".
+    """
+    base = {m.machine: m for m in fleet_report(baseline).machines}
+    cand = {m.machine: m for m in fleet_report(candidate).machines}
+    out: dict[str, dict[str, float]] = {}
+    for name in sorted(set(base) | set(cand)):
+        b = base.get(name)
+        c = cand.get(name)
+        out[name] = {
+            "energy_delta_mwh": (c.energy_mwh if c else 0.0)
+            - (b.energy_mwh if b else 0.0),
+            "load_delta_core_hours": (c.core_hours if c else 0.0)
+            - (b.core_hours if b else 0.0),
+        }
+    out["__fleet__"] = {
+        "energy_delta_mwh": candidate.total_energy_j() / JOULES_PER_KWH / 1e3
+        - baseline.total_energy_j() / JOULES_PER_KWH / 1e3,
+        "load_delta_core_hours": 0.0,
+    }
+    return out
+
+
+def format_fleet_report(report: FleetReport) -> str:
+    """Fixed-width rendering for operators."""
+    header = (
+        f"{'Machine':<10}{'Jobs':>8}{'Core-h':>12}{'MWh':>9}"
+        f"{'kWh/core-h':>12}{'OpC(kg)':>10}{'Wait(h)':>9}"
+    )
+    lines = [
+        f"Fleet report — policy {report.policy}, method {report.method}",
+        header,
+        "-" * len(header),
+    ]
+    for m in report.machines:
+        lines.append(
+            f"{m.machine:<10}{m.jobs:>8}{m.core_hours:>12.0f}"
+            f"{m.energy_mwh:>9.3f}{m.energy_per_core_hour_kwh:>12.3f}"
+            f"{m.operational_carbon_kg:>10.1f}{m.mean_queue_wait_h:>9.1f}"
+        )
+    lines.append(
+        f"{'TOTAL':<10}{sum(m.jobs for m in report.machines):>8}"
+        f"{sum(m.core_hours for m in report.machines):>12.0f}"
+        f"{report.total_energy_mwh:>9.3f}{'':>12}"
+        f"{report.total_operational_kg:>10.1f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Multi-machine batch simulator (paper §5).
+
+The paper modifies an existing batch simulator [22] to charge jobs under
+EBA/CBA across four machines (Table 5), replaying a published per-job
+energy dataset [40].  This package rebuilds that pipeline:
+
+* :mod:`repro.sim.job` — the job model;
+* :mod:`repro.sim.workload` — a statistical regeneration of the Patel
+  et al. dataset (71,190 unique jobs, each repeated twice) with the
+  paper's GMM + KNN cross-platform extrapolation (§5.2);
+* :mod:`repro.sim.cluster` — per-machine FCFS queues with backfill and
+  the one-running-job-per-user-per-cluster constraint;
+* :mod:`repro.sim.policies` — the eight machine-selection policies
+  (§5.3);
+* :mod:`repro.sim.engine` — the event-driven simulation loop;
+* :mod:`repro.sim.metrics` — work/energy/carbon aggregation;
+* :mod:`repro.sim.scenarios` — baseline (Table 5 grids) and low-carbon
+  (§5.6) machine/grid configurations.
+"""
+
+from repro.sim.job import Job, JobOutcome
+from repro.sim.workload import WorkloadConfig, PatelWorkloadGenerator, Workload
+from repro.sim.cluster import ClusterSim
+from repro.sim.policies import (
+    Policy,
+    GreedyPolicy,
+    EnergyPolicy,
+    MixedPolicy,
+    EFTPolicy,
+    RuntimePolicy,
+    FixedMachinePolicy,
+    standard_policies,
+)
+from repro.sim.engine import MultiClusterSimulator, SimulationResult
+from repro.sim.metrics import PolicySummary, summarize
+from repro.sim.scenarios import (
+    SimMachine,
+    baseline_scenario,
+    low_carbon_scenario,
+)
+from repro.sim.shifting import (
+    ShiftPlan,
+    ShiftingSimulator,
+    TemporalShiftPlanner,
+)
+from repro.sim.migration import MigratingSimulator
+from repro.sim.swf import read_swf, write_swf
+
+__all__ = [
+    "Job",
+    "JobOutcome",
+    "WorkloadConfig",
+    "PatelWorkloadGenerator",
+    "Workload",
+    "ClusterSim",
+    "Policy",
+    "GreedyPolicy",
+    "EnergyPolicy",
+    "MixedPolicy",
+    "EFTPolicy",
+    "RuntimePolicy",
+    "FixedMachinePolicy",
+    "standard_policies",
+    "MultiClusterSimulator",
+    "SimulationResult",
+    "PolicySummary",
+    "summarize",
+    "SimMachine",
+    "baseline_scenario",
+    "low_carbon_scenario",
+    "ShiftPlan",
+    "ShiftingSimulator",
+    "TemporalShiftPlanner",
+    "MigratingSimulator",
+    "read_swf",
+    "write_swf",
+]

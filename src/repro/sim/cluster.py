@@ -1,0 +1,120 @@
+"""Per-machine queue and capacity model.
+
+Each machine runs an FCFS queue with conservative backfill: the head job
+starts as soon as enough cores are free; jobs behind a blocked head may
+start only if they fit in the currently free cores (no reservation),
+scanning a bounded window so scheduling stays O(window).
+
+Two paper-specific rules live here:
+
+* **one running job per user per cluster** (§5.3) — queued jobs whose
+  user already runs on this cluster are skipped until that job ends;
+* **queue-time estimation** for the EFT/Mixed policies: expected wait is
+  the committed core-seconds (running remainders + queued demand)
+  divided by total capacity — the standard backlog heuristic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.sim.job import Job
+from repro.sim.scenarios import SimMachine
+
+
+@dataclass
+class _Running:
+    job: Job
+    end_s: float
+
+
+class ClusterSim:
+    """Queue + capacity state of one machine inside the simulator."""
+
+    def __init__(self, machine: SimMachine, backfill_window: int = 64) -> None:
+        if backfill_window < 1:
+            raise ValueError("backfill window must be >= 1")
+        self.machine = machine
+        self.backfill_window = backfill_window
+        self.free_cores = machine.total_cores
+        self.queue: deque[Job] = deque()
+        self.running: dict[int, _Running] = {}
+        self._busy_users: set[int] = set()
+        self._committed_core_s = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.machine.name
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.queue)
+
+    def user_busy(self, user: int) -> bool:
+        return user in self._busy_users
+
+    def estimated_wait_s(self) -> float:
+        """Backlog heuristic: committed core-seconds over capacity."""
+        capacity = max(1, self.machine.total_cores)
+        return self._committed_core_s / capacity
+
+    # ------------------------------------------------------------------
+    def enqueue(self, job: Job) -> None:
+        if self.name not in job.runtime_s:
+            raise ValueError(
+                f"job {job.job_id} is not eligible on {self.name!r}"
+            )
+        self.queue.append(job)
+        self._committed_core_s += job.core_seconds_on(self.name)
+
+    def startable(self, now: float) -> list[Job]:
+        """Pop every job that can start right now (FCFS + backfill)."""
+        started: list[Job] = []
+        scanned = 0
+        remaining: deque[Job] = deque()
+        while self.queue and scanned < self.backfill_window:
+            job = self.queue.popleft()
+            scanned += 1
+            if job.cores <= self.free_cores and job.user not in self._busy_users:
+                self._start(job, now)
+                started.append(job)
+            else:
+                remaining.append(job)
+        # Re-attach the unstarted (order-preserved) prefix before the
+        # unscanned tail.
+        self.queue = remaining + self.queue
+        return started
+
+    def _start(self, job: Job, now: float) -> None:
+        self.free_cores -= job.cores
+        if self.free_cores < 0:
+            raise RuntimeError(
+                f"over-allocated {self.name}: free cores {self.free_cores}"
+            )
+        end = now + job.runtime_s[self.name]
+        self.running[job.job_id] = _Running(job=job, end_s=end)
+        self._busy_users.add(job.user)
+
+    def finish(self, job_id: int) -> Job:
+        """Release a running job's resources; returns the job."""
+        entry = self.running.pop(job_id)
+        job = entry.job
+        self.free_cores += job.cores
+        self._committed_core_s = max(
+            0.0, self._committed_core_s - job.core_seconds_on(self.name)
+        )
+        # The user may have exactly one job here, so membership is safe
+        # to clear unconditionally.
+        self._busy_users.discard(job.user)
+        return job
+
+    def end_time_of(self, job_id: int) -> float:
+        return self.running[job_id].end_s
+
+    @property
+    def utilization(self) -> float:
+        """Currently busy fraction of cores."""
+        total = self.machine.total_cores
+        return (total - self.free_cores) / total if total else 0.0

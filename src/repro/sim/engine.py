@@ -1,0 +1,273 @@
+"""The event-driven multi-cluster simulation loop.
+
+Replays a workload against a set of machines under one selection policy
+and one accounting method.  The engine reuses the *same* accounting
+implementations as the FaaS platform (``repro.accounting``): each
+machine gets a :class:`~repro.accounting.base.MachinePricing` spanning
+its whole fleet, so Eq. (1)/(2) shares scale correctly for multi-node
+jobs.
+
+Event order is deterministic: (time, sequence) keys, arrivals before
+finishes at equal times, so a seeded workload yields identical results
+across runs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from dataclasses import dataclass
+
+from repro.accounting.base import AccountingMethod, MachinePricing, UsageRecord
+from repro.accounting.methods import CarbonBasedAccounting
+from repro.sim.cluster import ClusterSim
+from repro.sim.job import Job, JobOutcome
+from repro.sim.policies import MachineView, Policy
+from repro.sim.scenarios import SimMachine
+from repro.sim.workload import Workload
+from repro.units import operational_carbon_g
+
+_ARRIVAL = 0
+_FINISH = 1
+
+
+def pricing_for_sim_machine(machine: SimMachine) -> MachinePricing:
+    """Fleet-wide pricing view for one simulation machine.
+
+    ``total_cores`` spans every node, and the embodied rate override is
+    the Table 5 per-node rate scaled to the fleet, so a job's share
+    ``cores / total_cores`` charges exactly
+    ``node_rate * cores / cores_per_node`` — linear in cores, correct
+    across node boundaries.
+    """
+    node = machine.node
+    return MachinePricing(
+        name=machine.name,
+        total_cores=machine.total_cores,
+        tdp_watts=node.tdp_watts * node.node_count,
+        peak_rating=node.peak_gflops_per_core,
+        embodied_carbon_g=node.embodied_carbon_g * node.node_count,
+        age_years=0,  # unused: the rate override below wins
+        intensity=machine.intensity,
+        carbon_rate_override_g_per_h=machine.carbon_rate_g_per_h
+        * node.node_count,
+    )
+
+
+@dataclass
+class SimulationResult:
+    """All job outcomes of one (policy, method) simulation run."""
+
+    policy: str
+    method: str
+    outcomes: list[JobOutcome]
+    machines: list[str]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_jobs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def makespan_s(self) -> float:
+        return max((o.end_s for o in self.outcomes), default=0.0)
+
+    def total_cost(self) -> float:
+        return sum(o.cost for o in self.outcomes)
+
+    def total_energy_j(self) -> float:
+        return sum(o.energy_j for o in self.outcomes)
+
+    def total_work_core_hours(self) -> float:
+        return sum(o.work_core_hours for o in self.outcomes)
+
+    def total_operational_carbon_g(self) -> float:
+        return sum(o.operational_carbon_g for o in self.outcomes)
+
+    def total_attributed_carbon_g(self) -> float:
+        return sum(o.attributed_carbon_g for o in self.outcomes)
+
+    # ------------------------------------------------------------------
+    def work_with_budget(self, budget: float) -> float:
+        """Core-hours of work completed before a fixed allocation runs out.
+
+        Jobs are consumed in completion order; once cumulative cost
+        exceeds ``budget`` the remaining jobs are outside the allocation
+        (Fig. 5a / Fig. 6 semantics)."""
+        if budget < 0:
+            raise ValueError("budget cannot be negative")
+        spent = 0.0
+        work = 0.0
+        for outcome in sorted(self.outcomes, key=lambda o: o.end_s):
+            if spent + outcome.cost > budget:
+                break
+            spent += outcome.cost
+            work += outcome.work_core_hours
+        return work
+
+    def jobs_with_budget(self, budget: float) -> int:
+        """Jobs completed before a fixed allocation runs out."""
+        spent = 0.0
+        count = 0
+        for outcome in sorted(self.outcomes, key=lambda o: o.end_s):
+            if spent + outcome.cost > budget:
+                break
+            spent += outcome.cost
+            count += 1
+        return count
+
+    def jobs_finished_by(self, times_s: list[float]) -> list[int]:
+        """Cumulative jobs finished at each query time (Fig. 5b)."""
+        ends = sorted(o.end_s for o in self.outcomes)
+        out = []
+        for t in times_s:
+            out.append(bisect.bisect_right(ends, t))
+        return out
+
+    def machine_distribution(self) -> dict[str, int]:
+        """Jobs per machine (Fig. 5c)."""
+        dist = {m: 0 for m in self.machines}
+        for outcome in self.outcomes:
+            dist[outcome.machine] = dist.get(outcome.machine, 0) + 1
+        return dist
+
+    def mean_queue_wait_s(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(o.queue_wait_s for o in self.outcomes) / len(self.outcomes)
+
+
+class MultiClusterSimulator:
+    """Simulates one policy over one workload.
+
+    Parameters
+    ----------
+    machines:
+        The scenario's machines (name -> :class:`SimMachine`).
+    method:
+        Accounting method that prices jobs (and that Greedy/Mixed see).
+    policy:
+        The machine-selection policy under study.
+    """
+
+    def __init__(
+        self,
+        machines: dict[str, SimMachine],
+        method: AccountingMethod,
+        policy: Policy,
+    ) -> None:
+        if not machines:
+            raise ValueError("need at least one machine")
+        self.machines = machines
+        self.method = method
+        self.policy = policy
+        self.pricings = {
+            name: pricing_for_sim_machine(m) for name, m in machines.items()
+        }
+        self._carbon = CarbonBasedAccounting()
+
+    # ------------------------------------------------------------------
+    def _views(self, job: Job, clusters: dict[str, ClusterSim], now: float) -> list[MachineView]:
+        views = []
+        for name in job.eligible_machines:
+            if name not in clusters:
+                continue
+            runtime = job.runtime_s[name]
+            energy = job.energy_j[name]
+            record = UsageRecord(
+                machine=name,
+                duration_s=runtime,
+                energy_j=energy,
+                cores=job.cores,
+                start_time_s=now,
+            )
+            views.append(
+                MachineView(
+                    machine=name,
+                    runtime_s=runtime,
+                    energy_j=energy,
+                    queue_wait_s=clusters[name].estimated_wait_s(),
+                    cost=self.method.charge(record, self.pricings[name]),
+                )
+            )
+        return views
+
+    def run(self, workload: Workload) -> SimulationResult:
+        """Run the full workload to completion and collect outcomes."""
+        clusters = {name: ClusterSim(m) for name, m in self.machines.items()}
+        events: list[tuple[float, int, int, object]] = []
+        seq = 0
+        for job in workload.jobs:
+            heapq.heappush(events, (job.submit_s, _ARRIVAL, seq, job))
+            seq += 1
+
+        started_at: dict[int, tuple[float, str]] = {}
+        outcomes: list[JobOutcome] = []
+
+        def try_start(cluster: ClusterSim, now: float) -> None:
+            nonlocal seq
+            for job in cluster.startable(now):
+                started_at[job.job_id] = (now, cluster.name)
+                end = cluster.end_time_of(job.job_id)
+                heapq.heappush(events, (end, _FINISH, seq, (cluster.name, job.job_id)))
+                seq += 1
+
+        while events:
+            now, kind, _, payload = heapq.heappop(events)
+            if kind == _ARRIVAL:
+                job = payload  # type: ignore[assignment]
+                views = self._views(job, clusters, now)
+                if not views:
+                    continue
+                choice = self.policy.select(job, views)
+                cluster = clusters[choice]
+                cluster.enqueue(job)
+                try_start(cluster, now)
+            else:
+                machine_name, job_id = payload  # type: ignore[misc]
+                cluster = clusters[machine_name]
+                job = cluster.finish(job_id)
+                start_s, _ = started_at.pop(job_id)
+                outcomes.append(self._outcome(job, machine_name, start_s, now))
+                try_start(cluster, now)
+
+        return SimulationResult(
+            policy=self.policy.name,
+            method=self.method.name,
+            outcomes=outcomes,
+            machines=list(self.machines),
+        )
+
+    # ------------------------------------------------------------------
+    def _outcome(
+        self, job: Job, machine_name: str, start_s: float, end_s: float
+    ) -> JobOutcome:
+        energy = job.energy_j[machine_name]
+        pricing = self.pricings[machine_name]
+        record = UsageRecord(
+            machine=machine_name,
+            duration_s=job.runtime_s[machine_name],
+            energy_j=energy,
+            cores=job.cores,
+            start_time_s=start_s,
+            job_id=str(job.job_id),
+        )
+        cost = self.method.charge(record, pricing)
+        intensity = self.machines[machine_name].intensity.at(start_s)
+        operational = operational_carbon_g(energy, intensity)
+        attributed = operational + self._carbon.embodied_charge(record, pricing)
+        return JobOutcome(
+            job_id=job.job_id,
+            user=job.user,
+            machine=machine_name,
+            cores=job.cores,
+            submit_s=job.submit_s,
+            start_s=start_s,
+            end_s=end_s,
+            energy_j=energy,
+            cost=cost,
+            work_core_hours=job.work_core_hours,
+            operational_carbon_g=operational,
+            attributed_carbon_g=attributed,
+        )
+

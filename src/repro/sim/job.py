@@ -1,0 +1,93 @@
+"""The simulated job model.
+
+A job carries its cross-platform execution profile: per-machine runtime
+and energy as extrapolated by the GMM + KNN pipeline (§5.2).  ``work``
+is the paper's machine-neutral progress metric — "the average number of
+core hours required to run a job across all machines", which weights
+larger and longer jobs more without favouring any one machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import SECONDS_PER_HOUR
+
+
+@dataclass
+class Job:
+    """One schedulable job.
+
+    Attributes
+    ----------
+    job_id:
+        Dense integer id.
+    user:
+        Integer user id (drives the one-running-job-per-cluster rule).
+    cores:
+        Cores requested (the same on every machine).
+    submit_s:
+        Submission time (seconds from simulation start).
+    runtime_s:
+        Machine name -> predicted runtime.  Machines the job cannot use
+        (e.g. Desktop for >16-core jobs) are simply absent.
+    energy_j:
+        Machine name -> predicted energy (idle share + dynamic), joules.
+    """
+
+    job_id: int
+    user: int
+    cores: int
+    submit_s: float
+    runtime_s: dict[str, float]
+    energy_j: dict[str, float]
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if not self.runtime_s:
+            raise ValueError(f"job {self.job_id} can run nowhere")
+        if set(self.runtime_s) != set(self.energy_j):
+            raise ValueError("runtime and energy machine sets differ")
+
+    @property
+    def eligible_machines(self) -> list[str]:
+        return list(self.runtime_s)
+
+    @property
+    def work_core_hours(self) -> float:
+        """Machine-averaged core-hours (the paper's work metric)."""
+        mean_runtime = float(np.mean(list(self.runtime_s.values())))
+        return self.cores * mean_runtime / SECONDS_PER_HOUR
+
+    def core_seconds_on(self, machine: str) -> float:
+        return self.cores * self.runtime_s[machine]
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job in a simulation run."""
+
+    job_id: int
+    user: int
+    machine: str
+    cores: int
+    submit_s: float
+    start_s: float
+    end_s: float
+    energy_j: float
+    cost: float
+    work_core_hours: float
+    operational_carbon_g: float = 0.0
+    attributed_carbon_g: float = 0.0
+
+    @property
+    def queue_wait_s(self) -> float:
+        return self.start_s - self.submit_s
+
+    @property
+    def runtime_s(self) -> float:
+        return self.end_s - self.start_s
+

@@ -1,0 +1,76 @@
+"""Aggregation of simulation results into the paper's reporting units.
+
+Table 6 reports energy in MWh and carbon in kgCO2e; Fig. 5a reports work
+in millions of core-hours under a fixed allocation.  ``summarize``
+produces one row of those units per (policy, method) run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import SimulationResult
+from repro.units import JOULES_PER_KWH
+
+
+@dataclass(frozen=True)
+class PolicySummary:
+    """One row of the Table 6 / Fig. 5 reporting."""
+
+    policy: str
+    method: str
+    jobs_completed: int
+    work_core_hours: float
+    energy_mwh: float
+    operational_carbon_kg: float
+    attributed_carbon_kg: float
+    makespan_hours: float
+    mean_queue_wait_hours: float
+    machine_distribution: dict[str, int]
+
+    #: Work completed within the fixed allocation, if a budget was given.
+    budget: float | None = None
+    work_with_budget_core_hours: float | None = None
+    jobs_with_budget: int | None = None
+
+
+def summarize(result: SimulationResult, budget: float | None = None) -> PolicySummary:
+    """Collapse a simulation run into reporting units."""
+    work_budget = result.work_with_budget(budget) if budget is not None else None
+    jobs_budget = result.jobs_with_budget(budget) if budget is not None else None
+    return PolicySummary(
+        policy=result.policy,
+        method=result.method,
+        jobs_completed=result.n_jobs,
+        work_core_hours=result.total_work_core_hours(),
+        energy_mwh=result.total_energy_j() / JOULES_PER_KWH / 1e3,
+        operational_carbon_kg=result.total_operational_carbon_g() / 1e3,
+        attributed_carbon_kg=result.total_attributed_carbon_g() / 1e3,
+        makespan_hours=result.makespan_s / 3600.0,
+        mean_queue_wait_hours=result.mean_queue_wait_s() / 3600.0,
+        machine_distribution=result.machine_distribution(),
+        budget=budget,
+        work_with_budget_core_hours=work_budget,
+        jobs_with_budget=jobs_budget,
+    )
+
+
+def format_summaries(rows: list[PolicySummary]) -> str:
+    """Fixed-width text table over several policy summaries."""
+    header = (
+        f"{'Policy':<10}{'Jobs':>9}{'Work(Mh)':>10}{'Energy(MWh)':>13}"
+        f"{'OpC(kg)':>10}{'AttC(kg)':>10}{'Makespan(h)':>13}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        work = (
+            r.work_with_budget_core_hours
+            if r.work_with_budget_core_hours is not None
+            else r.work_core_hours
+        )
+        lines.append(
+            f"{r.policy:<10}{r.jobs_completed:>9}{work / 1e6:>10.3f}"
+            f"{r.energy_mwh:>13.1f}{r.operational_carbon_kg:>10.1f}"
+            f"{r.attributed_carbon_kg:>10.1f}{r.makespan_hours:>13.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,344 @@
+"""Job migration between machines — the paper's §7 limitation, lifted.
+
+"In the simulation (as well as above), we do not allow job migration:
+once a job has been started on a machine, it cannot move even as the
+carbon intensities change."  This module implements the missing
+mechanism so the claim can be tested rather than assumed: a simulator in
+which running jobs are periodically re-evaluated and may checkpoint, pay
+a migration overhead, and resume on a machine that has become cheaper
+(under CBA this happens when grid intensities cross, Fig. 7b).
+
+Model
+-----
+* Jobs execute in **segments**.  At every re-evaluation boundary the
+  simulator compares the cost of finishing on the current machine with
+  the cost of finishing elsewhere (remaining-fraction scaled, plus a
+  checkpoint/restart overhead added to the remaining runtime).
+* A job migrates when the relative saving exceeds ``min_saving``; the
+  continuation re-enters the target's queue under the same user, so all
+  §5.3 queue rules still apply.
+* Every segment is charged at its own start-time intensity; a migrated
+  job's cost, energy, and carbon are the sums over its segments —
+  exactly what a provider metering per interval would bill.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.accounting.base import AccountingMethod, UsageRecord
+from repro.accounting.methods import CarbonBasedAccounting
+from repro.sim.cluster import ClusterSim
+from repro.sim.engine import SimulationResult, pricing_for_sim_machine
+from repro.sim.job import Job, JobOutcome
+from repro.sim.policies import MachineView, Policy
+from repro.sim.scenarios import SimMachine
+from repro.sim.workload import Workload
+from repro.units import operational_carbon_g
+
+_ARRIVAL = 0
+_FINISH = 1
+_REEVALUATE = 2
+
+
+@dataclass
+class _Progress:
+    """Per-job execution state across segments."""
+
+    job: Job
+    remaining_fraction: float = 1.0
+    energy_j: float = 0.0
+    cost: float = 0.0
+    operational_g: float = 0.0
+    attributed_g: float = 0.0
+    first_start_s: float | None = None
+    migrations: int = 0
+    segment_start_s: float = 0.0
+    segment_machine: str = ""
+    is_continuation: bool = False
+
+
+class MigratingSimulator:
+    """Event-driven simulation with periodic migration re-evaluation.
+
+    Parameters
+    ----------
+    machines, method, policy:
+        As for :class:`~repro.sim.engine.MultiClusterSimulator`.
+    reevaluate_every_s:
+        How often running jobs are reconsidered (hourly by default, the
+        carbon-intensity resolution).
+    overhead_s:
+        Checkpoint + restart cost added to the remaining runtime on the
+        target machine (charged at the target's idle power).
+    min_saving:
+        Minimum relative saving on the remaining cost required to move
+        (hysteresis against flapping between machines).
+    """
+
+    def __init__(
+        self,
+        machines: dict[str, SimMachine],
+        method: AccountingMethod,
+        policy: Policy,
+        reevaluate_every_s: float = 3600.0,
+        overhead_s: float = 300.0,
+        min_saving: float = 0.2,
+    ) -> None:
+        if reevaluate_every_s <= 0:
+            raise ValueError("re-evaluation period must be positive")
+        if overhead_s < 0:
+            raise ValueError("overhead cannot be negative")
+        if not 0.0 <= min_saving < 1.0:
+            raise ValueError("min_saving must be in [0, 1)")
+        self.machines = machines
+        self.method = method
+        self.policy = policy
+        self.reevaluate_every_s = reevaluate_every_s
+        self.overhead_s = overhead_s
+        self.min_saving = min_saving
+        self.pricings = {
+            name: pricing_for_sim_machine(m) for name, m in machines.items()
+        }
+        self._carbon = CarbonBasedAccounting()
+
+    # ------------------------------------------------------------------
+    # Segment economics
+    # ------------------------------------------------------------------
+    def _segment_record(
+        self,
+        job: Job,
+        machine: str,
+        start_s: float,
+        fraction: float,
+        with_overhead: bool,
+    ) -> UsageRecord:
+        runtime = job.runtime_s[machine] * fraction
+        energy = job.energy_j[machine] * fraction
+        if with_overhead:
+            runtime += self.overhead_s
+            energy += (
+                self.machines[machine].idle_watts_per_core
+                * job.cores
+                * self.overhead_s
+            )
+        return UsageRecord(
+            machine=machine,
+            duration_s=runtime,
+            energy_j=energy,
+            cores=job.cores,
+            start_time_s=start_s,
+        )
+
+    def _charge_segment(
+        self,
+        state: _Progress,
+        fraction: float,
+        with_overhead: bool,
+    ) -> None:
+        """Accumulate one segment's cost/energy/carbon into the job state."""
+        record = self._segment_record(
+            state.job,
+            state.segment_machine,
+            state.segment_start_s,
+            fraction,
+            with_overhead,
+        )
+        pricing = self.pricings[state.segment_machine]
+        intensity = self.machines[state.segment_machine].intensity.at(
+            state.segment_start_s
+        )
+        operational = operational_carbon_g(record.energy_j, intensity)
+        state.energy_j += record.energy_j
+        state.cost += self.method.charge(record, pricing)
+        state.operational_g += operational
+        state.attributed_g += operational + self._carbon.embodied_charge(
+            record, pricing
+        )
+
+    def _remaining_cost(
+        self, state: _Progress, machine: str, at_s: float, migrating: bool
+    ) -> float:
+        record = self._segment_record(
+            state.job, machine, at_s, state.remaining_fraction, migrating
+        )
+        return self.method.charge(record, self.pricings[machine])
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, workload: Workload) -> SimulationResult:
+        clusters = {name: ClusterSim(m) for name, m in self.machines.items()}
+        progress = {job.job_id: _Progress(job=job) for job in workload.jobs}
+        #: job_id -> runtime its queued continuation needs on its target.
+        pending_runtime: dict[int, float] = {}
+
+        events: list[tuple[float, int, int, object]] = []
+        seq = 0
+
+        def push(time_s: float, kind: int, payload: object) -> None:
+            nonlocal seq
+            heapq.heappush(events, (time_s, kind, seq, payload))
+            seq += 1
+
+        for job in workload.jobs:
+            push(job.submit_s, _ARRIVAL, job)
+        if workload.jobs:
+            push(
+                workload.jobs[0].submit_s + self.reevaluate_every_s,
+                _REEVALUATE,
+                None,
+            )
+
+        outcomes: list[JobOutcome] = []
+        active = len(workload.jobs)
+
+        def try_start(cluster: ClusterSim, now: float) -> None:
+            for job in cluster.startable(now):
+                state = progress[job.job_id]
+                if state.first_start_s is None:
+                    state.first_start_s = now
+                state.segment_start_s = now
+                state.segment_machine = cluster.name
+                state.is_continuation = job.job_id in pending_runtime
+                runtime = pending_runtime.get(
+                    job.job_id, job.runtime_s[cluster.name]
+                )
+                end = now + runtime
+                # ClusterSim scheduled the full runtime; continuations
+                # carry only their remainder.
+                cluster.running[job.job_id].end_s = end
+                push(end, _FINISH, (cluster.name, job.job_id))
+
+        while events and active > 0:
+            now, kind, _, payload = heapq.heappop(events)
+
+            if kind == _ARRIVAL:
+                job = payload  # type: ignore[assignment]
+                views = [
+                    MachineView(
+                        machine=name,
+                        runtime_s=job.runtime_s[name],
+                        energy_j=job.energy_j[name],
+                        queue_wait_s=clusters[name].estimated_wait_s(),
+                        cost=self.method.charge(
+                            self._segment_record(job, name, now, 1.0, False),
+                            self.pricings[name],
+                        ),
+                    )
+                    for name in job.eligible_machines
+                    if name in clusters
+                ]
+                if not views:
+                    active -= 1
+                    continue
+                choice = self.policy.select(job, views)
+                clusters[choice].enqueue(job)
+                try_start(clusters[choice], now)
+
+            elif kind == _FINISH:
+                machine_name, job_id = payload  # type: ignore[misc]
+                cluster = clusters[machine_name]
+                entry = cluster.running.get(job_id)
+                if entry is None or abs(entry.end_s - now) > 1e-6:
+                    continue  # stale event from a migrated segment
+                job = cluster.finish(job_id)
+                state = progress[job_id]
+                self._charge_segment(
+                    state, state.remaining_fraction, state.is_continuation
+                )
+                state.remaining_fraction = 0.0
+                pending_runtime.pop(job_id, None)
+                outcomes.append(self._outcome(state, now))
+                active -= 1
+                try_start(cluster, now)
+
+            else:  # _REEVALUATE
+                moved = self._reevaluate(clusters, progress, pending_runtime, now)
+                if moved:
+                    for cluster in clusters.values():
+                        try_start(cluster, now)
+                if active > 0:
+                    push(now + self.reevaluate_every_s, _REEVALUATE, None)
+
+        return SimulationResult(
+            policy=f"{self.policy.name}+migrate",
+            method=self.method.name,
+            outcomes=outcomes,
+            machines=list(self.machines),
+        )
+
+    # ------------------------------------------------------------------
+    def _reevaluate(
+        self,
+        clusters: dict[str, ClusterSim],
+        progress: dict[int, _Progress],
+        pending_runtime: dict[int, float],
+        now: float,
+    ) -> bool:
+        """Preempt-and-requeue any running job with a big enough saving."""
+        moved_any = False
+        for cluster in clusters.values():
+            for job_id in list(cluster.running):
+                state = progress[job_id]
+                job = state.job
+                end_s = cluster.running[job_id].end_s
+                segment_total = end_s - state.segment_start_s
+                if segment_total <= 0 or now >= end_s - 1e-9:
+                    continue
+                done_of_segment = (now - state.segment_start_s) / segment_total
+                if done_of_segment <= 0:
+                    continue
+                frac_done = state.remaining_fraction * done_of_segment
+                remaining = state.remaining_fraction - frac_done
+                if remaining <= 0.05:
+                    continue  # nearly finished; never worth moving
+
+                probe = _Progress(
+                    job=job,
+                    remaining_fraction=remaining,
+                    segment_start_s=now,
+                    segment_machine=cluster.name,
+                )
+                stay = self._remaining_cost(probe, cluster.name, now, migrating=False)
+                best_name, best_cost = None, stay
+                for name in job.eligible_machines:
+                    if name == cluster.name or name not in clusters:
+                        continue
+                    cost = self._remaining_cost(probe, name, now, migrating=True)
+                    if cost < best_cost:
+                        best_name, best_cost = name, cost
+                if best_name is None or best_cost > stay * (1.0 - self.min_saving):
+                    continue
+
+                # Bill the partial segment, release, and requeue.
+                self._charge_segment(state, frac_done, state.is_continuation)
+                state.remaining_fraction = remaining
+                state.migrations += 1
+                cluster.finish(job_id)
+                pending_runtime[job_id] = (
+                    job.runtime_s[best_name] * remaining + self.overhead_s
+                )
+                clusters[best_name].enqueue(job)
+                moved_any = True
+        return moved_any
+
+    def _outcome(self, state: _Progress, end_s: float) -> JobOutcome:
+        job = state.job
+        return JobOutcome(
+            job_id=job.job_id,
+            user=job.user,
+            machine=state.segment_machine,
+            cores=job.cores,
+            submit_s=job.submit_s,
+            start_s=(
+                state.first_start_s if state.first_start_s is not None else end_s
+            ),
+            end_s=end_s,
+            energy_j=state.energy_j,
+            cost=state.cost,
+            work_core_hours=job.work_core_hours,
+            operational_carbon_g=state.operational_g,
+            attributed_carbon_g=state.attributed_g,
+        )

@@ -1,0 +1,333 @@
+"""Statistical regeneration of the Patel et al. per-job energy dataset.
+
+The paper (§5.2) builds its workload from a published dataset of per-job
+energy from two HPC clusters [40]: 71,190 usable jobs, each repeated
+twice (142,380 total), where jobs from the same user with the same
+requested resources are treated as repetitions of one application.  The
+dataset itself is not redistributable here, so this module regenerates a
+workload with the same statistical structure:
+
+* **users** with Zipf-distributed activity, each owning a handful of
+  recurring application *templates* (same cores, same behaviour);
+* **power-of-two core requests**, with 17% of jobs requesting more than
+  the 16 cores of the one-node Desktop (the paper's constraint);
+* **heavy-tailed runtimes** (log-normal, minutes to many hours);
+* **counter signatures per template** drawn from a Gaussian Mixture
+  Model fit on synthetic Institutional-Cluster counter data — the
+  paper's method of generating "realistic values for hardware
+  performance counters";
+* **cross-platform extrapolation with a KNN** trained on the benchmark
+  applications (§5.2, following Pham et al. [43]): given a template's
+  counters, predict per-machine runtime scale and dynamic power.
+
+Everything is driven by one seed; the same seed yields the same 142,380
+jobs bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.registry import APP_REGISTRY
+from repro.ml.gmm import GaussianMixture
+from repro.ml.knn import KNNRegressor
+from repro.sim.job import Job
+from repro.sim.scenarios import PERF_CURVES, SimMachine
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of the workload generator.
+
+    Defaults reproduce the paper's scale; tests and benchmarks shrink
+    ``n_base_jobs`` for speed.
+    """
+
+    n_base_jobs: int = 71_190
+    repeat: int = 2
+    n_users: int = 500
+    zipf_exponent: float = 1.1
+    #: Arrival window over which submissions spread (seconds).
+    arrival_window_s: float = 20 * 24 * 3600.0
+    #: Median runtime on IC (seconds) and log-normal sigma.
+    runtime_median_s: float = 1100.0
+    runtime_sigma: float = 1.1
+    #: Bounds on runtime (the dataset's jobs run minutes to two days).
+    runtime_min_s: float = 30.0
+    runtime_max_s: float = 48 * 3600.0
+    #: Fraction of jobs that must request more than 16 cores.
+    frac_over_16_cores: float = 0.17
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_base_jobs < 1:
+            raise ValueError("need at least one job")
+        if self.repeat < 1:
+            raise ValueError("repeat must be >= 1")
+        if not 0 <= self.frac_over_16_cores < 1:
+            raise ValueError("frac_over_16_cores must be in [0, 1)")
+
+
+@dataclass
+class Workload:
+    """The generated job list plus provenance."""
+
+    jobs: list[Job]
+    config: WorkloadConfig
+    machines: list[str]
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def total_work_core_hours(self) -> float:
+        return sum(j.work_core_hours for j in self.jobs)
+
+    def frac_requiring_large_machine(self) -> float:
+        """Fraction of jobs that cannot run on the 16-core Desktop."""
+        return sum(1 for j in self.jobs if j.cores > 16) / max(1, len(self.jobs))
+
+
+# ---------------------------------------------------------------------------
+# Counter model
+# ---------------------------------------------------------------------------
+#: Feature space used throughout: (log10 instructions/s/core, log10 MPKI).
+def _signature_features(ips: float, mpki: float) -> np.ndarray:
+    return np.array([np.log10(ips), np.log10(mpki + 1e-3)])
+
+
+def _memory_intensity(log_mpki: float) -> float:
+    """Map log10(MPKI) to the [0, 1] memory-intensity scale the perf
+    curves use.  MPKI 0.3 -> ~0 (compute bound); MPKI 30 -> ~1."""
+    return float(np.clip((log_mpki - np.log10(0.3)) / 2.0, 0.0, 1.0))
+
+
+def synthetic_ic_counter_data(
+    n: int = 2000, seed: int = 0
+) -> np.ndarray:
+    """Synthetic Institutional-Cluster counter observations.
+
+    Three workload populations (compute-bound, balanced, memory-bound)
+    in (log ips/core, log MPKI) space — the data the paper's GMM is
+    trained on, regenerated with the same cluster structure the
+    benchmark suite exhibits.
+    """
+    rng = np.random.default_rng(seed)
+    weights = np.array([0.4, 0.35, 0.25])
+    means = np.array(
+        [
+            [np.log10(2.8e9), np.log10(0.4)],
+            [np.log10(1.8e9), np.log10(5.0)],
+            [np.log10(0.9e9), np.log10(18.0)],
+        ]
+    )
+    sds = np.array([[0.12, 0.25], [0.12, 0.25], [0.12, 0.20]])
+    counts = rng.multinomial(n, weights)
+    chunks = [
+        rng.normal(means[k], sds[k], size=(c, 2)) for k, c in enumerate(counts)
+    ]
+    data = np.vstack(chunks)
+    rng.shuffle(data)
+    return data
+
+
+def fit_counter_gmm(n_samples: int = 2000, seed: int = 0) -> GaussianMixture:
+    """The §5.2 GMM over IC counter space."""
+    data = synthetic_ic_counter_data(n_samples, seed)
+    return GaussianMixture(n_components=3, seed=seed).fit(data)
+
+
+# ---------------------------------------------------------------------------
+# Cross-platform KNN
+# ---------------------------------------------------------------------------
+def build_cross_platform_knn(
+    machines: dict[str, SimMachine] | None = None,
+    noise_sd: float = 0.06,
+    seed: int = 0,
+) -> dict[str, KNNRegressor]:
+    """Train the per-machine KNN of §5.2.
+
+    Training corpus: the seven benchmark applications' counter
+    signatures, with targets (runtime scale vs IC, dynamic W/core)
+    evaluated from the calibrated performance curves — i.e. the KNN
+    learns (a noisy view of) the machine behaviour the benchmarks
+    exhibit, then generalizes it to the workload's counter space.
+    """
+    rng = np.random.default_rng(seed)
+    curves = (
+        {name: m.perf for name, m in machines.items()}
+        if machines is not None
+        else dict(PERF_CURVES)
+    )
+    feats = []
+    mems = []
+    for profile in APP_REGISTRY.values():
+        sig = profile.signature
+        feats.append(_signature_features(sig.ips, sig.llc_mpki))
+        mems.append(_memory_intensity(np.log10(sig.llc_mpki + 1e-3)))
+    feats_arr = np.array(feats)
+
+    models: dict[str, KNNRegressor] = {}
+    for name, curve in curves.items():
+        targets = []
+        for m in mems:
+            scale = curve.runtime_scale(m) * rng.lognormal(0.0, noise_sd)
+            dyn = curve.dyn_watts_per_core * rng.lognormal(0.0, noise_sd)
+            targets.append([scale, dyn])
+        knn = KNNRegressor(k=3)
+        knn.fit(feats_arr, np.array(targets))
+        models[name] = knn
+    return models
+
+
+# ---------------------------------------------------------------------------
+# Generator
+# ---------------------------------------------------------------------------
+@dataclass
+class _Template:
+    cores: int
+    base_runtime_s: float
+    features: np.ndarray  # (log ips, log mpki)
+    utilization: float
+
+
+class PatelWorkloadGenerator:
+    """Generates the §5.2 workload for a set of simulation machines."""
+
+    #: Power-of-two core menu and base weights (before the >16-core
+    #: fraction is enforced).
+    CORE_MENU = np.array([1, 2, 4, 8, 16, 32, 64, 128])
+    SMALL_WEIGHTS = np.array([0.18, 0.20, 0.27, 0.20, 0.15])  # cores <= 16
+    LARGE_WEIGHTS = np.array([0.55, 0.33, 0.12])  # cores > 16
+
+    def __init__(
+        self,
+        machines: dict[str, SimMachine],
+        config: WorkloadConfig | None = None,
+    ) -> None:
+        if not machines:
+            raise ValueError("need at least one machine")
+        self.machines = machines
+        self.config = config or WorkloadConfig()
+        self.gmm = fit_counter_gmm(seed=self.config.seed)
+        self.knn = build_cross_platform_knn(machines, seed=self.config.seed)
+
+    # ------------------------------------------------------------------
+    def _user_weights(self, rng: np.random.Generator) -> np.ndarray:
+        ranks = np.arange(1, self.config.n_users + 1)
+        w = ranks ** (-self.config.zipf_exponent)
+        return w / w.sum()
+
+    def _sample_cores(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        large = rng.random(n) < self.config.frac_over_16_cores
+        small_idx = rng.choice(5, size=n, p=self.SMALL_WEIGHTS)
+        large_idx = 5 + rng.choice(3, size=n, p=self.LARGE_WEIGHTS)
+        return self.CORE_MENU[np.where(large, large_idx, small_idx)]
+
+    def _make_templates(self, rng: np.random.Generator) -> list[list[_Template]]:
+        per_user: list[list[_Template]] = []
+        for _ in range(self.config.n_users):
+            n_templates = 1 + rng.poisson(2)
+            cores = self._sample_cores(rng, n_templates)
+            counters = self.gmm.sample(n_templates, rng=rng)
+            base = np.exp(
+                rng.normal(
+                    np.log(self.config.runtime_median_s),
+                    self.config.runtime_sigma,
+                    size=n_templates,
+                )
+            )
+            base = np.clip(base, self.config.runtime_min_s, self.config.runtime_max_s)
+            util = rng.uniform(0.55, 0.95, size=n_templates)
+            per_user.append(
+                [
+                    _Template(
+                        cores=int(c),
+                        base_runtime_s=float(b),
+                        features=f,
+                        utilization=float(u),
+                    )
+                    for c, f, b, u in zip(cores, counters, base, util)
+                ]
+            )
+        return per_user
+
+    # ------------------------------------------------------------------
+    def generate(self) -> Workload:
+        """Produce the full workload (vectorized where it counts)."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed + 1)
+        templates = self._make_templates(rng)
+        user_w = self._user_weights(rng)
+
+        n = cfg.n_base_jobs
+        users = rng.choice(cfg.n_users, size=n, p=user_w)
+        tmpl_idx = np.array(
+            [rng.integers(len(templates[u])) for u in users], dtype=np.intp
+        )
+
+        # Gather template attributes into arrays.
+        cores = np.array([templates[u][t].cores for u, t in zip(users, tmpl_idx)])
+        base_rt = np.array(
+            [templates[u][t].base_runtime_s for u, t in zip(users, tmpl_idx)]
+        )
+        feats = np.array(
+            [templates[u][t].features for u, t in zip(users, tmpl_idx)]
+        )
+        utils = np.array(
+            [templates[u][t].utilization for u, t in zip(users, tmpl_idx)]
+        )
+
+        # Cross-platform predictions, one KNN call per machine (vectorized).
+        machine_names = list(self.machines)
+        pred: dict[str, np.ndarray] = {
+            name: self.knn[name].predict(feats) for name in machine_names
+        }
+
+        # Per-(job, machine) residual noise around the KNN prediction:
+        # cross-platform extrapolation is noisy per job, and this spread
+        # is what lets energy-aware policies find per-job bargains that
+        # performance-aware policies miss (the paper's large policy gaps).
+        n_machines = len(machine_names)
+        jobs: list[Job] = []
+        job_id = 0
+        for rep in range(cfg.repeat):
+            # Each repetition is an independent submission of the same app.
+            submit = np.sort(rng.uniform(0, cfg.arrival_window_s, size=n))
+            run_noise = rng.lognormal(0.0, 0.25, size=n)
+            scale_noise = rng.lognormal(0.0, 0.30, size=(n, n_machines))
+            power_noise = rng.lognormal(0.0, 0.20, size=(n, n_machines))
+            for i in range(n):
+                ic_runtime = float(base_rt[i] * run_noise[i])
+                runtimes: dict[str, float] = {}
+                energies: dict[str, float] = {}
+                for mi, name in enumerate(machine_names):
+                    machine = self.machines[name]
+                    if cores[i] > machine.max_job_cores:
+                        continue
+                    scale, dyn_w = pred[name][i]
+                    rt = ic_runtime * float(scale) * float(scale_noise[i, mi])
+                    power_per_core = machine.idle_watts_per_core + min(
+                        utils[i] * float(dyn_w) * float(power_noise[i, mi]),
+                        machine.tdp_watts_per_core - machine.idle_watts_per_core,
+                    )
+                    runtimes[name] = rt
+                    energies[name] = power_per_core * cores[i] * rt
+                if not runtimes:
+                    continue
+                jobs.append(
+                    Job(
+                        job_id=job_id,
+                        user=int(users[i]),
+                        cores=int(cores[i]),
+                        submit_s=float(submit[i]),
+                        runtime_s=runtimes,
+                        energy_j=energies,
+                    )
+                )
+                job_id += 1
+
+        jobs.sort(key=lambda j: j.submit_s)
+        return Workload(jobs=jobs, config=cfg, machines=machine_names)

@@ -1,0 +1,51 @@
+"""The user-study scheduling game (paper §6).
+
+The paper built a JavaScript drag-and-drop game (Fig. 8) in which
+participants schedule jobs onto four machines under a time limit and a
+fungible allocation, in one of three versions:
+
+* **V1** — cost proportional to runtime, no energy shown (control);
+* **V2** — V1 plus a displayed energy figure;
+* **V3** — cost computed with the EBA formula.
+
+This package rebuilds the game as a deterministic engine
+(:mod:`repro.study.game`), the job deck (:mod:`repro.study.jobs`),
+parameterized behavioural agents standing in for the 90 human
+participants (:mod:`repro.study.agents`), and the paper's statistical
+analysis (:mod:`repro.study.analysis`).
+
+The agents encode exactly one behavioural assumption, taken from the
+paper's own finding: participants respond to *displayed cost* (and time
+pressure), not to energy information as such.  Figs. 9-10 then follow
+from the game mechanics rather than being hard-coded.
+"""
+
+from repro.study.jobs import GameJob, default_job_deck
+from repro.study.game import Game, GameConfig, GameVersion, MachineCard
+from repro.study.agents import BehavioralAgent, AgentParams, play_game
+from repro.study.analysis import (
+    GameRecord,
+    StudyResults,
+    run_study,
+    energy_by_version,
+    jobs_completed_by_version,
+    run_probability_vs_energy,
+)
+
+__all__ = [
+    "GameJob",
+    "default_job_deck",
+    "Game",
+    "GameConfig",
+    "GameVersion",
+    "MachineCard",
+    "BehavioralAgent",
+    "AgentParams",
+    "play_game",
+    "GameRecord",
+    "StudyResults",
+    "run_study",
+    "energy_by_version",
+    "jobs_completed_by_version",
+    "run_probability_vs_energy",
+]

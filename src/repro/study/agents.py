@@ -1,0 +1,149 @@
+"""Behavioural agents standing in for the study's 90 participants.
+
+The substitution rule (DESIGN.md §2): we cannot rerun the human study,
+so agents encode the *minimal* behavioural model consistent with the
+paper's findings and let the game mechanics produce the outcome
+distributions:
+
+* players try to finish jobs before time and allocation run out;
+* when choosing a machine they trade off displayed **completion time**
+  against displayed **cost**, with individual weights and decision
+  noise;
+* displayed **energy gets (near-)zero weight** — the paper's central
+  negative result is that energy information alone (V2) did not change
+  behaviour, so the agent's energy weight defaults to a small value with
+  large individual variance centred at ~0;
+* job **priority is treated inconsistently** (it was a placebo): some
+  players prefer high-priority jobs, some ignore priority.
+
+Because V3 prices with EBA, a purely cost-sensitive player *implicitly*
+minimizes energy there — no agent parameter changes between versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.study.game import Game, GameVersion
+from repro.study.jobs import PRIORITIES
+
+
+@dataclass(frozen=True)
+class AgentParams:
+    """One participant's decision weights."""
+
+    time_weight: float
+    cost_weight: float
+    energy_weight: float
+    priority_weight: float
+    decision_noise: float
+    #: probability of skipping a job the player finds unattractive
+    skip_threshold: float
+
+    @staticmethod
+    def sample(rng: np.random.Generator) -> "AgentParams":
+        """Draw a random participant.
+
+        Weights are heterogeneous across the population; energy weight
+        is centred near zero (most users never weighed energy — §2.2's
+        survey finding — and §6.2 confirms the display changed nothing).
+        """
+        return AgentParams(
+            time_weight=float(rng.gamma(2.0, 0.5)),
+            cost_weight=float(rng.gamma(2.0, 0.5)),
+            energy_weight=float(max(0.0, rng.normal(0.02, 0.05))),
+            priority_weight=float(rng.uniform(0.0, 1.0)),
+            decision_noise=float(rng.uniform(0.05, 0.3)),
+            skip_threshold=float(rng.uniform(0.05, 0.25)),
+        )
+
+
+class BehavioralAgent:
+    """Plays one game according to its parameters."""
+
+    def __init__(self, params: AgentParams, rng: np.random.Generator) -> None:
+        self.params = params
+        self.rng = rng
+
+    # ------------------------------------------------------------------
+    def _machine_utility(self, game: Game, job, machine: str) -> float:
+        """Negative disutility of running ``job`` on ``machine`` now."""
+        offers = {o.machine: o for o in game.offers(job)}
+        offer = offers[machine]
+        # Normalize against the best option so weights are scale-free.
+        min_done = min(o.start_h + o.runtime_h for o in offers.values())
+        min_cost = min(o.cost for o in offers.values())
+        done = offer.start_h + offer.runtime_h
+        rel_time = done / max(min_done, 1e-9) - 1.0
+        rel_cost = offer.cost / max(min_cost, 1e-9) - 1.0
+        utility = -(
+            self.params.time_weight * rel_time
+            + self.params.cost_weight * rel_cost
+        )
+        if offer.energy_kwh is not None:
+            energies = [
+                o.energy_kwh for o in offers.values() if o.energy_kwh is not None
+            ]
+            min_e = min(energies)
+            rel_e = offer.energy_kwh / max(min_e, 1e-9) - 1.0
+            utility -= self.params.energy_weight * rel_e
+        return utility + self.rng.normal(0.0, self.params.decision_noise)
+
+    def _job_appeal(self, game: Game, job) -> float:
+        """How much the player wants to run this job at all."""
+        prio_rank = PRIORITIES.index(job.priority) / (len(PRIORITIES) - 1)
+        appeal = 0.5 + self.params.priority_weight * (prio_rank - 0.5)
+        return appeal + self.rng.normal(0.0, self.params.decision_noise)
+
+    # ------------------------------------------------------------------
+    def play(self, game: Game, max_moves: int = 200) -> Game:
+        """Play ``game`` to its end; returns the finished game."""
+        moves = 0
+        while not game.ended and moves < max_moves:
+            moves += 1
+            candidates = [
+                job for job in game.visible_jobs
+                if any(game.can_schedule(job.job_id, m) for m in job.machines)
+            ]
+            if not candidates:
+                # Nothing affordable now; advancing may free a machine.
+                if any(c.busy_until_h > game.clock_h for c in game.cards.values()):
+                    game.advance()
+                    continue
+                game.end()
+                break
+
+            # Pick the most appealing job; maybe skip an unappealing one.
+            scored = sorted(
+                candidates, key=lambda j: self._job_appeal(game, j), reverse=True
+            )
+            job = scored[0]
+            if (
+                self._job_appeal(game, job) < self.params.skip_threshold
+                and len(game.visible_jobs) > 1
+            ):
+                game.skip(job.job_id)
+                continue
+
+            feasible = [
+                m for m in job.machines if game.can_schedule(job.job_id, m)
+            ]
+            best = max(feasible, key=lambda m: self._machine_utility(game, job, m))
+            game.schedule(job.job_id, best)
+        if not game.ended:
+            game.end()
+        return game
+
+
+def play_game(
+    version: GameVersion,
+    params: AgentParams | None = None,
+    seed: int = 0,
+) -> Game:
+    """Convenience: one participant plays one fresh game."""
+    rng = np.random.default_rng(seed)
+    params = params if params is not None else AgentParams.sample(rng)
+    game = Game(version)
+    return BehavioralAgent(params, rng).play(game)

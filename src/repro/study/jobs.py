@@ -1,0 +1,105 @@
+"""The game's job deck.
+
+"The machines reflected those used in the simulation, and the resources
+a job used were inferred using the same mechanism as the simulation"
+(§6.1) — so each game job carries a counter-derived memory intensity and
+its per-machine runtime/energy comes from the same calibrated
+performance curves (:data:`repro.sim.scenarios.PERF_CURVES`) the batch
+simulator uses.  "The jobs were the same for all participants": the
+default deck is a fixed seeded draw.
+
+Each job is randomly assigned one of four priorities, which the paper
+uses as a *placebo* metric — it never affects time, energy, or cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.scenarios import SimMachine, baseline_scenario
+
+#: The placebo priority labels, in display order.
+PRIORITIES: tuple[str, ...] = ("low", "medium", "high", "very high")
+
+
+@dataclass(frozen=True)
+class GameJob:
+    """One draggable job card.
+
+    ``runtime_h`` / ``energy_kwh`` map machine name to what running the
+    job there would consume; game "hours" are the game's abstract time
+    unit (the paper's game shows unit-less time/cost numbers).
+    """
+
+    job_id: int
+    priority: str
+    cores: int
+    runtime_h: dict[str, float]
+    energy_kwh: dict[str, float]
+
+    def __post_init__(self) -> None:
+        if self.priority not in PRIORITIES:
+            raise ValueError(f"unknown priority {self.priority!r}")
+        if set(self.runtime_h) != set(self.energy_kwh):
+            raise ValueError("runtime and energy machine sets differ")
+        if not self.runtime_h:
+            raise ValueError("job must run somewhere")
+
+    @property
+    def machines(self) -> list[str]:
+        return list(self.runtime_h)
+
+    def mean_energy_kwh(self) -> float:
+        return float(np.mean(list(self.energy_kwh.values())))
+
+
+def default_job_deck(
+    n_jobs: int = 20,
+    machines: dict[str, SimMachine] | None = None,
+    seed: int = 7,
+) -> list[GameJob]:
+    """The fixed deck every participant sees (20 jobs, as in §6.2).
+
+    Per-machine figures come from the simulation's performance curves:
+    runtime scale and dynamic power as functions of the job's memory
+    intensity, idle power charged for occupied cores.
+    """
+    if n_jobs < 1:
+        raise ValueError("need at least one job")
+    machines = machines if machines is not None else baseline_scenario(days=7, seed=seed)
+    rng = np.random.default_rng(seed)
+
+    jobs: list[GameJob] = []
+    for j in range(n_jobs):
+        priority = PRIORITIES[rng.integers(len(PRIORITIES))]
+        cores = int(rng.choice([2, 4, 8, 16, 32], p=[0.2, 0.25, 0.25, 0.15, 0.15]))
+        memory_intensity = float(rng.beta(2.0, 2.0))
+        base_hours = float(np.exp(rng.normal(np.log(6.0), 0.7)))
+        utilization = float(rng.uniform(0.6, 0.95))
+
+        runtime: dict[str, float] = {}
+        energy: dict[str, float] = {}
+        for name, machine in machines.items():
+            if cores > machine.max_job_cores:
+                continue
+            scale = machine.perf.runtime_scale(memory_intensity)
+            noise = float(rng.lognormal(0.0, 0.15))
+            hours = base_hours * scale * noise
+            watts_per_core = (
+                machine.idle_watts_per_core
+                + utilization * machine.perf.dyn_watts_per_core
+            )
+            runtime[name] = hours
+            energy[name] = watts_per_core * cores * hours / 1e3  # kWh
+        jobs.append(
+            GameJob(
+                job_id=j,
+                priority=priority,
+                cores=cores,
+                runtime_h=runtime,
+                energy_kwh=energy,
+            )
+        )
+    return jobs

@@ -1,0 +1,31 @@
+"""The HPC-user survey (paper §2).
+
+The paper surveyed 316 HPC users on energy awareness and released the
+aggregate data.  This package encodes every aggregate the paper reports
+(:mod:`repro.survey.schema`), generates a respondent-level table
+consistent with all of those marginals (:mod:`repro.survey.data`), and
+reproduces the §2.2 analysis including the Fig. 1 and Fig. 2 counts
+(:mod:`repro.survey.analysis`).
+"""
+
+from repro.survey.schema import (
+    PAPER_AGGREGATES,
+    FIG1_METRICS,
+    FIG2_FACTORS,
+    FIG1_COUNTS,
+    FIG2_COUNTS,
+)
+from repro.survey.data import Respondent, generate_respondents
+from repro.survey.analysis import SurveyAnalysis, analyze
+
+__all__ = [
+    "PAPER_AGGREGATES",
+    "FIG1_METRICS",
+    "FIG2_FACTORS",
+    "FIG1_COUNTS",
+    "FIG2_COUNTS",
+    "Respondent",
+    "generate_respondents",
+    "SurveyAnalysis",
+    "analyze",
+]

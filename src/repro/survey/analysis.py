@@ -1,0 +1,90 @@
+"""The §2.2 analysis over respondent-level data.
+
+``analyze`` recomputes every number the paper reports from the
+respondent table, so the tests can assert that the synthetic table and
+the published aggregates agree — and so real (non-synthetic) data could
+be dropped in with the same schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.survey.data import Respondent
+from repro.survey.schema import FIG1_METRICS, FIG2_FACTORS
+
+
+@dataclass(frozen=True)
+class SurveyAnalysis:
+    """Recomputed §2.2 aggregates."""
+
+    n_responses: int
+    n_complete: int
+    pct_aware_node_hours: float
+    pct_reduced_node_hours: float
+    pct_aware_energy: float
+    pct_reduced_energy: float
+    pct_reducers_unaware_energy: float
+    pct_familiar_green500: float
+    pct_familiar_carbon_intensity: float
+    n_know_own_green500: int
+    fig1_counts: dict[str, dict[str, int]]
+    fig2_counts: dict[str, dict[int, int]]
+
+    def fig2_rank_by_importance(self) -> list[str]:
+        """Factors ranked by share of 'very important' answers, the
+        ranking behind the §2.2 headline that energy comes last."""
+        def share(factor: str) -> float:
+            counts = self.fig2_counts[factor]
+            total = sum(counts.values())
+            return counts.get(3, 0) / total if total else 0.0
+
+        return sorted(FIG2_FACTORS, key=share, reverse=True)
+
+
+def analyze(respondents: list[Respondent]) -> SurveyAnalysis:
+    """Recompute the paper's aggregates from the respondent table."""
+    if not respondents:
+        raise ValueError("no respondents")
+    complete = [r for r in respondents if r.completed]
+    nc = len(complete)
+    if nc == 0:
+        raise ValueError("no complete responses")
+
+    def pct(flag: str) -> float:
+        return 100.0 * sum(1 for r in complete if getattr(r, flag)) / nc
+
+    reducers = [r for r in complete if r.reduced_energy]
+    reducers_unaware = [r for r in reducers if not r.aware_energy]
+
+    fig1 = {
+        metric: {
+            answer: sum(1 for r in complete if r.fig1.get(metric) == answer)
+            for answer in ("yes", "no", "na")
+        }
+        for metric in FIG1_METRICS
+    }
+    fig2 = {
+        factor: {
+            score: sum(1 for r in complete if r.fig2.get(factor) == score)
+            for score in (1, 2, 3)
+        }
+        for factor in FIG2_FACTORS
+    }
+
+    return SurveyAnalysis(
+        n_responses=len(respondents),
+        n_complete=nc,
+        pct_aware_node_hours=pct("aware_node_hours"),
+        pct_reduced_node_hours=pct("reduced_node_hours"),
+        pct_aware_energy=pct("aware_energy"),
+        pct_reduced_energy=pct("reduced_energy"),
+        pct_reducers_unaware_energy=(
+            100.0 * len(reducers_unaware) / len(reducers) if reducers else 0.0
+        ),
+        pct_familiar_green500=pct("familiar_green500"),
+        pct_familiar_carbon_intensity=pct("familiar_carbon_intensity"),
+        n_know_own_green500=sum(1 for r in complete if r.knows_own_green500),
+        fig1_counts=fig1,
+        fig2_counts=fig2,
+    )

@@ -1,0 +1,93 @@
+"""Every aggregate §2.2 reports, as data.
+
+These constants are the paper's released aggregates; the generator in
+:mod:`repro.survey.data` produces a respondent-level table whose
+marginals match them.  Counts estimated from Fig. 1/2 bar heights (the
+paper prints some percentages but not every bar's exact value) are
+marked ``# est.``.
+"""
+
+from __future__ import annotations
+
+#: Headline aggregates of §2.2.  Percentages are of the 192 respondents
+#: who completed >= 90% of the survey unless the paper states otherwise.
+PAPER_AGGREGATES: dict[str, float | int] = {
+    "n_responses": 316,
+    "n_complete": 192,
+    # Location counts (sum < 316; the remainder declined).
+    "loc_europe": 166,
+    "loc_north_america": 104,
+    "loc_oceania": 4,
+    "loc_china": 4,
+    "loc_undisclosed": 38,
+    # Career stage.
+    "stage_grad_student": 73,
+    "stage_early_career": 97,
+    "stage_senior": 99,
+    # Node-hour awareness & action.
+    "aware_node_hours": 148,          # 73%
+    "reduced_node_hours": 142,        # 70%
+    "concerned_allocation": 166,      # >80% very or mildly concerned
+    "frac_concerned_who_reduced": 0.77,
+    # Energy awareness & action.
+    "aware_energy": 51,               # 27%
+    "reduced_energy": 54,             # 30%
+    "frac_reducers_unaware_energy": 0.39,
+    # Metric familiarity.
+    "familiar_green500": 94,          # 51%
+    "familiar_carbon_intensity": 55,  # 30%
+    "green500_know_own_machine": 36,  # 20% of all respondents
+    # Machine choice.
+    "frac_access_4plus_machines": 0.70,
+    "performance_very_important": 83,  # 46%
+    "energy_very_important": 25,       # 12%
+}
+
+#: Fig. 1 sustainability metrics, in plot order.
+FIG1_METRICS: tuple[str, ...] = (
+    "Green500",
+    "SPEC SERT",
+    "Carbon Intensity",
+    "PUE",
+)
+
+#: Fig. 1: "Are you aware of how the HPC resources you use perform on the
+#: following sustainability metrics?" — yes / no / not-applicable counts.
+FIG1_COUNTS: dict[str, dict[str, int]] = {
+    "Green500": {"yes": 36, "no": 118, "na": 28},            # yes from text
+    "SPEC SERT": {"yes": 9, "no": 128, "na": 45},            # est.
+    "Carbon Intensity": {"yes": 18, "no": 132, "na": 32},    # est.
+    "PUE": {"yes": 13, "no": 124, "na": 45},                 # est.
+}
+
+#: Fig. 2 decision factors, in plot order.
+FIG2_FACTORS: tuple[str, ...] = (
+    "Hardware",
+    "Queue",
+    "Performance",
+    "Funding",
+    "Software",
+    "Ease of Use",
+    "Experience",
+    "Energy",
+)
+
+#: Fig. 2: importance of each factor when choosing where to run
+#: (1 = not important, 2 = middling, 3 = very important).
+FIG2_COUNTS: dict[str, dict[int, int]] = {
+    "Hardware": {1: 18, 2: 62, 3: 102},        # est.
+    "Queue": {1: 22, 2: 70, 3: 90},            # est.
+    "Performance": {1: 19, 2: 80, 3: 83},      # 83 from text (46%)
+    "Funding": {1: 40, 2: 62, 3: 80},          # est.
+    "Software": {1: 35, 2: 77, 3: 70},         # est.
+    "Ease of Use": {1: 30, 2: 86, 3: 66},      # est.
+    "Experience": {1: 38, 2: 84, 3: 60},       # est.
+    "Energy": {1: 84, 2: 73, 3: 25},           # 25 from text (12%)
+}
+
+
+def fig2_mean_importance(factor: str) -> float:
+    """Average importance score of one factor (used for ranking)."""
+    counts = FIG2_COUNTS[factor]
+    total = sum(counts.values())
+    return sum(score * n for score, n in counts.items()) / total

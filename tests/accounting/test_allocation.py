@@ -1,0 +1,98 @@
+"""Fungible allocations: ledger arithmetic and admission control."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.accounting.allocation import (
+    Allocation,
+    AllocationExhausted,
+    AllocationLedger,
+)
+
+
+class TestAllocation:
+    def test_debit_reduces_balance(self):
+        a = Allocation(user="u", unit="J", balance=100.0)
+        txn = a.debit(30.0, machine="m1", job_id="j1")
+        assert a.balance == pytest.approx(70.0)
+        assert txn.balance_after == pytest.approx(70.0)
+        assert a.spent == pytest.approx(30.0)
+
+    def test_overdraw_refused_atomically(self):
+        a = Allocation(user="u", unit="J", balance=10.0)
+        with pytest.raises(AllocationExhausted) as err:
+            a.debit(11.0)
+        assert a.balance == 10.0  # unchanged after refusal
+        assert err.value.requested == 11.0
+
+    def test_exact_spend_allowed(self):
+        a = Allocation(user="u", unit="J", balance=10.0)
+        a.debit(10.0)
+        assert a.balance == pytest.approx(0.0)
+
+    def test_grant_extends_budget(self):
+        a = Allocation(user="u", unit="J", balance=10.0)
+        a.grant(5.0)
+        assert a.balance == 15.0
+        assert a.granted == 15.0
+
+    def test_negative_amounts_rejected(self):
+        a = Allocation(user="u", unit="J", balance=10.0)
+        with pytest.raises(ValueError):
+            a.debit(-1.0)
+        with pytest.raises(ValueError):
+            a.grant(-1.0)
+
+    def test_negative_initial_balance_rejected(self):
+        with pytest.raises(ValueError):
+            Allocation(user="u", unit="J", balance=-1.0)
+
+    def test_transactions_logged_in_order(self):
+        a = Allocation(user="u", unit="J", balance=10.0)
+        a.debit(1.0, job_id="a")
+        a.grant(2.0)
+        a.debit(3.0, job_id="b")
+        kinds = [t.kind for t in a.transactions]
+        assert kinds == ["debit", "credit", "debit"]
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=30))
+    def test_spent_plus_balance_equals_granted(self, amounts):
+        a = Allocation(user="u", unit="J", balance=1000.0)
+        for amount in amounts:
+            if a.can_afford(amount):
+                a.debit(amount)
+            else:
+                a.grant(amount)
+        assert a.spent + a.balance == pytest.approx(a.granted)
+        assert a.balance >= -1e-9
+
+
+class TestLedger:
+    def test_open_and_get(self):
+        ledger = AllocationLedger(unit="gCO2e")
+        ledger.open("alice", 5.0)
+        assert ledger.get("alice").unit == "gCO2e"
+        assert "alice" in ledger
+        assert len(ledger) == 1
+
+    def test_double_open_rejected(self):
+        ledger = AllocationLedger()
+        ledger.open("alice", 5.0)
+        with pytest.raises(ValueError):
+            ledger.open("alice", 5.0)
+
+    def test_missing_user(self):
+        with pytest.raises(KeyError):
+            AllocationLedger().get("nobody")
+
+    def test_total_spent(self):
+        ledger = AllocationLedger()
+        ledger.open("a", 10.0).debit(4.0)
+        ledger.open("b", 10.0).debit(1.0)
+        assert ledger.total_spent() == pytest.approx(5.0)
+
+    def test_users_sorted(self):
+        ledger = AllocationLedger()
+        ledger.open("zoe", 1.0)
+        ledger.open("anna", 1.0)
+        assert ledger.users == ["anna", "zoe"]

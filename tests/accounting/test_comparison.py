@@ -1,0 +1,83 @@
+"""Cost-table construction, normalization, and the paper's Table 1."""
+
+import pytest
+
+from repro.accounting.comparison import normalized_cost_table
+from repro.accounting.methods import (
+    CarbonBasedAccounting,
+    EnergyBasedAccounting,
+    PeakAccounting,
+    all_methods,
+)
+
+
+@pytest.fixture
+def table(table1_inputs):
+    records, pricings = table1_inputs
+    return normalized_cost_table(records, pricings, all_methods())
+
+
+class TestStructure:
+    def test_machines_and_methods(self, table):
+        assert table.machines == ["Desktop", "Cascade Lake", "Ice Lake", "Zen3"]
+        assert table.methods == ["Runtime", "Energy", "Peak", "EBA", "CBA"]
+
+    def test_metrics_column(self, table):
+        runtime, energy = table.metrics["Zen3"]
+        assert runtime == pytest.approx(5.65)
+        assert energy == pytest.approx(16.8)
+
+    def test_missing_pricing_rejected(self, table1_inputs):
+        records, pricings = table1_inputs
+        partial = {k: v for k, v in pricings.items() if k != "Zen3"}
+        with pytest.raises(KeyError, match="Zen3"):
+            normalized_cost_table(records, partial, all_methods())
+
+    def test_format_renders_all_rows(self, table):
+        text = table.format(reference="Desktop")
+        for machine in table.machines:
+            assert machine in text
+
+
+class TestNormalization:
+    def test_reference_machine_is_one(self, table):
+        for method in table.methods:
+            assert table.normalized(method, "Desktop")["Desktop"] == 1.0
+
+    def test_min_normalization_floor_is_one(self, table):
+        for method in table.methods:
+            values = table.normalized(method)
+            assert min(values.values()) == pytest.approx(1.0)
+
+    def test_cheapest(self, table):
+        assert table.cheapest("EBA") == "Desktop"
+        assert table.cheapest("Peak") == "Cascade Lake"
+
+
+class TestPaperTable1:
+    """Measured-vs-paper for the headline experiment (EXPERIMENTS.md)."""
+
+    def test_eba_column(self, table):
+        eba = table.normalized("EBA", "Desktop")
+        assert eba["Cascade Lake"] == pytest.approx(1.90, abs=0.03)
+        assert eba["Ice Lake"] == pytest.approx(1.10, abs=0.03)
+        assert 1.0 < eba["Zen3"] < 1.10  # paper: 1.05
+
+    def test_cba_column(self, table):
+        cba = table.normalized("CBA", "Desktop")
+        assert cba["Cascade Lake"] == pytest.approx(1.20, abs=0.03)
+        assert cba["Ice Lake"] == pytest.approx(1.10, abs=0.03)
+        assert cba["Zen3"] == pytest.approx(1.15, abs=0.03)
+
+    def test_peak_column_relative_to_cascade_lake(self, table):
+        peak = table.normalized("Peak", "Cascade Lake")
+        assert peak["Desktop"] == pytest.approx(1.43, abs=0.05)
+        assert peak["Ice Lake"] == pytest.approx(1.06, abs=0.05)
+        assert peak["Zen3"] == pytest.approx(1.36, abs=0.05)
+
+    def test_headline_claim(self, table):
+        """Runtime and Peak make an energy-hungry machine cheapest;
+        EBA and CBA make efficient machines cheapest."""
+        assert table.cheapest("Peak") == "Cascade Lake"  # most energy!
+        assert table.cheapest("EBA") in ("Desktop", "Zen3")
+        assert table.cheapest("CBA") == "Desktop"

@@ -1,0 +1,99 @@
+"""Exchange rates between allocation currencies."""
+
+import pytest
+
+from repro.accounting.base import pricing_for_node
+from repro.accounting.exchange import (
+    ExchangeRate,
+    exchange_rate,
+    reference_basket,
+    service_unit_rates,
+)
+from repro.accounting.methods import (
+    CarbonBasedAccounting,
+    EnergyAccounting,
+    EnergyBasedAccounting,
+    RuntimeAccounting,
+)
+from repro.hardware.catalog import (
+    CPU_EXPERIMENT_NODES,
+    CPU_EXPERIMENT_YEAR,
+    TABLE1_CARBON_INTENSITY,
+)
+
+
+@pytest.fixture(scope="module")
+def pricings():
+    return {
+        node.name: pricing_for_node(
+            node, CPU_EXPERIMENT_YEAR, TABLE1_CARBON_INTENSITY[node.name]
+        )
+        for node in CPU_EXPERIMENT_NODES
+    }
+
+
+class TestBasket:
+    def test_basket_covers_all_apps(self):
+        assert len(reference_basket("Zen3")) == 7
+
+    def test_unknown_machine_empty(self):
+        assert reference_basket("Summit") == []
+
+
+class TestExchangeRate:
+    def test_round_trip(self, pricings):
+        forward = exchange_rate(
+            RuntimeAccounting(), EnergyBasedAccounting(), pricings["Zen3"]
+        )
+        back = forward.inverse()
+        assert back.convert(forward.convert(100.0)) == pytest.approx(100.0)
+        assert back.source == "EBA" and back.target == "Runtime"
+
+    def test_identity_rate_is_one(self, pricings):
+        rate = exchange_rate(
+            EnergyBasedAccounting(), EnergyBasedAccounting(), pricings["Desktop"]
+        )
+        assert rate.rate == pytest.approx(1.0)
+
+    def test_basket_purchasing_power_preserved(self, pricings):
+        """Converting a balance keeps the basket affordable count fixed."""
+        source = RuntimeAccounting()
+        target = CarbonBasedAccounting()
+        pricing = pricings["Ice Lake"]
+        basket = reference_basket("Ice Lake")
+        rate = exchange_rate(source, target, pricing)
+        source_total = sum(source.charge(r, pricing) for r in basket)
+        target_total = sum(target.charge(r, pricing) for r in basket)
+        assert rate.convert(source_total) == pytest.approx(target_total)
+
+    def test_rejects_negative_conversion(self):
+        with pytest.raises(ValueError):
+            ExchangeRate("a", "b", 2.0).convert(-1.0)
+
+    def test_rejects_empty_basket(self, pricings):
+        with pytest.raises(ValueError, match="basket"):
+            exchange_rate(
+                RuntimeAccounting(), EnergyAccounting(), pricings["Zen3"], basket=[]
+            )
+
+
+class TestServiceUnitRates:
+    def test_reference_machine_is_unity(self, pricings):
+        rates = service_unit_rates(EnergyBasedAccounting(), pricings, "Desktop")
+        assert rates["Desktop"] == pytest.approx(1.0)
+
+    def test_eba_discounts_efficient_machines(self, pricings):
+        """Under EBA the power-hungry Cascade Lake costs more service
+        units than the reference; the efficient Zen3 costs fewer."""
+        rates = service_unit_rates(EnergyBasedAccounting(), pricings, "Desktop")
+        assert rates["Cascade Lake"] > 1.0
+        assert rates["Zen3"] < 1.0
+
+    def test_runtime_rates_ignore_energy(self, pricings):
+        rates = service_unit_rates(RuntimeAccounting(), pricings, "Desktop")
+        # Runtime charges core-time only, so rates reflect runtimes.
+        assert all(0.5 < r < 2.0 for r in rates.values())
+
+    def test_unknown_reference(self, pricings):
+        with pytest.raises(KeyError):
+            service_unit_rates(EnergyBasedAccounting(), pricings, "Summit")

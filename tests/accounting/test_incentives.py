@@ -1,0 +1,91 @@
+"""Related-work incentive schemes (Fugaku points, priority scores)."""
+
+import pytest
+
+from repro.accounting.base import MachinePricing, UsageRecord
+from repro.accounting.incentives import (
+    EfficiencyPriorityScore,
+    FugakuPointsAccounting,
+)
+from repro.carbon.intensity import constant_trace
+
+
+PRICING = MachinePricing(
+    name="m",
+    total_cores=64,
+    tdp_watts=640.0,  # 10 W/core
+    peak_rating=1.0,
+    intensity=constant_trace("flat", 400.0),
+)
+
+
+def record(power_w: float, cores: int = 8, hours: float = 1.0) -> UsageRecord:
+    duration = hours * 3600.0
+    return UsageRecord(
+        machine="m",
+        duration_s=duration,
+        energy_j=power_w * duration,
+        cores=cores,
+    )
+
+
+class TestFugakuPoints:
+    METHOD = FugakuPointsAccounting(standard_power_fraction=0.7, bonus_fraction=0.1)
+
+    def test_efficient_job_gets_rebate(self):
+        # 8 cores -> attributed TDP 80 W; standard 56 W; job draws 40 W.
+        charge = self.METHOD.charge(record(power_w=40.0), PRICING)
+        assert charge == pytest.approx(8.0 * 0.9)
+
+    def test_hungry_job_pays_full(self):
+        charge = self.METHOD.charge(record(power_w=70.0), PRICING)
+        assert charge == pytest.approx(8.0)
+
+    def test_boundary_qualifies(self):
+        charge = self.METHOD.charge(record(power_w=56.0), PRICING)
+        assert charge == pytest.approx(8.0 * 0.9)
+
+    def test_charge_is_time_based_not_energy_based(self):
+        """Unlike EBA, two qualifying jobs with different energy pay the
+        same — the scheme's known weakness."""
+        a = self.METHOD.charge(record(power_w=10.0), PRICING)
+        b = self.METHOD.charge(record(power_w=40.0), PRICING)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FugakuPointsAccounting(standard_power_fraction=0.0)
+        with pytest.raises(ValueError):
+            FugakuPointsAccounting(bonus_fraction=1.0)
+
+
+class TestPriorityScore:
+    SCORER = EfficiencyPriorityScore(standard_power_fraction=0.7, floor=0.25)
+
+    def test_all_efficient_history_scores_one(self):
+        history = [(record(power_w=30.0), PRICING)] * 3
+        assert self.SCORER.score(history) == pytest.approx(1.0)
+
+    def test_all_hungry_history_scores_zero(self):
+        history = [(record(power_w=75.0), PRICING)] * 3
+        assert self.SCORER.score(history) == pytest.approx(0.0)
+
+    def test_mixed_history_weighted_by_core_hours(self):
+        history = [
+            (record(power_w=30.0, cores=8, hours=3.0), PRICING),   # 24 core-h efficient
+            (record(power_w=75.0, cores=8, hours=1.0), PRICING),   # 8 core-h hungry
+        ]
+        assert self.SCORER.score(history) == pytest.approx(24.0 / 32.0)
+
+    def test_empty_history_benefit_of_doubt(self):
+        assert self.SCORER.score([]) == 1.0
+
+    def test_multiplier_floor(self):
+        history = [(record(power_w=75.0), PRICING)]
+        assert self.SCORER.priority_multiplier(history) == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EfficiencyPriorityScore(floor=1.5)
+        with pytest.raises(ValueError):
+            EfficiencyPriorityScore(standard_power_fraction=1.5)

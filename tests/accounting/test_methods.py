@@ -1,0 +1,190 @@
+"""The five accounting methods: formulas, edge cases, and paper numbers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.accounting.base import MachinePricing, UsageRecord
+from repro.accounting.methods import (
+    CarbonBasedAccounting,
+    EnergyAccounting,
+    EnergyBasedAccounting,
+    PeakAccounting,
+    RuntimeAccounting,
+    all_methods,
+    method_by_name,
+)
+from repro.carbon.embodied import LinearDepreciation
+from repro.carbon.intensity import constant_trace
+
+
+def pricing(
+    total_cores=64,
+    tdp=400.0,
+    peak=2.5,
+    embodied=1_000_000.0,
+    age=0,
+    intensity=400.0,
+    **kw,
+) -> MachinePricing:
+    return MachinePricing(
+        name="m",
+        total_cores=total_cores,
+        tdp_watts=tdp,
+        peak_rating=peak,
+        embodied_carbon_g=embodied,
+        age_years=age,
+        intensity=constant_trace("flat", intensity),
+        **kw,
+    )
+
+
+def record(duration=3600.0, energy=3.6e6, cores=16, provisioned=None) -> UsageRecord:
+    return UsageRecord(
+        machine="m",
+        duration_s=duration,
+        energy_j=energy,
+        cores=cores,
+        provisioned_cores=provisioned,
+    )
+
+
+class TestRuntime:
+    def test_core_hours(self):
+        assert RuntimeAccounting().charge(record(), pricing()) == pytest.approx(16.0)
+
+    def test_ignores_energy(self):
+        a = RuntimeAccounting().charge(record(energy=0.0), pricing())
+        b = RuntimeAccounting().charge(record(energy=1e9), pricing())
+        assert a == b
+
+
+class TestEnergy:
+    def test_is_just_energy(self):
+        assert EnergyAccounting().charge(record(), pricing()) == 3.6e6
+
+    def test_free_when_idle(self):
+        assert EnergyAccounting().charge(record(energy=0.0), pricing()) == 0.0
+
+
+class TestPeak:
+    def test_formula(self):
+        # cores * seconds * rating
+        assert PeakAccounting().charge(record(), pricing()) == pytest.approx(
+            16 * 3600.0 * 2.5
+        )
+
+    def test_uses_requested_not_provisioned(self):
+        a = PeakAccounting().charge(record(provisioned=4), pricing())
+        b = PeakAccounting().charge(record(provisioned=32), pricing())
+        assert a == b
+
+
+class TestEBA:
+    def test_eq1(self):
+        """(e + d * TDP_share) / 2 with share = occupancy / total."""
+        p = pricing(total_cores=64, tdp=400.0)
+        r = record(duration=3600.0, energy=3.6e6, cores=16)
+        expect = (3.6e6 + 3600.0 * 400.0 * 16 / 64) / 2
+        assert EnergyBasedAccounting().charge(r, p) == pytest.approx(expect)
+
+    def test_occupancy_overrides_request(self):
+        p = pricing(total_cores=64, tdp=400.0)
+        r = record(cores=16, provisioned=32)
+        expect = (3.6e6 + 3600.0 * 400.0 * 32 / 64) / 2
+        assert EnergyBasedAccounting().charge(r, p) == pytest.approx(expect)
+
+    def test_beta_zero_halves_energy(self):
+        p = pricing()
+        r = record()
+        assert EnergyBasedAccounting(beta=0.0).charge(r, p) == pytest.approx(
+            r.energy_j / 2
+        )
+
+    def test_beta_out_of_range(self):
+        with pytest.raises(ValueError):
+            EnergyBasedAccounting(beta=1.5)
+
+    def test_whole_unit_charges_full_tdp(self):
+        p = pricing(total_cores=8, tdp=2000.0, whole_unit=True)
+        r = record(cores=1)
+        expect = (r.energy_j + r.duration_s * 2000.0) / 2
+        assert EnergyBasedAccounting().charge(r, p) == pytest.approx(expect)
+
+    @given(
+        st.floats(min_value=0, max_value=1e9),
+        st.floats(min_value=1.0, max_value=1e5),
+    )
+    def test_charge_at_least_half_energy(self, energy, duration):
+        r = record(duration=duration, energy=energy)
+        charge = EnergyBasedAccounting().charge(r, pricing())
+        assert charge >= energy / 2
+
+
+class TestCBA:
+    def test_eq2(self):
+        """e[kWh]*I + d[h]*rate*share."""
+        p = pricing(total_cores=64, embodied=876_000.0, age=0, intensity=500.0)
+        r = record(duration=3600.0, energy=3.6e6, cores=16)
+        operational = 1.0 * 500.0  # 1 kWh * 500
+        rate = 0.4 * 876_000.0 / 8760.0  # 40 g/h for the whole node
+        embodied = rate * 1.0 * (16 / 64)
+        assert CarbonBasedAccounting().charge(r, p) == pytest.approx(
+            operational + embodied
+        )
+
+    def test_rate_override_wins(self):
+        p = pricing(carbon_rate_override_g_per_h=100.0, total_cores=1)
+        r = record(cores=1)
+        cba = CarbonBasedAccounting()
+        assert cba.embodied_charge(r, p) == pytest.approx(100.0)
+
+    def test_linear_schedule_differs(self):
+        p = pricing(age=0)
+        r = record()
+        accel = CarbonBasedAccounting().charge(r, p)
+        linear = CarbonBasedAccounting(schedule=LinearDepreciation()).charge(r, p)
+        assert accel > linear  # age 0: accelerated charges double
+
+    def test_requires_intensity(self):
+        p = MachinePricing(
+            name="m", total_cores=4, tdp_watts=100.0, peak_rating=1.0
+        )
+        with pytest.raises(ValueError, match="intensity"):
+            CarbonBasedAccounting().charge(record(cores=4), p)
+
+    def test_average_over_run_uses_trace_mean(self):
+        import numpy as np
+
+        from repro.carbon.intensity import CarbonIntensityTrace
+
+        trace = CarbonIntensityTrace(
+            "r", np.array([100.0, 300.0] * 12)
+        )
+        p = pricing().__class__(**{**pricing().__dict__, "intensity": trace})
+        r = record(duration=2 * 3600.0, energy=3.6e6)
+        snap = CarbonBasedAccounting(average_intensity_over_run=False)
+        avg = CarbonBasedAccounting(average_intensity_over_run=True)
+        assert snap.operational_charge(r, p) == pytest.approx(100.0)
+        assert avg.operational_charge(r, p) == pytest.approx(200.0)
+
+    def test_decomposition_sums_to_charge(self):
+        p = pricing()
+        r = record()
+        cba = CarbonBasedAccounting()
+        assert cba.charge(r, p) == pytest.approx(
+            cba.operational_charge(r, p) + cba.embodied_charge(r, p)
+        )
+
+
+class TestRegistry:
+    def test_all_methods_in_paper_order(self):
+        assert [m.name for m in all_methods()] == [
+            "Runtime", "Energy", "Peak", "EBA", "CBA",
+        ]
+
+    def test_lookup_case_insensitive(self):
+        assert method_by_name("eba").name == "EBA"
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            method_by_name("BitcoinAccounting")

@@ -1,0 +1,75 @@
+"""Cholesky kernels: numerical correctness and task-graph scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.cholesky import cholesky_task_graph, random_spd, tiled_cholesky
+
+
+class TestTiledCholesky:
+    @pytest.mark.parametrize("n,tile", [(16, 4), (50, 16), (64, 64), (33, 8)])
+    def test_reconstructs_input(self, n, tile):
+        a = random_spd(n, seed=n)
+        l = tiled_cholesky(a, tile=tile)
+        np.testing.assert_allclose(l @ l.T, a, rtol=1e-8, atol=1e-8)
+
+    def test_lower_triangular(self):
+        a = random_spd(20, seed=1)
+        l = tiled_cholesky(a, tile=8)
+        assert np.allclose(np.triu(l, k=1), 0.0)
+
+    def test_matches_numpy(self):
+        a = random_spd(30, seed=2)
+        np.testing.assert_allclose(
+            tiled_cholesky(a, tile=7), np.linalg.cholesky(a), rtol=1e-8
+        )
+
+    def test_input_not_mutated(self):
+        a = random_spd(12, seed=3)
+        before = a.copy()
+        tiled_cholesky(a, tile=4)
+        np.testing.assert_array_equal(a, before)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            tiled_cholesky(np.ones((3, 4)))
+
+    def test_rejects_bad_tile(self):
+        with pytest.raises(ValueError):
+            tiled_cholesky(np.eye(4), tile=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=24), st.integers(min_value=1, max_value=10))
+    def test_property_reconstruction(self, n, tile):
+        a = random_spd(n, seed=n * 31 + tile)
+        l = tiled_cholesky(a, tile=tile)
+        np.testing.assert_allclose(l @ l.T, a, rtol=1e-7, atol=1e-7)
+
+
+class TestTaskGraphCholesky:
+    def test_matches_direct_factorization(self):
+        a = random_spd(32, seed=5)
+        l_graph, _ = cholesky_task_graph(a, tile=8, workers=3)
+        np.testing.assert_allclose(l_graph, np.linalg.cholesky(a), rtol=1e-8)
+
+    def test_task_count(self):
+        # nt=4 tiles: potrf 4, trsm 3+2+1=6, updates sum_{k} T(nt-1-k) = 10.
+        a = random_spd(16, seed=6)
+        _, stats = cholesky_task_graph(a, tile=4, workers=1)
+        assert stats.n_tasks == 20
+
+    def test_more_gpus_shorter_virtual_makespan(self):
+        """The Table 3 scaling effect: makespan shrinks with workers
+        until the critical path binds."""
+        a = random_spd(48, seed=7)
+        spans = [
+            cholesky_task_graph(a, tile=8, workers=w)[1].makespan
+            for w in (1, 2, 4)
+        ]
+        assert spans[0] > spans[1] >= spans[2]
+
+    def test_critical_path_limits_scaling(self):
+        a = random_spd(48, seed=8)
+        _, stats = cholesky_task_graph(a, tile=8, workers=64)
+        assert stats.makespan == pytest.approx(stats.critical_path)

@@ -1,0 +1,80 @@
+"""DNA k-mer profiling."""
+
+import numpy as np
+import pytest
+
+from repro.apps.dna import dna_kmer_profile, random_sequence
+
+
+class TestKmers:
+    def test_counts_sum_to_window_count(self):
+        seq = "ACGTACGT"
+        profile = dna_kmer_profile(seq, k=3)
+        assert sum(profile.kmer_counts.values()) == len(seq) - 2
+
+    def test_known_counts(self):
+        profile = dna_kmer_profile("AAAA", k=2)
+        assert profile.kmer_counts == {"AA": 3}
+
+    def test_mixed_kmers(self):
+        profile = dna_kmer_profile("ACGT", k=2)
+        assert profile.kmer_counts == {"AC": 1, "CG": 1, "GT": 1}
+
+    def test_sequence_shorter_than_k(self):
+        assert dna_kmer_profile("AC", k=5).kmer_counts == {}
+
+    def test_lowercase_accepted(self):
+        assert dna_kmer_profile("acgt", k=2).kmer_counts == {"AC": 1, "CG": 1, "GT": 1}
+
+    def test_invalid_base_rejected(self):
+        with pytest.raises(ValueError, match="invalid base"):
+            dna_kmer_profile("ACGX", k=2)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            dna_kmer_profile("ACGT", k=0)
+        with pytest.raises(ValueError):
+            dna_kmer_profile("ACGT", window=0)
+
+
+class TestGCContent:
+    def test_gc_bias_respected(self):
+        seq = random_sequence(30_000, seed=0, gc_bias=0.7)
+        profile = dna_kmer_profile(seq, window=100)
+        assert profile.gc_content == pytest.approx(0.7, abs=0.02)
+
+    def test_pure_at_sequence(self):
+        profile = dna_kmer_profile("ATAT" * 50, window=10)
+        assert profile.gc_content == 0.0
+
+    def test_window_count(self):
+        profile = dna_kmer_profile("ACGT" * 75, window=100)  # 300 bases
+        assert len(profile.gc_windows) == 3
+
+
+class TestSquiggle:
+    def test_walk_length(self):
+        profile = dna_kmer_profile("ACGTAC")
+        assert profile.squiggle.shape == (7, 2)
+
+    def test_walk_steps(self):
+        profile = dna_kmer_profile("AT")
+        # A: (+1, +1), T: (+1, -1)
+        np.testing.assert_allclose(profile.squiggle[1], [1.0, 1.0])
+        np.testing.assert_allclose(profile.squiggle[2], [2.0, 0.0])
+
+    def test_cg_moves_vertically(self):
+        profile = dna_kmer_profile("CG")
+        np.testing.assert_allclose(profile.squiggle[1], [0.0, 1.0])
+        np.testing.assert_allclose(profile.squiggle[2], [0.0, 0.0])
+
+
+class TestRandomSequence:
+    def test_length_and_alphabet(self):
+        seq = random_sequence(500, seed=1)
+        assert len(seq) == 500
+        assert set(seq) <= set("ACGT")
+
+    def test_bias_bounds(self):
+        with pytest.raises(ValueError):
+            random_sequence(10, gc_bias=1.5)

@@ -1,0 +1,92 @@
+"""Graph kernels against NetworkX reference implementations."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps.graph import bfs_levels, minimum_spanning_tree, mst_weight, pagerank
+
+
+@pytest.fixture(scope="module")
+def random_graph():
+    return nx.gnp_random_graph(80, 0.08, seed=3)
+
+
+@pytest.fixture(scope="module")
+def random_digraph():
+    return nx.gnp_random_graph(80, 0.08, seed=4, directed=True)
+
+
+class TestPagerank:
+    def test_matches_networkx_undirected(self, random_graph):
+        ours = pagerank(random_graph)
+        ref = nx.pagerank(random_graph, alpha=0.85, tol=1e-12)
+        for node in random_graph:
+            assert ours[node] == pytest.approx(ref[node], abs=1e-6)
+
+    def test_matches_networkx_directed(self, random_digraph):
+        ours = pagerank(random_digraph)
+        ref = nx.pagerank(random_digraph, alpha=0.85, tol=1e-12)
+        for node in random_digraph:
+            assert ours[node] == pytest.approx(ref[node], abs=1e-6)
+
+    def test_sums_to_one(self, random_graph):
+        assert sum(pagerank(random_graph).values()) == pytest.approx(1.0)
+
+    def test_dangling_nodes(self):
+        g = nx.DiGraph([(0, 1), (1, 2)])  # 2 is dangling
+        ours = pagerank(g)
+        ref = nx.pagerank(g, alpha=0.85, tol=1e-12)
+        for node in g:
+            assert ours[node] == pytest.approx(ref[node], abs=1e-8)
+
+    def test_empty_graph(self):
+        assert pagerank(nx.Graph()) == {}
+
+    def test_rejects_bad_damping(self):
+        with pytest.raises(ValueError):
+            pagerank(nx.Graph([(0, 1)]), damping=1.0)
+
+
+class TestBFS:
+    def test_matches_networkx(self, random_graph):
+        source = next(iter(random_graph))
+        ours = bfs_levels(random_graph, source)
+        ref = nx.single_source_shortest_path_length(random_graph, source)
+        assert ours == dict(ref)
+
+    def test_unreachable_nodes_absent(self):
+        g = nx.Graph([(0, 1), (2, 3)])
+        levels = bfs_levels(g, 0)
+        assert 2 not in levels and 3 not in levels
+
+    def test_missing_source(self):
+        with pytest.raises(KeyError):
+            bfs_levels(nx.Graph([(0, 1)]), 99)
+
+
+class TestMST:
+    def test_weight_matches_networkx(self):
+        rng = np.random.default_rng(5)
+        g = nx.gnp_random_graph(40, 0.2, seed=5)
+        for u, v in g.edges():
+            g[u][v]["weight"] = float(rng.uniform(0.1, 10.0))
+        if not nx.is_connected(g):
+            g = g.subgraph(max(nx.connected_components(g), key=len)).copy()
+        ref = nx.minimum_spanning_tree(g).size(weight="weight")
+        assert mst_weight(g) == pytest.approx(ref)
+
+    def test_tree_size(self):
+        g = nx.connected_watts_strogatz_graph(30, 4, 0.2, seed=6)
+        assert len(minimum_spanning_tree(g)) == 29
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError, match="connected"):
+            minimum_spanning_tree(nx.Graph([(0, 1), (2, 3)]))
+
+    def test_empty_graph(self):
+        assert minimum_spanning_tree(nx.Graph()) == []
+
+    def test_unweighted_defaults_to_one(self):
+        g = nx.path_graph(5)
+        assert mst_weight(g) == pytest.approx(4.0)

@@ -1,0 +1,57 @@
+"""Molecular dynamics: conservation and physical sanity."""
+
+import numpy as np
+import pytest
+
+from repro.apps.md import lennard_jones_md
+
+
+class TestEnergyConservation:
+    def test_nve_energy_drift_bounded(self):
+        result = lennard_jones_md(n_particles=27, steps=300, dt=0.002, seed=0)
+        series = result.energy_series
+        drift = abs(series[-1] - series[0]) / max(1.0, abs(series[0]))
+        assert drift < 0.05
+
+    def test_total_energy_consistent(self):
+        result = lennard_jones_md(n_particles=27, steps=50, seed=1)
+        assert result.total_energy == pytest.approx(
+            result.potential_energy + result.kinetic_energy
+        )
+
+    def test_energy_series_length(self):
+        result = lennard_jones_md(n_particles=27, steps=50, seed=1)
+        assert len(result.energy_series) == 51
+
+
+class TestState:
+    def test_positions_inside_box(self):
+        n, density = 27, 0.5
+        box = (n / density) ** (1 / 3)
+        result = lennard_jones_md(n_particles=n, steps=50, density=density, seed=2)
+        assert np.all(result.positions >= 0.0)
+        assert np.all(result.positions <= box)
+
+    def test_shapes(self):
+        result = lennard_jones_md(n_particles=27, steps=10, seed=3)
+        assert result.positions.shape == (27, 3)
+        assert result.velocities.shape == (27, 3)
+
+    def test_deterministic_per_seed(self):
+        a = lennard_jones_md(n_particles=27, steps=20, seed=4)
+        b = lennard_jones_md(n_particles=27, steps=20, seed=4)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+    def test_kinetic_energy_positive(self):
+        result = lennard_jones_md(n_particles=27, steps=20, seed=5)
+        assert result.kinetic_energy > 0.0
+
+
+class TestValidation:
+    def test_rejects_too_few_particles(self):
+        with pytest.raises(ValueError):
+            lennard_jones_md(n_particles=1)
+
+    def test_rejects_zero_steps(self):
+        with pytest.raises(ValueError):
+            lennard_jones_md(n_particles=8, steps=0)

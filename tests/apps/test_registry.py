@@ -1,0 +1,94 @@
+"""App registry: calibrated profiles, kernels, and Fig. 4 properties."""
+
+import pytest
+
+from repro.apps.linalg import blocked_matmul
+from repro.apps.registry import (
+    APP_REGISTRY,
+    CPU_APP_NAMES,
+    GPU_CHOLESKY_PROFILES,
+    get_profile,
+    kernel_for,
+)
+
+
+class TestProfiles:
+    def test_seven_apps_on_four_machines(self):
+        assert len(CPU_APP_NAMES) == 7
+        for name in CPU_APP_NAMES:
+            assert set(APP_REGISTRY[name].runs) == {
+                "Desktop", "Cascade Lake", "Ice Lake", "Zen3",
+            }
+
+    def test_cholesky_metrics_match_table1(self):
+        runs = APP_REGISTRY["Cholesky"].runs
+        assert runs["Desktop"].runtime_s == 5.20
+        assert runs["Desktop"].energy_j == 18.3
+        assert runs["Zen3"].energy_j == 16.8
+        assert runs["Ice Lake"].runtime_s == 4.60
+
+    def test_fig4_tradeoffs_vary(self):
+        """Different machines win different apps (Fig. 4's point), and
+        at least one app's fastest machine is not its most efficient."""
+        fastest = {APP_REGISTRY[a].fastest_machine() for a in CPU_APP_NAMES}
+        assert len(fastest) >= 2
+        assert any(
+            APP_REGISTRY[a].fastest_machine()
+            != APP_REGISTRY[a].most_efficient_machine()
+            for a in CPU_APP_NAMES
+        )
+
+    def test_mean_power_positive(self):
+        for app in CPU_APP_NAMES:
+            for run in APP_REGISTRY[app].runs.values():
+                assert run.mean_power_w > 0
+
+    def test_gpu_profiles_match_table3(self):
+        assert GPU_CHOLESKY_PROFILES[("P100", 2)].runtime_s == 1396.0
+        assert GPU_CHOLESKY_PROFILES[("A100", 8)].energy_j == pytest.approx(1325e3)
+        assert len(GPU_CHOLESKY_PROFILES) == 10
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError):
+            get_profile("Bitcoin Miner")
+
+    def test_run_on_unknown_machine(self):
+        with pytest.raises(KeyError):
+            APP_REGISTRY["MD"].run_on("Cray-1")
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", CPU_APP_NAMES)
+    def test_every_app_has_runnable_kernel(self, name):
+        result = kernel_for(name)()
+        assert result is not None
+
+    def test_cholesky_kernel_is_accurate(self):
+        # The demo kernel returns the max reconstruction error.
+        assert kernel_for("Cholesky")() < 1e-8
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            kernel_for("nope")
+
+
+class TestBlockedMatmul:
+    def test_matches_numpy(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((37, 23))
+        b = rng.standard_normal((23, 41))
+        np.testing.assert_allclose(blocked_matmul(a, b, block=8), a @ b, rtol=1e-10)
+
+    def test_rejects_mismatched_shapes(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            blocked_matmul(np.ones((2, 3)), np.ones((4, 5)))
+
+    def test_rejects_bad_block(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            blocked_matmul(np.ones((2, 2)), np.ones((2, 2)), block=0)

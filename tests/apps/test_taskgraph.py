@@ -1,0 +1,107 @@
+"""The miniature StarPU: DAG execution, scheduling stats, cycle safety."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.taskgraph import TaskGraph
+
+
+def diamond() -> TaskGraph:
+    g = TaskGraph()
+    order = []
+    g.add("a", lambda: order.append("a"), cost=1.0)
+    g.add("b", lambda: order.append("b"), deps=["a"], cost=1.0)
+    g.add("c", lambda: order.append("c"), deps=["a"], cost=1.0)
+    g.add("d", lambda: order.append("d"), deps=["b", "c"], cost=1.0)
+    g._order = order  # type: ignore[attr-defined]
+    return g
+
+
+class TestExecution:
+    def test_dependencies_respected(self):
+        g = diamond()
+        g.execute(workers=2)
+        order = g._order  # type: ignore[attr-defined]
+        assert order[0] == "a" and order[-1] == "d"
+
+    def test_results_accessible(self):
+        g = TaskGraph()
+        g.add("x", lambda: 42)
+        g.execute()
+        assert g.result("x") == 42
+
+    def test_result_before_execution_raises(self):
+        g = TaskGraph()
+        g.add("x", lambda: 42)
+        with pytest.raises(RuntimeError):
+            g.result("x")
+
+    def test_duplicate_task_rejected(self):
+        g = TaskGraph()
+        g.add("x", lambda: 1)
+        with pytest.raises(ValueError, match="duplicate"):
+            g.add("x", lambda: 2)
+
+    def test_unknown_dependency_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError, match="unknown"):
+            g.add("x", lambda: 1, deps=["ghost"])
+
+    def test_negative_cost_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError):
+            g.add("x", lambda: 1, cost=-1.0)
+
+    def test_zero_workers_rejected(self):
+        g = diamond()
+        with pytest.raises(ValueError):
+            g.execute(workers=0)
+
+
+class TestSchedule:
+    def test_diamond_makespan_one_worker(self):
+        stats = diamond().execute(workers=1)
+        assert stats.makespan == pytest.approx(4.0)
+
+    def test_diamond_makespan_two_workers(self):
+        # b and c run in parallel: 1 + 1 + 1.
+        stats = diamond().execute(workers=2)
+        assert stats.makespan == pytest.approx(3.0)
+
+    def test_critical_path(self):
+        stats = diamond().execute(workers=4)
+        assert stats.critical_path == pytest.approx(3.0)
+
+    def test_makespan_never_beats_critical_path(self):
+        stats = diamond().execute(workers=16)
+        assert stats.makespan >= stats.critical_path - 1e-12
+
+    def test_parallel_efficiency_bounds(self):
+        stats = diamond().execute(workers=2)
+        assert 0.0 < stats.parallel_efficiency <= 1.0
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=30))
+    def test_independent_tasks_scale(self, workers, n_tasks):
+        g = TaskGraph()
+        for i in range(n_tasks):
+            g.add(f"t{i}", lambda: None, cost=1.0)
+        stats = g.execute(workers=workers)
+        # Perfect list scheduling of equal independent tasks.
+        expect = -(-n_tasks // workers)  # ceil division
+        assert stats.makespan == pytest.approx(float(expect))
+
+    def test_more_workers_never_slower(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        g1, g2 = TaskGraph(), TaskGraph()
+        names = []
+        for i in range(40):
+            deps = list(
+                rng.choice(names, size=min(len(names), int(rng.integers(0, 3))), replace=False)
+            ) if names else []
+            cost = float(rng.uniform(0.1, 2.0))
+            g1.add(f"t{i}", lambda: None, deps=deps, cost=cost)
+            g2.add(f"t{i}", lambda: None, deps=deps, cost=cost)
+            names.append(f"t{i}")
+        assert g2.execute(workers=8).makespan <= g1.execute(workers=1).makespan + 1e-9

@@ -1,0 +1,86 @@
+"""Synthetic grid generation: means, shapes, reproducibility."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.grids import (
+    GRID_PROFILES,
+    GridProfile,
+    synthetic_trace,
+    trace_for_region,
+)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("region", sorted(GRID_PROFILES))
+    def test_mean_matches_profile(self, region):
+        trace = trace_for_region(region, days=120, seed=0)
+        target = GRID_PROFILES[region].mean_g_per_kwh
+        assert trace.mean == pytest.approx(target, rel=0.02)
+
+    @pytest.mark.parametrize("region", sorted(GRID_PROFILES))
+    def test_respects_floor(self, region):
+        trace = trace_for_region(region, days=60, seed=1)
+        assert trace.min >= GRID_PROFILES[region].floor_g_per_kwh - 1e-9
+
+    def test_deterministic_per_seed(self):
+        a = trace_for_region("AU-SA", days=10, seed=5)
+        b = trace_for_region("AU-SA", days=10, seed=5)
+        np.testing.assert_array_equal(a.hourly_g_per_kwh, b.hourly_g_per_kwh)
+
+    def test_seeds_differ(self):
+        a = trace_for_region("AU-SA", days=10, seed=5)
+        b = trace_for_region("AU-SA", days=10, seed=6)
+        assert not np.array_equal(a.hourly_g_per_kwh, b.hourly_g_per_kwh)
+
+    def test_unknown_region(self):
+        with pytest.raises(KeyError, match="unknown region"):
+            trace_for_region("XX-YY")
+
+    def test_length(self):
+        assert len(trace_for_region("CA-ON", days=30)) == 30 * 24
+
+
+class TestDiurnalShape:
+    def test_solar_grid_trough_at_midday(self):
+        """AU-SA's mean day must dip around hour 13 (rooftop solar)."""
+        trace = trace_for_region("AU-SA", days=120, seed=0)
+        hourly = trace.hourly_g_per_kwh.reshape(-1, 24).mean(axis=0)
+        assert 10 <= int(np.argmin(hourly)) <= 16
+        assert hourly.max() / hourly.min() > 2.0
+
+    def test_wind_grid_low_overnight(self):
+        trace = trace_for_region("DK-BHM", days=120, seed=0)
+        hourly = trace.hourly_g_per_kwh.reshape(-1, 24).mean(axis=0)
+        night = hourly[[0, 1, 2, 3, 4]].mean()
+        day = hourly[[12, 13, 14, 15, 16, 17]].mean()
+        assert night < day
+
+    def test_hydro_grid_nearly_flat(self):
+        trace = trace_for_region("NO-NO2", days=120, seed=0)
+        hourly = trace.hourly_g_per_kwh.reshape(-1, 24).mean(axis=0)
+        assert hourly.max() / hourly.min() < 1.5
+
+    def test_fig7c_crossover_exists(self):
+        """At some hours DK-BHM is below AU-SA and at others above —
+        the crossover Fig. 7c depends on."""
+        au = trace_for_region("AU-SA", days=120, seed=0)
+        dk = trace_for_region("DK-BHM", days=120, seed=0)
+        au_day = au.hourly_g_per_kwh.reshape(-1, 24).mean(axis=0)
+        dk_day = dk.hourly_g_per_kwh.reshape(-1, 24).mean(axis=0)
+        diff = au_day - dk_day
+        assert (diff > 0).any() and (diff < 0).any()
+
+
+class TestProfileValidation:
+    def test_rejects_non_positive_mean(self):
+        with pytest.raises(ValueError):
+            GridProfile(region="x", mean_g_per_kwh=0.0)
+
+    def test_rejects_amplitude_out_of_range(self):
+        with pytest.raises(ValueError):
+            GridProfile(region="x", mean_g_per_kwh=100.0, diurnal_amplitude=1.5)
+
+    def test_rejects_zero_days(self):
+        with pytest.raises(ValueError):
+            synthetic_trace(GRID_PROFILES["CA-ON"], days=0)

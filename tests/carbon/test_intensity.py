@@ -1,0 +1,86 @@
+"""Carbon-intensity trace semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.carbon.intensity import CarbonIntensityTrace, constant_trace
+
+
+def ramp_trace(hours=48) -> CarbonIntensityTrace:
+    return CarbonIntensityTrace(
+        region="ramp", hourly_g_per_kwh=np.arange(hours, dtype=float)
+    )
+
+
+class TestLookup:
+    def test_at_hour_boundaries(self):
+        trace = ramp_trace()
+        assert trace.at(0.0) == 0.0
+        assert trace.at(3600.0) == 1.0
+        assert trace.at(3599.9) == 0.0
+
+    def test_wraps_cyclically(self):
+        trace = ramp_trace(hours=24)
+        assert trace.at(25 * 3600.0) == trace.at(3600.0)
+
+    def test_vectorized_matches_scalar(self):
+        trace = ramp_trace()
+        times = np.array([0.0, 3700.0, 50 * 3600.0])
+        np.testing.assert_allclose(
+            trace.at_many(times), [trace.at(float(t)) for t in times]
+        )
+
+    def test_constant_trace(self):
+        trace = constant_trace("flat", 400.0)
+        assert trace.at(123456.0) == 400.0
+        assert trace.mean == 400.0
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            CarbonIntensityTrace("bad", np.array([1.0, -2.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CarbonIntensityTrace("bad", np.array([]))
+
+
+class TestAverageOver:
+    def test_within_one_hour(self):
+        trace = ramp_trace()
+        assert trace.average_over(0.0, 1800.0) == pytest.approx(0.0)
+
+    def test_spanning_two_hours_weighted(self):
+        trace = ramp_trace()
+        # 30 min at 0 plus 30 min at 1 -> 0.5
+        assert trace.average_over(1800.0, 3600.0) == pytest.approx(0.5)
+
+    def test_zero_duration_is_point_lookup(self):
+        trace = ramp_trace()
+        assert trace.average_over(7200.0, 0.0) == trace.at(7200.0)
+
+    def test_full_cycle_average_equals_mean(self):
+        trace = ramp_trace(hours=24)
+        assert trace.average_over(0.0, 24 * 3600.0) == pytest.approx(trace.mean)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ramp_trace().average_over(0.0, -1.0)
+
+    @given(
+        st.floats(min_value=0, max_value=1e6),
+        st.floats(min_value=1.0, max_value=1e5),
+    )
+    def test_average_bounded_by_extremes(self, start, duration):
+        trace = ramp_trace()
+        avg = trace.average_over(start, duration)
+        assert trace.min - 1e-9 <= avg <= trace.max + 1e-9
+
+
+class TestDayProfile:
+    def test_profile_has_24_values(self):
+        assert len(ramp_trace().day_profile(0)) == 24
+
+    def test_second_day_offsets(self):
+        trace = ramp_trace(hours=48)
+        np.testing.assert_allclose(trace.day_profile(1), np.arange(24) + 24)

@@ -1,0 +1,68 @@
+"""SCARIF-style embodied estimation: plausibility and calibration checks."""
+
+import pytest
+
+from repro.carbon.scarif import ScarifEstimator
+from repro.hardware.catalog import (
+    CPU_EXPERIMENT_NODES,
+    GPU_CARBON_RATE,
+    GPU_EXPERIMENT_YEAR,
+    gpu_experiment_nodes,
+)
+from repro.carbon.embodied import DoubleDecliningBalance
+from repro.hardware.node import CPUSpec, NodeSpec
+
+
+class TestCPUEstimates:
+    def test_order_of_magnitude_vs_catalog(self):
+        """Estimates must land within ~3x of the paper-derived totals."""
+        est = ScarifEstimator()
+        for node in CPU_EXPERIMENT_NODES:
+            predicted = est.estimate_cpu_node_g(node)
+            ratio = predicted / node.embodied_carbon_g
+            assert 1 / 3 <= ratio <= 3, (node.name, ratio)
+
+    def test_more_dram_more_carbon(self):
+        est = ScarifEstimator()
+        cpu = CPUSpec("x", 16, 100.0, 2.0, 32.0, 2021)
+        small = NodeSpec(name="s", cpu=cpu, dram_gb=64)
+        big = NodeSpec(name="b", cpu=cpu, dram_gb=512)
+        assert est.estimate_cpu_node_g(big) > est.estimate_cpu_node_g(small)
+
+    def test_fill_embodied_respects_datasheet_value(self):
+        est = ScarifEstimator()
+        cpu = CPUSpec("x", 16, 100.0, 2.0, 32.0, 2021)
+        node = NodeSpec(name="n", cpu=cpu, embodied_carbon_g=123.0)
+        assert est.fill_embodied(node).embodied_carbon_g == 123.0
+
+    def test_fill_embodied_estimates_when_missing(self):
+        est = ScarifEstimator()
+        cpu = CPUSpec("x", 16, 100.0, 2.0, 32.0, 2021)
+        node = NodeSpec(name="n", cpu=cpu, embodied_carbon_g=0.0)
+        filled = est.fill_embodied(node)
+        assert filled.embodied_carbon_g == pytest.approx(
+            est.estimate_cpu_node_g(node)
+        )
+
+
+class TestGPUEstimates:
+    def test_rates_within_factor_two_of_table2(self):
+        est = ScarifEstimator()
+        ddb = DoubleDecliningBalance()
+        for config in gpu_experiment_nodes():
+            total = est.estimate_gpu_node_g(config)
+            rate = ddb.rate_per_hour(total, config.age_years(GPU_EXPERIMENT_YEAR))
+            published = GPU_CARBON_RATE[(config.gpu.model, config.count)]
+            assert 0.5 <= rate / published <= 2.0, (config.name, rate)
+
+    def test_rate_grows_with_count(self):
+        est = ScarifEstimator()
+        one = est.estimate_gpu_node_g(
+            next(c for c in gpu_experiment_nodes() if c.name == "V100x1")
+        )
+        eight = est.estimate_gpu_node_g(
+            next(c for c in gpu_experiment_nodes() if c.name == "V100x8")
+        )
+        assert eight > one
+        # Sub-linear: 8 GPUs cost less than 8x one config (shared host).
+        assert eight < 8 * one

@@ -1,0 +1,73 @@
+"""Shared fixtures.
+
+Simulation fixtures are session-scoped: generating a workload and
+running policies is the expensive part of the suite, and the tests only
+read the results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accounting.base import UsageRecord, pricing_for_node
+from repro.accounting.methods import CarbonBasedAccounting, EnergyBasedAccounting
+from repro.apps.registry import APP_REGISTRY
+from repro.hardware.catalog import (
+    CPU_EXPERIMENT_NODES,
+    CPU_EXPERIMENT_YEAR,
+    MachineCatalog,
+    TABLE1_CARBON_INTENSITY,
+)
+from repro.sim.scenarios import baseline_scenario, low_carbon_scenario
+from repro.sim.workload import PatelWorkloadGenerator, WorkloadConfig
+
+
+@pytest.fixture(scope="session")
+def catalog() -> MachineCatalog:
+    return MachineCatalog()
+
+
+@pytest.fixture(scope="session")
+def table1_inputs():
+    """(records, pricings) for the Table 1 Cholesky experiment."""
+    profile = APP_REGISTRY["Cholesky"]
+    records, pricings = {}, {}
+    for node in CPU_EXPERIMENT_NODES:
+        run = profile.run_on(node.name)
+        records[node.name] = UsageRecord(
+            machine=node.name,
+            duration_s=run.runtime_s,
+            energy_j=run.energy_j,
+            cores=run.requested_cores,
+            provisioned_cores=run.provisioned_cores,
+        )
+        pricings[node.name] = pricing_for_node(
+            node, CPU_EXPERIMENT_YEAR, TABLE1_CARBON_INTENSITY[node.name]
+        )
+    return records, pricings
+
+
+@pytest.fixture(scope="session")
+def sim_machines():
+    return baseline_scenario(days=20, seed=3)
+
+
+@pytest.fixture(scope="session")
+def low_carbon_machines():
+    return low_carbon_scenario(days=20, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_workload(sim_machines):
+    cfg = WorkloadConfig(n_base_jobs=400, n_users=60, seed=1)
+    return PatelWorkloadGenerator(sim_machines, cfg).generate()
+
+
+@pytest.fixture
+def eba() -> EnergyBasedAccounting:
+    return EnergyBasedAccounting()
+
+
+@pytest.fixture
+def cba() -> CarbonBasedAccounting:
+    return CarbonBasedAccounting()

@@ -1,0 +1,56 @@
+"""CSV exporters for every artifact."""
+
+import csv
+
+import pytest
+
+from repro.experiments import export
+
+
+class TestIndividualExports:
+    def test_table1_columns(self, tmp_path):
+        path = export.export_table1(tmp_path / "t1.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert {r["machine"] for r in rows} == {
+            "Desktop", "Cascade Lake", "Ice Lake", "Zen3",
+        }
+        desktop = next(r for r in rows if r["machine"] == "Desktop")
+        assert float(desktop["eba"]) == pytest.approx(1.0)
+
+    def test_fig4_has_28_rows(self, tmp_path):
+        path = export.export_fig4(tmp_path / "f4.csv")
+        with path.open() as fh:
+            assert len(list(csv.DictReader(fh))) == 28
+
+    def test_fig10_probabilities_valid(self, tmp_path):
+        path = export.export_fig10(tmp_path / "f10.csv", n_users=30, seed=3)
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows
+        for row in rows:
+            assert 0.0 <= float(row["run_probability"]) <= 1.0
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = export.export_fig1(tmp_path / "deep" / "nested" / "f1.csv")
+        assert path.exists()
+
+
+class TestExportAll:
+    def test_every_artifact_written(self, tmp_path):
+        written = export.export_all(tmp_path, scale=300, seed=5)
+        names = {p.stem for p in written}
+        assert names == {
+            "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10",
+            "table1", "table2", "table3", "table4", "table5", "table6",
+        }
+        for path in written:
+            assert path.exists() and path.stat().st_size > 0
+
+    def test_csvs_parse(self, tmp_path):
+        for path in export.export_all(tmp_path, scale=300, seed=5):
+            with path.open() as fh:
+                rows = list(csv.reader(fh))
+            assert len(rows) >= 2  # header + data
+            width = len(rows[0])
+            assert all(len(r) == width for r in rows)

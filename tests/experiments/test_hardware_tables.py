@@ -1,0 +1,125 @@
+"""Paper-vs-measured checks for the hardware-study tables (1-5) and Fig. 4."""
+
+import pytest
+
+from repro.experiments import (
+    fig4_apps,
+    table1_cpu_costs,
+    table2_gpu_specs,
+    table3_gpu_costs,
+    table4_embodied,
+    table5_machines,
+)
+
+
+class TestTable1:
+    def test_eba_cba_within_tolerance_of_paper(self):
+        table = table1_cpu_costs.run()
+        paper = table1_cpu_costs.PAPER_TABLE1
+        eba = table.normalized("EBA", "Desktop")
+        cba = table.normalized("CBA", "Desktop")
+        for machine in table.machines:
+            assert eba[machine] == pytest.approx(paper[machine]["EBA"], abs=0.06)
+            assert cba[machine] == pytest.approx(paper[machine]["CBA"], abs=0.06)
+
+    def test_peak_column_vs_paper(self):
+        table = table1_cpu_costs.run()
+        paper = table1_cpu_costs.PAPER_TABLE1
+        peak = table.normalized("Peak")
+        for machine in table.machines:
+            assert peak[machine] == pytest.approx(paper[machine]["Peak"], abs=0.05)
+
+    def test_formatted_output(self):
+        text = table1_cpu_costs.format_table()
+        assert "Cascade Lake" in text and "EBA" in text
+
+
+class TestFig4:
+    def test_grid_complete(self):
+        rows = fig4_apps.run()
+        assert len(rows) == 7 * 4
+
+    def test_tradeoffs_exist(self):
+        summary = fig4_apps.tradeoff_summary()
+        assert any(
+            v["fastest"] != v["most_efficient"] for v in summary.values()
+        )
+
+    def test_format(self):
+        assert "Cholesky" in fig4_apps.format_table()
+
+
+class TestTable2:
+    def test_rows_match_catalog(self):
+        rows = table2_gpu_specs.run()
+        assert len(rows) == 10
+        a100x8 = next(r for r in rows if r.model == "A100" and r.count == 8)
+        assert a100x8.carbon_rate_g_per_h == 131.0
+        assert a100x8.gflops == 18000.0
+
+    def test_scarif_regenerates_within_factor_two(self):
+        for key, ratio in table2_gpu_specs.scarif_check().items():
+            assert 0.5 <= ratio <= 2.0, key
+
+
+class TestTable3:
+    def test_perf_column_matches_paper_exactly(self):
+        """Perf = duration x aggregate GFLOP/s reproduces the paper to
+        the printed precision."""
+        table = table3_gpu_costs.run()
+        perf = table.normalized("Perf")
+        for (model, count), expect in table3_gpu_costs.PAPER_TABLE3.items():
+            assert perf[f"{model}x{count}"] == pytest.approx(
+                expect["Perf"], abs=0.01
+            )
+
+    def test_eba_cba_shapes(self):
+        table = table3_gpu_costs.run()
+        eba = table.normalized("EBA")
+        cba = table.normalized("CBA")
+        # P100 x2 is the cheapest under both (the paper's headline).
+        assert table.cheapest("EBA") == "P100x2"
+        assert table.cheapest("CBA") == "P100x2"
+        # A100 x1 is the most expensive under CBA.
+        assert max(cba, key=cba.__getitem__) == "A100x1"
+        # Eight V100s cost more than four under EBA (no speedup, 2x TDP).
+        assert eba["V100x8"] > eba["V100x4"]
+
+    def test_eba_within_rough_factor(self):
+        table = table3_gpu_costs.run()
+        eba = table.normalized("EBA")
+        for (model, count), expect in table3_gpu_costs.PAPER_TABLE3.items():
+            assert eba[f"{model}x{count}"] == pytest.approx(
+                expect["EBA"], rel=0.25
+            )
+
+
+class TestTable4:
+    def test_values_match_paper(self):
+        paper = table4_embodied.PAPER_TABLE4
+        for row in table4_embodied.run():
+            expect = paper[row.machine]
+            assert row.age_years == expect["age"]
+            assert row.operational_mg == pytest.approx(expect["operational"], abs=0.15)
+            assert row.accelerated_mg == pytest.approx(expect["accelerated"], abs=0.15)
+            assert row.linear_mg == pytest.approx(expect["linear"], abs=0.25)
+
+    def test_accelerated_cheaper_for_old_machines(self):
+        rows = {r.machine: r for r in table4_embodied.run()}
+        assert rows["Cascade Lake"].accelerated_mg < rows["Cascade Lake"].linear_mg
+        assert rows["Desktop"].accelerated_mg < rows["Desktop"].linear_mg
+        assert rows["Zen3"].accelerated_mg > rows["Zen3"].linear_mg
+
+
+class TestTable5:
+    def test_matches_paper(self):
+        paper = table5_machines.PAPER_TABLE5
+        for row in table5_machines.run():
+            expect = paper[row.machine]
+            assert row.year_deployed == expect["year"]
+            assert row.cores == expect["cores"]
+            assert row.idle_power_w == pytest.approx(expect["idle"])
+            assert row.carbon_rate_g_per_h == pytest.approx(expect["rate"], rel=0.01)
+            assert row.avg_intensity_g_per_kwh == pytest.approx(
+                expect["intensity"], rel=0.01
+            )

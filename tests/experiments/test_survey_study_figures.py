@@ -1,0 +1,68 @@
+"""Figs. 1, 2, 9, 10 experiment modules."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig1_survey,
+    fig2_survey,
+    fig9_user_study,
+    fig10_job_probability,
+)
+from repro.survey.schema import FIG1_COUNTS
+
+
+class TestFig1:
+    def test_counts_match_published(self):
+        assert fig1_survey.run() == FIG1_COUNTS
+
+    def test_format(self):
+        text = fig1_survey.format_table()
+        assert "Green500" in text and "PUE" in text
+
+
+class TestFig2:
+    def test_energy_last(self):
+        assert fig2_survey.ranking()[-1] == "Energy"
+
+    def test_format_shows_percentages(self):
+        assert "%" in fig2_survey.format_table()
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig9_user_study.run(n_users=60, seed=11)
+
+    def test_v3_energy_reduction_magnitude(self, data):
+        """Paper: V3 used ~40% less energy than V1 (1928 vs 3262 kWh).
+        Assert a 25-55% reduction."""
+        e = data["energy"]
+        ratio = np.mean(e[3]) / np.mean(e[1])
+        assert 0.45 < ratio < 0.75
+
+    def test_v3_fewer_jobs(self, data):
+        j = data["jobs"]
+        assert np.mean(j[3]) < np.mean(j[1])
+
+    def test_significance_pattern(self, data):
+        t = data["ttests"]
+        assert t["v3_vs_v1"] < 0.001 and t["v3_vs_v2"] < 0.001
+
+    def test_format(self):
+        text = fig9_user_study.format_report(n_users=60, seed=11)
+        assert "V3" in text and "t-tests" in text
+
+
+class TestFig10:
+    def test_no_significant_correlations(self):
+        for v, (r, p) in fig10_job_probability.correlations(
+            n_users=60, seed=11
+        ).items():
+            assert p > 0.01 or abs(r) < 0.5
+
+    def test_points_are_probabilities(self):
+        points = fig10_job_probability.run(n_users=60, seed=11)
+        for pts in points.values():
+            assert all(0.0 <= p <= 1.0 for _, p in pts)
+            assert all(e > 0 for e, _ in pts)

@@ -1,0 +1,95 @@
+"""Message bus: offsets, consumer groups, retention."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.faas.bus import MessageBus
+
+
+class TestPublishPoll:
+    def test_poll_returns_new_messages_once(self):
+        bus = MessageBus()
+        bus.publish("t", "k", {"v": 1})
+        bus.publish("t", "k", {"v": 2})
+        first = bus.poll("t", "g")
+        assert [m.value["v"] for m in first] == [1, 2]
+        assert bus.poll("t", "g") == []
+
+    def test_offsets_monotone(self):
+        bus = MessageBus()
+        offsets = [bus.publish("t", "k", {}).offset for _ in range(5)]
+        assert offsets == list(range(5))
+
+    def test_groups_are_independent(self):
+        bus = MessageBus()
+        bus.publish("t", "k", {"v": 1})
+        assert len(bus.poll("t", "g1")) == 1
+        assert len(bus.poll("t", "g2")) == 1
+
+    def test_topics_are_independent(self):
+        bus = MessageBus()
+        bus.publish("a", "k", {})
+        bus.publish("b", "k", {})
+        assert len(bus.poll("a", "g")) == 1
+        assert len(bus.poll("b", "g")) == 1
+
+    def test_max_messages_limits_batch(self):
+        bus = MessageBus()
+        for i in range(10):
+            bus.publish("t", "k", {"i": i})
+        batch = bus.poll("t", "g", max_messages=3)
+        assert [m.value["i"] for m in batch] == [0, 1, 2]
+        rest = bus.poll("t", "g")
+        assert [m.value["i"] for m in rest] == list(range(3, 10))
+
+    def test_value_copied_defensively(self):
+        bus = MessageBus()
+        payload = {"v": 1}
+        bus.publish("t", "k", payload)
+        payload["v"] = 999
+        assert bus.poll("t", "g")[0].value["v"] == 1
+
+    def test_lag(self):
+        bus = MessageBus()
+        for _ in range(4):
+            bus.publish("t", "k", {})
+        assert bus.lag("t", "g") == 4
+        bus.poll("t", "g", max_messages=1)
+        assert bus.lag("t", "g") == 3
+
+    def test_empty_topic_poll(self):
+        assert MessageBus().poll("ghost", "g") == []
+
+
+class TestRetention:
+    def test_old_records_dropped(self):
+        bus = MessageBus(max_retained=3)
+        for i in range(10):
+            bus.publish("t", "k", {"i": i})
+        values = [m.value["i"] for m in bus.iter_all("t")]
+        assert values == [7, 8, 9]
+
+    def test_lagging_consumer_resumes_at_head(self):
+        bus = MessageBus(max_retained=2)
+        bus.publish("t", "k", {"i": 0})
+        bus.poll("t", "g", max_messages=1)
+        for i in range(1, 6):
+            bus.publish("t", "k", {"i": i})
+        values = [m.value["i"] for m in bus.poll("t", "g")]
+        assert values == [4, 5]
+
+    def test_rejects_bad_retention(self):
+        with pytest.raises(ValueError):
+            MessageBus(max_retained=0)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=5), max_size=20))
+def test_all_messages_delivered_exactly_once(batch_sizes):
+    bus = MessageBus()
+    for i in range(30):
+        bus.publish("t", "k", {"i": i})
+    seen = []
+    for size in batch_sizes:
+        seen.extend(m.value["i"] for m in bus.poll("t", "g", max_messages=size))
+    seen.extend(m.value["i"] for m in bus.poll("t", "g"))
+    assert seen == list(range(30))

@@ -1,0 +1,145 @@
+"""Endpoint telemetry -> monitor attribution, the §4.1 pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import APP_REGISTRY
+from repro.faas.bus import MessageBus
+from repro.faas.endpoint import ENERGY_TOPIC, Endpoint, Invocation
+from repro.faas.monitor import EndpointMonitor
+from repro.hardware.catalog import CASCADE_LAKE_NODE, ZEN3_NODE
+
+
+def profiled_invocation(task_id: str, app: str, machine: str) -> Invocation:
+    profile = APP_REGISTRY[app]
+    return Invocation(
+        task_id=task_id,
+        function=app,
+        profile=profile.runs[machine],
+        signature=profile.signature,
+    )
+
+
+@pytest.fixture
+def setup():
+    bus = MessageBus()
+    endpoint = Endpoint("Zen3", ZEN3_NODE, bus, seed=0)
+    monitor = EndpointMonitor(bus)
+    return bus, endpoint, monitor
+
+
+class TestEndpoint:
+    def test_profiled_duration(self, setup):
+        _, endpoint, _ = setup
+        inv = profiled_invocation("t1", "Cholesky", "Zen3")
+        result = endpoint.execute(inv)
+        assert result.duration_s == pytest.approx(5.65)
+        assert result.provisioned_cores == 7
+
+    def test_real_execution_measures_wall_clock(self, setup):
+        _, endpoint, _ = setup
+        inv = Invocation(task_id="t1", function="f", callable=lambda: sum(range(1000)))
+        result = endpoint.execute(inv)
+        assert result.duration_s > 0
+        assert result.return_value == 499500
+
+    def test_invocation_requires_work(self):
+        with pytest.raises(ValueError):
+            Invocation(task_id="t", function="f")
+
+    def test_batch_capacity_enforced(self, setup):
+        _, endpoint, _ = setup
+        too_many = [
+            Invocation(task_id=f"t{i}", function="f", cores=64, callable=lambda: 1)
+            for i in range(3)
+        ]
+        with pytest.raises(ValueError, match="cores"):
+            endpoint.run_batch(too_many)
+
+    def test_telemetry_published(self, setup):
+        bus, endpoint, _ = setup
+        endpoint.execute(profiled_invocation("t1", "MD", "Zen3"))
+        energies = list(bus.iter_all(ENERGY_TOPIC))
+        assert len(energies) > 3
+        raws = [m.value["package_raw"] for m in energies]
+        # Monotone within no-wrap runs.
+        assert all(b >= a for a, b in zip(raws, raws[1:]))
+
+    def test_idle_advance_moves_clock(self, setup):
+        _, endpoint, _ = setup
+        endpoint.idle_advance(5.0)
+        assert endpoint.now == pytest.approx(5.0)
+
+    def test_idle_advance_rejects_negative(self, setup):
+        _, endpoint, _ = setup
+        with pytest.raises(ValueError):
+            endpoint.idle_advance(-1.0)
+
+
+class TestMonitorAttribution:
+    @pytest.mark.parametrize(
+        "app,machine,node",
+        [
+            ("Cholesky", "Zen3", ZEN3_NODE),
+            ("Pagerank", "Zen3", ZEN3_NODE),
+            ("MD", "Cascade Lake", CASCADE_LAKE_NODE),
+        ],
+    )
+    def test_recovers_profile_energy(self, app, machine, node):
+        """End-to-end: attributed energy within 10% of the profile."""
+        bus = MessageBus()
+        endpoint = Endpoint(machine, node, bus, seed=0)
+        monitor = EndpointMonitor(bus)
+        profile = APP_REGISTRY[app].runs[machine]
+        endpoint.execute(profiled_invocation("t1", app, machine))
+        report = monitor.finalize()["t1"]
+        assert report.energy_j == pytest.approx(profile.energy_j, rel=0.10)
+
+    def test_concurrent_tasks_disaggregated(self, setup):
+        """Two concurrent tasks on one node split the node energy in
+        proportion to their activity."""
+        bus, endpoint, monitor = setup
+        light = profiled_invocation("light", "Cholesky", "Zen3")  # ~3 W
+        heavy = profiled_invocation("heavy", "MD", "Zen3")  # ~8.8 W
+        endpoint.run_batch([light, heavy])
+        reports = monitor.finalize()
+        expect_light = APP_REGISTRY["Cholesky"].runs["Zen3"].energy_j
+        expect_heavy = APP_REGISTRY["MD"].runs["Zen3"].energy_j
+        assert reports["light"].energy_j == pytest.approx(expect_light, rel=0.25)
+        assert reports["heavy"].energy_j == pytest.approx(expect_heavy, rel=0.25)
+
+    def test_power_model_learned(self, setup):
+        bus, endpoint, monitor = setup
+        endpoint.execute(profiled_invocation("t1", "MD", "Zen3"))
+        monitor.finalize()
+        model = monitor.model_for("Zen3")
+        assert model is not None
+        # Idle intercept close to the node's true idle power.
+        assert model.idle_watts == pytest.approx(
+            ZEN3_NODE.idle_power_watts, rel=0.1
+        )
+
+    def test_task_lifecycle_tracked(self, setup):
+        bus, endpoint, monitor = setup
+        endpoint.execute(profiled_invocation("t1", "BFS", "Zen3"))
+        report = monitor.finalize()["t1"]
+        assert report.duration_s == pytest.approx(
+            APP_REGISTRY["BFS"].runs["Zen3"].runtime_s, abs=1.5
+        )
+        assert report.endpoint == "Zen3"
+
+    def test_incremental_processing_matches_finalize(self):
+        """Polling the monitor during execution must not change totals."""
+        bus = MessageBus()
+        endpoint = Endpoint("Zen3", ZEN3_NODE, bus, seed=0)
+        eager = EndpointMonitor(bus, group="eager")
+        endpoint.execute(profiled_invocation("t1", "Pagerank", "Zen3"))
+        eager.process()
+        endpoint.execute(profiled_invocation("t2", "Pagerank", "Zen3"))
+        eager_reports = eager.finalize()
+
+        lazy = EndpointMonitor(bus, group="lazy")
+        lazy_reports = lazy.finalize()
+        assert eager_reports["t2"].energy_j == pytest.approx(
+            lazy_reports["t2"].energy_j, rel=0.05
+        )

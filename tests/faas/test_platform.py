@@ -1,0 +1,129 @@
+"""GreenAccess frontend: registration, admission, charging, guidance."""
+
+import pytest
+
+from repro.accounting.base import pricing_for_node
+from repro.accounting.methods import CarbonBasedAccounting, EnergyBasedAccounting
+from repro.faas.platform import AdmissionError, GreenAccess
+from repro.hardware.catalog import (
+    CPU_EXPERIMENT_NODES,
+    CPU_EXPERIMENT_YEAR,
+    DESKTOP_NODE,
+    TABLE1_CARBON_INTENSITY,
+)
+
+
+def make_platform(method=None) -> GreenAccess:
+    platform = GreenAccess(method=method or EnergyBasedAccounting(), unit="J")
+    for node in CPU_EXPERIMENT_NODES:
+        platform.register_machine(
+            node,
+            pricing_for_node(
+                node, CPU_EXPERIMENT_YEAR, TABLE1_CARBON_INTENSITY[node.name]
+            ),
+        )
+    return platform
+
+
+class TestRegistration:
+    def test_machines_listed(self):
+        assert make_platform().machines == [
+            "Cascade Lake", "Desktop", "Ice Lake", "Zen3",
+        ]
+
+    def test_double_registration_rejected(self):
+        platform = make_platform()
+        with pytest.raises(ValueError, match="already registered"):
+            platform.register_machine(
+                DESKTOP_NODE,
+                pricing_for_node(DESKTOP_NODE, CPU_EXPERIMENT_YEAR, 400.0),
+            )
+
+    def test_pricing_name_must_match(self):
+        platform = GreenAccess()
+        wrong = pricing_for_node(DESKTOP_NODE, CPU_EXPERIMENT_YEAR, 400.0)
+        from dataclasses import replace
+
+        with pytest.raises(ValueError, match="pricing is for"):
+            platform.register_machine(DESKTOP_NODE, replace(wrong, name="Other"))
+
+
+class TestSubmission:
+    def test_placement_follows_cheapest_estimate(self):
+        platform = make_platform()
+        platform.grant("u", 1e5)
+        estimates = platform.estimate_costs("Cholesky")
+        receipt = platform.submit("u", "Cholesky")
+        assert receipt.machine == min(estimates, key=estimates.__getitem__)
+
+    def test_charge_debited_from_allocation(self):
+        platform = make_platform()
+        platform.grant("u", 1e5)
+        receipt = platform.submit("u", "MD", machine="Desktop")
+        assert receipt.balance_after == pytest.approx(1e5 - receipt.charged)
+        assert platform.ledger.get("u").spent == pytest.approx(receipt.charged)
+
+    def test_measured_energy_close_to_profile(self):
+        platform = make_platform()
+        platform.grant("u", 1e5)
+        receipt = platform.submit("u", "Pagerank", machine="Zen3")
+        assert receipt.measured_energy_j == pytest.approx(33.0, rel=0.1)
+
+    def test_admission_control_blocks_poor_users(self):
+        platform = make_platform()
+        platform.grant("poor", 1.0)
+        with pytest.raises(AdmissionError):
+            platform.submit("poor", "MD")
+        assert platform.ledger.get("poor").balance == 1.0
+
+    def test_unknown_user(self):
+        with pytest.raises(KeyError):
+            make_platform().submit("ghost", "MD")
+
+    def test_unknown_machine(self):
+        platform = make_platform()
+        platform.grant("u", 1e5)
+        with pytest.raises(KeyError):
+            platform.submit("u", "MD", machine="Frontier")
+
+    def test_grant_tops_up(self):
+        platform = make_platform()
+        platform.grant("u", 10.0)
+        platform.grant("u", 5.0)
+        assert platform.ledger.get("u").balance == 15.0
+
+    def test_receipts_accumulate(self):
+        platform = make_platform()
+        platform.grant("u", 1e5)
+        platform.submit("u", "BFS", machine="Desktop")
+        platform.submit("u", "MST", machine="Zen3")
+        assert [r.function for r in platform.receipts] == ["BFS", "MST"]
+
+
+class TestAccountingSwap:
+    def test_cba_platform_charges_grams(self):
+        platform = make_platform(method=CarbonBasedAccounting())
+        platform.grant("u", 1e4)
+        receipt = platform.submit("u", "Cholesky", machine="Desktop")
+        # Table 4 scale: a few mg of CO2e.
+        assert 1e-4 < receipt.charged < 1.0
+
+    def test_methods_rank_machines_differently(self):
+        eba_platform = make_platform(method=EnergyBasedAccounting())
+        cba_platform = make_platform(method=CarbonBasedAccounting())
+        eba_est = eba_platform.estimate_costs("Cholesky")
+        cba_est = cba_platform.estimate_costs("Cholesky")
+        assert set(eba_est) == set(cba_est)
+
+
+class TestRealExecution:
+    def test_real_kernel_runs_and_charges(self):
+        platform = GreenAccess(real_execution=True)
+        node = CPU_EXPERIMENT_NODES[0]
+        platform.register_machine(
+            node, pricing_for_node(node, CPU_EXPERIMENT_YEAR, 400.0)
+        )
+        platform.grant("u", 1e9)
+        receipt = platform.submit("u", "MatMul", machine=node.name, cores=4)
+        assert receipt.duration_s > 0
+        assert receipt.charged > 0

@@ -1,0 +1,94 @@
+"""The prediction endpoint: estimates and cost quotes."""
+
+import pytest
+
+from repro.accounting.base import pricing_for_node
+from repro.accounting.methods import EnergyBasedAccounting, RuntimeAccounting
+from repro.apps.registry import APP_REGISTRY
+from repro.faas.predictor import PredictionService
+from repro.hardware.catalog import (
+    CPU_EXPERIMENT_NODES,
+    CPU_EXPERIMENT_YEAR,
+    TABLE1_CARBON_INTENSITY,
+)
+from repro.hardware.counters import BALANCED, COMPUTE_BOUND, WorkloadSignature
+
+
+@pytest.fixture(scope="module")
+def service():
+    return PredictionService()
+
+
+@pytest.fixture(scope="module")
+def pricings():
+    return {
+        node.name: pricing_for_node(
+            node, CPU_EXPERIMENT_YEAR, TABLE1_CARBON_INTENSITY[node.name]
+        )
+        for node in CPU_EXPERIMENT_NODES
+    }
+
+
+class TestPredictions:
+    def test_knows_all_four_machines(self, service):
+        assert set(service.machines) == {
+            "Desktop", "Cascade Lake", "Ice Lake", "Zen3",
+        }
+
+    def test_training_app_roundtrips_with_k1(self):
+        """With k=1, predicting a training app's own signature returns
+        its profile exactly (the exact-match path of the KNN)."""
+        k1 = PredictionService(k=1)
+        # "DNA Viz." is the only app with the BALANCED signature, so its
+        # feature vector is unique in the training corpus.
+        profile = APP_REGISTRY["DNA Viz."]
+        pred = k1.predict(profile.signature, "Zen3")
+        run = profile.runs["Zen3"]
+        assert pred.runtime_s == pytest.approx(run.runtime_s, rel=1e-6)
+        assert pred.energy_j == pytest.approx(run.energy_j, rel=1e-6)
+
+    def test_unknown_machine(self, service):
+        with pytest.raises(KeyError):
+            service.predict(BALANCED, "Summit")
+
+    def test_predict_all_covers_machines(self, service):
+        preds = service.predict_all(BALANCED)
+        assert set(preds) == set(service.machines)
+        assert all(p.runtime_s > 0 and p.energy_j >= 0 for p in preds.values())
+
+    def test_mean_power_property(self, service):
+        pred = service.predict(COMPUTE_BOUND, "Desktop")
+        assert pred.mean_power_w == pytest.approx(pred.energy_j / pred.runtime_s)
+
+
+class TestQuotes:
+    def test_quote_has_every_machine(self, service, pricings):
+        quotes = service.quote(BALANCED, EnergyBasedAccounting(), pricings)
+        assert set(quotes) == set(pricings)
+        assert all(q > 0 for q in quotes.values())
+
+    def test_cheapest_consistent_with_quotes(self, service, pricings):
+        method = EnergyBasedAccounting()
+        quotes = service.quote(BALANCED, method, pricings)
+        assert service.cheapest(BALANCED, method, pricings) == min(
+            quotes, key=quotes.__getitem__
+        )
+
+    def test_methods_can_disagree(self, service, pricings):
+        """Runtime and EBA quotes need not pick the same machine — the
+        whole point of impact-based accounting."""
+        runtime_choice = service.cheapest(BALANCED, RuntimeAccounting(), pricings)
+        eba_choice = service.cheapest(BALANCED, EnergyBasedAccounting(), pricings)
+        # Not asserting inequality (depends on signature); assert both valid.
+        assert {runtime_choice, eba_choice} <= set(pricings)
+
+    def test_custom_corpus(self):
+        profiles = {"Cholesky": APP_REGISTRY["Cholesky"]}
+        service = PredictionService(profiles=profiles, k=1)
+        sig = WorkloadSignature(ips=1e9, llc_mpki=1.0)
+        pred = service.predict(sig, "Zen3")
+        assert pred.runtime_s == pytest.approx(5.65)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            PredictionService(profiles={})

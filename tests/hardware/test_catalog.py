@@ -1,0 +1,102 @@
+"""The machine catalog must match the paper's published tables."""
+
+import pytest
+
+from repro.carbon.embodied import DoubleDecliningBalance, carbon_rate_per_hour
+from repro.hardware.catalog import (
+    CHOLESKY_PROVISIONED_CORES,
+    CPU_EXPERIMENT_NODES,
+    CPU_EXPERIMENT_YEAR,
+    GPU_CARBON_RATE,
+    SIMULATION_CARBON_INTENSITY,
+    SIMULATION_MACHINES,
+    SIMULATION_YEAR,
+    gpu_experiment_nodes,
+)
+
+
+class TestCPUExperimentNodes:
+    def test_names_in_table_order(self, catalog):
+        assert catalog.cpu_node_names == [
+            "Desktop", "Cascade Lake", "Ice Lake", "Zen3",
+        ]
+
+    def test_table4_ages(self, catalog):
+        ages = {
+            n.name: n.age_years(CPU_EXPERIMENT_YEAR) for n in CPU_EXPERIMENT_NODES
+        }
+        assert ages == {
+            "Desktop": 3, "Cascade Lake": 4, "Ice Lake": 2, "Zen3": 1,
+        }
+
+    def test_dual_socket_servers(self, catalog):
+        assert catalog.cpu_node("Cascade Lake").sockets == 2
+        assert catalog.cpu_node("Desktop").sockets == 1
+
+    def test_cholesky_provisioning_covers_all_nodes(self):
+        assert set(CHOLESKY_PROVISIONED_CORES) == {
+            n.name for n in CPU_EXPERIMENT_NODES
+        }
+        for node in CPU_EXPERIMENT_NODES:
+            assert CHOLESKY_PROVISIONED_CORES[node.name] <= node.cores
+
+    def test_unknown_node_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.cpu_node("Raspberry Pi")
+
+
+class TestSimulationMachines:
+    def test_table5_columns(self, catalog):
+        expect = {
+            "FASTER": (2023, 64, 205.0 * 2, 205.0),
+            "Desktop": (2022, 16, 65.0, 6.51),
+            "IC": (2021, 48, 205.0 * 2, 136.0),
+            "Theta": (2017, 64, 215.0, 110.0),
+        }
+        for node in SIMULATION_MACHINES:
+            year, cores, tdp, idle = expect[node.name]
+            assert node.year_deployed == year
+            assert node.cores == cores
+            assert node.tdp_watts == pytest.approx(tdp)
+            assert node.idle_power_watts == pytest.approx(idle)
+
+    def test_table5_carbon_rates_from_embodied_inversion(self):
+        """The stored embodied totals must regenerate Table 5's rates."""
+        expect = {"FASTER": 105.2, "Desktop": 12.2, "IC": 16.7, "Theta": 2.0}
+        for node in SIMULATION_MACHINES:
+            rate = carbon_rate_per_hour(
+                node.embodied_carbon_g,
+                node.age_years(SIMULATION_YEAR),
+                DoubleDecliningBalance(),
+            )
+            assert rate == pytest.approx(expect[node.name], rel=0.01)
+
+    def test_table5_intensities(self):
+        assert SIMULATION_CARBON_INTENSITY == {
+            "FASTER": 389.0, "Desktop": 454.0, "IC": 454.0, "Theta": 502.0,
+        }
+
+
+class TestGPUCatalog:
+    def test_all_table3_configurations_present(self, catalog):
+        assert len(gpu_experiment_nodes()) == 10
+        assert catalog.gpu_config("V100", 4).count == 4
+
+    def test_carbon_rate_grows_with_count(self):
+        for model in ("P100", "V100", "A100"):
+            rates = [
+                rate for (m, c), rate in sorted(GPU_CARBON_RATE.items())
+                if m == model
+            ]
+            assert rates == sorted(rates)
+
+    def test_newer_gpus_have_higher_rates(self):
+        assert (
+            GPU_CARBON_RATE[("P100", 1)]
+            < GPU_CARBON_RATE[("V100", 1)]
+            < GPU_CARBON_RATE[("A100", 1)]
+        )
+
+    def test_unknown_config_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.gpu_config("H100", 1)

@@ -1,0 +1,78 @@
+"""Performance-counter trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.counters import (
+    BALANCED,
+    COMPUTE_BOUND,
+    MEMORY_BOUND,
+    CounterSample,
+    CounterTraceGenerator,
+    WorkloadSignature,
+    samples_to_matrix,
+)
+
+
+class TestSignature:
+    def test_llc_rate_derived_from_mpki(self):
+        sig = WorkloadSignature(ips=1e9, llc_mpki=10.0)
+        assert sig.llc_misses_per_sec == pytest.approx(1e7)
+
+    def test_memory_bound_has_more_misses_than_compute_bound(self):
+        assert MEMORY_BOUND.llc_misses_per_sec > COMPUTE_BOUND.llc_misses_per_sec
+        assert MEMORY_BOUND.ips < COMPUTE_BOUND.ips
+
+
+class TestGenerator:
+    def test_sample_count_matches_duration(self):
+        gen = CounterTraceGenerator(BALANCED, sample_period_s=1.0)
+        assert len(gen.generate(pid=1, duration_s=10.0)) == 10
+
+    def test_short_run_yields_one_sample(self):
+        gen = CounterTraceGenerator(BALANCED)
+        assert len(gen.generate(pid=1, duration_s=0.1)) == 1
+
+    def test_mean_tracks_signature(self):
+        gen = CounterTraceGenerator(
+            BALANCED, cores=4, noise_cv=0.1, rng=np.random.default_rng(0)
+        )
+        samples = gen.generate(pid=1, duration_s=2000.0)
+        mean_ips = np.mean([s.instructions_per_sec for s in samples])
+        assert mean_ips == pytest.approx(BALANCED.ips * 4, rel=0.05)
+
+    def test_zero_noise_is_deterministic(self):
+        gen = CounterTraceGenerator(BALANCED, noise_cv=0.0)
+        samples = gen.generate(pid=1, duration_s=5.0)
+        values = {s.instructions_per_sec for s in samples}
+        assert len(values) == 1
+
+    def test_timestamps_increase(self):
+        gen = CounterTraceGenerator(BALANCED)
+        samples = gen.generate(pid=1, duration_s=5.0)
+        times = [s.timestamp for s in samples]
+        assert times == sorted(times)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            CounterTraceGenerator(BALANCED, cores=0)
+        with pytest.raises(ValueError):
+            CounterTraceGenerator(BALANCED, sample_period_s=0)
+        with pytest.raises(ValueError):
+            CounterTraceGenerator(BALANCED, noise_cv=-0.1)
+
+
+class TestMatrix:
+    def test_matrix_shape_and_order(self):
+        samples = [
+            CounterSample(pid=1, timestamp=1.0, instructions_per_sec=5.0,
+                          llc_misses_per_sec=2.0),
+            CounterSample(pid=1, timestamp=2.0, instructions_per_sec=7.0,
+                          llc_misses_per_sec=3.0),
+        ]
+        mat = samples_to_matrix(samples)
+        assert mat.shape == (2, 2)
+        assert mat[0, 0] == 5.0 and mat[1, 1] == 3.0
+
+    def test_empty_matrix(self):
+        assert samples_to_matrix([]).shape == (0, 2)

@@ -1,0 +1,104 @@
+"""Node/CPU/GPU spec invariants and derived quantities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.node import CPUSpec, GPUNodeSpec, GPUSpec, NodeSpec
+
+
+def make_cpu(cores=8, tdp=100.0) -> CPUSpec:
+    return CPUSpec(
+        model="test-cpu", cores=cores, tdp_watts=tdp,
+        base_clock_ghz=2.5, peak_gflops=cores * 2.0, year=2021,
+    )
+
+
+def make_node(sockets=2, idle=50.0, **kw) -> NodeSpec:
+    return NodeSpec(
+        name="test-node", cpu=make_cpu(), sockets=sockets,
+        idle_power_watts=idle, year_deployed=2020, **kw,
+    )
+
+
+class TestCPUSpec:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError, match="cores"):
+            make_cpu(cores=0)
+
+    def test_rejects_negative_tdp(self):
+        with pytest.raises(ValueError, match="TDP"):
+            make_cpu(tdp=-1.0)
+
+
+class TestNodeSpec:
+    def test_total_cores_spans_sockets(self):
+        assert make_node(sockets=2).cores == 16
+
+    def test_tdp_spans_sockets(self):
+        assert make_node(sockets=2).tdp_watts == 200.0
+
+    def test_peak_per_core(self):
+        node = make_node()
+        assert node.peak_gflops_per_core == pytest.approx(2.0)
+
+    def test_age_floors_at_zero(self):
+        node = make_node()
+        assert node.age_years(2018) == 0
+        assert node.age_years(2023) == 3
+
+    def test_rejects_negative_idle(self):
+        with pytest.raises(ValueError, match="idle"):
+            make_node(idle=-5.0)
+
+    def test_rejects_zero_node_count(self):
+        with pytest.raises(ValueError, match="node_count"):
+            make_node(node_count=0)
+
+    def test_power_at_idle_and_full(self):
+        node = make_node()
+        assert node.power_at_utilization(0.0) == 50.0
+        assert node.power_at_utilization(1.0) == 200.0
+
+    def test_power_clamps_utilization(self):
+        node = make_node()
+        assert node.power_at_utilization(2.0) == node.power_at_utilization(1.0)
+        assert node.power_at_utilization(-1.0) == node.power_at_utilization(0.0)
+
+    def test_energy_is_power_times_time(self):
+        node = make_node()
+        assert node.energy_at_utilization(0.5, 10.0) == pytest.approx(
+            node.power_at_utilization(0.5) * 10.0
+        )
+
+    def test_node_hours(self):
+        assert make_node().node_hours(7200.0) == pytest.approx(2.0)
+
+    @given(st.floats(min_value=0, max_value=1))
+    def test_power_within_idle_tdp_envelope(self, util):
+        node = make_node()
+        p = node.power_at_utilization(util)
+        assert node.idle_power_watts <= p <= node.tdp_watts
+
+    @given(st.floats(min_value=0, max_value=1), st.floats(min_value=0, max_value=1))
+    def test_power_monotone_in_utilization(self, u1, u2):
+        node = make_node()
+        lo, hi = sorted((u1, u2))
+        assert node.power_at_utilization(lo) <= node.power_at_utilization(hi) + 1e-12
+
+
+class TestGPUNodeSpec:
+    def test_aggregate_tdp_and_gflops(self):
+        gpu = GPUSpec(model="X", year=2020, peak_gflops=1000.0, tdp_watts=250.0)
+        config = GPUNodeSpec(gpu=gpu, count=4)
+        assert config.tdp_watts == 1000.0
+        assert config.peak_gflops == 4000.0
+        assert config.name == "Xx4"
+
+    def test_rejects_zero_count(self):
+        gpu = GPUSpec(model="X", year=2020, peak_gflops=1000.0, tdp_watts=250.0)
+        with pytest.raises(ValueError):
+            GPUNodeSpec(gpu=gpu, count=0)
+
+    def test_age(self):
+        gpu = GPUSpec(model="X", year=2019, peak_gflops=1.0, tdp_watts=1.0)
+        assert GPUNodeSpec(gpu=gpu, count=1).age_years(2024) == 5

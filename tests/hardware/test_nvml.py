@@ -1,0 +1,89 @@
+"""Simulated NVML board power telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.catalog import A100, P100, V100
+from repro.hardware.nvml import SimulatedNVML
+
+
+@pytest.fixture
+def nvml() -> SimulatedNVML:
+    return SimulatedNVML([V100, V100, A100])
+
+
+class TestPowerQueries:
+    def test_device_count(self, nvml):
+        assert nvml.device_count == 3
+
+    def test_idle_power_is_fraction_of_tdp(self, nvml):
+        assert nvml.power_usage_mw(0, 0.0) == pytest.approx(
+            0.12 * 250.0 * 1000.0, rel=0.01
+        )
+
+    def test_power_clamped_to_limit(self, nvml):
+        nvml.set_load(0, lambda t: 10_000.0)  # way past a V100's 250 W
+        assert nvml.power_usage_mw(0, 0.0) == nvml.power_limit_mw(0)
+
+    def test_negative_power_rejected(self, nvml):
+        nvml.set_load(0, lambda t: -5.0)
+        with pytest.raises(ValueError):
+            nvml.power_usage_mw(0, 0.0)
+
+    def test_boards_independent(self, nvml):
+        nvml.set_load(0, lambda t: 200.0)
+        assert nvml.power_usage_mw(0, 0.0) == 200_000
+        assert nvml.power_usage_mw(1, 0.0) == pytest.approx(30_000, rel=0.01)
+
+    def test_power_limits_per_model(self):
+        nvml = SimulatedNVML([P100, A100])
+        assert nvml.power_limit_mw(0) == 250_000
+        assert nvml.power_limit_mw(1) == 400_000
+
+    def test_needs_a_board(self):
+        with pytest.raises(ValueError):
+            SimulatedNVML([])
+
+
+class TestSampledIntegration:
+    def test_constant_power_exact(self, nvml):
+        nvml.set_load(0, lambda t: 200.0)
+        energy = nvml.integrate_energy_j(0, 0.0, 100.0, sample_period_s=1.0)
+        assert energy == pytest.approx(200.0 * 100.0, rel=1e-6)
+
+    def test_linear_ramp_trapezoid_exact(self, nvml):
+        nvml.set_load(0, lambda t: 2.0 * t)
+        energy = nvml.integrate_energy_j(0, 0.0, 100.0, sample_period_s=1.0)
+        # Integral of 2t over [0, 100] = 10,000 J; trapezoid is exact on
+        # linear signals up to mW quantization.
+        assert energy == pytest.approx(10_000.0, rel=1e-3)
+
+    def test_aliasing_error_shrinks_with_cadence(self, nvml):
+        nvml.set_load(0, lambda t: 150.0 + 100.0 * np.sin(t / 3.0) ** 2)
+        truth = nvml.integrate_energy_j(0, 0.0, 60.0, sample_period_s=0.01)
+        coarse = nvml.integrate_energy_j(0, 0.0, 60.0, sample_period_s=5.0)
+        fine = nvml.integrate_energy_j(0, 0.0, 60.0, sample_period_s=0.5)
+        assert abs(fine - truth) < abs(coarse - truth)
+
+    def test_zero_window(self, nvml):
+        assert nvml.integrate_energy_j(0, 5.0, 5.0) == 0.0
+
+    def test_validation(self, nvml):
+        with pytest.raises(ValueError):
+            nvml.integrate_energy_j(0, 10.0, 5.0)
+        with pytest.raises(ValueError):
+            nvml.integrate_energy_j(0, 0.0, 5.0, sample_period_s=0.0)
+
+    def test_node_energy_sums_boards(self, nvml):
+        for i in range(3):
+            nvml.set_load(i, lambda t: 100.0)
+        assert nvml.node_energy_j(0.0, 10.0) == pytest.approx(3_000.0, rel=1e-6)
+
+    def test_table3_scale_plausibility(self):
+        """Two P100s at ~64% TDP for 1396 s give roughly the published
+        635 kJ — the catalog profile is physically consistent."""
+        nvml = SimulatedNVML([P100, P100])
+        for i in range(2):
+            nvml.set_load(i, lambda t: 0.91 * 250.0)
+        energy = nvml.node_energy_j(0.0, 1396.0)
+        assert energy == pytest.approx(635e3, rel=0.01)

@@ -1,0 +1,151 @@
+"""Power-model fitting and per-process energy disaggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.power_model import (
+    LinearPowerModel,
+    PowerModelFitter,
+    disaggregate_energy,
+)
+
+
+def fitted_model(idle=100.0, w=(2e-9, 5e-8), n=50, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    fitter = PowerModelFitter()
+    weights = np.array(w)
+    for _ in range(n):
+        counters = rng.uniform(0, [5e9, 5e7])
+        power = idle + counters @ weights + rng.normal(0, noise)
+        fitter.observe(counters, max(0.0, power))
+    # Idle observations pin the intercept.
+    for _ in range(5):
+        fitter.observe(np.zeros(2), idle)
+    return fitter.fit()
+
+
+class TestFitter:
+    def test_recovers_known_model(self):
+        model = fitted_model()
+        assert model.idle_watts == pytest.approx(100.0, rel=0.02)
+        assert model.weights[0] == pytest.approx(2e-9, rel=0.05)
+        assert model.weights[1] == pytest.approx(5e-8, rel=0.05)
+
+    def test_robust_to_noise(self):
+        model = fitted_model(noise=5.0, n=400)
+        assert model.idle_watts == pytest.approx(100.0, rel=0.1)
+
+    def test_weights_never_negative(self):
+        rng = np.random.default_rng(1)
+        fitter = PowerModelFitter()
+        # Anti-correlated feature: naive OLS would give it negative weight.
+        for _ in range(50):
+            x0 = rng.uniform(0, 1e9)
+            fitter.observe(np.array([x0, 1e7 - x0 / 100]), 50 + 2e-8 * x0)
+        model = fitter.fit()
+        assert np.all(model.weights >= 0)
+        assert model.idle_watts >= 0
+
+    def test_requires_minimum_observations(self):
+        fitter = PowerModelFitter()
+        fitter.observe(np.ones(2), 1.0)
+        with pytest.raises(RuntimeError, match="at least"):
+            fitter.fit()
+
+    def test_bounded_history(self):
+        fitter = PowerModelFitter(max_observations=16)
+        for i in range(100):
+            fitter.observe(np.array([float(i), 1.0]), 1.0)
+        assert fitter.n_observations == 16
+
+    def test_rejects_negative_power(self):
+        fitter = PowerModelFitter()
+        with pytest.raises(ValueError):
+            fitter.observe(np.ones(2), -1.0)
+
+    def test_rejects_wrong_shape(self):
+        fitter = PowerModelFitter()
+        with pytest.raises(ValueError):
+            fitter.observe(np.ones(3), 1.0)
+
+
+class TestModel:
+    def test_predict_is_affine(self):
+        model = LinearPowerModel(idle_watts=10.0, weights=np.array([1.0, 2.0]))
+        assert model.predict(np.array([3.0, 4.0]))[0] == pytest.approx(21.0)
+
+    def test_dynamic_excludes_idle(self):
+        model = LinearPowerModel(idle_watts=10.0, weights=np.array([1.0, 2.0]))
+        assert model.dynamic_power(np.array([3.0, 4.0]))[0] == pytest.approx(11.0)
+
+    def test_wrong_weight_count_rejected(self):
+        with pytest.raises(ValueError):
+            LinearPowerModel(idle_watts=0.0, weights=np.array([1.0]))
+
+
+class TestDisaggregation:
+    MODEL = LinearPowerModel(idle_watts=100.0, weights=np.array([1e-9, 0.0]))
+
+    def test_splits_proportionally_to_modelled_power(self):
+        shares = disaggregate_energy(
+            self.MODEL,
+            interval_energy_j=160.0,  # 100 idle + 60 dynamic over 1 s
+            interval_s=1.0,
+            process_counters={1: np.array([2e10, 0]), 2: np.array([4e10, 0])},
+            process_cores={1: 1, 2: 1},
+            total_cores=8,
+        )
+        assert shares[1] == pytest.approx(20.0)
+        assert shares[2] == pytest.approx(40.0)
+
+    def test_idle_energy_not_charged_by_default(self):
+        shares = disaggregate_energy(
+            self.MODEL, 160.0, 1.0,
+            {1: np.array([6e10, 0])}, {1: 4}, total_cores=8,
+        )
+        assert shares[1] == pytest.approx(60.0)
+
+    def test_charge_idle_splits_by_core_share(self):
+        shares = disaggregate_energy(
+            self.MODEL, 160.0, 1.0,
+            {1: np.array([6e10, 0])}, {1: 4}, total_cores=8,
+            charge_idle=True,
+        )
+        assert shares[1] == pytest.approx(60.0 + 100.0 * 4 / 8)
+
+    def test_no_counter_activity_falls_back_to_cores(self):
+        shares = disaggregate_energy(
+            self.MODEL, 130.0, 1.0,
+            {1: np.zeros(2), 2: np.zeros(2)}, {1: 3, 2: 1}, total_cores=8,
+        )
+        assert shares[1] == pytest.approx(30.0 * 0.75)
+        assert shares[2] == pytest.approx(30.0 * 0.25)
+
+    def test_empty_process_set(self):
+        assert disaggregate_energy(self.MODEL, 100.0, 1.0, {}, {}, 8) == {}
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            disaggregate_energy(self.MODEL, -1.0, 1.0, {}, {}, 8)
+        with pytest.raises(ValueError):
+            disaggregate_energy(self.MODEL, 1.0, 0.0, {}, {}, 8)
+
+    @settings(max_examples=50)
+    @given(
+        st.floats(min_value=0, max_value=1e4),
+        st.lists(
+            st.floats(min_value=0, max_value=1e11), min_size=1, max_size=5
+        ),
+    )
+    def test_attribution_conserves_energy(self, energy, activities):
+        counters = {
+            pid: np.array([a, a / 100]) for pid, a in enumerate(activities)
+        }
+        cores = {pid: 1 for pid in counters}
+        shares = disaggregate_energy(
+            self.MODEL, energy, 1.0, counters, cores, total_cores=8,
+            charge_idle=True,
+        )
+        assert sum(shares.values()) <= energy + 1e-6
+        assert all(v >= 0 for v in shares.values())

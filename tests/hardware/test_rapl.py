@@ -1,0 +1,99 @@
+"""Simulated RAPL: integration accuracy and wrap-around semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.rapl import (
+    COUNTER_WRAP,
+    DEFAULT_ENERGY_UNIT_J,
+    RAPLDomain,
+    SimulatedRAPL,
+    counter_delta_joules,
+)
+
+
+class TestIntegration:
+    def test_constant_power(self):
+        meter = SimulatedRAPL(package_power=lambda t: 100.0)
+        meter.advance(10.0)
+        assert meter.read_joules() == pytest.approx(1000.0, rel=1e-4)
+
+    def test_linear_ramp_midpoint_exact(self):
+        # Midpoint rule integrates linear power exactly.
+        meter = SimulatedRAPL(package_power=lambda t: 10.0 * t)
+        meter.advance(10.0)
+        assert meter.read_joules() == pytest.approx(500.0, rel=1e-6)
+
+    def test_dram_default_fraction(self):
+        meter = SimulatedRAPL(package_power=lambda t: 100.0)
+        meter.advance(10.0)
+        assert meter.read_joules(RAPLDomain.DRAM) == pytest.approx(120.0, rel=1e-3)
+
+    def test_negative_power_rejected(self):
+        meter = SimulatedRAPL(package_power=lambda t: -1.0)
+        with pytest.raises(ValueError, match="negative power"):
+            meter.advance(1.0)
+
+    def test_time_cannot_go_backwards(self):
+        meter = SimulatedRAPL(package_power=lambda t: 1.0)
+        with pytest.raises(ValueError):
+            meter.advance(-0.5)
+
+    def test_zero_advance_is_noop(self):
+        meter = SimulatedRAPL(package_power=lambda t: 100.0)
+        before = meter.read_raw()
+        meter.advance(0.0)
+        assert meter.read_raw() == before
+
+    def test_residual_energy_not_lost(self):
+        """Sub-unit energy accumulates across advances instead of being
+        truncated each time."""
+        meter = SimulatedRAPL(package_power=lambda t: DEFAULT_ENERGY_UNIT_J / 2)
+        for _ in range(10):
+            meter.advance(1.0)
+        # 10 half-unit seconds = 5 units.
+        assert meter.read_raw() == 5
+
+    def test_time_tracks_advances(self):
+        meter = SimulatedRAPL(package_power=lambda t: 1.0, start_time=100.0)
+        meter.advance(2.5)
+        assert meter.now == pytest.approx(102.5)
+
+
+class TestWrapAround:
+    def test_counter_wraps_at_2_32(self):
+        # Power chosen so one advance overflows the 32-bit counter.
+        joules_to_wrap = COUNTER_WRAP * DEFAULT_ENERGY_UNIT_J
+        meter = SimulatedRAPL(package_power=lambda t: joules_to_wrap + 100.0)
+        meter.advance(1.0)
+        assert 0 <= meter.read_raw() < COUNTER_WRAP
+        assert meter.read_raw() == pytest.approx(100.0 / DEFAULT_ENERGY_UNIT_J, rel=1e-3)
+
+    def test_delta_handles_single_wrap(self):
+        before = COUNTER_WRAP - 50
+        after = 20
+        expect = 70 * DEFAULT_ENERGY_UNIT_J
+        assert counter_delta_joules(before, after) == pytest.approx(expect)
+
+    def test_delta_without_wrap(self):
+        assert counter_delta_joules(100, 600) == pytest.approx(
+            500 * DEFAULT_ENERGY_UNIT_J
+        )
+
+    @given(
+        st.integers(min_value=0, max_value=COUNTER_WRAP - 1),
+        st.integers(min_value=0, max_value=COUNTER_WRAP - 1),
+    )
+    def test_delta_always_non_negative(self, before, after):
+        assert counter_delta_joules(before, after) >= 0.0
+
+
+@given(st.floats(min_value=0.1, max_value=500.0), st.floats(min_value=0.1, max_value=100.0))
+def test_energy_matches_power_times_time(power, duration):
+    # Keep total energy below the 2^32-unit wrap (65,536 J at the default
+    # energy unit) so the raw counter reading is directly comparable.
+    if power * duration >= 50_000.0:
+        duration = 50_000.0 / power
+    meter = SimulatedRAPL(package_power=lambda t: power)
+    meter.advance(duration)
+    assert meter.read_joules() == pytest.approx(power * duration, rel=1e-3, abs=2 * DEFAULT_ENERGY_UNIT_J)

@@ -1,0 +1,85 @@
+"""EM Gaussian mixture: recovery, likelihood, sampling."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gmm import GaussianMixture
+
+
+def two_cluster_data(n=600, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal([-4.0, 0.0], 0.5, size=(n // 2, 2))
+    b = rng.normal([4.0, 2.0], 0.5, size=(n // 2, 2))
+    return np.vstack([a, b])
+
+
+class TestFit:
+    def test_recovers_cluster_means(self):
+        gmm = GaussianMixture(n_components=2, seed=0).fit(two_cluster_data())
+        means = sorted(gmm.means_.tolist())
+        np.testing.assert_allclose(means[0], [-4.0, 0.0], atol=0.2)
+        np.testing.assert_allclose(means[1], [4.0, 2.0], atol=0.2)
+
+    def test_weights_sum_to_one(self):
+        gmm = GaussianMixture(n_components=3, seed=0).fit(two_cluster_data())
+        assert gmm.weights_.sum() == pytest.approx(1.0)
+
+    def test_em_increases_likelihood(self):
+        data = two_cluster_data()
+        short = GaussianMixture(n_components=2, max_iter=1, seed=0).fit(data)
+        long = GaussianMixture(n_components=2, max_iter=100, seed=0).fit(data)
+        assert long.score_samples(data).mean() >= short.score_samples(data).mean() - 1e-9
+
+    def test_converged_flag(self):
+        gmm = GaussianMixture(n_components=2, seed=0).fit(two_cluster_data())
+        assert gmm.converged_
+
+    def test_single_component_is_gaussian_mle(self):
+        data = two_cluster_data()
+        gmm = GaussianMixture(n_components=1, seed=0).fit(data)
+        np.testing.assert_allclose(gmm.means_[0], data.mean(axis=0), atol=1e-6)
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(n_components=5).fit(np.zeros((3, 2)))
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            GaussianMixture().fit(np.zeros(10))
+
+    def test_rejects_zero_components(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(n_components=0)
+
+
+class TestPredictAndSample:
+    def test_predict_separates_clusters(self):
+        gmm = GaussianMixture(n_components=2, seed=0).fit(two_cluster_data())
+        labels = gmm.predict(np.array([[-4.0, 0.0], [4.0, 2.0]]))
+        assert labels[0] != labels[1]
+
+    def test_samples_resemble_training_distribution(self):
+        gmm = GaussianMixture(n_components=2, seed=0).fit(two_cluster_data())
+        samples = gmm.sample(2000, rng=np.random.default_rng(1))
+        assert samples.shape == (2000, 2)
+        # Half the mass near each cluster.
+        left = (samples[:, 0] < 0).mean()
+        assert 0.4 < left < 0.6
+
+    def test_unfitted_raises(self):
+        gmm = GaussianMixture()
+        with pytest.raises(RuntimeError):
+            gmm.sample(5)
+        with pytest.raises(RuntimeError):
+            gmm.score_samples(np.zeros((1, 2)))
+
+    def test_sample_rejects_zero(self):
+        gmm = GaussianMixture(n_components=1, seed=0).fit(two_cluster_data())
+        with pytest.raises(ValueError):
+            gmm.sample(0)
+
+    def test_deterministic_with_rng(self):
+        gmm = GaussianMixture(n_components=2, seed=0).fit(two_cluster_data())
+        a = gmm.sample(10, rng=np.random.default_rng(7))
+        b = gmm.sample(10, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)

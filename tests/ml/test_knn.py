@@ -1,0 +1,90 @@
+"""KNN regressor: interpolation, weighting, multi-output."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.knn import KNNRegressor
+
+
+class TestBasics:
+    def test_exact_match_returns_training_target(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([10.0, 20.0, 30.0])
+        model = KNNRegressor(k=2).fit(x, y)
+        assert model.predict([[1.0]])[0] == pytest.approx(20.0)
+
+    def test_k1_is_nearest_neighbour(self):
+        x = np.array([[0.0], [10.0]])
+        y = np.array([1.0, 2.0])
+        model = KNNRegressor(k=1).fit(x, y)
+        assert model.predict([[3.0]])[0] == 1.0
+        assert model.predict([[7.0]])[0] == 2.0
+
+    def test_inverse_distance_weighting(self):
+        x = np.array([[0.0], [3.0]])
+        y = np.array([0.0, 3.0])
+        model = KNNRegressor(k=2, standardize=False).fit(x, y)
+        # Query at 1: weights 1/1 and 1/2 -> (0*1 + 3*0.5) / 1.5 = 1.0
+        assert model.predict([[1.0]])[0] == pytest.approx(1.0)
+
+    def test_multi_output(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([[1.0, 10.0], [3.0, 30.0]])
+        model = KNNRegressor(k=2).fit(x, y)
+        pred = model.predict([[0.5]])
+        assert pred.shape == (1, 2)
+        assert pred[0, 0] == pytest.approx(2.0)
+        assert pred[0, 1] == pytest.approx(20.0)
+
+    def test_k_clipped_to_training_size(self):
+        model = KNNRegressor(k=10).fit(np.array([[0.0], [1.0]]), np.array([1.0, 2.0]))
+        assert np.isfinite(model.predict([[0.5]])[0])
+
+    def test_standardization_makes_scales_comparable(self):
+        # Feature 2 is 1000x feature 1; without standardization it would
+        # dominate every distance.
+        x = np.array([[0.0, 0.0], [1.0, 1000.0], [0.1, 900.0]])
+        y = np.array([0.0, 1.0, 2.0])
+        model = KNNRegressor(k=1).fit(x, y)
+        assert model.predict([[0.05, 450.0]])[0] in (0.0, 2.0)
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            KNNRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            KNNRegressor().fit(np.zeros((3, 2)), np.zeros(2))
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            KNNRegressor(k=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            KNNRegressor().predict([[1.0]])
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=-10, max_value=10),
+            st.floats(min_value=-5, max_value=5),
+        ),
+        min_size=2,
+        max_size=20,
+        unique_by=lambda t: t[0],
+    ),
+    st.floats(min_value=-10, max_value=10),
+)
+def test_prediction_within_target_hull(points, query):
+    """IDW predictions are convex combinations of neighbour targets."""
+    x = np.array([[p[0]] for p in points])
+    y = np.array([p[1] for p in points])
+    model = KNNRegressor(k=3).fit(x, y)
+    pred = model.predict([[query]])[0]
+    assert y.min() - 1e-9 <= pred <= y.max() + 1e-9

@@ -1,0 +1,130 @@
+"""Cluster queue model: FCFS + backfill + the per-user rule."""
+
+import pytest
+
+from repro.sim.cluster import ClusterSim
+from repro.sim.job import Job
+
+
+def job(job_id, user=0, cores=8, rt=100.0, machine="IC") -> Job:
+    return Job(
+        job_id=job_id,
+        user=user,
+        cores=cores,
+        submit_s=0.0,
+        runtime_s={machine: rt},
+        energy_j={machine: 1000.0},
+    )
+
+
+@pytest.fixture
+def cluster(sim_machines):
+    return ClusterSim(sim_machines["IC"])  # 12 nodes x 48 cores = 576
+
+
+class TestStartFinish:
+    def test_start_consumes_cores(self, cluster):
+        cluster.enqueue(job(1, cores=48))
+        started = cluster.startable(0.0)
+        assert [j.job_id for j in started] == [1]
+        assert cluster.free_cores == 576 - 48
+
+    def test_finish_releases(self, cluster):
+        cluster.enqueue(job(1, cores=48))
+        cluster.startable(0.0)
+        cluster.finish(1)
+        assert cluster.free_cores == 576
+
+    def test_end_time(self, cluster):
+        cluster.enqueue(job(1, rt=250.0))
+        cluster.startable(10.0)
+        assert cluster.end_time_of(1) == pytest.approx(260.0)
+
+    def test_wrong_machine_rejected(self, cluster):
+        with pytest.raises(ValueError, match="not eligible"):
+            cluster.enqueue(job(1, machine="Theta"))
+
+    def test_utilization(self, cluster):
+        cluster.enqueue(job(1, cores=288))
+        cluster.startable(0.0)
+        assert cluster.utilization == pytest.approx(0.5)
+
+
+class TestUserRule:
+    def test_one_running_job_per_user(self, cluster):
+        cluster.enqueue(job(1, user=7, cores=8))
+        cluster.enqueue(job(2, user=7, cores=8))
+        started = cluster.startable(0.0)
+        assert [j.job_id for j in started] == [1]
+        assert cluster.user_busy(7)
+
+    def test_second_job_starts_after_first_finishes(self, cluster):
+        cluster.enqueue(job(1, user=7))
+        cluster.enqueue(job(2, user=7))
+        cluster.startable(0.0)
+        cluster.finish(1)
+        started = cluster.startable(100.0)
+        assert [j.job_id for j in started] == [2]
+
+    def test_different_users_run_concurrently(self, cluster):
+        cluster.enqueue(job(1, user=1))
+        cluster.enqueue(job(2, user=2))
+        assert len(cluster.startable(0.0)) == 2
+
+
+class TestBackfill:
+    def test_small_job_backfills_past_blocked_head(self, cluster):
+        cluster.enqueue(job(1, user=1, cores=576))  # fills the machine
+        cluster.enqueue(job(2, user=2, cores=576))  # blocked head
+        cluster.enqueue(job(3, user=3, cores=8))    # can backfill? no cores
+        assert len(cluster.startable(0.0)) == 1
+        cluster.finish(1)
+        # 576 free: job 2 starts; job 3 no longer fits? 576-576=0 -> queued.
+        started = cluster.startable(100.0)
+        assert [j.job_id for j in started] == [2]
+
+    def test_backfill_when_head_blocked_by_user_rule(self, cluster):
+        cluster.enqueue(job(1, user=1, cores=8))
+        cluster.startable(0.0)
+        cluster.enqueue(job(2, user=1, cores=8))  # head blocked (user busy)
+        cluster.enqueue(job(3, user=2, cores=8))  # should backfill
+        started = cluster.startable(1.0)
+        assert [j.job_id for j in started] == [3]
+        assert cluster.queue_length == 1
+
+    def test_fcfs_order_among_startable(self, cluster):
+        for i in range(1, 4):
+            cluster.enqueue(job(i, user=i, cores=8))
+        started = cluster.startable(0.0)
+        assert [j.job_id for j in started] == [1, 2, 3]
+
+    def test_backfill_window_bounds_scan(self, sim_machines):
+        cluster = ClusterSim(sim_machines["IC"], backfill_window=2)
+        cluster.enqueue(job(1, user=1, cores=576))
+        cluster.startable(0.0)
+        cluster.enqueue(job(2, user=2, cores=576))  # blocked
+        cluster.enqueue(job(3, user=3, cores=576))  # blocked
+        cluster.enqueue(job(4, user=4, cores=8))    # beyond window
+        assert cluster.startable(0.0) == []
+
+    def test_rejects_bad_window(self, sim_machines):
+        with pytest.raises(ValueError):
+            ClusterSim(sim_machines["IC"], backfill_window=0)
+
+
+class TestWaitEstimate:
+    def test_empty_cluster_no_wait(self, cluster):
+        assert cluster.estimated_wait_s() == 0.0
+
+    def test_wait_grows_with_backlog(self, cluster):
+        cluster.enqueue(job(1, cores=576, rt=1000.0))
+        w1 = cluster.estimated_wait_s()
+        cluster.enqueue(job(2, user=2, cores=576, rt=1000.0))
+        assert cluster.estimated_wait_s() > w1 > 0
+
+    def test_wait_shrinks_on_finish(self, cluster):
+        cluster.enqueue(job(1, cores=576, rt=1000.0))
+        cluster.startable(0.0)
+        before = cluster.estimated_wait_s()
+        cluster.finish(1)
+        assert cluster.estimated_wait_s() < before

@@ -1,0 +1,171 @@
+"""The event-driven engine: conservation, determinism, and paper shapes."""
+
+import pytest
+
+from repro.accounting.methods import CarbonBasedAccounting, EnergyBasedAccounting
+from repro.sim.engine import MultiClusterSimulator, pricing_for_sim_machine
+from repro.sim.policies import (
+    EnergyPolicy,
+    FixedMachinePolicy,
+    GreedyPolicy,
+    RuntimePolicy,
+    standard_policies,
+)
+
+
+@pytest.fixture(scope="module")
+def eba_results(sim_machines, small_workload):
+    method = EnergyBasedAccounting()
+    return {
+        p.name: MultiClusterSimulator(sim_machines, method, p).run(small_workload)
+        for p in standard_policies()
+    }
+
+
+class TestConservation:
+    def test_every_job_completes_exactly_once(self, eba_results, small_workload):
+        for result in eba_results.values():
+            ids = [o.job_id for o in result.outcomes]
+            assert len(ids) == len(small_workload)
+            assert len(set(ids)) == len(ids)
+
+    def test_total_work_is_policy_independent(self, eba_results, small_workload):
+        expect = small_workload.total_work_core_hours
+        for result in eba_results.values():
+            assert result.total_work_core_hours() == pytest.approx(expect)
+
+    def test_causality(self, eba_results):
+        for result in eba_results.values():
+            for o in result.outcomes[:500]:
+                assert o.submit_s <= o.start_s <= o.end_s
+
+    def test_costs_positive(self, eba_results):
+        for result in eba_results.values():
+            assert all(o.cost > 0 for o in result.outcomes)
+
+    def test_fixed_policy_uses_one_machine(self, eba_results):
+        dist = eba_results["Theta"].machine_distribution()
+        used = {m for m, n in dist.items() if n > 0}
+        assert used == {"Theta"}
+
+    def test_attributed_at_least_operational(self, eba_results):
+        result = eba_results["Greedy"]
+        for o in result.outcomes[:500]:
+            assert o.attributed_carbon_g >= o.operational_carbon_g
+
+
+class TestDeterminism:
+    def test_same_inputs_same_outcomes(self, sim_machines, small_workload):
+        method = EnergyBasedAccounting()
+        a = MultiClusterSimulator(sim_machines, method, GreedyPolicy()).run(small_workload)
+        b = MultiClusterSimulator(sim_machines, method, GreedyPolicy()).run(small_workload)
+        assert [o.job_id for o in a.outcomes] == [o.job_id for o in b.outcomes]
+        assert a.total_cost() == pytest.approx(b.total_cost())
+
+
+class TestBudgets:
+    def test_work_monotone_in_budget(self, eba_results):
+        result = eba_results["Greedy"]
+        total = result.total_cost()
+        works = [result.work_with_budget(f * total) for f in (0.1, 0.5, 1.0)]
+        assert works[0] <= works[1] <= works[2]
+
+    def test_full_budget_completes_everything(self, eba_results, small_workload):
+        result = eba_results["Greedy"]
+        assert result.work_with_budget(result.total_cost() * 1.001) == pytest.approx(
+            small_workload.total_work_core_hours
+        )
+
+    def test_zero_budget_zero_work(self, eba_results):
+        assert eba_results["Greedy"].work_with_budget(0.0) == 0.0
+
+    def test_negative_budget_rejected(self, eba_results):
+        with pytest.raises(ValueError):
+            eba_results["Greedy"].work_with_budget(-1.0)
+
+    def test_jobs_finished_by_is_cumulative(self, eba_results):
+        result = eba_results["EFT"]
+        times = [0.0, result.makespan_s / 2, result.makespan_s]
+        counts = result.jobs_finished_by(times)
+        assert counts[0] == 0
+        assert counts == sorted(counts)
+        assert counts[-1] == result.n_jobs
+
+
+class TestPaperShapes:
+    """The §5.4 qualitative findings at reduced scale."""
+
+    def test_energy_policy_uses_least_energy(self, eba_results):
+        e_energy = eba_results["Energy"].total_energy_j()
+        for name in ("Mixed", "EFT", "Runtime", "Theta", "IC", "FASTER"):
+            assert eba_results[name].total_energy_j() >= e_energy * 0.999
+
+    def test_greedy_close_to_energy(self, eba_results):
+        ratio = (
+            eba_results["Greedy"].total_energy_j()
+            / eba_results["Energy"].total_energy_j()
+        )
+        assert ratio < 1.10  # paper: +2%
+
+    def test_greedy_beats_eft_on_fixed_allocation(self, eba_results):
+        budget = 0.5 * eba_results["Greedy"].total_cost()
+        greedy = eba_results["Greedy"].work_with_budget(budget)
+        eft = eba_results["EFT"].work_with_budget(budget)
+        assert greedy > eft
+
+    def test_theta_policy_worst_energy(self, eba_results):
+        assert eba_results["Theta"].total_energy_j() == max(
+            r.total_energy_j() for r in eba_results.values()
+        )
+
+    def test_greedy_mostly_avoids_theta(self, eba_results):
+        dist = eba_results["Greedy"].machine_distribution()
+        assert dist["Theta"] / sum(dist.values()) < 0.15
+
+    def test_runtime_policy_favours_ic(self, eba_results):
+        dist = eba_results["Runtime"].machine_distribution()
+        assert max(dist, key=dist.__getitem__) == "IC"
+
+    def test_single_machine_policies_have_long_queues(self, eba_results):
+        assert (
+            eba_results["Theta"].mean_queue_wait_s()
+            > eba_results["EFT"].mean_queue_wait_s()
+        )
+
+
+class TestCBAEngine:
+    def test_greedy_shifts_away_from_faster_under_cba(
+        self, sim_machines, small_workload
+    ):
+        eba = MultiClusterSimulator(
+            sim_machines, EnergyBasedAccounting(), GreedyPolicy()
+        ).run(small_workload)
+        cba = MultiClusterSimulator(
+            sim_machines, CarbonBasedAccounting(), GreedyPolicy()
+        ).run(small_workload)
+        share_eba = eba.machine_distribution()["FASTER"] / eba.n_jobs
+        share_cba = cba.machine_distribution()["FASTER"] / cba.n_jobs
+        assert share_cba < share_eba
+
+    def test_cba_cost_in_grams_scale(self, sim_machines, small_workload):
+        cba = MultiClusterSimulator(
+            sim_machines, CarbonBasedAccounting(), EnergyPolicy()
+        ).run(small_workload)
+        # Mean job: grams, not kilograms or micrograms.
+        mean_cost = cba.total_cost() / cba.n_jobs
+        assert 0.1 < mean_cost < 1e5
+
+
+class TestPricingAdapter:
+    def test_fleet_pricing_scales_embodied_linearly(self, sim_machines):
+        from repro.accounting.base import UsageRecord
+
+        machine = sim_machines["IC"]
+        pricing = pricing_for_sim_machine(machine)
+        cba = CarbonBasedAccounting()
+        r1 = UsageRecord(machine="IC", duration_s=3600.0, energy_j=0.0, cores=48)
+        r2 = UsageRecord(machine="IC", duration_s=3600.0, energy_j=0.0, cores=96)
+        one_node = cba.embodied_charge(r1, pricing)
+        two_nodes = cba.embodied_charge(r2, pricing)
+        assert one_node == pytest.approx(machine.carbon_rate_g_per_h, rel=1e-6)
+        assert two_nodes == pytest.approx(2 * one_node, rel=1e-6)

@@ -1,0 +1,125 @@
+"""Engine stress and degenerate-configuration tests."""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.accounting.methods import EnergyBasedAccounting
+from repro.sim.engine import MultiClusterSimulator
+from repro.sim.job import Job
+from repro.sim.policies import EFTPolicy, GreedyPolicy
+from repro.sim.scenarios import baseline_scenario
+from repro.sim.workload import PatelWorkloadGenerator, Workload, WorkloadConfig
+
+
+def tiny_fleet(node_count=1):
+    machines = baseline_scenario(days=5, seed=0)
+    shrunk = {}
+    for name, m in machines.items():
+        shrunk[name] = replace(m, node=replace(m.node, node_count=node_count))
+    return shrunk
+
+
+class TestSaturation:
+    def test_single_node_fleet_still_completes_everything(self):
+        """Brutal contention: one node per machine; every job must still
+        finish exactly once (no deadlock, no loss)."""
+        machines = tiny_fleet(node_count=1)
+        cfg = WorkloadConfig(n_base_jobs=150, n_users=30, seed=2)
+        wl = PatelWorkloadGenerator(machines, cfg).generate()
+        result = MultiClusterSimulator(
+            machines, EnergyBasedAccounting(), EFTPolicy()
+        ).run(wl)
+        assert result.n_jobs == len(wl)
+        assert result.mean_queue_wait_s() > 0
+
+    def test_one_user_serializes_per_cluster(self):
+        """A single user is capped at one running job per cluster, so
+        with 4 machines at most 4 jobs overlap; with many same-user jobs
+        queue waits must be substantial."""
+        machines = tiny_fleet(node_count=4)
+        cfg = WorkloadConfig(n_base_jobs=80, n_users=1, seed=3)
+        wl = PatelWorkloadGenerator(machines, cfg).generate()
+        result = MultiClusterSimulator(
+            machines, EnergyBasedAccounting(), GreedyPolicy()
+        ).run(wl)
+        assert result.n_jobs == len(wl)
+        # Check no instant at which >4 of this user's jobs run.
+        intervals = sorted((o.start_s, o.end_s) for o in result.outcomes)
+        events = []
+        for start, end in intervals:
+            events.append((start, 1))
+            events.append((end, -1))
+        events.sort()
+        concurrent = 0
+        peak = 0
+        for _, delta in events:
+            concurrent += delta
+            peak = max(peak, concurrent)
+        assert peak <= 4
+
+    def test_job_bigger_than_any_single_machine_is_dropped_gracefully(self):
+        machines = tiny_fleet(node_count=1)
+        giant = Job(
+            job_id=999_999,
+            user=0,
+            cores=64,
+            submit_s=0.0,
+            runtime_s={"Theta": 100.0},
+            energy_j={"Theta": 1000.0},
+        )
+        small = Job(
+            job_id=1,
+            user=1,
+            cores=8,
+            submit_s=0.0,
+            runtime_s={"IC": 50.0},
+            energy_j={"IC": 500.0},
+        )
+        wl = Workload(
+            jobs=[giant, small],
+            config=WorkloadConfig(n_base_jobs=2, repeat=1),
+            machines=list(machines),
+        )
+        # Restrict the fleet to machines that cannot host the giant.
+        subset = {"IC": machines["IC"]}
+        result = MultiClusterSimulator(
+            subset, EnergyBasedAccounting(), GreedyPolicy()
+        ).run(wl)
+        assert [o.job_id for o in result.outcomes] == [1]
+
+
+class TestDegenerateWorkloads:
+    def test_empty_workload(self, sim_machines):
+        wl = Workload(
+            jobs=[], config=WorkloadConfig(n_base_jobs=1), machines=list(sim_machines)
+        )
+        result = MultiClusterSimulator(
+            sim_machines, EnergyBasedAccounting(), GreedyPolicy()
+        ).run(wl)
+        assert result.n_jobs == 0
+        assert result.total_cost() == 0.0
+        assert result.work_with_budget(100.0) == 0.0
+
+    def test_simultaneous_submissions(self, sim_machines):
+        jobs = [
+            Job(
+                job_id=i,
+                user=i,
+                cores=8,
+                submit_s=0.0,
+                runtime_s={"IC": 100.0},
+                energy_j={"IC": 1000.0},
+            )
+            for i in range(20)
+        ]
+        wl = Workload(
+            jobs=jobs, config=WorkloadConfig(n_base_jobs=20, repeat=1),
+            machines=list(sim_machines),
+        )
+        result = MultiClusterSimulator(
+            sim_machines, EnergyBasedAccounting(), GreedyPolicy()
+        ).run(wl)
+        assert result.n_jobs == 20
+        # All fit at once on IC (20 x 8 = 160 <= 576 cores).
+        assert result.mean_queue_wait_s() == pytest.approx(0.0)

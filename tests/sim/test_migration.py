@@ -1,0 +1,112 @@
+"""The migration extension (§7 limitation, lifted)."""
+
+import pytest
+
+from repro.accounting.methods import CarbonBasedAccounting, EnergyBasedAccounting
+from repro.sim.engine import MultiClusterSimulator
+from repro.sim.migration import MigratingSimulator
+from repro.sim.policies import GreedyPolicy
+from repro.sim.workload import PatelWorkloadGenerator, WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def long_job_workload(low_carbon_machines):
+    """Long jobs (median 4 h) — migration only matters for jobs that
+    span intensity changes."""
+    cfg = WorkloadConfig(
+        n_base_jobs=200, n_users=40, seed=6, runtime_median_s=4 * 3600.0
+    )
+    return PatelWorkloadGenerator(low_carbon_machines, cfg).generate()
+
+
+@pytest.fixture(scope="module")
+def results(low_carbon_machines, long_job_workload):
+    cba = CarbonBasedAccounting()
+    plain = MultiClusterSimulator(
+        low_carbon_machines, cba, GreedyPolicy()
+    ).run(long_job_workload)
+    migrating = MigratingSimulator(
+        low_carbon_machines, cba, GreedyPolicy(), min_saving=0.15
+    ).run(long_job_workload)
+    return plain, migrating
+
+
+class TestConservation:
+    def test_every_job_still_completes(self, results, long_job_workload):
+        plain, migrating = results
+        assert migrating.n_jobs == plain.n_jobs == len(long_job_workload)
+        assert len({o.job_id for o in migrating.outcomes}) == migrating.n_jobs
+
+    def test_work_conserved(self, results):
+        plain, migrating = results
+        assert migrating.total_work_core_hours() == pytest.approx(
+            plain.total_work_core_hours()
+        )
+
+    def test_costs_and_energy_positive(self, results):
+        _, migrating = results
+        for outcome in migrating.outcomes:
+            assert outcome.cost > 0
+            assert outcome.energy_j > 0
+            assert outcome.submit_s <= outcome.start_s <= outcome.end_s
+
+    def test_policy_label(self, results):
+        _, migrating = results
+        assert migrating.policy == "Greedy+migrate"
+
+
+class TestBenefit:
+    def test_migration_reduces_operational_carbon(self, results):
+        """The point of lifting the limitation: jobs follow the cheap
+        grid hours and operational carbon drops."""
+        plain, migrating = results
+        assert (
+            migrating.total_operational_carbon_g()
+            < plain.total_operational_carbon_g()
+        )
+
+    def test_migration_does_not_inflate_cost(self, results):
+        plain, migrating = results
+        assert migrating.total_cost() <= plain.total_cost() * 1.02
+
+
+class TestKnobs:
+    def test_infinite_hurdle_means_no_migration(
+        self, low_carbon_machines, long_job_workload
+    ):
+        """min_saving ~ 1 disables migration; results must match the
+        plain engine's totals (same placements, same charging)."""
+        cba = CarbonBasedAccounting()
+        frozen = MigratingSimulator(
+            low_carbon_machines, cba, GreedyPolicy(), min_saving=0.999
+        ).run(long_job_workload)
+        plain = MultiClusterSimulator(
+            low_carbon_machines, cba, GreedyPolicy()
+        ).run(long_job_workload)
+        assert frozen.total_energy_j() == pytest.approx(
+            plain.total_energy_j(), rel=1e-6
+        )
+        assert frozen.total_cost() == pytest.approx(plain.total_cost(), rel=1e-6)
+
+    def test_time_invariant_method_never_migrates(
+        self, low_carbon_machines, long_job_workload
+    ):
+        """Under EBA nothing changes with the clock, so migrating and
+        plain runs coincide."""
+        eba = EnergyBasedAccounting()
+        migrating = MigratingSimulator(
+            low_carbon_machines, eba, GreedyPolicy(), min_saving=0.05
+        ).run(long_job_workload)
+        plain = MultiClusterSimulator(
+            low_carbon_machines, eba, GreedyPolicy()
+        ).run(long_job_workload)
+        assert migrating.total_cost() == pytest.approx(plain.total_cost(), rel=1e-6)
+
+    def test_validation(self, low_carbon_machines):
+        cba = CarbonBasedAccounting()
+        with pytest.raises(ValueError):
+            MigratingSimulator(low_carbon_machines, cba, GreedyPolicy(), reevaluate_every_s=0)
+        with pytest.raises(ValueError):
+            MigratingSimulator(low_carbon_machines, cba, GreedyPolicy(), overhead_s=-1)
+        with pytest.raises(ValueError):
+            MigratingSimulator(low_carbon_machines, cba, GreedyPolicy(), min_saving=1.0)

@@ -1,0 +1,108 @@
+"""The eight selection policies."""
+
+import pytest
+
+from repro.sim.job import Job
+from repro.sim.policies import (
+    EFTPolicy,
+    EnergyPolicy,
+    FixedMachinePolicy,
+    GreedyPolicy,
+    MachineView,
+    MixedPolicy,
+    RuntimePolicy,
+    standard_policies,
+)
+
+
+def view(machine, runtime=100.0, energy=1000.0, wait=0.0, cost=1.0) -> MachineView:
+    return MachineView(
+        machine=machine, runtime_s=runtime, energy_j=energy,
+        queue_wait_s=wait, cost=cost,
+    )
+
+
+JOB = Job(
+    job_id=0, user=0, cores=8, submit_s=0.0,
+    runtime_s={"A": 100.0, "B": 50.0}, energy_j={"A": 10.0, "B": 20.0},
+)
+
+VIEWS = [
+    view("A", runtime=100.0, energy=10.0, wait=0.0, cost=5.0),
+    view("B", runtime=50.0, energy=20.0, wait=500.0, cost=2.0),
+    view("C", runtime=80.0, energy=15.0, wait=10.0, cost=9.0),
+]
+
+
+class TestSimplePolicies:
+    def test_greedy_minimizes_cost(self):
+        assert GreedyPolicy().select(JOB, VIEWS) == "B"
+
+    def test_energy_minimizes_energy(self):
+        assert EnergyPolicy().select(JOB, VIEWS) == "A"
+
+    def test_runtime_minimizes_runtime_ignoring_queue(self):
+        assert RuntimePolicy().select(JOB, VIEWS) == "B"
+
+    def test_eft_minimizes_completion(self):
+        # A: 100, B: 550, C: 90 -> C
+        assert EFTPolicy().select(JOB, VIEWS) == "C"
+
+
+class TestMixed:
+    def test_prefers_cheapest_by_default(self):
+        views = [
+            view("cheap", runtime=100.0, cost=1.0),
+            view("fast", runtime=60.0, cost=5.0),
+        ]
+        assert MixedPolicy().select(JOB, views) == "cheap"
+
+    def test_switches_for_2x_speedup(self):
+        views = [
+            view("cheap", runtime=100.0, cost=1.0),
+            view("fast", runtime=40.0, cost=5.0),
+        ]
+        assert MixedPolicy().select(JOB, views) == "fast"
+
+    def test_threshold_parameter(self):
+        views = [
+            view("cheap", runtime=100.0, cost=1.0),
+            view("fast", runtime=60.0, cost=5.0),
+        ]
+        assert MixedPolicy(speedup_threshold=1.5).select(JOB, views) == "fast"
+
+    def test_counts_queue_in_completion(self):
+        views = [
+            view("cheap", runtime=100.0, wait=0.0, cost=1.0),
+            view("fast", runtime=10.0, wait=400.0, cost=5.0),
+        ]
+        assert MixedPolicy().select(JOB, views) == "cheap"
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            MixedPolicy(speedup_threshold=0.5)
+
+
+class TestFixed:
+    def test_selects_target_when_available(self):
+        assert FixedMachinePolicy("C").select(JOB, VIEWS) == "C"
+
+    def test_falls_back_to_fastest(self):
+        views = [view("A", runtime=100.0), view("B", runtime=50.0)]
+        assert FixedMachinePolicy("Z").select(JOB, views) == "B"
+
+    def test_name_is_machine(self):
+        assert FixedMachinePolicy("Theta").name == "Theta"
+
+
+class TestStandardSet:
+    def test_paper_order(self):
+        names = [p.name for p in standard_policies()]
+        assert names == [
+            "Greedy", "Energy", "Mixed", "EFT", "Runtime",
+            "Theta", "IC", "FASTER",
+        ]
+
+    def test_custom_fixed_targets(self):
+        names = [p.name for p in standard_policies(["X"])]
+        assert names[-1] == "X" and len(names) == 6

@@ -1,0 +1,108 @@
+"""Scenario construction and metric aggregation."""
+
+import pytest
+
+from repro.accounting.methods import EnergyBasedAccounting
+from repro.sim.engine import MultiClusterSimulator
+from repro.sim.metrics import format_summaries, summarize
+from repro.sim.policies import GreedyPolicy
+from repro.sim.scenarios import (
+    PERF_CURVES,
+    baseline_scenario,
+    low_carbon_scenario,
+)
+
+
+class TestBaselineScenario:
+    def test_four_machines(self, sim_machines):
+        assert set(sim_machines) == {"FASTER", "Desktop", "IC", "Theta"}
+
+    def test_intensity_means_match_table5(self, sim_machines):
+        expect = {"FASTER": 389.0, "Desktop": 454.0, "IC": 454.0, "Theta": 502.0}
+        for name, machine in sim_machines.items():
+            assert machine.intensity.mean == pytest.approx(expect[name], rel=1e-6)
+
+    def test_carbon_rates_match_table5(self, sim_machines):
+        expect = {"FASTER": 105.2, "Desktop": 12.2, "IC": 16.7, "Theta": 2.0}
+        for name, machine in sim_machines.items():
+            assert machine.carbon_rate_g_per_h == pytest.approx(
+                expect[name], rel=0.01
+            )
+
+    def test_derived_per_core_quantities(self, sim_machines):
+        ic = sim_machines["IC"]
+        assert ic.cores_per_node == 48
+        assert ic.total_cores == 48 * ic.node.node_count
+        assert ic.tdp_watts_per_core == pytest.approx(410.0 / 48)
+        assert ic.embodied_rate_per_core_hour() == pytest.approx(16.7 / 48, rel=0.01)
+
+
+class TestLowCarbonScenario:
+    def test_regions_reassigned(self, low_carbon_machines):
+        regions = {
+            name: m.intensity.region for name, m in low_carbon_machines.items()
+        }
+        assert regions == {
+            "IC": "AU-SA", "FASTER": "CA-ON", "Desktop": "NO-NO2", "Theta": "DK-BHM",
+        }
+
+    def test_embodied_rates_unchanged(self, sim_machines, low_carbon_machines):
+        for name in sim_machines:
+            assert low_carbon_machines[name].carbon_rate_g_per_h == pytest.approx(
+                sim_machines[name].carbon_rate_g_per_h
+            )
+
+    def test_intensities_much_lower(self, sim_machines, low_carbon_machines):
+        for name in sim_machines:
+            assert (
+                low_carbon_machines[name].intensity.mean
+                < sim_machines[name].intensity.mean
+            )
+
+
+class TestPerfCurves:
+    def test_ic_is_reference(self):
+        assert PERF_CURVES["IC"].runtime_scale(0.5) == 1.0
+
+    def test_theta_slowest_everywhere(self):
+        for m in (0.0, 0.5, 1.0):
+            theta = PERF_CURVES["Theta"].runtime_scale(m)
+            assert all(
+                theta >= PERF_CURVES[name].runtime_scale(m)
+                for name in ("FASTER", "IC", "Desktop")
+            )
+
+    def test_scale_clamps_memory_intensity(self):
+        curve = PERF_CURVES["FASTER"]
+        assert curve.runtime_scale(-1.0) == curve.runtime_scale(0.0)
+        assert curve.runtime_scale(2.0) == curve.runtime_scale(1.0)
+
+    def test_power_within_tdp(self, sim_machines):
+        """idle + cores*dyn stays near/below the node TDP (Table 5)."""
+        for name, machine in sim_machines.items():
+            full = (
+                machine.node.idle_power_watts
+                + machine.cores_per_node * machine.perf.dyn_watts_per_core
+            )
+            assert full <= machine.node.tdp_watts * 1.05, name
+
+
+class TestSummaries:
+    def test_summary_units(self, sim_machines, small_workload):
+        result = MultiClusterSimulator(
+            sim_machines, EnergyBasedAccounting(), GreedyPolicy()
+        ).run(small_workload)
+        s = summarize(result, budget=result.total_cost())
+        assert s.energy_mwh == pytest.approx(result.total_energy_j() / 3.6e9)
+        assert s.jobs_completed == result.n_jobs
+        assert s.work_with_budget_core_hours == pytest.approx(
+            result.total_work_core_hours()
+        )
+        assert s.jobs_with_budget == result.n_jobs
+
+    def test_format_contains_policy(self, sim_machines, small_workload):
+        result = MultiClusterSimulator(
+            sim_machines, EnergyBasedAccounting(), GreedyPolicy()
+        ).run(small_workload)
+        text = format_summaries([summarize(result)])
+        assert "Greedy" in text and "Energy(MWh)" in text

@@ -1,0 +1,117 @@
+"""Carbon-aware temporal shifting (extension beyond the paper)."""
+
+import pytest
+
+from repro.accounting.methods import CarbonBasedAccounting, EnergyBasedAccounting
+from repro.sim.engine import MultiClusterSimulator
+from repro.sim.policies import GreedyPolicy
+from repro.sim.shifting import ShiftingSimulator, TemporalShiftPlanner
+from repro.sim.workload import PatelWorkloadGenerator, WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def low_carbon_workload(low_carbon_machines):
+    cfg = WorkloadConfig(n_base_jobs=300, n_users=50, seed=4)
+    return PatelWorkloadGenerator(low_carbon_machines, cfg).generate()
+
+
+class TestPlanner:
+    def test_plan_never_increases_cost(self, low_carbon_machines, low_carbon_workload):
+        planner = TemporalShiftPlanner(
+            low_carbon_machines, CarbonBasedAccounting(), max_delay_h=12
+        )
+        for job in low_carbon_workload.jobs[:100]:
+            plan = planner.plan(job, job.submit_s)
+            assert plan.cost_at_release <= plan.cost_now + 1e-9
+            assert 0.0 <= plan.delay_s <= 12 * 3600.0
+
+    def test_some_jobs_actually_deferred(self, low_carbon_machines, low_carbon_workload):
+        planner = TemporalShiftPlanner(
+            low_carbon_machines, CarbonBasedAccounting(), max_delay_h=12
+        )
+        delays = [
+            planner.plan(job, job.submit_s).delay_s
+            for job in low_carbon_workload.jobs[:200]
+        ]
+        assert any(d > 0 for d in delays)
+
+    def test_time_invariant_method_never_defers(
+        self, low_carbon_machines, low_carbon_workload
+    ):
+        """EBA costs do not depend on the clock, so nothing is shifted."""
+        planner = TemporalShiftPlanner(
+            low_carbon_machines, EnergyBasedAccounting(), max_delay_h=12
+        )
+        for job in low_carbon_workload.jobs[:50]:
+            assert planner.plan(job, job.submit_s).delay_s == 0.0
+
+    def test_patience_hurdle_suppresses_small_savings(
+        self, low_carbon_machines, low_carbon_workload
+    ):
+        eager = TemporalShiftPlanner(
+            low_carbon_machines, CarbonBasedAccounting(), max_delay_h=12, patience=0.0
+        )
+        picky = TemporalShiftPlanner(
+            low_carbon_machines, CarbonBasedAccounting(), max_delay_h=12, patience=0.5
+        )
+        jobs = low_carbon_workload.jobs[:200]
+        eager_deferrals = sum(
+            1 for j in jobs if eager.plan(j, j.submit_s).delay_s > 0
+        )
+        picky_deferrals = sum(
+            1 for j in jobs if picky.plan(j, j.submit_s).delay_s > 0
+        )
+        assert picky_deferrals <= eager_deferrals
+
+    def test_zero_max_delay_is_identity(self, low_carbon_machines, low_carbon_workload):
+        planner = TemporalShiftPlanner(
+            low_carbon_machines, CarbonBasedAccounting(), max_delay_h=0
+        )
+        for job in low_carbon_workload.jobs[:30]:
+            assert planner.plan(job, job.submit_s).delay_s == 0.0
+
+    def test_validation(self, low_carbon_machines):
+        with pytest.raises(ValueError):
+            TemporalShiftPlanner(
+                low_carbon_machines, CarbonBasedAccounting(), max_delay_h=-1
+            )
+        with pytest.raises(ValueError):
+            TemporalShiftPlanner(
+                low_carbon_machines, CarbonBasedAccounting(), patience=1.0
+            )
+
+
+class TestShiftingSimulator:
+    def test_shifting_reduces_operational_carbon(
+        self, low_carbon_machines, low_carbon_workload
+    ):
+        """The headline: deferral into intensity troughs cuts operational
+        carbon without losing jobs."""
+        cba = CarbonBasedAccounting()
+        plain = MultiClusterSimulator(
+            low_carbon_machines, cba, GreedyPolicy()
+        ).run(low_carbon_workload)
+        shifted = ShiftingSimulator(
+            low_carbon_machines, cba, GreedyPolicy(), max_delay_h=12
+        ).run(low_carbon_workload)
+        assert shifted.n_jobs == plain.n_jobs
+        assert (
+            shifted.total_operational_carbon_g()
+            < plain.total_operational_carbon_g()
+        )
+
+    def test_bounded_makespan_penalty(self, low_carbon_machines, low_carbon_workload):
+        cba = CarbonBasedAccounting()
+        plain = MultiClusterSimulator(
+            low_carbon_machines, cba, GreedyPolicy()
+        ).run(low_carbon_workload)
+        shifted = ShiftingSimulator(
+            low_carbon_machines, cba, GreedyPolicy(), max_delay_h=12
+        ).run(low_carbon_workload)
+        assert shifted.makespan_s <= plain.makespan_s + 12 * 3600.0
+
+    def test_policy_label(self, low_carbon_machines, low_carbon_workload):
+        shifted = ShiftingSimulator(
+            low_carbon_machines, CarbonBasedAccounting(), GreedyPolicy()
+        ).run(low_carbon_workload)
+        assert shifted.policy == "Greedy+shift"

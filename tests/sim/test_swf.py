@@ -1,0 +1,89 @@
+"""SWF trace import/export."""
+
+import pytest
+
+from repro.sim.swf import REFERENCE_MACHINE, read_swf, roundtrip_consistent, write_swf
+from repro.sim.workload import PatelWorkloadGenerator, WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_workload(sim_machines):
+    cfg = WorkloadConfig(n_base_jobs=60, n_users=15, seed=8)
+    return PatelWorkloadGenerator(sim_machines, cfg).generate()
+
+
+class TestWrite:
+    def test_writes_header_and_records(self, tiny_workload, tmp_path):
+        path = write_swf(tiny_workload, tmp_path / "trace.swf")
+        text = path.read_text()
+        assert text.startswith(";")
+        data_lines = [l for l in text.splitlines() if l and not l.startswith(";")]
+        assert len(data_lines) == len(tiny_workload)
+        assert all(len(l.split()) == 18 for l in data_lines)
+
+    def test_reference_runtime_recorded(self, tiny_workload, tmp_path):
+        path = write_swf(tiny_workload, tmp_path / "trace.swf")
+        first = next(
+            l for l in path.read_text().splitlines()
+            if l and not l.startswith(";")
+        ).split()
+        job = tiny_workload.jobs[0]
+        assert int(first[3]) == round(job.runtime_s[REFERENCE_MACHINE])
+        assert int(first[4]) == job.cores
+
+
+class TestRead:
+    def test_roundtrip_preserves_reference_columns(
+        self, tiny_workload, sim_machines, tmp_path
+    ):
+        assert roundtrip_consistent(
+            tiny_workload, sim_machines, tmp_path / "rt.swf", seed=1
+        )
+
+    def test_read_extrapolates_all_machines(
+        self, tiny_workload, sim_machines, tmp_path
+    ):
+        path = write_swf(tiny_workload, tmp_path / "trace.swf")
+        back = read_swf(path, sim_machines, seed=1)
+        for job in back.jobs:
+            assert REFERENCE_MACHINE in job.runtime_s
+            for machine, runtime in job.runtime_s.items():
+                assert runtime > 0
+                assert job.energy_j[machine] > 0
+            if job.cores > 16:
+                assert "Desktop" not in job.runtime_s
+
+    def test_read_trace_is_simulatable(self, tiny_workload, sim_machines, tmp_path):
+        from repro.accounting.methods import EnergyBasedAccounting
+        from repro.sim.engine import MultiClusterSimulator
+        from repro.sim.policies import GreedyPolicy
+
+        path = write_swf(tiny_workload, tmp_path / "trace.swf")
+        back = read_swf(path, sim_machines, seed=1)
+        result = MultiClusterSimulator(
+            sim_machines, EnergyBasedAccounting(), GreedyPolicy()
+        ).run(back)
+        assert result.n_jobs == len(back)
+
+    def test_skips_cancelled_records(self, sim_machines, tmp_path):
+        path = tmp_path / "bad.swf"
+        path.write_text(
+            "; header\n"
+            "1 0 -1 100 8 -1 -1 -1 -1 -1 -1 3 -1 5000 -1 -1 -1 -1\n"
+            "2 10 -1 0 8 -1 -1 -1 -1 -1 -1 3 -1 5000 -1 -1 -1 -1\n"  # runtime 0
+            "3 20 -1 100 0 -1 -1 -1 -1 -1 -1 3 -1 5000 -1 -1 -1 -1\n"  # cores 0
+        )
+        back = read_swf(path, sim_machines, seed=1)
+        assert [j.job_id for j in back.jobs] == [1]
+
+    def test_empty_trace_rejected(self, sim_machines, tmp_path):
+        path = tmp_path / "empty.swf"
+        path.write_text("; nothing here\n")
+        with pytest.raises(ValueError, match="no usable records"):
+            read_swf(path, sim_machines)
+
+    def test_malformed_record_rejected(self, sim_machines, tmp_path):
+        path = tmp_path / "short.swf"
+        path.write_text("1 2 3\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_swf(path, sim_machines)

@@ -1,0 +1,112 @@
+"""Behavioural agents and the Fig. 9 / Fig. 10 analysis."""
+
+import numpy as np
+import pytest
+
+from repro.study.agents import AgentParams, BehavioralAgent, play_game
+from repro.study.analysis import (
+    energy_by_version,
+    energy_run_correlation,
+    energy_stratified_by_jobs,
+    jobs_completed_by_version,
+    run_probability_vs_energy,
+    run_study,
+    v3_energy_ttests,
+)
+from repro.study.game import Game, GameVersion
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_study(n_users=60, seed=11)
+
+
+class TestAgent:
+    def test_agent_plays_to_completion(self):
+        game = play_game(GameVersion.V1, seed=0)
+        assert game.ended
+        assert game.jobs_completed > 0
+
+    def test_cost_sensitive_agent_prefers_cheap_machines_under_v3(self):
+        """An agent with pure cost weight, playing V3, must land at or
+        below the energy of the same agent playing V1."""
+        params = AgentParams(
+            time_weight=0.1, cost_weight=3.0, energy_weight=0.0,
+            priority_weight=0.0, decision_noise=0.01, skip_threshold=0.0,
+        )
+        rng = np.random.default_rng(1)
+        v1 = BehavioralAgent(params, rng).play(Game(GameVersion.V1))
+        rng = np.random.default_rng(1)
+        v3 = BehavioralAgent(params, rng).play(Game(GameVersion.V3))
+        energy_per_job_v1 = v1.energy_used_kwh / max(1, v1.jobs_completed)
+        energy_per_job_v3 = v3.energy_used_kwh / max(1, v3.jobs_completed)
+        assert energy_per_job_v3 <= energy_per_job_v1 * 1.05
+
+    def test_sampled_params_in_range(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            p = AgentParams.sample(rng)
+            assert p.time_weight > 0 and p.cost_weight > 0
+            assert p.energy_weight >= 0
+
+
+class TestStudyProtocol:
+    def test_first_plays_discarded(self, study):
+        # 60 users x 3 plays with the first dropped -> at most 120.
+        assert len(study) <= 120
+
+    def test_records_have_valid_versions(self, study):
+        assert {r.version.value for r in study.records} <= {1, 2, 3}
+
+    def test_jobs_run_subset_of_seen(self, study):
+        for r in study.records:
+            assert r.jobs_run <= r.jobs_seen
+
+
+class TestFig9:
+    def test_v3_uses_less_energy(self, study):
+        e = energy_by_version(study)
+        assert np.mean(e[3]) < np.mean(e[1])
+        assert np.mean(e[3]) < np.mean(e[2])
+
+    def test_energy_information_alone_changes_nothing(self, study):
+        """V1 vs V2 indistinguishable (the paper's central negative
+        result): means within 10% and nowhere near the V3 effect, which
+        is decisive."""
+        e = energy_by_version(study)
+        assert np.mean(e[2]) == pytest.approx(np.mean(e[1]), rel=0.10)
+        t = v3_energy_ttests(study)
+        assert t["v3_vs_v1"] < 0.001
+        assert t["v1_vs_v2"] > t["v3_vs_v1"] * 100
+
+    def test_v3_completes_fewer_jobs(self, study):
+        j = jobs_completed_by_version(study)
+        assert np.mean(j[3]) < np.mean(j[1])
+
+    def test_stratified_v3_lower_at_equal_output(self, study):
+        strat = energy_stratified_by_jobs(study, bins=[(8, 14)])
+        v1 = strat[1]["8-14"]
+        v3 = strat[3]["8-14"]
+        if not (np.isnan(v1) or np.isnan(v3)):
+            assert v3 < v1
+
+
+class TestFig10:
+    def test_points_cover_deck(self, study):
+        points = run_probability_vs_energy(study)
+        for v in (1, 2, 3):
+            assert len(points[v]) >= 10
+            assert all(0.0 <= p <= 1.0 for _, p in points[v])
+
+    def test_no_significant_energy_correlation(self, study):
+        """Even under EBA, job energy does not predict run probability."""
+        for v, (r, p) in energy_run_correlation(study).items():
+            assert p > 0.01 or abs(r) < 0.5, (v, r, p)
+
+
+class TestValidation:
+    def test_run_study_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            run_study(n_users=0)
+        with pytest.raises(ValueError):
+            run_study(n_users=5, plays_per_user=1)

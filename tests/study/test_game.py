@@ -1,0 +1,144 @@
+"""Game engine mechanics: versions, budgets, moves."""
+
+import pytest
+
+from repro.study.game import Game, GameConfig, GameVersion
+from repro.study.jobs import default_job_deck
+
+
+@pytest.fixture
+def v1() -> Game:
+    return Game(GameVersion.V1)
+
+
+@pytest.fixture
+def v3() -> Game:
+    return Game(GameVersion.V3)
+
+
+class TestEconomics:
+    def test_v1_and_v2_charge_core_hours(self):
+        g1, g2 = Game(GameVersion.V1), Game(GameVersion.V2)
+        job = g1.deck[0]
+        machine = job.machines[0]
+        assert g1.cost_of(job, machine) == g2.cost_of(job, machine)
+        assert g1.cost_of(job, machine) == pytest.approx(
+            job.runtime_h[machine] * job.cores
+        )
+
+    def test_v3_charges_eba(self, v3):
+        job = v3.deck[0]
+        machine = job.machines[0]
+        m = v3.machines[machine]
+        potential = job.runtime_h[machine] * job.cores * m.tdp_watts_per_core / 1e3
+        expect = (job.energy_kwh[machine] + potential) / 2
+        assert v3.cost_of(job, machine) == pytest.approx(expect)
+
+    def test_v3_allocation_converted(self):
+        cfg = GameConfig()
+        v1, v3 = Game(GameVersion.V1, config=cfg), Game(GameVersion.V3, config=cfg)
+        assert v1.allocation == cfg.allocation_core_hours
+        assert v3.allocation != cfg.allocation_core_hours
+        assert v3.allocation > 0
+
+    def test_energy_hidden_in_v1_only(self, v1, v3):
+        job1 = v1.visible_jobs[0]
+        assert all(o.energy_kwh is None for o in v1.offers(job1))
+        job3 = v3.visible_jobs[0]
+        assert all(o.energy_kwh is not None for o in v3.offers(job3))
+        v2 = Game(GameVersion.V2)
+        assert all(o.energy_kwh is not None for o in v2.offers(v2.visible_jobs[0]))
+
+
+class TestMoves:
+    def test_schedule_consumes_and_reveals(self, v1):
+        job = v1.visible_jobs[0]
+        machine = job.machines[0]
+        before_alloc = v1.allocation
+        v1.schedule(job.job_id, machine)
+        assert v1.jobs_completed == 1
+        assert v1.allocation < before_alloc
+        assert v1.energy_used_kwh > 0
+        assert len(v1.visible_jobs) == v1.config.visible_jobs
+
+    def test_machine_queues_serialize(self, v1):
+        # Two jobs on one machine: second starts when the first ends.
+        jobs = v1.visible_jobs[:2]
+        machine = next(m for m in jobs[0].machines if m in jobs[1].machines)
+        v1.schedule(jobs[0].job_id, machine)
+        offer = next(o for o in v1.offers(jobs[1]) if o.machine == machine)
+        assert offer.start_h == pytest.approx(jobs[0].runtime_h[machine])
+
+    def test_cannot_schedule_beyond_allocation(self):
+        cfg = GameConfig(allocation_core_hours=1.0, time_budget_h=1000.0)
+        game = Game(GameVersion.V1, config=cfg)
+        job = game.visible_jobs[0]
+        with pytest.raises(ValueError, match="rejected"):
+            game.schedule(job.job_id, job.machines[0])
+
+    def test_cannot_schedule_beyond_time(self):
+        cfg = GameConfig(allocation_core_hours=1e9, time_budget_h=0.1)
+        game = Game(GameVersion.V1, config=cfg)
+        job = game.visible_jobs[0]
+        assert not game.can_schedule(job.job_id, job.machines[0])
+
+    def test_skip_reveals_next(self, v1):
+        first = v1.visible_jobs[0]
+        v1.skip(first.job_id)
+        assert first.job_id not in {j.job_id for j in v1.visible_jobs}
+        assert v1.jobs_completed == 0
+
+    def test_unknown_job_rejected(self, v1):
+        with pytest.raises(KeyError):
+            v1.schedule(999, "IC")
+
+    def test_wrong_machine_rejected(self, v1):
+        big = next(j for j in v1.deck if "Desktop" not in j.machines)
+        game = Game(GameVersion.V1, deck=[big])
+        with pytest.raises(ValueError, match="cannot run"):
+            game.schedule(big.job_id, "Desktop")
+
+
+class TestClock:
+    def test_advance_jumps_to_next_completion(self, v1):
+        job = v1.visible_jobs[0]
+        machine = job.machines[0]
+        v1.schedule(job.job_id, machine)
+        v1.advance()
+        assert v1.clock_h == pytest.approx(job.runtime_h[machine])
+
+    def test_advance_with_idle_machines_ends_game(self, v1):
+        v1.advance()
+        assert v1.ended
+
+    def test_moves_after_end_rejected(self, v1):
+        v1.end()
+        with pytest.raises(RuntimeError):
+            v1.advance()
+        with pytest.raises(RuntimeError):
+            v1.skip(v1.deck[0].job_id)
+
+    def test_time_left(self, v1):
+        assert v1.time_left_h == v1.config.time_budget_h
+
+
+class TestJobDeck:
+    def test_deck_is_deterministic(self):
+        a = default_job_deck(seed=7)
+        b = default_job_deck(seed=7)
+        assert [j.runtime_h for j in a] == [j.runtime_h for j in b]
+
+    def test_twenty_jobs(self):
+        assert len(default_job_deck()) == 20
+
+    def test_priorities_are_placebo_labels(self):
+        from repro.study.jobs import PRIORITIES
+
+        deck = default_job_deck()
+        assert {j.priority for j in deck} <= set(PRIORITIES)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GameConfig(time_budget_h=0.0)
+        with pytest.raises(ValueError):
+            GameConfig(visible_jobs=0)

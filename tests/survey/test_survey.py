@@ -1,0 +1,86 @@
+"""Survey data generation and §2.2 analysis round-trip."""
+
+import pytest
+
+from repro.survey.analysis import analyze
+from repro.survey.data import generate_respondents
+from repro.survey.schema import (
+    FIG1_COUNTS,
+    FIG2_COUNTS,
+    FIG2_FACTORS,
+    PAPER_AGGREGATES as AGG,
+    fig2_mean_importance,
+)
+
+
+@pytest.fixture(scope="module")
+def respondents():
+    return generate_respondents(seed=0)
+
+
+@pytest.fixture(scope="module")
+def analysis(respondents):
+    return analyze(respondents)
+
+
+class TestMarginals:
+    def test_totals(self, analysis):
+        assert analysis.n_responses == 316
+        assert analysis.n_complete == 192
+
+    def test_location_counts(self, respondents):
+        europe = sum(1 for r in respondents if r.location == "Europe")
+        assert europe == AGG["loc_europe"]
+
+    def test_energy_awareness_counts(self, respondents):
+        complete = [r for r in respondents if r.completed]
+        assert sum(r.aware_energy for r in complete) == AGG["aware_energy"]
+        assert sum(r.reduced_energy for r in complete) == AGG["reduced_energy"]
+
+    def test_reducers_unaware_cross_tab(self, analysis):
+        """39% of energy reducers are unaware of their consumption."""
+        assert analysis.pct_reducers_unaware_energy == pytest.approx(39.0, abs=2.0)
+
+    def test_green500_subset_constraint(self, respondents):
+        """Knowing your machine's rank implies knowing the ranking."""
+        for r in respondents:
+            if r.knows_own_green500:
+                assert r.familiar_green500
+        knowers = sum(r.knows_own_green500 for r in respondents)
+        assert knowers == AGG["green500_know_own_machine"]
+
+    def test_fig1_counts_exact(self, analysis):
+        assert analysis.fig1_counts == FIG1_COUNTS
+
+    def test_fig2_counts_exact(self, analysis):
+        assert analysis.fig2_counts == FIG2_COUNTS
+
+    def test_deterministic(self):
+        a = analyze(generate_respondents(seed=3))
+        b = analyze(generate_respondents(seed=3))
+        assert a.fig1_counts == b.fig1_counts
+
+
+class TestHeadlines:
+    def test_energy_awareness_low(self, analysis):
+        assert analysis.pct_aware_energy < 30.0
+        assert analysis.pct_aware_node_hours > 70.0
+
+    def test_energy_ranks_last_in_fig2(self, analysis):
+        assert analysis.fig2_rank_by_importance()[-1] == "Energy"
+
+    def test_performance_vs_energy_very_important(self, analysis):
+        perf = analysis.fig2_counts["Performance"][3]
+        energy = analysis.fig2_counts["Energy"][3]
+        assert perf == 83 and energy == 25  # 46% vs 12%
+
+    def test_mean_importance_ordering(self):
+        assert fig2_mean_importance("Energy") == min(
+            fig2_mean_importance(f) for f in FIG2_FACTORS
+        )
+
+
+class TestValidation:
+    def test_analyze_rejects_empty(self):
+        with pytest.raises(ValueError):
+            analyze([])

@@ -1,0 +1,120 @@
+"""Cross-module integration tests: the paper's pipelines end to end."""
+
+import pytest
+
+from repro.accounting.base import pricing_for_node
+from repro.accounting.methods import CarbonBasedAccounting, EnergyBasedAccounting
+from repro.faas.platform import GreenAccess
+from repro.hardware.catalog import (
+    CPU_EXPERIMENT_NODES,
+    CPU_EXPERIMENT_YEAR,
+    TABLE1_CARBON_INTENSITY,
+)
+
+
+class TestPlatformToLedger:
+    """Submit -> execute -> monitor -> charge -> ledger, repeatedly."""
+
+    def test_many_submissions_conserve_ledger(self):
+        platform = GreenAccess(method=EnergyBasedAccounting(), unit="J")
+        for node in CPU_EXPERIMENT_NODES:
+            platform.register_machine(
+                node,
+                pricing_for_node(
+                    node, CPU_EXPERIMENT_YEAR, TABLE1_CARBON_INTENSITY[node.name]
+                ),
+            )
+        platform.grant("alice", 5_000.0)
+        platform.grant("bob", 5_000.0)
+
+        total_charged = 0.0
+        for user, fn in [
+            ("alice", "Cholesky"),
+            ("bob", "Pagerank"),
+            ("alice", "BFS"),
+            ("bob", "MatMul"),
+            ("alice", "DNA Viz."),
+        ]:
+            receipt = platform.submit(user, fn)
+            total_charged += receipt.charged
+
+        assert platform.ledger.total_spent() == pytest.approx(total_charged)
+        balances = [platform.ledger.get(u).balance for u in ("alice", "bob")]
+        assert all(b >= 0 for b in balances)
+        assert sum(balances) == pytest.approx(10_000.0 - total_charged)
+
+    def test_platform_steering_reduces_fleet_energy(self):
+        """Users who accept the platform's cheapest-EBA placement spend
+        less energy than users who always pick the fastest machine —
+        the paper's core incentive claim on the §4 hardware."""
+        from repro.apps.registry import APP_REGISTRY, CPU_APP_NAMES
+
+        def fleet_energy(pick):
+            return sum(
+                APP_REGISTRY[app].runs[pick(app)].energy_j for app in CPU_APP_NAMES
+            )
+
+        platform = GreenAccess(method=EnergyBasedAccounting())
+        for node in CPU_EXPERIMENT_NODES:
+            platform.register_machine(
+                node,
+                pricing_for_node(
+                    node, CPU_EXPERIMENT_YEAR, TABLE1_CARBON_INTENSITY[node.name]
+                ),
+            )
+
+        def cheapest(app):
+            estimates = platform.estimate_costs(app)
+            return min(estimates, key=estimates.__getitem__)
+
+        def fastest(app):
+            return APP_REGISTRY[app].fastest_machine()
+
+        assert fleet_energy(cheapest) < fleet_energy(fastest)
+
+
+class TestSimulationAccountingConsistency:
+    """The simulator must charge exactly what the accounting library
+    would charge for the same usage records."""
+
+    def test_costs_recomputable(self, sim_machines, small_workload):
+        from repro.accounting.base import UsageRecord
+        from repro.sim.engine import MultiClusterSimulator, pricing_for_sim_machine
+        from repro.sim.policies import GreedyPolicy
+
+        method = CarbonBasedAccounting()
+        result = MultiClusterSimulator(
+            sim_machines, method, GreedyPolicy()
+        ).run(small_workload)
+        pricings = {
+            name: pricing_for_sim_machine(m) for name, m in sim_machines.items()
+        }
+        for outcome in result.outcomes[:200]:
+            record = UsageRecord(
+                machine=outcome.machine,
+                duration_s=outcome.runtime_s,
+                energy_j=outcome.energy_j,
+                cores=outcome.cores,
+                start_time_s=outcome.start_s,
+            )
+            assert method.charge(record, pricings[outcome.machine]) == pytest.approx(
+                outcome.cost, rel=1e-9
+            )
+
+
+class TestGameUsesSimulationSubstrate:
+    def test_game_machines_are_table5_machines(self):
+        from repro.study.game import Game, GameVersion
+
+        game = Game(GameVersion.V1)
+        assert set(game.machines) == {"FASTER", "Desktop", "IC", "Theta"}
+
+    def test_game_energy_consistent_with_curves(self):
+        """A game job's per-machine energies follow the same performance
+        curves as the batch simulator."""
+        from repro.study.game import Game, GameVersion
+
+        game = Game(GameVersion.V2)
+        for job in game.deck:
+            if "Theta" in job.machines and "IC" in job.machines:
+                assert job.runtime_h["Theta"] > job.runtime_h["IC"]

@@ -1,0 +1,88 @@
+"""Physical-consistency checks across the calibrated data.
+
+Calibration constants were inverted from the paper's tables; these tests
+pin them against physics so a future edit cannot silently produce
+impossible hardware (e.g. a job drawing more than TDP, or embodied
+carbon rates that don't match any depreciation of the stored totals).
+"""
+
+import pytest
+
+from repro.apps.registry import (
+    APP_REGISTRY,
+    CPU_APP_NAMES,
+    GPU_CHOLESKY_PROFILES,
+)
+from repro.hardware.catalog import (
+    CPU_EXPERIMENT_NODES,
+    GPU_CARBON_RATE,
+    MachineCatalog,
+    SIMULATION_MACHINES,
+)
+
+
+class TestCPUProfilesWithinPower:
+    @pytest.mark.parametrize("app", CPU_APP_NAMES)
+    def test_attributed_power_below_node_tdp(self, app):
+        profile = APP_REGISTRY[app]
+        nodes = {n.name: n for n in CPU_EXPERIMENT_NODES}
+        for machine, run in profile.runs.items():
+            assert run.mean_power_w < nodes[machine].tdp_watts
+
+    @pytest.mark.parametrize("app", CPU_APP_NAMES)
+    def test_provisioning_within_node(self, app):
+        profile = APP_REGISTRY[app]
+        nodes = {n.name: n for n in CPU_EXPERIMENT_NODES}
+        for machine, run in profile.runs.items():
+            assert 1 <= run.provisioned_cores <= nodes[machine].cores
+            assert 1 <= run.requested_cores <= nodes[machine].cores
+
+
+class TestGPUProfilesWithinPower:
+    def test_node_power_within_board_plus_host_budget(self):
+        """The published energies are node-level (Grid'5000 wattmeters):
+        boards + a dual-socket host with idle siblings.  The ceiling is
+        therefore count x board TDP plus a ~1.2 kW host budget."""
+        HOST_BUDGET_W = 1200.0
+        catalog = MachineCatalog()
+        for (model, count), run in GPU_CHOLESKY_PROFILES.items():
+            config = catalog.gpu_config(model, count)
+            mean_power = run.energy_j / run.runtime_s
+            assert mean_power < config.tdp_watts + HOST_BUDGET_W, (model, count)
+            assert mean_power > 100.0, (model, count)  # node is not idle
+
+    def test_scaling_monotonic_in_runtime(self):
+        """More GPUs never slow the job down in the calibrated data,
+        except the known V100/A100 8-GPU saturation plateau (±3%)."""
+        for model in ("P100", "V100", "A100"):
+            runs = [
+                (count, run.runtime_s)
+                for (m, count), run in sorted(GPU_CHOLESKY_PROFILES.items())
+                if m == model
+            ]
+            for (c1, t1), (c2, t2) in zip(runs, runs[1:]):
+                assert t2 <= t1 * 1.03, (model, c1, c2)
+
+    def test_energy_rate_vs_carbon_rate_alignment(self):
+        """Newer GPU generations carry both more power and more embodied
+        rate — the trade-off Table 3's CBA column prices."""
+        p100 = GPU_CARBON_RATE[("P100", 1)]
+        v100 = GPU_CARBON_RATE[("V100", 1)]
+        a100 = GPU_CARBON_RATE[("A100", 1)]
+        assert p100 < v100 < a100
+
+
+class TestSimulationMachinePhysics:
+    def test_idle_below_tdp(self):
+        for node in SIMULATION_MACHINES:
+            assert node.idle_power_watts < node.tdp_watts
+
+    def test_embodied_totals_plausible(self):
+        """Node embodied carbon between 50 kg and 5 t — outside that the
+        Table 5 inversion went wrong."""
+        for node in SIMULATION_MACHINES:
+            assert 5e4 < node.embodied_carbon_g < 5e6, node.name
+
+    def test_cpu_experiment_embodied_plausible(self):
+        for node in CPU_EXPERIMENT_NODES:
+            assert 5e4 < node.embodied_carbon_g < 1e6, node.name

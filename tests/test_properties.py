@@ -1,0 +1,249 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These encode the economic and physical invariants the whole reproduction
+rests on, over randomized inputs rather than the calibrated fixtures:
+
+* accounting charges are non-negative, monotone in usage, and linear
+  where the formulas say they are;
+* EBA interpolates between the Energy and time-based extremes;
+* CBA decomposes exactly into operational + embodied;
+* depreciation schedules conserve the embodied total;
+* the allocation ledger never goes negative under arbitrary workloads;
+* the task-graph scheduler never beats its critical path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accounting.allocation import Allocation, AllocationExhausted
+from repro.accounting.base import MachinePricing, UsageRecord
+from repro.accounting.methods import (
+    CarbonBasedAccounting,
+    EnergyAccounting,
+    EnergyBasedAccounting,
+    PeakAccounting,
+    RuntimeAccounting,
+)
+from repro.carbon.embodied import DoubleDecliningBalance, LinearDepreciation
+from repro.carbon.intensity import constant_trace
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+durations = st.floats(min_value=1e-3, max_value=1e6)
+energies = st.floats(min_value=0.0, max_value=1e10)
+core_counts = st.integers(min_value=1, max_value=256)
+intensities = st.floats(min_value=0.0, max_value=2000.0)
+tdps = st.floats(min_value=10.0, max_value=5000.0)
+
+
+@st.composite
+def records(draw):
+    return UsageRecord(
+        machine="m",
+        duration_s=draw(durations),
+        energy_j=draw(energies),
+        cores=draw(core_counts),
+    )
+
+
+@st.composite
+def pricings(draw):
+    total = draw(st.integers(min_value=1, max_value=512))
+    return MachinePricing(
+        name="m",
+        total_cores=total,
+        tdp_watts=draw(tdps),
+        peak_rating=draw(st.floats(min_value=0.1, max_value=100.0)),
+        embodied_carbon_g=draw(st.floats(min_value=0.0, max_value=1e7)),
+        age_years=draw(st.integers(min_value=0, max_value=10)),
+        intensity=constant_trace("flat", draw(intensities)),
+    )
+
+
+ALL_METHODS = [
+    RuntimeAccounting(),
+    EnergyAccounting(),
+    PeakAccounting(),
+    EnergyBasedAccounting(),
+    CarbonBasedAccounting(),
+]
+
+
+# ---------------------------------------------------------------------------
+# Accounting invariants
+# ---------------------------------------------------------------------------
+@settings(max_examples=150)
+@given(records(), pricings())
+def test_all_charges_non_negative(record, pricing):
+    for method in ALL_METHODS:
+        assert method.charge(record, pricing) >= 0.0
+
+
+@settings(max_examples=100)
+@given(records(), pricings(), st.floats(min_value=1.01, max_value=10.0))
+def test_charges_monotone_in_duration(record, pricing, factor):
+    from dataclasses import replace
+
+    longer = replace(record, duration_s=record.duration_s * factor)
+    for method in ALL_METHODS:
+        assert method.charge(longer, pricing) >= method.charge(record, pricing) - 1e-9
+
+
+@settings(max_examples=100)
+@given(records(), pricings(), st.floats(min_value=1.01, max_value=10.0))
+def test_charges_monotone_in_energy(record, pricing, factor):
+    from dataclasses import replace
+
+    hotter = replace(record, energy_j=record.energy_j * factor)
+    for method in ALL_METHODS:
+        assert method.charge(hotter, pricing) >= method.charge(record, pricing) - 1e-9
+
+
+@settings(max_examples=100)
+@given(records(), pricings())
+def test_eba_between_energy_and_potential(record, pricing):
+    """EBA is the average of the Energy charge and the potential-use
+    energy, so it lies between the two."""
+    eba = EnergyBasedAccounting().charge(record, pricing)
+    energy = record.energy_j
+    potential = record.duration_s * pricing.attributed_tdp_watts(record.occupancy)
+    lo, hi = sorted((energy, potential))
+    assert lo - 1e-9 <= eba <= hi + 1e-9
+    assert eba == pytest.approx((energy + potential) / 2.0, rel=1e-12, abs=1e-12)
+
+
+@settings(max_examples=100)
+@given(records(), pricings())
+def test_cba_decomposition_exact(record, pricing):
+    cba = CarbonBasedAccounting()
+    total = cba.charge(record, pricing)
+    assert total == pytest.approx(
+        cba.operational_charge(record, pricing) + cba.embodied_charge(record, pricing),
+        rel=1e-12, abs=1e-12,
+    )
+
+
+@settings(max_examples=100)
+@given(records(), pricings())
+def test_runtime_and_peak_linear_in_cores(record, pricing):
+    from dataclasses import replace
+
+    doubled = replace(record, cores=record.cores * 2, provisioned_cores=None)
+    for method in (RuntimeAccounting(), PeakAccounting()):
+        assert method.charge(doubled, pricing) == pytest.approx(
+            2 * method.charge(record, pricing)
+        )
+
+
+@settings(max_examples=100)
+@given(
+    records(),
+    pricings(),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_eba_monotone_in_beta(record, pricing, beta1, beta2):
+    lo, hi = sorted((beta1, beta2))
+    charge_lo = EnergyBasedAccounting(beta=lo).charge(record, pricing)
+    charge_hi = EnergyBasedAccounting(beta=hi).charge(record, pricing)
+    assert charge_lo <= charge_hi + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Depreciation invariants
+# ---------------------------------------------------------------------------
+@settings(max_examples=100)
+@given(
+    st.floats(min_value=0.0, max_value=1e9),
+    st.integers(min_value=1, max_value=10),
+)
+def test_linear_schedule_conserves_total(total, lifetime):
+    lin = LinearDepreciation(lifetime_years=lifetime)
+    charged = sum(lin.yearly_charge(total, y) for y in range(lifetime + 5))
+    assert charged == pytest.approx(total, rel=1e-9, abs=1e-6)
+
+
+@settings(max_examples=100)
+@given(st.floats(min_value=1.0, max_value=1e9), st.integers(min_value=2, max_value=10))
+def test_ddb_always_charges_more_in_year_zero(total, lifetime):
+    ddb = DoubleDecliningBalance(lifetime_years=lifetime)
+    lin = LinearDepreciation(lifetime_years=lifetime)
+    assert ddb.yearly_charge(total, 0) == pytest.approx(
+        2 * lin.yearly_charge(total, 0)
+    )
+
+
+@settings(max_examples=100)
+@given(st.floats(min_value=0.0, max_value=1e9), st.integers(min_value=0, max_value=30))
+def test_ddb_charges_bounded_by_remaining(total, age):
+    ddb = DoubleDecliningBalance()
+    assert 0.0 <= ddb.yearly_charge(total, age) <= ddb.remaining(total, age) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Ledger invariants
+# ---------------------------------------------------------------------------
+@settings(max_examples=100)
+@given(
+    st.floats(min_value=0.0, max_value=1e6),
+    st.lists(st.floats(min_value=0.0, max_value=1e5), max_size=50),
+)
+def test_ledger_never_negative(initial, debits):
+    alloc = Allocation(user="u", unit="x", balance=initial)
+    for amount in debits:
+        try:
+            alloc.debit(amount)
+        except AllocationExhausted:
+            pass
+    assert alloc.balance >= -1e-9
+    assert alloc.spent + alloc.balance == pytest.approx(alloc.granted)
+
+
+# ---------------------------------------------------------------------------
+# Scheduling invariants
+# ---------------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=25),
+    st.integers(min_value=1, max_value=8),
+    st.randoms(use_true_random=False),
+)
+def test_taskgraph_makespan_bounds(costs, workers, rnd):
+    """Greedy list scheduling respects both classic bounds:
+    max(critical path, total/workers) <= makespan <= total."""
+    from repro.apps.taskgraph import TaskGraph
+
+    g = TaskGraph()
+    names = []
+    for i, cost in enumerate(costs):
+        k = rnd.randint(0, min(2, len(names)))
+        deps = rnd.sample(names, k) if k else []
+        g.add(f"t{i}", lambda: None, deps=deps, cost=cost)
+        names.append(f"t{i}")
+    stats = g.execute(workers=workers)
+    total = sum(costs)
+    assert stats.makespan <= total + 1e-9
+    assert stats.makespan >= stats.critical_path - 1e-9
+    assert stats.makespan >= total / workers - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Trace invariants
+# ---------------------------------------------------------------------------
+@settings(max_examples=50)
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=72),
+    st.floats(min_value=0.0, max_value=1e6),
+    st.floats(min_value=0.0, max_value=1e5),
+)
+def test_trace_average_bounded(values, start, duration):
+    from repro.carbon.intensity import CarbonIntensityTrace
+
+    trace = CarbonIntensityTrace("t", np.array(values))
+    avg = trace.average_over(start, duration)
+    slack = 1e-6 * (1.0 + trace.max)  # float noise in the width ratios
+    assert trace.min - slack <= avg <= trace.max + slack

@@ -1,0 +1,108 @@
+"""Provider-side fleet reporting."""
+
+import pytest
+
+from repro.accounting.methods import EnergyBasedAccounting
+from repro.reporting import (
+    fleet_report,
+    format_fleet_report,
+    local_global_tension,
+)
+from repro.sim.engine import MultiClusterSimulator
+from repro.sim.policies import GreedyPolicy, RuntimePolicy
+
+
+@pytest.fixture(scope="module")
+def greedy_result(sim_machines, small_workload):
+    return MultiClusterSimulator(
+        sim_machines, EnergyBasedAccounting(), GreedyPolicy()
+    ).run(small_workload)
+
+
+@pytest.fixture(scope="module")
+def runtime_result(sim_machines, small_workload):
+    return MultiClusterSimulator(
+        sim_machines, EnergyBasedAccounting(), RuntimePolicy()
+    ).run(small_workload)
+
+
+class TestFleetReport:
+    def test_totals_match_result(self, greedy_result):
+        report = fleet_report(greedy_result)
+        assert report.total_energy_mwh == pytest.approx(
+            greedy_result.total_energy_j() / 3.6e9
+        )
+        assert sum(m.jobs for m in report.machines) == greedy_result.n_jobs
+
+    def test_per_machine_energy_sums_to_total(self, greedy_result):
+        report = fleet_report(greedy_result)
+        assert sum(m.energy_mwh for m in report.machines) == pytest.approx(
+            report.total_energy_mwh
+        )
+
+    def test_load_shares_sum_to_one(self, greedy_result):
+        shares = fleet_report(greedy_result).load_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_machine_lookup(self, greedy_result):
+        report = fleet_report(greedy_result)
+        assert report.machine("IC").machine == "IC"
+        with pytest.raises(KeyError):
+            report.machine("Fugaku")
+
+    def test_efficiency_metric_separates_machines(
+        self, sim_machines, small_workload
+    ):
+        """Running the *same* workload entirely on Theta vs entirely on
+        FASTER must show Theta's worse delivered kWh per core-hour —
+        the hardware fact behind the whole §5 story.  (Policy-filtered
+        runs can't show this: Greedy only sends Theta the jobs Theta is
+        good at.)"""
+        from repro.sim.policies import FixedMachinePolicy
+
+        def fixed(name):
+            result = MultiClusterSimulator(
+                sim_machines, EnergyBasedAccounting(), FixedMachinePolicy(name)
+            ).run(small_workload)
+            return fleet_report(result).machine(name)
+
+        theta = fixed("Theta")
+        faster = fixed("FASTER")
+        assert (
+            theta.energy_per_core_hour_kwh * theta.core_hours
+            > faster.energy_per_core_hour_kwh * faster.core_hours
+        )
+
+    def test_format(self, greedy_result):
+        text = format_fleet_report(fleet_report(greedy_result))
+        assert "TOTAL" in text and "Greedy" in text
+
+
+class TestLocalGlobalTension:
+    def test_fleet_delta_matches_totals(self, greedy_result, runtime_result):
+        tension = local_global_tension(runtime_result, greedy_result)
+        expect = (
+            greedy_result.total_energy_j() - runtime_result.total_energy_j()
+        ) / 3.6e9
+        assert tension["__fleet__"]["energy_delta_mwh"] == pytest.approx(expect)
+
+    def test_per_machine_deltas_sum_to_fleet(self, greedy_result, runtime_result):
+        tension = local_global_tension(runtime_result, greedy_result)
+        per_machine = sum(
+            v["energy_delta_mwh"] for k, v in tension.items() if k != "__fleet__"
+        )
+        assert per_machine == pytest.approx(
+            tension["__fleet__"]["energy_delta_mwh"]
+        )
+
+    def test_section7_concern_is_observable(self, greedy_result, runtime_result):
+        """Moving from Runtime to Greedy saves fleet energy while at
+        least one machine's served load increases — the exact local-vs-
+        global tension §7 describes."""
+        tension = local_global_tension(runtime_result, greedy_result)
+        assert tension["__fleet__"]["energy_delta_mwh"] < 0
+        gainers = [
+            k for k, v in tension.items()
+            if k != "__fleet__" and v["load_delta_core_hours"] > 0
+        ]
+        assert gainers  # someone absorbs more load for the global saving

@@ -1,0 +1,71 @@
+"""Unit conversions: exact constants and round-trips."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+def test_kwh_round_trip():
+    assert units.joules_to_kwh(units.kwh_to_joules(2.5)) == pytest.approx(2.5)
+
+
+def test_one_kwh_is_3_6_megajoules():
+    assert units.kwh_to_joules(1.0) == 3.6e6
+
+
+def test_one_wh_is_3600_joules():
+    assert units.wh_to_joules(1.0) == 3600.0
+
+
+def test_hours_per_year_matches_paper_divisor():
+    assert units.HOURS_PER_YEAR == 24 * 365
+
+
+def test_core_hours():
+    assert units.core_hours(8, 1800) == pytest.approx(4.0)
+
+
+def test_core_hours_zero_duration():
+    assert units.core_hours(16, 0.0) == 0.0
+
+
+def test_operational_carbon_one_kwh():
+    # 1 kWh at 400 g/kWh is 400 g.
+    assert units.operational_carbon_g(3.6e6, 400.0) == pytest.approx(400.0)
+
+
+def test_operational_carbon_zero_intensity():
+    assert units.operational_carbon_g(1e6, 0.0) == 0.0
+
+
+def test_watts_over_seconds():
+    assert units.watts_over_seconds_to_joules(100.0, 60.0) == 6000.0
+
+
+def test_grams_conversions():
+    assert units.grams_to_kg(1500.0) == pytest.approx(1.5)
+    assert units.grams_to_mg(1.5) == pytest.approx(1500.0)
+
+
+def test_seconds_hours_round_trip():
+    assert units.hours_to_seconds(units.seconds_to_hours(7200.0)) == 7200.0
+
+
+@given(st.floats(min_value=0, max_value=1e15, allow_nan=False))
+def test_joules_kwh_round_trip_property(j):
+    assert math.isclose(
+        units.kwh_to_joules(units.joules_to_kwh(j)), j, rel_tol=1e-12, abs_tol=1e-9
+    )
+
+
+@given(
+    st.floats(min_value=0, max_value=1e6),
+    st.floats(min_value=0, max_value=2000),
+)
+def test_operational_carbon_monotone_in_both_arguments(energy, intensity):
+    base = units.operational_carbon_g(energy, intensity)
+    assert units.operational_carbon_g(energy * 2, intensity) >= base
+    assert units.operational_carbon_g(energy, intensity * 2) >= base
