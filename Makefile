@@ -1,0 +1,36 @@
+# Developer entry points.  PYTHONPATH is exported so targets work from a
+# clean checkout without an editable install.
+PY ?= python
+export PYTHONPATH := src
+
+BENCH_BASELINE ?= .benchmarks/kernels-baseline.json
+BENCH_CURRENT  ?= .benchmarks/kernels-current.json
+BENCH_THRESHOLD ?= 0.20
+
+.PHONY: test bench-kernels bench-baseline bench-current bench-compare simulate
+
+test:
+	$(PY) -m pytest -x -q
+
+## Record the hot-path suite into an arbitrary JSON file: make bench-kernels OUT=foo.json
+bench-kernels:
+	$(PY) -m pytest benchmarks/bench_kernels.py --benchmark-only --benchmark-json=$(OUT)
+
+bench-baseline:
+	@mkdir -p $(dir $(BENCH_BASELINE))
+	$(MAKE) bench-kernels OUT=$(BENCH_BASELINE)
+
+bench-current:
+	@mkdir -p $(dir $(BENCH_CURRENT))
+	$(MAKE) bench-kernels OUT=$(BENCH_CURRENT)
+
+## Fail (exit 1) when any bench_kernels hot path is >$(BENCH_THRESHOLD) slower
+## than the recorded baseline — wire this pair into CI around a change.
+bench-compare: bench-current
+	$(PY) benchmarks/compare.py $(BENCH_BASELINE) $(BENCH_CURRENT) --threshold $(BENCH_THRESHOLD)
+
+## Paper-scale §5 study: make simulate SCALE=71190 JOBS=8
+SCALE ?= 6000
+JOBS ?=
+simulate:
+	$(PY) -m repro simulate --scale $(SCALE) $(if $(JOBS),--jobs $(JOBS))

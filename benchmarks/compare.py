@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Diff two pytest-benchmark JSON runs and fail on hot-path regressions.
+
+Usage
+-----
+::
+
+    # capture a baseline, make changes, capture again, then compare:
+    pytest benchmarks/bench_kernels.py --benchmark-only \
+        --benchmark-json=baseline.json
+    pytest benchmarks/bench_kernels.py --benchmark-only \
+        --benchmark-json=current.json
+    python benchmarks/compare.py baseline.json current.json
+
+    # or via make:
+    make bench-baseline && make bench-compare
+
+Benchmarks are matched by fully-qualified name; each one whose current
+min time exceeds ``baseline * (1 + threshold)`` counts as a regression
+and the script exits non-zero (CI-friendly).  Min time is used because
+it is the least noisy statistic for micro-benchmarks.  Benchmarks only
+present on one side are reported but never fail the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Default regression budget for the bench_kernels hot-path suite.
+DEFAULT_THRESHOLD = 0.20
+
+
+def load_benchmarks(path: Path, only: str | None) -> dict[str, float]:
+    """``fullname -> min seconds`` for one pytest-benchmark JSON file."""
+    with open(path) as fh:
+        data = json.load(fh)
+    out: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("fullname") or bench["name"]
+        if only and only not in name:
+            continue
+        out[name] = float(bench["stats"]["min"])
+    return out
+
+
+def compare(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    threshold: float,
+) -> tuple[list[str], list[str]]:
+    """Returns (report lines, regressed benchmark names)."""
+    lines = []
+    regressions = []
+    width = max((len(n) for n in {*baseline, *current}), default=10)
+    lines.append(
+        f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  {'ratio':>7}"
+    )
+    for name in sorted({*baseline, *current}):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None:
+            lines.append(f"{name:<{width}}  {'-':>12}  {cur:>12.6f}  {'new':>7}")
+            continue
+        if cur is None:
+            lines.append(f"{name:<{width}}  {base:>12.6f}  {'-':>12}  {'gone':>7}")
+            continue
+        ratio = cur / base if base > 0 else float("inf")
+        flag = ""
+        if cur > base * (1.0 + threshold):
+            flag = "  << REGRESSION"
+            regressions.append(name)
+        lines.append(
+            f"{name:<{width}}  {base:>12.6f}  {cur:>12.6f}  {ratio:>6.2f}x{flag}"
+        )
+    return lines, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when hot-path benchmarks regress beyond a threshold"
+    )
+    parser.add_argument("baseline", type=Path, help="baseline --benchmark-json file")
+    parser.add_argument("current", type=Path, help="current --benchmark-json file")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed relative slowdown (default 0.20 = +20%%)",
+    )
+    parser.add_argument(
+        "--only",
+        default="bench_kernels",
+        help="substring filter on benchmark fullnames "
+        "(default: the bench_kernels hot-path suite; '' = everything)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_benchmarks(args.baseline, args.only or None)
+        current = load_benchmarks(args.current, args.only or None)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"cannot read benchmark JSON: {err}", file=sys.stderr)
+        return 2
+    if not baseline and not current:
+        print(f"no benchmarks matching {args.only!r} in either file", file=sys.stderr)
+        return 2
+
+    lines, regressions = compare(baseline, current, args.threshold)
+    print("\n".join(lines))
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) slower than baseline "
+            f"by more than {args.threshold:.0%}: " + ", ".join(regressions),
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nok: no benchmark regressed by more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,7 @@ ledger (§3.1) that the costs are debited from.
 from repro.accounting.base import (
     AccountingMethod,
     MachinePricing,
+    UsageBatch,
     UsageRecord,
     pricing_for_node,
     pricing_for_gpu_config,
@@ -48,6 +49,7 @@ from repro.accounting.incentives import (
 __all__ = [
     "AccountingMethod",
     "MachinePricing",
+    "UsageBatch",
     "UsageRecord",
     "pricing_for_node",
     "pricing_for_gpu_config",

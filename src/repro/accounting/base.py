@@ -16,6 +16,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.carbon.intensity import CarbonIntensityTrace, constant_trace
 from repro.hardware.node import GPUNodeSpec, NodeSpec
@@ -71,6 +74,104 @@ class UsageRecord:
     def occupancy(self) -> int:
         """Cores actually occupied (falls back to the request)."""
         return self.provisioned_cores if self.provisioned_cores is not None else self.cores
+
+
+@dataclass(frozen=True)
+class UsageBatch:
+    """Struct-of-arrays batch of usage records on **one** machine.
+
+    The vectorized pricing path (:meth:`AccountingMethod.charge_many`)
+    operates on flat arrays instead of per-:class:`UsageRecord` objects;
+    this is what lets the simulator price a whole workload in a handful
+    of NumPy expressions.  Field semantics match :class:`UsageRecord`
+    element-wise.
+    """
+
+    machine: str
+    duration_s: np.ndarray
+    energy_j: np.ndarray
+    cores: np.ndarray
+    start_time_s: np.ndarray
+    provisioned_cores: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        duration = np.asarray(self.duration_s, dtype=float)
+        energy = np.asarray(self.energy_j, dtype=float)
+        cores = np.asarray(self.cores)
+        start = np.asarray(self.start_time_s, dtype=float)
+        n = len(duration)
+        if not (len(energy) == len(cores) == len(start) == n):
+            raise ValueError("batch arrays must have equal lengths")
+        if np.any(duration < 0):
+            raise ValueError("duration cannot be negative")
+        if np.any(energy < 0):
+            raise ValueError("energy cannot be negative")
+        if np.any(cores <= 0):
+            raise ValueError("cores must be positive")
+        object.__setattr__(self, "duration_s", duration)
+        object.__setattr__(self, "energy_j", energy)
+        object.__setattr__(self, "cores", cores)
+        object.__setattr__(self, "start_time_s", start)
+        if self.provisioned_cores is not None:
+            prov = np.asarray(self.provisioned_cores)
+            if len(prov) != n:
+                raise ValueError("batch arrays must have equal lengths")
+            if np.any(prov <= 0):
+                raise ValueError("provisioned_cores must be positive")
+            object.__setattr__(self, "provisioned_cores", prov)
+
+    def __len__(self) -> int:
+        return len(self.duration_s)
+
+    @property
+    def occupancy(self) -> np.ndarray:
+        """Cores actually occupied (falls back to the request)."""
+        return (
+            self.provisioned_cores
+            if self.provisioned_cores is not None
+            else self.cores
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(cls, records: Sequence[UsageRecord]) -> "UsageBatch":
+        """Pack same-machine records into one batch."""
+        if not records:
+            raise ValueError("need at least one record")
+        machines = {r.machine for r in records}
+        if len(machines) > 1:
+            raise ValueError(f"records span several machines: {sorted(machines)}")
+        provisioned = None
+        if any(r.provisioned_cores is not None for r in records):
+            provisioned = np.array([r.occupancy for r in records])
+        return cls(
+            machine=records[0].machine,
+            duration_s=np.array([r.duration_s for r in records]),
+            energy_j=np.array([r.energy_j for r in records]),
+            cores=np.array([r.cores for r in records]),
+            start_time_s=np.array([r.start_time_s for r in records]),
+            provisioned_cores=provisioned,
+        )
+
+    def record(self, i: int) -> UsageRecord:
+        """The ``i``-th element as a scalar :class:`UsageRecord` (the
+        fallback path for methods without a vectorized ``charge_many``)."""
+        return UsageRecord(
+            machine=self.machine,
+            duration_s=float(self.duration_s[i]),
+            energy_j=float(self.energy_j[i]),
+            cores=int(self.cores[i]),
+            provisioned_cores=(
+                int(self.provisioned_cores[i])
+                if self.provisioned_cores is not None
+                else None
+            ),
+            start_time_s=float(self.start_time_s[i]),
+        )
+
+    def records(self) -> Iterable[UsageRecord]:
+        """Iterate the batch as scalar records."""
+        return (self.record(i) for i in range(len(self)))
 
 
 @dataclass(frozen=True)
@@ -134,6 +235,21 @@ class MachinePricing:
         """TDP attributed to a ``cores``-wide job (Eq. 1's potential use)."""
         return self.tdp_watts * self.share(cores)
 
+    def share_many(self, cores: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`share` for an array of core counts.
+
+        Identical IEEE operations to the scalar path, so batch pricing
+        is bit-for-bit equal to looped pricing.
+        """
+        cores = np.asarray(cores)
+        if self.whole_unit:
+            return np.ones(cores.shape)
+        return np.minimum(1.0, cores / self.total_cores)
+
+    def attributed_tdp_watts_many(self, cores: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`attributed_tdp_watts`."""
+        return self.tdp_watts * self.share_many(cores)
+
     def intensity_at(self, time_s: float) -> float:
         """Grid carbon intensity (gCO2e/kWh) at ``time_s``."""
         if self.intensity is None:
@@ -165,6 +281,17 @@ class AccountingMethod(abc.ABC):
     @abc.abstractmethod
     def charge(self, record: UsageRecord, machine: MachinePricing) -> float:
         """Cost of ``record`` on ``machine``, in this method's units."""
+
+    def charge_many(self, batch: UsageBatch, machine: MachinePricing) -> np.ndarray:
+        """Vectorized :meth:`charge` over a same-machine batch.
+
+        The base implementation loops, so any subclass is automatically
+        batch-capable; the built-in methods override this with pure
+        array expressions that are bit-identical to the looped path.
+        """
+        return np.array(
+            [self.charge(record, machine) for record in batch.records()]
+        )
 
     def estimate(
         self,

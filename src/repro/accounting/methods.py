@@ -19,7 +19,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.accounting.base import AccountingMethod, MachinePricing, UsageRecord
+import numpy as np
+
+from repro.accounting.base import (
+    AccountingMethod,
+    MachinePricing,
+    UsageBatch,
+    UsageRecord,
+)
 from repro.carbon.embodied import (
     DepreciationSchedule,
     DoubleDecliningBalance,
@@ -41,6 +48,9 @@ class RuntimeAccounting(AccountingMethod):
     def charge(self, record: UsageRecord, machine: MachinePricing) -> float:
         return record.cores * record.duration_s / SECONDS_PER_HOUR
 
+    def charge_many(self, batch: UsageBatch, machine: MachinePricing) -> np.ndarray:
+        return batch.cores * batch.duration_s / SECONDS_PER_HOUR
+
 
 @dataclass(frozen=True)
 class EnergyAccounting(AccountingMethod):
@@ -51,6 +61,9 @@ class EnergyAccounting(AccountingMethod):
 
     def charge(self, record: UsageRecord, machine: MachinePricing) -> float:
         return record.energy_j
+
+    def charge_many(self, batch: UsageBatch, machine: MachinePricing) -> np.ndarray:
+        return np.array(batch.energy_j, dtype=float)
 
 
 @dataclass(frozen=True)
@@ -67,6 +80,9 @@ class PeakAccounting(AccountingMethod):
 
     def charge(self, record: UsageRecord, machine: MachinePricing) -> float:
         return record.cores * record.duration_s * machine.peak_rating
+
+    def charge_many(self, batch: UsageBatch, machine: MachinePricing) -> np.ndarray:
+        return batch.cores * batch.duration_s * machine.peak_rating
 
 
 @dataclass(frozen=True)
@@ -94,6 +110,14 @@ class EnergyBasedAccounting(AccountingMethod):
             * machine.attributed_tdp_watts(record.occupancy)
         )
         return (record.energy_j + potential_j) / 2.0
+
+    def charge_many(self, batch: UsageBatch, machine: MachinePricing) -> np.ndarray:
+        potential_j = (
+            self.beta
+            * batch.duration_s
+            * machine.attributed_tdp_watts_many(batch.occupancy)
+        )
+        return (batch.energy_j + potential_j) / 2.0
 
 
 @dataclass(frozen=True)
@@ -131,16 +155,40 @@ class CarbonBasedAccounting(AccountingMethod):
         embodied = self.embodied_charge(record, machine)
         return operational + embodied
 
+    def charge_many(self, batch: UsageBatch, machine: MachinePricing) -> np.ndarray:
+        if machine.intensity is None:
+            raise ValueError(
+                f"machine {machine.name!r} has no carbon-intensity trace"
+            )
+        if self.average_intensity_over_run:
+            intensity = machine.intensity.average_over_many(
+                batch.start_time_s, batch.duration_s
+            )
+        else:
+            intensity = machine.intensity.at_many(batch.start_time_s)
+        operational = operational_carbon_g(batch.energy_j, intensity)
+        return operational + self.embodied_charge_many(batch, machine)
+
     def embodied_charge(self, record: UsageRecord, machine: MachinePricing) -> float:
         """The embodied (second) term of Eq. (2), in gCO2e."""
-        if machine.carbon_rate_override_g_per_h is not None:
-            rate = machine.carbon_rate_override_g_per_h
-        else:
-            rate = carbon_rate_per_hour(
-                machine.embodied_carbon_g, machine.age_years, self.schedule
-            )
         hours = record.duration_s / SECONDS_PER_HOUR
-        return rate * hours * machine.share(record.occupancy)
+        return self._embodied_rate(machine) * hours * machine.share(record.occupancy)
+
+    def embodied_charge_many(
+        self, batch: UsageBatch, machine: MachinePricing
+    ) -> np.ndarray:
+        """Vectorized :meth:`embodied_charge` (same IEEE operation order)."""
+        hours = batch.duration_s / SECONDS_PER_HOUR
+        return (
+            self._embodied_rate(machine) * hours * machine.share_many(batch.occupancy)
+        )
+
+    def _embodied_rate(self, machine: MachinePricing) -> float:
+        if machine.carbon_rate_override_g_per_h is not None:
+            return machine.carbon_rate_override_g_per_h
+        return carbon_rate_per_hour(
+            machine.embodied_carbon_g, machine.age_years, self.schedule
+        )
 
     def operational_charge(self, record: UsageRecord, machine: MachinePricing) -> float:
         """The operational (first) term of Eq. (2), in gCO2e."""

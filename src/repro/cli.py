@@ -49,6 +49,24 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_jobs(args: argparse.Namespace) -> bool:
+    """Cap sweep parallelism from ``--jobs`` (overrides
+    ``REPRO_SWEEP_WORKERS``; default resolution is the CPU count).
+
+    Returns False (after printing a usage error) for non-positive
+    counts."""
+    jobs = getattr(args, "jobs", None)
+    if jobs is None:
+        return True
+    if jobs < 1:
+        print(f"--jobs must be >= 1, got {jobs}", file=sys.stderr)
+        return False
+    from repro.sim.sweep import set_default_workers
+
+    set_default_workers(jobs)
+    return True
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.experiments import (
         fig5_eba_simulation,
@@ -56,6 +74,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         table6_policy_impact,
     )
 
+    if not _apply_jobs(args):
+        return 2
     print(fig5_eba_simulation.format_report(scale=args.scale, seed=args.seed))
     print()
     print(table6_policy_impact.format_table(scale=args.scale, seed=args.seed))
@@ -67,6 +87,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_low_carbon(args: argparse.Namespace) -> int:
     from repro.experiments import fig7_low_carbon
 
+    if not _apply_jobs(args):
+        return 2
     print(fig7_low_carbon.format_report(scale=args.scale, seed=args.seed))
     return 0
 
@@ -136,11 +158,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--scale", type=int, default=6_000,
                        help="base jobs before the x2 repetition")
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="parallel sweep workers (default: "
+                            "$REPRO_SWEEP_WORKERS or the CPU count)")
     p_sim.set_defaults(fn=_cmd_simulate)
 
     p_low = sub.add_parser("low-carbon", help="run the section-5.6 scenario")
     p_low.add_argument("--scale", type=int, default=6_000)
     p_low.add_argument("--seed", type=int, default=0)
+    p_low.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="parallel sweep workers (default: "
+                            "$REPRO_SWEEP_WORKERS or the CPU count)")
     p_low.set_defaults(fn=_cmd_low_carbon)
 
     p_study = sub.add_parser("study", help="run the section-6 user study")

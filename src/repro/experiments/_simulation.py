@@ -8,6 +8,22 @@ several experiments consume the same runs, so this module memoizes
 paper's full scale is 71,190.  The default (6,000 -> 12,000 jobs) keeps
 a full 8-policy sweep under a minute while preserving queue contention;
 pass ``scale=71_190`` for the paper-scale run.
+
+Batched / parallel architecture
+-------------------------------
+:func:`policy_sweep` no longer loops policies serially: it builds the
+eight-task grid and hands it to :class:`~repro.sim.sweep.SweepRunner`,
+which fans the simulations across a process pool (workers resolved from
+the CLI's ``--jobs``, ``REPRO_SWEEP_WORKERS``, or the CPU count) while
+sharing the memoized scenario + workload with every worker via fork.
+Each simulation itself prices jobs through the vectorized
+``charge_many`` batch path (see :mod:`repro.sim.engine`), so a
+paper-scale run is
+
+    python -m repro simulate --scale 71190 --jobs 8
+
+Results are bit-identical to the serial reference
+(:func:`policy_sweep_serial`), which the test suite asserts.
 """
 
 from __future__ import annotations
@@ -19,6 +35,7 @@ from repro.accounting.methods import CarbonBasedAccounting, EnergyBasedAccountin
 from repro.sim.engine import MultiClusterSimulator, SimulationResult
 from repro.sim.policies import standard_policies
 from repro.sim.scenarios import SimMachine, baseline_scenario, low_carbon_scenario
+from repro.sim.sweep import SweepRunner, SweepTask
 from repro.sim.workload import PatelWorkloadGenerator, Workload, WorkloadConfig
 
 DEFAULT_SCALE = 6_000
@@ -58,7 +75,39 @@ def policy_sweep(
     scale: int = DEFAULT_SCALE,
     seed: int = 0,
 ) -> dict[str, SimulationResult]:
-    """Run all eight policies; memoized per configuration."""
+    """Run all eight policies; memoized per configuration.
+
+    Fans the eight simulations across a process pool via
+    :class:`~repro.sim.sweep.SweepRunner`; output is bit-identical to
+    :func:`policy_sweep_serial`.
+    """
+    runner = SweepRunner(
+        scenario_fn=scenario, workload_fn=workload, method_fn=method_for
+    )
+    tasks = [
+        SweepTask(
+            scenario=scenario_name,
+            policy=policy.name,
+            method=method_name,
+            scale=scale,
+            seed=seed,
+        )
+        for policy in standard_policies()
+    ]
+    results = runner.run(tasks)
+    return {task.policy: results[task] for task in tasks}
+
+
+def policy_sweep_serial(
+    scenario_name: str = "baseline",
+    method_name: str = "EBA",
+    scale: int = DEFAULT_SCALE,
+    seed: int = 0,
+) -> dict[str, SimulationResult]:
+    """Serial in-process reference sweep (no pool, no memoization).
+
+    Exists so tests can assert that the parallel path changes nothing.
+    """
     machines = dict(scenario(scenario_name, seed))
     wl = workload(scenario_name, scale, seed)
     method = method_for(method_name)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.accounting.base import UsageRecord
+from repro.accounting.base import UsageBatch
 from repro.accounting.methods import CarbonBasedAccounting
 from repro.experiments._simulation import (
     DEFAULT_SCALE,
@@ -51,33 +51,50 @@ def cheapest_endpoint_by_hour(
     scale: int = DEFAULT_SCALE, seed: int = 0, day: int = 10
 ) -> dict[int, dict[str, float]]:
     """Fig. 7c: share of jobs for which each machine is the cheapest CBA
-    submission target, per hour of ``day``."""
+    submission target, per hour of ``day``.
+
+    Vectorized: one ``charge_many`` call per (machine, hour) over the
+    whole sample, then an argmin across the machine axis — the same
+    winner-takes-first tie behaviour as scanning each job's eligible
+    machines in order.
+    """
     machines = dict(scenario("low-carbon", seed))
     pricings = {n: pricing_for_sim_machine(m) for n, m in machines.items()}
     cba = CarbonBasedAccounting()
     wl = workload("low-carbon", scale, seed)
     sample = wl.jobs[:: max(1, len(wl.jobs) // 400)]  # ~400 jobs is plenty
 
+    names = list(machines)
+    n = len(sample)
+    runtime = np.full((len(names), n), np.nan)
+    energy = np.full((len(names), n), np.nan)
+    cores = np.array([job.cores for job in sample])
+    for mi, name in enumerate(names):
+        for i, job in enumerate(sample):
+            rt = job.runtime_s.get(name)
+            if rt is not None:
+                runtime[mi, i] = rt
+                energy[mi, i] = job.energy_j[name]
+    eligible = ~np.isnan(runtime)
+
     out: dict[int, dict[str, float]] = {}
     for hour in range(24):
         t = (day * 24 + hour) * 3600.0
-        wins = {name: 0 for name in machines}
-        for job in sample:
-            best, best_cost = None, float("inf")
-            for name in job.eligible_machines:
-                record = UsageRecord(
-                    machine=name,
-                    duration_s=job.runtime_s[name],
-                    energy_j=job.energy_j[name],
-                    cores=job.cores,
-                    start_time_s=t,
-                )
-                cost = cba.charge(record, pricings[name])
-                if cost < best_cost:
-                    best, best_cost = name, cost
-            wins[best] += 1
-        total = sum(wins.values()) or 1
-        out[hour] = {name: wins[name] / total for name in machines}
+        costs = np.full((len(names), n), np.inf)
+        for mi, name in enumerate(names):
+            mask = eligible[mi]
+            batch = UsageBatch(
+                machine=name,
+                duration_s=runtime[mi, mask],
+                energy_j=energy[mi, mask],
+                cores=cores[mask],
+                start_time_s=np.full(int(mask.sum()), t),
+            )
+            costs[mi, mask] = cba.charge_many(batch, pricings[name])
+        winners = np.argmin(costs, axis=0)
+        wins = np.bincount(winners, minlength=len(names))
+        total = int(wins.sum()) or 1
+        out[hour] = {name: int(wins[mi]) / total for mi, name in enumerate(names)}
     return out
 
 

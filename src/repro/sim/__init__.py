@@ -12,7 +12,10 @@ energy dataset [40].  This package rebuilds that pipeline:
   the one-running-job-per-user-per-cluster constraint;
 * :mod:`repro.sim.policies` — the eight machine-selection policies
   (§5.3);
-* :mod:`repro.sim.engine` — the event-driven simulation loop;
+* :mod:`repro.sim.engine` — the event-driven simulation loop with
+  vectorized batch pricing;
+* :mod:`repro.sim.sweep` — the parallel (scenario x policy x method x
+  seed) sweep engine;
 * :mod:`repro.sim.metrics` — work/energy/carbon aggregation;
 * :mod:`repro.sim.scenarios` — baseline (Table 5 grids) and low-carbon
   (§5.6) machine/grid configurations.
@@ -32,6 +35,7 @@ from repro.sim.policies import (
     standard_policies,
 )
 from repro.sim.engine import MultiClusterSimulator, SimulationResult
+from repro.sim.sweep import SweepRunner, SweepTask, sweep_grid
 from repro.sim.metrics import PolicySummary, summarize
 from repro.sim.scenarios import (
     SimMachine,
@@ -63,6 +67,9 @@ __all__ = [
     "standard_policies",
     "MultiClusterSimulator",
     "SimulationResult",
+    "SweepRunner",
+    "SweepTask",
+    "sweep_grid",
     "PolicySummary",
     "summarize",
     "SimMachine",

@@ -23,7 +23,7 @@ from repro.sim.job import Job
 from repro.sim.scenarios import SimMachine
 
 
-@dataclass
+@dataclass(slots=True)
 class _Running:
     job: Job
     end_s: float
@@ -37,17 +37,18 @@ class ClusterSim:
             raise ValueError("backfill window must be >= 1")
         self.machine = machine
         self.backfill_window = backfill_window
-        self.free_cores = machine.total_cores
+        # Cached off the property chain (machine.node.cores * node_count):
+        # the hot loop reads these tens of thousands of times per run.
+        self.name: str = machine.name
+        self.total_cores: int = machine.total_cores
+        self._capacity: int = max(1, self.total_cores)
+        self.free_cores = self.total_cores
         self.queue: deque[Job] = deque()
         self.running: dict[int, _Running] = {}
         self._busy_users: set[int] = set()
         self._committed_core_s = 0.0
 
     # ------------------------------------------------------------------
-    @property
-    def name(self) -> str:
-        return self.machine.name
-
     @property
     def queue_length(self) -> int:
         return len(self.queue)
@@ -57,27 +58,30 @@ class ClusterSim:
 
     def estimated_wait_s(self) -> float:
         """Backlog heuristic: committed core-seconds over capacity."""
-        capacity = max(1, self.machine.total_cores)
-        return self._committed_core_s / capacity
+        return self._committed_core_s / self._capacity
 
     # ------------------------------------------------------------------
     def enqueue(self, job: Job) -> None:
-        if self.name not in job.runtime_s:
+        runtime = job.runtime_s.get(self.name)
+        if runtime is None:
             raise ValueError(
                 f"job {job.job_id} is not eligible on {self.name!r}"
             )
         self.queue.append(job)
-        self._committed_core_s += job.core_seconds_on(self.name)
+        self._committed_core_s += job.cores * runtime
 
     def startable(self, now: float) -> list[Job]:
         """Pop every job that can start right now (FCFS + backfill)."""
+        if not self.queue or self.free_cores <= 0:
+            return []
         started: list[Job] = []
         scanned = 0
         remaining: deque[Job] = deque()
+        busy = self._busy_users
         while self.queue and scanned < self.backfill_window:
             job = self.queue.popleft()
             scanned += 1
-            if job.cores <= self.free_cores and job.user not in self._busy_users:
+            if job.cores <= self.free_cores and job.user not in busy:
                 self._start(job, now)
                 started.append(job)
             else:
@@ -103,7 +107,7 @@ class ClusterSim:
         job = entry.job
         self.free_cores += job.cores
         self._committed_core_s = max(
-            0.0, self._committed_core_s - job.core_seconds_on(self.name)
+            0.0, self._committed_core_s - job.cores * job.runtime_s[self.name]
         )
         # The user may have exactly one job here, so membership is safe
         # to clear unconditionally.
@@ -116,5 +120,5 @@ class ClusterSim:
     @property
     def utilization(self) -> float:
         """Currently busy fraction of cores."""
-        total = self.machine.total_cores
+        total = self.total_cores
         return (total - self.free_cores) / total if total else 0.0

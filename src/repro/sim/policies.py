@@ -15,9 +15,14 @@ from dataclasses import dataclass
 from repro.sim.job import Job
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class MachineView:
-    """What a policy knows about one candidate machine for one job."""
+    """What a policy knows about one candidate machine for one job.
+
+    A plain slots dataclass (not frozen): the engine builds one view per
+    (arrival x eligible machine), so construction cost is a measurable
+    part of the simulation hot loop.  Treat instances as immutable.
+    """
 
     machine: str
     runtime_s: float

@@ -1,0 +1,210 @@
+"""Parallel policy-sweep engine.
+
+The paper's headline results (Figs. 5-7, Table 6) replay one workload
+through eight scheduling policies under two accounting methods.  Every
+cell of that (scenario x policy x method x seed) grid is an independent
+deterministic simulation, so the sweep parallelises perfectly: the
+:class:`SweepRunner` fans tasks across a ``ProcessPoolExecutor`` and
+returns exactly the results a serial loop would produce, in task order.
+
+Workload sharing
+----------------
+Workload generation is the second-most expensive step, so the runner
+*warms* the caller-supplied memoized ``scenario``/``workload`` builders
+in the parent process before forking; on fork-capable platforms every
+worker then inherits the generated workload copy-on-write instead of
+regenerating (or unpickling) it.  On non-fork platforms workers fall
+back to regenerating through the same memoized functions.
+
+Worker count resolution order: explicit ``workers=`` argument, the
+:func:`set_default_workers` override (the CLI's ``--jobs``), the
+``REPRO_SWEEP_WORKERS`` environment variable, then ``os.cpu_count()``.
+``workers=1`` runs serially in-process — results are identical either
+way (the determinism test asserts bit-equality).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from itertools import product
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.accounting.base import AccountingMethod
+from repro.accounting.methods import method_by_name
+from repro.sim.engine import MultiClusterSimulator, SimulationResult
+from repro.sim.policies import FixedMachinePolicy, Policy, standard_policies
+from repro.sim.scenarios import SimMachine
+from repro.sim.workload import Workload
+
+#: Environment knob capping sweep parallelism (laptops, CI).
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+_workers_override: int | None = None
+
+
+def set_default_workers(workers: int | None) -> None:
+    """Process-wide default worker count (the CLI's ``--jobs N``).
+
+    ``None`` restores env/cpu-count resolution."""
+    global _workers_override
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be >= 1")
+    _workers_override = workers
+
+
+def resolve_workers(explicit: int | None = None) -> int:
+    """The worker count a sweep will actually use."""
+    if explicit is not None:
+        return max(1, int(explicit))
+    if _workers_override is not None:
+        return _workers_override
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            warnings.warn(
+                f"ignoring non-integer {WORKERS_ENV}={env!r}; "
+                "falling back to the CPU count",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return max(1, os.cpu_count() or 1)
+
+
+def policy_by_name(name: str) -> Policy:
+    """Instantiate a §5.3 policy from its table name.
+
+    Unknown names become single-machine policies, matching how the
+    paper labels the Theta/IC/FASTER rows by machine.
+    """
+    for policy in standard_policies():
+        if policy.name == name:
+            return policy
+    return FixedMachinePolicy(name)
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One cell of the sweep grid."""
+
+    scenario: str
+    policy: str
+    method: str
+    scale: int
+    seed: int = 0
+
+
+def sweep_grid(
+    scenarios: Iterable[str],
+    policies: Iterable[str],
+    methods: Iterable[str],
+    scales: Iterable[int],
+    seeds: Iterable[int] = (0,),
+) -> list[SweepTask]:
+    """The full cartesian task grid, in deterministic order."""
+    return [
+        SweepTask(scenario=sc, policy=p, method=m, scale=n, seed=s)
+        for sc, m, n, s, p in product(scenarios, methods, scales, seeds, policies)
+    ]
+
+
+def _execute(runner: "SweepRunner", task: SweepTask) -> SimulationResult:
+    return runner.run_task(task)
+
+
+class SweepRunner:
+    """Fans simulation tasks over processes with shared memoized inputs.
+
+    Parameters
+    ----------
+    scenario_fn:
+        ``(scenario_name, seed) -> machines`` (a mapping or an iterable
+        of ``(name, SimMachine)`` pairs).  Should be memoized by the
+        caller; :mod:`repro.experiments._simulation` supplies one.
+    workload_fn:
+        ``(scenario_name, scale, seed) -> Workload``; likewise memoized.
+    method_fn:
+        ``method_name -> AccountingMethod`` (defaults to the §4.2 table
+        lookup).
+    workers:
+        Parallelism cap; see the module docstring for resolution order.
+    """
+
+    def __init__(
+        self,
+        scenario_fn: Callable[..., Mapping[str, SimMachine] | Iterable[tuple[str, SimMachine]]],
+        workload_fn: Callable[..., Workload],
+        method_fn: Callable[[str], AccountingMethod] = method_by_name,
+        workers: int | None = None,
+    ) -> None:
+        self.scenario_fn = scenario_fn
+        self.workload_fn = workload_fn
+        self.method_fn = method_fn
+        self.workers = resolve_workers(workers)
+
+    # ------------------------------------------------------------------
+    def run_task(self, task: SweepTask) -> SimulationResult:
+        """Run one grid cell (in this process)."""
+        machines = dict(self.scenario_fn(task.scenario, task.seed))
+        workload = self.workload_fn(task.scenario, task.scale, task.seed)
+        policy = policy_by_name(task.policy)
+        if (
+            isinstance(policy, FixedMachinePolicy)
+            and policy.machine not in machines
+        ):
+            # A fixed policy for a machine the scenario lacks is almost
+            # always a typo'd policy name; failing loudly beats silently
+            # reporting fastest-eligible placements under a wrong label.
+            raise KeyError(
+                f"unknown policy {task.policy!r}: neither a standard policy "
+                f"nor a machine of scenario {task.scenario!r} "
+                f"(machines: {sorted(machines)})"
+            )
+        simulator = MultiClusterSimulator(
+            machines, self.method_fn(task.method), policy
+        )
+        return simulator.run(workload)
+
+    def run(self, tasks: Sequence[SweepTask]) -> dict[SweepTask, SimulationResult]:
+        """Run every task; returns ``{task: result}`` in task order.
+
+        Deterministic regardless of parallelism: each simulation is
+        independent and internally deterministic, so scheduling order
+        cannot change any result.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return {}
+        self._warm(tasks)
+        workers = min(self.workers, len(tasks))
+        if workers <= 1:
+            return {task: self.run_task(task) for task in tasks}
+        context = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            results = list(pool.map(partial(_execute, self), tasks))
+        return dict(zip(tasks, results))
+
+    # ------------------------------------------------------------------
+    def _warm(self, tasks: Sequence[SweepTask]) -> None:
+        """Build each distinct scenario/workload once in the parent so
+        forked workers inherit the memoized objects copy-on-write."""
+        seen: set[tuple] = set()
+        for task in tasks:
+            scenario_key = (task.scenario, task.seed)
+            if ("s", *scenario_key) not in seen:
+                seen.add(("s", *scenario_key))
+                self.scenario_fn(*scenario_key)
+            workload_key = (task.scenario, task.scale, task.seed)
+            if ("w", *workload_key) not in seen:
+                seen.add(("w", *workload_key))
+                self.workload_fn(*workload_key)

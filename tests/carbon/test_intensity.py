@@ -77,6 +77,81 @@ class TestAverageOver:
         assert trace.min - 1e-9 <= avg <= trace.max + 1e-9
 
 
+def _integral_average(trace, start_s, duration_s):
+    """The seed implementation: materialise one edge per spanned hour
+    and integrate — the reference the O(1) prefix-sum path must match."""
+    edges = np.arange(
+        np.floor(start_s / 3600.0),
+        np.floor((start_s + duration_s) / 3600.0) + 2,
+    ) * 3600.0
+    edges[0] = start_s
+    edges[-1] = start_s + duration_s
+    widths = np.diff(edges)
+    mids = (edges[:-1] + edges[1:]) / 2.0
+    vals = trace.at_many(mids)
+    return float((vals * widths).sum() / duration_s)
+
+
+class TestPrefixSumPath:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=72
+        ),
+        st.floats(min_value=0.0, max_value=1e6),
+        st.floats(min_value=1.0, max_value=1e5),
+    )
+    def test_matches_seed_integral(self, values, start, duration):
+        trace = CarbonIntensityTrace("t", np.array(values))
+        assert trace.average_over(start, duration) == pytest.approx(
+            _integral_average(trace, start, duration), rel=1e-9, abs=1e-9
+        )
+
+    def test_matches_seed_integral_random_windows(self):
+        rng = np.random.default_rng(17)
+        trace = CarbonIntensityTrace("t", rng.uniform(10.0, 800.0, size=48))
+        starts = rng.uniform(0.0, 2e6, size=300)
+        durations = rng.uniform(1.0, 3e5, size=300)
+        for start, duration in zip(starts, durations):
+            assert trace.average_over(start, duration) == pytest.approx(
+                _integral_average(trace, start, duration), rel=1e-9
+            )
+
+    def test_average_over_many_matches_scalar(self):
+        rng = np.random.default_rng(23)
+        trace = CarbonIntensityTrace("t", rng.uniform(10.0, 800.0, size=30))
+        starts = rng.uniform(0.0, 1e6, size=200)
+        durations = np.concatenate(
+            [rng.uniform(0.0, 1e5, size=196), [0.0, 1e-12, 1e-9, 2.5]]
+        )
+        many = trace.average_over_many(starts, durations)
+        scalar = np.array(
+            [trace.average_over(s, d) for s, d in zip(starts, durations)]
+        )
+        np.testing.assert_array_equal(many, scalar)
+
+    def test_tiny_duration_relative_guard(self):
+        """A 1e-9 s window at t=32 s has hour-chunk widths dominated by
+        float rounding; it must degrade to the point lookup."""
+        trace = ramp_trace()
+        assert trace.average_over(32.0, 1e-9) == trace.at(32.0)
+        assert trace.average_over(3600.0 - 5e-10, 1e-9) == trace.at(3600.0 - 5e-10)
+
+    def test_average_over_many_rejects_negative(self):
+        trace = ramp_trace()
+        with pytest.raises(ValueError):
+            trace.average_over_many(np.array([0.0]), np.array([-1.0]))
+
+    def test_average_over_many_bounded(self):
+        rng = np.random.default_rng(5)
+        trace = CarbonIntensityTrace("t", rng.uniform(0.0, 1000.0, size=24))
+        starts = rng.uniform(0.0, 1e6, size=500)
+        durations = 10.0 ** rng.uniform(-12, 5, size=500)
+        avg = trace.average_over_many(starts, durations)
+        slack = 1e-6 * (1.0 + trace.max)
+        assert np.all(avg >= trace.min - slack)
+        assert np.all(avg <= trace.max + slack)
+
+
 class TestDayProfile:
     def test_profile_has_24_values(self):
         assert len(ramp_trace().day_profile(0)) == 24

@@ -1,0 +1,180 @@
+"""The parallel sweep engine and the batched engine's exactness.
+
+The acceptance bar for the batched/parallel subsystem is *bit-identical*
+results: same outcomes, same order, same floats as the per-record serial
+reference paths.
+"""
+
+import os
+
+import pytest
+
+from repro.accounting.methods import CarbonBasedAccounting, EnergyBasedAccounting
+from repro.sim.engine import MultiClusterSimulator
+from repro.sim.policies import (
+    EFTPolicy,
+    FixedMachinePolicy,
+    GreedyPolicy,
+    MixedPolicy,
+    standard_policies,
+)
+from repro.sim.sweep import (
+    SweepRunner,
+    SweepTask,
+    policy_by_name,
+    resolve_workers,
+    set_default_workers,
+    sweep_grid,
+)
+
+SCALE = 250
+SEED = 5
+
+
+@pytest.fixture(scope="module")
+def sweep_fns():
+    from repro.experiments._simulation import method_for, scenario, workload
+
+    return scenario, workload, method_for
+
+
+class TestBatchedEngineExactness:
+    """The vectorized pricing paths against the per-record reference."""
+
+    @pytest.mark.parametrize(
+        "method", [EnergyBasedAccounting(), CarbonBasedAccounting()]
+    )
+    @pytest.mark.parametrize(
+        "policy_cls", [GreedyPolicy, MixedPolicy, EFTPolicy]
+    )
+    def test_bit_identical_outcomes(
+        self, sim_machines, small_workload, method, policy_cls
+    ):
+        reference = MultiClusterSimulator(
+            sim_machines, method, policy_cls(), batched=False
+        ).run(small_workload)
+        batched = MultiClusterSimulator(
+            sim_machines, method, policy_cls()
+        ).run(small_workload)
+        assert batched.outcomes == reference.outcomes
+        assert batched.machines == reference.machines
+
+    def test_fixed_policy_bit_identical(self, sim_machines, small_workload):
+        method = EnergyBasedAccounting()
+        reference = MultiClusterSimulator(
+            sim_machines, method, FixedMachinePolicy("Theta"), batched=False
+        ).run(small_workload)
+        batched = MultiClusterSimulator(
+            sim_machines, method, FixedMachinePolicy("Theta")
+        ).run(small_workload)
+        assert batched.outcomes == reference.outcomes
+
+
+class TestSweepRunner:
+    def test_parallel_matches_serial_exactly(self, sweep_fns):
+        """Two pool workers vs the serial in-process loop: bit-equal."""
+        from repro.experiments._simulation import policy_sweep_serial
+
+        scenario, workload, method_for = sweep_fns
+        runner = SweepRunner(
+            scenario_fn=scenario,
+            workload_fn=workload,
+            method_fn=method_for,
+            workers=2,
+        )
+        tasks = [
+            SweepTask("baseline", p.name, "EBA", SCALE, SEED)
+            for p in standard_policies()
+        ]
+        parallel = runner.run(tasks)
+        serial = policy_sweep_serial("baseline", "EBA", SCALE, SEED)
+        assert len(parallel) == len(serial) == 8
+        for task in tasks:
+            a, b = parallel[task], serial[task.policy]
+            assert a.policy == b.policy
+            assert a.method == b.method
+            assert a.outcomes == b.outcomes
+
+    def test_policy_sweep_uses_runner_and_matches_serial(self, sweep_fns):
+        from repro.experiments._simulation import (
+            policy_sweep,
+            policy_sweep_serial,
+        )
+
+        fast = policy_sweep("baseline", "CBA", SCALE, SEED)
+        slow = policy_sweep_serial("baseline", "CBA", SCALE, SEED)
+        assert set(fast) == set(slow)
+        for name in fast:
+            assert fast[name].outcomes == slow[name].outcomes
+
+    def test_empty_task_list(self, sweep_fns):
+        scenario, workload, method_for = sweep_fns
+        runner = SweepRunner(scenario, workload, method_for, workers=2)
+        assert runner.run([]) == {}
+
+    def test_run_task_single_cell(self, sweep_fns):
+        scenario, workload, method_for = sweep_fns
+        runner = SweepRunner(scenario, workload, method_for, workers=1)
+        result = runner.run_task(
+            SweepTask("baseline", "Greedy", "EBA", SCALE, SEED)
+        )
+        assert result.policy == "Greedy"
+        assert result.n_jobs == len(workload("baseline", SCALE, SEED))
+
+    def test_run_task_desktop_fixed_policy_is_valid(self, sweep_fns):
+        """'Desktop' is a real baseline machine, so the fixed-policy
+        fallback is legitimate there."""
+        scenario, workload, method_for = sweep_fns
+        runner = SweepRunner(scenario, workload, method_for, workers=1)
+        result = runner.run_task(
+            SweepTask("baseline", "Desktop", "EBA", SCALE, SEED)
+        )
+        assert result.policy == "Desktop"
+
+    def test_run_task_rejects_typoed_policy(self, sweep_fns):
+        scenario, workload, method_for = sweep_fns
+        runner = SweepRunner(scenario, workload, method_for, workers=1)
+        with pytest.raises(KeyError, match="unknown policy 'greedy'"):
+            runner.run_task(SweepTask("baseline", "greedy", "EBA", SCALE, SEED))
+
+
+class TestKnobs:
+    def test_policy_by_name_standard(self):
+        for policy in standard_policies():
+            assert policy_by_name(policy.name).name == policy.name
+
+    def test_policy_by_name_falls_back_to_fixed(self):
+        policy = policy_by_name("Desktop")
+        assert isinstance(policy, FixedMachinePolicy)
+        assert policy.machine == "Desktop"
+
+    def test_sweep_grid_shape_and_order(self):
+        tasks = sweep_grid(
+            scenarios=["baseline"],
+            policies=["Greedy", "EFT"],
+            methods=["EBA", "CBA"],
+            scales=[100],
+            seeds=[0, 1],
+        )
+        assert len(tasks) == 8
+        assert tasks[0] == SweepTask("baseline", "Greedy", "EBA", 100, 0)
+        # Policies vary fastest, so one (scenario, method, seed) block
+        # stays contiguous for cache warmth.
+        assert tasks[1].policy == "EFT"
+
+    def test_resolve_workers_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        assert resolve_workers() == 3
+        assert resolve_workers(2) == 2
+        set_default_workers(5)
+        try:
+            assert resolve_workers() == 5
+        finally:
+            set_default_workers(None)
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "bogus")
+        with pytest.warns(RuntimeWarning, match="REPRO_SWEEP_WORKERS"):
+            assert resolve_workers() == max(1, os.cpu_count() or 1)
+
+    def test_set_default_workers_rejects_zero(self):
+        with pytest.raises(ValueError):
+            set_default_workers(0)
