@@ -2,19 +2,24 @@
 
 Not a paper artifact — these track the performance of the hot paths the
 reproduction depends on (tiled Cholesky, PageRank, the simulated RAPL
-integrator, workload generation, and the event engine), so regressions
-in the substrates are visible in CI.
+integrator, workload generation, the event engine, the migration
+simulator, and the deferred-settlement pricing kernels), so regressions
+in the substrates are visible in CI (``benchmarks/compare.py`` fails on
+>20% slowdowns and on benchmarks that disappear from this suite).
 """
 
 import numpy as np
 
-from repro.accounting.methods import EnergyBasedAccounting
+from repro.accounting.base import UsageRecord
+from repro.accounting.methods import CarbonBasedAccounting, EnergyBasedAccounting
+from repro.accounting.pricing import SegmentLedger, SettlementQueue
 from repro.apps.cholesky import random_spd, tiled_cholesky
 from repro.apps.graph import pagerank
 from repro.hardware.rapl import SimulatedRAPL
-from repro.sim.engine import MultiClusterSimulator
+from repro.sim.engine import MultiClusterSimulator, pricing_for_sim_machine
+from repro.sim.migration import MigratingSimulator
 from repro.sim.policies import GreedyPolicy
-from repro.sim.scenarios import baseline_scenario
+from repro.sim.scenarios import baseline_scenario, low_carbon_scenario
 from repro.sim.workload import PatelWorkloadGenerator, WorkloadConfig
 
 
@@ -61,3 +66,79 @@ def test_engine_throughput_2k_jobs(run_once, benchmark):
     sim = MultiClusterSimulator(machines, EnergyBasedAccounting(), GreedyPolicy())
     result = run_once(benchmark, sim.run, wl)
     assert result.n_jobs == len(wl)
+
+
+def test_migration_throughput_1k_jobs(run_once, benchmark):
+    """End-to-end batched migration under CBA (quote table + batched
+    probes + deferred segment settlement)."""
+    machines = low_carbon_scenario(days=20, seed=0)
+    cfg = WorkloadConfig(
+        n_base_jobs=500, n_users=80, seed=0, runtime_median_s=4 * 3600.0
+    )
+    wl = PatelWorkloadGenerator(machines, cfg).generate()
+    sim = MigratingSimulator(
+        machines, CarbonBasedAccounting(), GreedyPolicy(), min_saving=0.15
+    )
+    result = run_once(benchmark, sim.run, wl)
+    assert result.n_jobs == len(wl)
+
+
+def _segment_ledger(n: int) -> SegmentLedger:
+    machines = low_carbon_scenario(days=20, seed=0)
+    pricings = {m: pricing_for_sim_machine(s) for m, s in machines.items()}
+    names = list(pricings)
+    rng = np.random.default_rng(7)
+    ledger = SegmentLedger(CarbonBasedAccounting(), pricings)
+    for i in range(n):
+        ledger.add(
+            machine=names[i % len(names)],
+            start_s=float(rng.uniform(0, 20 * 24 * 3600)),
+            duration_s=float(rng.uniform(60, 6 * 3600)),
+            energy_j=float(rng.uniform(1e4, 1e8)),
+            cores=int(rng.integers(1, 64)),
+        )
+    return ledger
+
+
+def test_migration_segment_settle_10k(benchmark):
+    """The migration settle kernel: pricing 10k accrued segments in one
+    vectorized pass per machine (reference: a ``charge()`` + two trace
+    lookups per segment)."""
+    ledger = _segment_ledger(10_000)
+    cost, operational, attributed = benchmark(ledger.settle)
+    assert len(cost) == 10_000
+    assert np.all(cost > 0) and np.all(attributed >= operational)
+
+
+def test_faas_settlement_5k_records(benchmark):
+    """The FaaS deferred-settlement kernel: pricing 5k queued
+    monitor-attributed records with one ``charge_many`` per machine
+    (reference: a CBA ``charge()`` per invocation at debit time).
+    Queue building is setup; the benchmark times ``settle``."""
+    machines = low_carbon_scenario(days=20, seed=0)
+    pricings = {m: pricing_for_sim_machine(s) for m, s in machines.items()}
+    names = list(pricings)
+    method = CarbonBasedAccounting()
+    rng = np.random.default_rng(11)
+    records = [
+        UsageRecord(
+            machine=names[i % len(names)],
+            duration_s=float(rng.uniform(0.1, 3600)),
+            energy_j=float(rng.uniform(1.0, 1e6)),
+            cores=int(rng.integers(1, 32)),
+            start_time_s=float(rng.uniform(0, 20 * 24 * 3600)),
+        )
+        for i in range(5_000)
+    ]
+
+    def build():
+        queue = SettlementQueue(method, pricings)
+        for record in records:
+            queue.add(record)
+        return (queue,), {}
+
+    charges = benchmark.pedantic(
+        lambda queue: queue.settle(), setup=build, rounds=10
+    )
+    assert len(charges) == 5_000
+    assert all(c > 0 for c in charges)

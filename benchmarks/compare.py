@@ -32,6 +32,18 @@ from pathlib import Path
 #: Default regression budget for the bench_kernels hot-path suite.
 DEFAULT_THRESHOLD = 0.20
 
+#: Hot-path benchmarks the gate insists on seeing in the *current* run.
+#: A guarded kernel that silently vanishes from the suite (renamed,
+#: skipped, collection error) would otherwise stop being compared at
+#: all; listing it here turns that into a gate failure.
+REQUIRED_BENCHMARKS = (
+    "test_engine_throughput_2k_jobs",
+    "test_workload_generation_2k",
+    "test_migration_throughput_1k_jobs",
+    "test_migration_segment_settle_10k",
+    "test_faas_settlement_5k_records",
+)
+
 
 def load_benchmarks(path: Path, only: str | None) -> dict[str, float]:
     """``fullname -> min seconds`` for one pytest-benchmark JSON file."""
@@ -108,8 +120,21 @@ def main(argv: list[str] | None = None) -> int:
         print(f"no benchmarks matching {args.only!r} in either file", file=sys.stderr)
         return 2
 
+    missing = [
+        required
+        for required in REQUIRED_BENCHMARKS
+        if not any(required in name for name in current)
+    ]
+
     lines, regressions = compare(baseline, current, args.threshold)
     print("\n".join(lines))
+    if missing:
+        print(
+            f"\n{len(missing)} guarded benchmark(s) missing from the "
+            "current run: " + ", ".join(missing),
+            file=sys.stderr,
+        )
+        return 1
     if regressions:
         print(
             f"\n{len(regressions)} benchmark(s) slower than baseline "

@@ -34,6 +34,12 @@ from repro.accounting.allocation import (
     AllocationLedger,
     Transaction,
 )
+from repro.accounting.pricing import (
+    OutcomeTable,
+    PricingKernel,
+    SegmentLedger,
+    SettlementQueue,
+)
 from repro.accounting.comparison import CostTable, normalized_cost_table
 from repro.accounting.exchange import (
     ExchangeRate,
@@ -64,6 +70,10 @@ __all__ = [
     "AllocationExhausted",
     "AllocationLedger",
     "Transaction",
+    "OutcomeTable",
+    "PricingKernel",
+    "SegmentLedger",
+    "SettlementQueue",
     "CostTable",
     "normalized_cost_table",
     "ExchangeRate",

@@ -134,6 +134,32 @@ class UsageBatch:
 
     # ------------------------------------------------------------------
     @classmethod
+    def unchecked(
+        cls,
+        machine: str,
+        duration_s: np.ndarray,
+        energy_j: np.ndarray,
+        cores: np.ndarray,
+        start_time_s: np.ndarray,
+        provisioned_cores: np.ndarray | None = None,
+    ) -> "UsageBatch":
+        """Trusted constructor that skips validation and copies.
+
+        For internal hot paths (the pricing kernel's per-event probe
+        batches) whose arrays are derived from already-validated data;
+        the arrays are stored as given, so callers must pass float/int
+        ndarrays of equal length and must not mutate them afterwards.
+        """
+        batch = object.__new__(cls)
+        object.__setattr__(batch, "machine", machine)
+        object.__setattr__(batch, "duration_s", duration_s)
+        object.__setattr__(batch, "energy_j", energy_j)
+        object.__setattr__(batch, "cores", cores)
+        object.__setattr__(batch, "start_time_s", start_time_s)
+        object.__setattr__(batch, "provisioned_cores", provisioned_cores)
+        return batch
+
+    @classmethod
     def from_records(cls, records: Sequence[UsageRecord]) -> "UsageBatch":
         """Pack same-machine records into one batch."""
         if not records:
@@ -292,6 +318,20 @@ class AccountingMethod(abc.ABC):
         return np.array(
             [self.charge(record, machine) for record in batch.records()]
         )
+
+    def charge_upper_bound(
+        self, record: UsageRecord, machine: MachinePricing
+    ) -> float:
+        """A cheap, *sound* upper bound on :meth:`charge`.
+
+        The deferred-settlement ledger uses this to answer admission
+        checks without pricing the pending queue: the true pending debt
+        never exceeds the summed bounds.  The base implementation simply
+        charges (exact, hence sound); methods whose charge depends on
+        run-time state (CBA's grid intensity) override it with a bound
+        that avoids the lookup.
+        """
+        return self.charge(record, machine)
 
     def estimate(
         self,

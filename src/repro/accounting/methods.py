@@ -169,6 +169,20 @@ class CarbonBasedAccounting(AccountingMethod):
         operational = operational_carbon_g(batch.energy_j, intensity)
         return operational + self.embodied_charge_many(batch, machine)
 
+    def charge_upper_bound(
+        self, record: UsageRecord, machine: MachinePricing
+    ) -> float:
+        """Sound bound without a trace lookup: the trace maximum bounds
+        both the snapshot and the window-averaged intensity."""
+        if machine.intensity is None:
+            raise ValueError(
+                f"machine {machine.name!r} has no carbon-intensity trace"
+            )
+        operational = operational_carbon_g(
+            record.energy_j, machine.intensity.max
+        )
+        return operational + self.embodied_charge(record, machine)
+
     def embodied_charge(self, record: UsageRecord, machine: MachinePricing) -> float:
         """The embodied (second) term of Eq. (2), in gCO2e."""
         hours = record.duration_s / SECONDS_PER_HOUR

@@ -1,0 +1,643 @@
+"""The columnar pricing core shared by every execution layer.
+
+The engine, the migration simulator, and the FaaS frontend all price the
+same thing — (duration, energy, cores, start time) tuples on a known
+machine — and PR 1 showed that pricing them one :class:`UsageRecord` at
+a time is the dominant cost at paper scale.  This module is the single
+batched substrate those three layers now sit on, so any new driver
+(a policy variant, a migration strategy, a trace replayer) inherits the
+fast path by construction instead of re-implementing its own hot loop.
+
+The quote-table / settle contract
+---------------------------------
+Everything here follows one contract with two halves:
+
+* **Quote tables** are built *up front*, before any event loop runs.
+  :class:`PricingKernel` takes the full job list and prices every
+  (job, eligible machine) pair with one
+  :meth:`~repro.accounting.base.AccountingMethod.charge_many` call per
+  machine.  This is legal because submission-time quotes depend only on
+  per-job constants (arrival time *is* the submit time), so a policy's
+  :class:`~repro.sim.policies.MachineView` costs are row lookups, never
+  fresh ``charge()`` calls.
+
+* **Settlement is deferred**.  Work that accrues *during* a run —
+  finished jobs (:meth:`PricingKernel.price_outcomes`), migration
+  segments (:class:`SegmentLedger`), FaaS invocations
+  (:class:`SettlementQueue`) — is appended to a struct-of-arrays ledger
+  as plain scalars and priced at the end in one vectorized pass per
+  machine.  The vectorized methods use the same IEEE operation order as
+  the scalar ones, and accumulations are replayed in append order, so
+  settled results are **bit-identical** to the per-record reference
+  paths (the test suite asserts exact equality for all five accounting
+  methods).
+
+The deferred-settlement queue additionally keeps *admission control*
+exact: each queued record carries a cheap sound upper bound on its
+eventual charge (:meth:`~repro.accounting.base.AccountingMethod.charge_upper_bound`),
+so a balance check can be answered optimistically without settling; only
+when the bound cannot prove affordability does the queue settle and the
+check fall back to the exact balance.  Admission decisions are therefore
+identical to the debit-immediately reference path.
+
+:class:`OutcomeTable` is the columnar result container: one NumPy array
+per :class:`~repro.sim.job.JobOutcome` field plus a machine code table.
+It is what makes ``SimulationResult`` aggregates array expressions and
+what the sweep engine ships between processes through shared memory
+without pickling per-row objects.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.accounting.base import (
+    AccountingMethod,
+    MachinePricing,
+    UsageBatch,
+    UsageRecord,
+)
+from repro.accounting.methods import CarbonBasedAccounting
+from repro.units import operational_carbon_g
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a sim cycle
+    from repro.sim.job import Job, JobOutcome
+
+
+# ---------------------------------------------------------------------------
+# Columnar outcomes
+# ---------------------------------------------------------------------------
+#: (field name, dtype) of every OutcomeTable column, in storage order.
+OUTCOME_FIELDS: tuple[tuple[str, str], ...] = (
+    ("job_id", "int64"),
+    ("user", "int64"),
+    ("machine_code", "int32"),
+    ("cores", "int64"),
+    ("submit_s", "float64"),
+    ("start_s", "float64"),
+    ("end_s", "float64"),
+    ("energy_j", "float64"),
+    ("cost", "float64"),
+    ("work_core_hours", "float64"),
+    ("operational_carbon_g", "float64"),
+    ("attributed_carbon_g", "float64"),
+)
+
+
+class OutcomeTable:
+    """Struct-of-arrays replacement for a ``list[JobOutcome]``.
+
+    Machines are dictionary-encoded: ``machine_code[i]`` indexes the
+    ``machines`` name table.  Row objects are materialized lazily via
+    :meth:`rows` for consumers that still want
+    :class:`~repro.sim.job.JobOutcome` instances; every aggregate the
+    simulator reports is an array expression over the columns.
+    """
+
+    __slots__ = ("machines", "_rows_cache") + tuple(
+        name for name, _ in OUTCOME_FIELDS
+    )
+
+    def __init__(self, machines: Sequence[str], **columns: np.ndarray) -> None:
+        self.machines = list(machines)
+        n = None
+        for name, dtype in OUTCOME_FIELDS:
+            col = np.asarray(columns[name], dtype=dtype)
+            if n is None:
+                n = len(col)
+            elif len(col) != n:
+                raise ValueError("outcome columns must have equal lengths")
+            setattr(self, name, col)
+        if len(self.machines) == 0 and (n or 0) > 0:
+            raise ValueError("non-empty table needs a machine name table")
+        self._rows_cache: list | None = None
+
+    def __len__(self) -> int:
+        return len(self.job_id)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, machines: Sequence[str] = ()) -> "OutcomeTable":
+        return cls(
+            machines,
+            **{name: np.empty(0, dtype=dt) for name, dt in OUTCOME_FIELDS},
+        )
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence["JobOutcome"],
+        machines: Sequence[str] = (),
+    ) -> "OutcomeTable":
+        """Pack row objects into columns.
+
+        ``machines`` seeds the code table (a scenario's machine list, so
+        machines that served zero jobs still get a code); machines seen
+        only in ``rows`` are appended after it.
+        """
+        names = list(machines)
+        code_of = {name: i for i, name in enumerate(names)}
+        codes = np.empty(len(rows), dtype=np.int32)
+        for i, row in enumerate(rows):
+            code = code_of.get(row.machine)
+            if code is None:
+                code = code_of[row.machine] = len(names)
+                names.append(row.machine)
+            codes[i] = code
+        table = cls(
+            names,
+            job_id=np.array([r.job_id for r in rows], dtype=np.int64),
+            user=np.array([r.user for r in rows], dtype=np.int64),
+            machine_code=codes,
+            cores=np.array([r.cores for r in rows], dtype=np.int64),
+            submit_s=np.array([r.submit_s for r in rows], dtype=float),
+            start_s=np.array([r.start_s for r in rows], dtype=float),
+            end_s=np.array([r.end_s for r in rows], dtype=float),
+            energy_j=np.array([r.energy_j for r in rows], dtype=float),
+            cost=np.array([r.cost for r in rows], dtype=float),
+            work_core_hours=np.array(
+                [r.work_core_hours for r in rows], dtype=float
+            ),
+            operational_carbon_g=np.array(
+                [r.operational_carbon_g for r in rows], dtype=float
+            ),
+            attributed_carbon_g=np.array(
+                [r.attributed_carbon_g for r in rows], dtype=float
+            ),
+        )
+        table._rows_cache = list(rows)
+        return table
+
+    # ------------------------------------------------------------------
+    def rows(self) -> list["JobOutcome"]:
+        """The lazy row view: ``JobOutcome`` objects, built once."""
+        if self._rows_cache is None:
+            from repro.sim.job import JobOutcome
+
+            machines = self.machines
+            cols = [
+                self.job_id.tolist(),
+                self.user.tolist(),
+                self.machine_code.tolist(),
+                self.cores.tolist(),
+                self.submit_s.tolist(),
+                self.start_s.tolist(),
+                self.end_s.tolist(),
+                self.energy_j.tolist(),
+                self.cost.tolist(),
+                self.work_core_hours.tolist(),
+                self.operational_carbon_g.tolist(),
+                self.attributed_carbon_g.tolist(),
+            ]
+            self._rows_cache = [
+                JobOutcome(
+                    job_id=jid,
+                    user=user,
+                    machine=machines[code],
+                    cores=cores,
+                    submit_s=submit,
+                    start_s=start,
+                    end_s=end,
+                    energy_j=energy,
+                    cost=cost,
+                    work_core_hours=work,
+                    operational_carbon_g=op,
+                    attributed_carbon_g=attr,
+                )
+                for jid, user, code, cores, submit, start, end, energy, cost, work, op, attr in zip(*cols)
+            ]
+        return self._rows_cache
+
+    def row(self, i: int) -> "JobOutcome":
+        return self.rows()[i]
+
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle columns only — the row cache is rebuildable."""
+        state = {name: getattr(self, name) for name, _ in OUTCOME_FIELDS}
+        state["machines"] = self.machines
+        return state
+
+    def __setstate__(self, state):
+        self.machines = state.pop("machines")
+        for name, _ in OUTCOME_FIELDS:
+            setattr(self, name, state[name])
+        self._rows_cache = None
+
+
+# ---------------------------------------------------------------------------
+# Quote tables
+# ---------------------------------------------------------------------------
+class PricingKernel:
+    """Precomputed per-(job, machine) quote tables plus outcome pricing.
+
+    Built once per run from the full job list: submission-time charges
+    are fully determined at load (arrival time == submit time), so the
+    kernel prices every eligible (job, machine) pair with one
+    ``charge_many`` call per machine and exposes them as
+
+    * ``static_views`` — per-job ``(machine, runtime, energy, cost)``
+      tuples in the job's own eligibility order (what policies consume),
+    * flat per-machine ``runtime`` / ``energy`` arrays keyed by the
+      job's ``row_of`` index (what the outcome post-pass reuses).
+
+    :meth:`price_outcomes` settles a finish log into a columnar
+    :class:`OutcomeTable` — one ``charge_many`` + ``at_many`` sweep per
+    machine, bit-identical to pricing each outcome with ``charge()``.
+    """
+
+    __slots__ = (
+        "method",
+        "pricings",
+        "machine_names",
+        "row_of",
+        "job_id",
+        "user",
+        "cores",
+        "submit",
+        "work",
+        "runtime",
+        "energy",
+        "static_views",
+        "_carbon",
+    )
+
+    def __init__(
+        self,
+        jobs: Sequence["Job"],
+        pricings: Mapping[str, MachinePricing],
+        method: AccountingMethod,
+    ) -> None:
+        self.method = method
+        self.pricings = dict(pricings)
+        names = list(self.pricings)
+        self.machine_names = names
+        name_idx = {name: mi for mi, name in enumerate(names)}
+        n = len(jobs)
+        nan = float("nan")
+        self.row_of: dict[int, int] = {}
+        row_of = self.row_of
+        jid_l = [0] * n
+        user_l = [0] * n
+        cores_l = [0] * n
+        submit_l = [0.0] * n
+        work_l = [0.0] * n
+        # Accumulate into Python lists (scalar ndarray stores are an
+        # order of magnitude slower), then convert once per machine.
+        rt_rows = [[nan] * n for _ in names]
+        en_rows = [[nan] * n for _ in names]
+        for i, job in enumerate(jobs):
+            row_of[job.job_id] = i
+            jid_l[i] = job.job_id
+            user_l[i] = job.user
+            cores_l[i] = job.cores
+            submit_l[i] = job.submit_s
+            work_l[i] = job.work_core_hours
+            energy = job.energy_j
+            for name, rt in job.runtime_s.items():
+                mi = name_idx.get(name)
+                if mi is not None:
+                    rt_rows[mi][i] = rt
+                    en_rows[mi][i] = energy[name]
+        self.job_id = np.array(jid_l, dtype=np.int64)
+        self.user = np.array(user_l, dtype=np.int64)
+        cores = np.array(cores_l, dtype=np.int64)
+        submit = np.array(submit_l)
+        self.cores = cores
+        self.submit = submit
+        self.work = np.array(work_l)
+        self.runtime: dict[str, np.ndarray] = {}
+        self.energy: dict[str, np.ndarray] = {}
+        cost_rows: list[list[float]] = []
+        for mi, name in enumerate(names):
+            rt = np.array(rt_rows[mi])
+            en = np.array(en_rows[mi])
+            cost = np.full(n, np.nan)
+            eligible = ~np.isnan(rt)
+            if eligible.any():
+                batch = UsageBatch(
+                    machine=name,
+                    duration_s=rt[eligible],
+                    energy_j=en[eligible],
+                    cores=cores[eligible],
+                    start_time_s=submit[eligible],
+                )
+                cost[eligible] = method.charge_many(batch, self.pricings[name])
+            self.runtime[name] = rt
+            self.energy[name] = en
+            cost_rows.append(cost.tolist())
+        # Per-job (machine, runtime, energy, quoted cost) tuples in the
+        # job's own eligibility order — what the seed `_views` iterated.
+        static_views: list[list[tuple[str, float, float, float]]] = []
+        append_views = static_views.append
+        for i, job in enumerate(jobs):
+            entries = []
+            energy = job.energy_j
+            for name, rt in job.runtime_s.items():
+                mi = name_idx.get(name)
+                if mi is not None:
+                    entries.append((name, rt, energy[name], cost_rows[mi][i]))
+            append_views(entries)
+        self.static_views = static_views
+        self._carbon = (
+            method
+            if isinstance(method, CarbonBasedAccounting)
+            else CarbonBasedAccounting()
+        )
+
+    # ------------------------------------------------------------------
+    def price_outcomes(
+        self,
+        finished: Sequence[tuple["Job", str, float, float]],
+    ) -> OutcomeTable:
+        """Settle a finish log ``(job, machine, start_s, end_s)`` into a
+        columnar :class:`OutcomeTable`, in log order.
+
+        One ``charge_many`` + ``at_many`` sweep per machine; operational
+        carbon uses the start-time intensity and attributed carbon adds
+        CBA's embodied term, exactly as the scalar reference path.
+        """
+        n = len(finished)
+        name_code = {name: i for i, name in enumerate(self.machine_names)}
+        rows = np.empty(n, dtype=np.intp)
+        codes = np.empty(n, dtype=np.int32)
+        starts = np.empty(n)
+        ends = np.empty(n)
+        row_of = self.row_of
+        by_machine: dict[str, list[int]] = {}
+        for i, (job, name, start_s, end_s) in enumerate(finished):
+            rows[i] = row_of[job.job_id]
+            codes[i] = name_code[name]
+            starts[i] = start_s
+            ends[i] = end_s
+            by_machine.setdefault(name, []).append(i)
+        cost = np.empty(n)
+        energy_out = np.empty(n)
+        operational = np.empty(n)
+        attributed = np.empty(n)
+        for name, idxs in by_machine.items():
+            idx = np.asarray(idxs, dtype=np.intp)
+            sub_rows = rows[idx]
+            sub_starts = starts[idx]
+            energy = self.energy[name][sub_rows]
+            batch = UsageBatch(
+                machine=name,
+                duration_s=self.runtime[name][sub_rows],
+                energy_j=energy,
+                cores=self.cores[sub_rows],
+                start_time_s=sub_starts,
+            )
+            c, op, attr = _price_batch(
+                self.method, self._carbon, self.pricings[name], batch
+            )
+            energy_out[idx] = energy
+            cost[idx] = c
+            operational[idx] = op
+            attributed[idx] = attr
+        return OutcomeTable(
+            self.machine_names,
+            job_id=self.job_id[rows],
+            user=self.user[rows],
+            machine_code=codes,
+            cores=self.cores[rows],
+            submit_s=self.submit[rows],
+            start_s=starts,
+            end_s=ends,
+            energy_j=energy_out,
+            cost=cost,
+            work_core_hours=self.work[rows],
+            operational_carbon_g=operational,
+            attributed_carbon_g=attributed,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Shared settlement pricing
+# ---------------------------------------------------------------------------
+def _price_batch(
+    method: AccountingMethod,
+    carbon: CarbonBasedAccounting,
+    pricing: MachinePricing,
+    batch: UsageBatch,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(cost, operational_g, attributed_g) of one same-machine batch.
+
+    The single definition of the settlement math shared by the outcome
+    post-pass and the segment ledger — the bit-identity guarantees of
+    every layer rest on this one code path.
+    """
+    cost = method.charge_many(batch, pricing)
+    intensity = pricing.intensity.at_many(batch.start_time_s)
+    operational = operational_carbon_g(batch.energy_j, intensity)
+    attributed = operational + carbon.embodied_charge_many(batch, pricing)
+    return cost, operational, attributed
+
+
+# ---------------------------------------------------------------------------
+# Migration segment ledger
+# ---------------------------------------------------------------------------
+class SegmentLedger:
+    """Struct-of-arrays ledger of execution segments, priced in one pass.
+
+    The migration simulator bills a job once per *segment* (every
+    machine it touches).  Instead of a ``charge()`` + two trace lookups
+    per segment inside the event loop, segments are appended here as
+    plain scalars and :meth:`settle` prices the whole ledger with one
+    ``charge_many`` / ``at_many`` / ``embodied_charge_many`` sweep per
+    machine.  Results come back in append order, so replaying the
+    per-job accumulations gives bit-identical sums to charging each
+    segment as it ends.
+    """
+
+    __slots__ = ("method", "pricings", "_carbon", "machine", "duration",
+                 "energy", "cores", "start")
+
+    def __init__(
+        self,
+        method: AccountingMethod,
+        pricings: Mapping[str, MachinePricing],
+    ) -> None:
+        self.method = method
+        self.pricings = dict(pricings)
+        self._carbon = (
+            method
+            if isinstance(method, CarbonBasedAccounting)
+            else CarbonBasedAccounting()
+        )
+        self.machine: list[str] = []
+        self.duration: list[float] = []
+        self.energy: list[float] = []
+        self.cores: list[int] = []
+        self.start: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self.machine)
+
+    def add(
+        self,
+        machine: str,
+        start_s: float,
+        duration_s: float,
+        energy_j: float,
+        cores: int,
+    ) -> int:
+        """Append one segment; returns its ledger index."""
+        idx = len(self.machine)
+        self.machine.append(machine)
+        self.start.append(start_s)
+        self.duration.append(duration_s)
+        self.energy.append(energy_j)
+        self.cores.append(cores)
+        return idx
+
+    def settle(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Price every segment; returns ``(cost, operational_g,
+        attributed_g)`` arrays aligned with append order."""
+        n = len(self)
+        cost = np.empty(n)
+        operational = np.empty(n)
+        attributed = np.empty(n)
+        by_machine: dict[str, list[int]] = {}
+        for i, name in enumerate(self.machine):
+            by_machine.setdefault(name, []).append(i)
+        duration = np.asarray(self.duration)
+        energy = np.asarray(self.energy)
+        cores = np.asarray(self.cores, dtype=np.int64)
+        start = np.asarray(self.start)
+        for name, idxs in by_machine.items():
+            idx = np.asarray(idxs, dtype=np.intp)
+            batch = UsageBatch(
+                machine=name,
+                duration_s=duration[idx],
+                energy_j=energy[idx],
+                cores=cores[idx],
+                start_time_s=start[idx],
+            )
+            c, op, attr = _price_batch(
+                self.method, self._carbon, self.pricings[name], batch
+            )
+            cost[idx] = c
+            operational[idx] = op
+            attributed[idx] = attr
+        return cost, operational, attributed
+
+
+# ---------------------------------------------------------------------------
+# FaaS deferred settlement
+# ---------------------------------------------------------------------------
+class SettlementQueue:
+    """Deferred-settlement ledger for monitor-attributed charges.
+
+    Usage records are queued instead of priced one by one; each carries
+    a cheap sound upper bound on its eventual charge
+    (:meth:`~repro.accounting.base.AccountingMethod.charge_upper_bound`),
+    so the platform can answer "could this user afford X?" without
+    settling: the true pending debt never exceeds :attr:`pending_bound`.
+    :meth:`settle` prices everything queued with one ``charge_many`` per
+    machine and returns per-record charges in queue order — bit-identical
+    to charging each record on arrival.
+    """
+
+    __slots__ = (
+        "method",
+        "pricings",
+        "pending_bound",
+        "_machine",
+        "_duration",
+        "_energy",
+        "_cores",
+        "_start",
+        "_occupancy",
+        "_any_provisioned",
+    )
+
+    def __init__(
+        self,
+        method: AccountingMethod,
+        pricings: Mapping[str, MachinePricing],
+    ) -> None:
+        self.method = method
+        #: Kept by reference, not copied: the platform registers
+        #: machines after queues exist, and queued records must price
+        #: against the live catalogue.
+        self.pricings = pricings
+        #: Sum of per-record charge upper bounds for everything queued.
+        self.pending_bound: float = 0.0
+        self._reset()
+
+    def _reset(self) -> None:
+        self._machine: list[str] = []
+        self._duration: list[float] = []
+        self._energy: list[float] = []
+        self._cores: list[int] = []
+        self._start: list[float] = []
+        self._occupancy: list[int] = []
+        self._any_provisioned = False
+        self.pending_bound = 0.0
+
+    def __len__(self) -> int:
+        return len(self._machine)
+
+    def add(self, record: UsageRecord) -> int:
+        """Queue one record (stored columnar); returns its settlement
+        index."""
+        if record.machine not in self.pricings:
+            raise KeyError(f"no pricing for machine {record.machine!r}")
+        idx = len(self._machine)
+        self._machine.append(record.machine)
+        self._duration.append(record.duration_s)
+        self._energy.append(record.energy_j)
+        self._cores.append(record.cores)
+        self._start.append(record.start_time_s)
+        self._occupancy.append(record.occupancy)
+        if record.provisioned_cores is not None:
+            self._any_provisioned = True
+        self.pending_bound += self.method.charge_upper_bound(
+            record, self.pricings[record.machine]
+        )
+        return idx
+
+    def settle(self) -> list[float]:
+        """Price and drain the queue; charges in queue order."""
+        n = len(self._machine)
+        if not n:
+            return []
+        charges = np.empty(n)
+        by_machine: dict[str, list[int]] = {}
+        for i, name in enumerate(self._machine):
+            by_machine.setdefault(name, []).append(i)
+        duration = np.asarray(self._duration)
+        energy = np.asarray(self._energy)
+        cores = np.asarray(self._cores, dtype=np.int64)
+        start = np.asarray(self._start)
+        occupancy = (
+            np.asarray(self._occupancy, dtype=np.int64)
+            if self._any_provisioned
+            else None
+        )
+        for name, idxs in by_machine.items():
+            idx = np.asarray(idxs, dtype=np.intp)
+            batch = UsageBatch.unchecked(
+                machine=name,
+                duration_s=duration[idx],
+                energy_j=energy[idx],
+                cores=cores[idx],
+                start_time_s=start[idx],
+                provisioned_cores=(
+                    occupancy[idx] if occupancy is not None else None
+                ),
+            )
+            charges[idx] = self.method.charge_many(batch, self.pricings[name])
+        self._reset()
+        return charges.tolist()
+
+
+__all__ = [
+    "OUTCOME_FIELDS",
+    "OutcomeTable",
+    "PricingKernel",
+    "SegmentLedger",
+    "SettlementQueue",
+]

@@ -163,7 +163,13 @@ class CarbonIntensityTrace:
 
     @property
     def max(self) -> float:
-        return float(self.hourly_g_per_kwh.max())
+        """Maximum intensity over the trace, computed once and cached
+        (the deferred-settlement charge bound reads it per record)."""
+        cached = self.__dict__.get("_max_cache")
+        if cached is None:
+            cached = float(self.hourly_g_per_kwh.max())
+            object.__setattr__(self, "_max_cache", cached)
+        return cached
 
     def day_profile(self, day: int = 0) -> np.ndarray:
         """The 24 hourly values of day ``day`` (used for Fig. 7b)."""

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.accounting.base import UsageBatch
 from repro.accounting.methods import CarbonBasedAccounting
+from repro.accounting.pricing import PricingKernel
 from repro.experiments._simulation import (
     DEFAULT_SCALE,
     greedy_budget,
@@ -53,10 +54,11 @@ def cheapest_endpoint_by_hour(
     """Fig. 7c: share of jobs for which each machine is the cheapest CBA
     submission target, per hour of ``day``.
 
-    Vectorized: one ``charge_many`` call per (machine, hour) over the
-    whole sample, then an argmin across the machine axis — the same
-    winner-takes-first tie behaviour as scanning each job's eligible
-    machines in order.
+    Vectorized: the sample's per-(job, machine) runtime/energy arrays
+    come straight from a :class:`~repro.accounting.pricing.PricingKernel`
+    quote table, then one ``charge_many`` call per (machine, hour) and
+    an argmin across the machine axis — the same winner-takes-first tie
+    behaviour as scanning each job's eligible machines in order.
     """
     machines = dict(scenario("low-carbon", seed))
     pricings = {n: pricing_for_sim_machine(m) for n, m in machines.items()}
@@ -64,30 +66,22 @@ def cheapest_endpoint_by_hour(
     wl = workload("low-carbon", scale, seed)
     sample = wl.jobs[:: max(1, len(wl.jobs) // 400)]  # ~400 jobs is plenty
 
-    names = list(machines)
+    kernel = PricingKernel(sample, pricings, cba)
+    names = kernel.machine_names
     n = len(sample)
-    runtime = np.full((len(names), n), np.nan)
-    energy = np.full((len(names), n), np.nan)
-    cores = np.array([job.cores for job in sample])
-    for mi, name in enumerate(names):
-        for i, job in enumerate(sample):
-            rt = job.runtime_s.get(name)
-            if rt is not None:
-                runtime[mi, i] = rt
-                energy[mi, i] = job.energy_j[name]
-    eligible = ~np.isnan(runtime)
+    eligible = {name: ~np.isnan(kernel.runtime[name]) for name in names}
 
     out: dict[int, dict[str, float]] = {}
     for hour in range(24):
         t = (day * 24 + hour) * 3600.0
         costs = np.full((len(names), n), np.inf)
         for mi, name in enumerate(names):
-            mask = eligible[mi]
-            batch = UsageBatch(
+            mask = eligible[name]
+            batch = UsageBatch.unchecked(
                 machine=name,
-                duration_s=runtime[mi, mask],
-                energy_j=energy[mi, mask],
-                cores=cores[mask],
+                duration_s=kernel.runtime[name][mask],
+                energy_j=kernel.energy[name][mask],
+                cores=kernel.cores[mask],
                 start_time_s=np.full(int(mask.sum()), t),
             )
             costs[mi, mask] = cba.charge_many(batch, pricings[name])

@@ -10,11 +10,17 @@ asked to absorb load for the global good.
 
 All functions consume :class:`~repro.sim.engine.SimulationResult`
 objects, so they work on plain, shifted, and migrating runs alike.
+Aggregation happens on the columnar
+:class:`~repro.accounting.pricing.OutcomeTable` directly — one
+``bincount`` per metric over the machine codes — so a paper-scale
+report never materializes per-row outcome objects.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.sim.engine import SimulationResult
 from repro.units import JOULES_PER_KWH
@@ -66,38 +72,45 @@ class FleetReport:
 
 
 def fleet_report(result: SimulationResult) -> FleetReport:
-    """Aggregate a simulation run into the provider view."""
-    per_machine: dict[str, dict[str, float]] = {
-        name: {
-            "jobs": 0, "core_s": 0.0, "energy": 0.0,
-            "op": 0.0, "attr": 0.0, "wait": 0.0,
-        }
-        for name in result.machines
-    }
-    for outcome in result.outcomes:
-        acc = per_machine.setdefault(
-            outcome.machine,
-            {"jobs": 0, "core_s": 0.0, "energy": 0.0, "op": 0.0, "attr": 0.0, "wait": 0.0},
-        )
-        acc["jobs"] += 1
-        acc["core_s"] += outcome.cores * outcome.runtime_s
-        acc["energy"] += outcome.energy_j
-        acc["op"] += outcome.operational_carbon_g
-        acc["attr"] += outcome.attributed_carbon_g
-        acc["wait"] += outcome.queue_wait_s
+    """Aggregate a simulation run into the provider view.
+
+    One weighted ``bincount`` over the outcome table's machine codes per
+    metric — no per-row objects."""
+    table = result.table
+    names = list(table.machines)
+    for name in result.machines:  # machines that served zero jobs
+        if name not in names:
+            names.append(name)
+    n = len(table.machines)
+    code = table.machine_code
+    count = np.bincount(code, minlength=n)
+
+    def per_machine(weights: np.ndarray) -> np.ndarray:
+        return np.bincount(code, weights=weights, minlength=n)
+
+    core_s = per_machine(table.cores * (table.end_s - table.start_s))
+    energy = per_machine(table.energy_j)
+    op = per_machine(table.operational_carbon_g)
+    attr = per_machine(table.attributed_carbon_g)
+    wait = per_machine(table.start_s - table.submit_s)
 
     machines = []
-    for name, acc in per_machine.items():
-        jobs = int(acc["jobs"])
+    for name in names:
+        mi = table.machines.index(name) if name in table.machines else None
+        jobs = int(count[mi]) if mi is not None else 0
         machines.append(
             MachineReport(
                 machine=name,
                 jobs=jobs,
-                core_hours=acc["core_s"] / 3600.0,
-                energy_mwh=acc["energy"] / JOULES_PER_KWH / 1e3,
-                operational_carbon_kg=acc["op"] / 1e3,
-                attributed_carbon_kg=acc["attr"] / 1e3,
-                mean_queue_wait_h=(acc["wait"] / jobs / 3600.0) if jobs else 0.0,
+                core_hours=float(core_s[mi]) / 3600.0 if mi is not None else 0.0,
+                energy_mwh=(
+                    float(energy[mi]) / JOULES_PER_KWH / 1e3 if mi is not None else 0.0
+                ),
+                operational_carbon_kg=float(op[mi]) / 1e3 if mi is not None else 0.0,
+                attributed_carbon_kg=float(attr[mi]) / 1e3 if mi is not None else 0.0,
+                mean_queue_wait_h=(
+                    float(wait[mi]) / jobs / 3600.0 if jobs else 0.0
+                ),
             )
         )
     machines.sort(key=lambda m: m.machine)

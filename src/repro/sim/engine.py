@@ -15,17 +15,20 @@ Batched pricing architecture
 ----------------------------
 Pricing is the hot path: a paper-scale run prices every (job x eligible
 machine) pair at arrival and every finished job again at completion.
-Instead of allocating a :class:`~repro.accounting.base.UsageRecord` per
-pair inside the event loop, the engine
+The engine follows the quote-table / settle contract of
+:mod:`repro.accounting.pricing`:
 
-1. **precomputes** all arrival-time (submission-quote) charges once at
-   workload load with one vectorized
+1. a :class:`~repro.accounting.pricing.PricingKernel` **precomputes**
+   all arrival-time (submission-quote) charges once at workload load
+   with one vectorized
    :meth:`~repro.accounting.base.AccountingMethod.charge_many` call per
    machine (arrival time *is* the submit time, which is known up front
    — EBA charges are time-invariant and CBA varies only with the hour
    bucket of the cyclic trace), and
-2. **defers** outcome pricing to a vectorized post-pass over the finish
-   log, again one ``charge_many`` + ``at_many`` call per machine.
+2. outcome pricing is **settled** in a vectorized post-pass over the
+   finish log (:meth:`~repro.accounting.pricing.PricingKernel.price_outcomes`),
+   producing the columnar :class:`~repro.accounting.pricing.OutcomeTable`
+   that backs :class:`SimulationResult`.
 
 Both paths produce bit-identical costs to the per-record loop (the
 vectorized methods use the same IEEE operation order); pass
@@ -35,25 +38,35 @@ suite uses to assert exact equivalence.
 
 from __future__ import annotations
 
-import bisect
 import heapq
-from dataclasses import dataclass
 
 import numpy as np
 
 from repro.accounting.base import (
     AccountingMethod,
     MachinePricing,
-    UsageBatch,
     UsageRecord,
 )
 from repro.accounting.methods import CarbonBasedAccounting
+from repro.accounting.pricing import OutcomeTable, PricingKernel
 from repro.sim.cluster import ClusterSim
 from repro.sim.job import Job, JobOutcome
 from repro.sim.policies import MachineView, Policy
 from repro.sim.scenarios import SimMachine
 from repro.sim.workload import Workload
 from repro.units import operational_carbon_g
+
+def _seq_sum(column: np.ndarray) -> float:
+    """Left-to-right sum of a column.
+
+    ``np.cumsum`` accumulates sequentially, so this reproduces the exact
+    floats of the reference ``sum(o.field for o in outcomes)`` loops —
+    which matters because budget queries compare a *running* spend
+    against totals and must not disagree by an ulp (``np.sum`` pairwise
+    summation would).
+    """
+    return float(np.cumsum(column)[-1]) if len(column) else 0.0
+
 
 def pricing_for_sim_machine(machine: SimMachine) -> MachinePricing:
     """Fleet-wide pricing view for one simulation machine.
@@ -78,58 +91,91 @@ def pricing_for_sim_machine(machine: SimMachine) -> MachinePricing:
     )
 
 
-@dataclass
 class SimulationResult:
-    """All job outcomes of one (policy, method) simulation run."""
+    """All job outcomes of one (policy, method) simulation run.
 
-    policy: str
-    method: str
-    outcomes: list[JobOutcome]
-    machines: list[str]
+    Array-backed: the canonical storage is a columnar
+    :class:`~repro.accounting.pricing.OutcomeTable` (``result.table``);
+    every aggregate below is an array expression over its columns.
+    ``result.outcomes`` remains available as a *lazy row view* — the
+    :class:`~repro.sim.job.JobOutcome` objects are materialized on first
+    access and cached — so row-oriented consumers keep working
+    unchanged.  Construct with either ``table=`` (the batched paths) or
+    ``outcomes=`` (per-record reference paths and wrappers).
+    """
+
+    def __init__(
+        self,
+        policy: str,
+        method: str,
+        machines: list[str],
+        outcomes: list[JobOutcome] | None = None,
+        table: OutcomeTable | None = None,
+    ) -> None:
+        if (table is None) == (outcomes is None):
+            raise ValueError("pass exactly one of outcomes= or table=")
+        if table is None:
+            table = OutcomeTable.from_rows(outcomes, machines)
+        self.policy = policy
+        self.method = method
+        self.machines = list(machines)
+        self.table = table
 
     # ------------------------------------------------------------------
     @property
+    def outcomes(self) -> list[JobOutcome]:
+        """Lazy row view over :attr:`table` (built once, then cached)."""
+        return self.table.rows()
+
+    @property
     def n_jobs(self) -> int:
-        return len(self.outcomes)
+        return len(self.table)
 
     @property
     def makespan_s(self) -> float:
-        return max((o.end_s for o in self.outcomes), default=0.0)
+        table = self.table
+        return float(table.end_s.max()) if len(table) else 0.0
 
     def total_cost(self) -> float:
-        return sum(o.cost for o in self.outcomes)
+        return _seq_sum(self.table.cost)
 
     def total_energy_j(self) -> float:
-        return sum(o.energy_j for o in self.outcomes)
+        return _seq_sum(self.table.energy_j)
 
     def total_work_core_hours(self) -> float:
-        return sum(o.work_core_hours for o in self.outcomes)
+        return _seq_sum(self.table.work_core_hours)
 
     def total_operational_carbon_g(self) -> float:
-        return sum(o.operational_carbon_g for o in self.outcomes)
+        return _seq_sum(self.table.operational_carbon_g)
 
     def total_attributed_carbon_g(self) -> float:
-        return sum(o.attributed_carbon_g for o in self.outcomes)
+        return _seq_sum(self.table.attributed_carbon_g)
 
     # ------------------------------------------------------------------
-    def _sorted_by_end(self) -> list[JobOutcome]:
-        """Outcomes in completion order, sorted once and cached.
+    def _end_order(self) -> np.ndarray:
+        """Completion-order permutation, computed once and cached.
 
         Budget queries and the Fig. 5b series all consume this order;
         outcomes are treated as immutable once the run has finished.
         """
-        cached = self.__dict__.get("_end_sorted")
+        cached = self.__dict__.get("_end_order_cache")
         if cached is None:
-            cached = sorted(self.outcomes, key=lambda o: o.end_s)
-            self._end_sorted = cached
+            cached = np.argsort(self.table.end_s, kind="stable")
+            self.__dict__["_end_order_cache"] = cached
         return cached
 
-    def _sorted_end_times(self) -> list[float]:
-        cached = self.__dict__.get("_end_times")
-        if cached is None:
-            cached = [o.end_s for o in self._sorted_by_end()]
-            self._end_times = cached
-        return cached
+    def _budget_cutoff(self, budget: float) -> tuple[int, np.ndarray]:
+        """(number of jobs inside ``budget``, completion-order permutation).
+
+        ``np.cumsum`` accumulates sequentially, so the running spend is
+        bit-identical to the reference loop's ``spent += cost``.
+        """
+        if budget < 0:
+            raise ValueError("budget cannot be negative")
+        order = self._end_order()
+        spent = np.cumsum(self.table.cost[order])
+        count = int(np.searchsorted(spent > budget, True))
+        return count, order
 
     def work_with_budget(self, budget: float) -> float:
         """Core-hours of work completed before a fixed allocation runs out.
@@ -137,125 +183,49 @@ class SimulationResult:
         Jobs are consumed in completion order; once cumulative cost
         exceeds ``budget`` the remaining jobs are outside the allocation
         (Fig. 5a / Fig. 6 semantics)."""
-        if budget < 0:
-            raise ValueError("budget cannot be negative")
-        spent = 0.0
-        work = 0.0
-        for outcome in self._sorted_by_end():
-            if spent + outcome.cost > budget:
-                break
-            spent += outcome.cost
-            work += outcome.work_core_hours
-        return work
+        count, order = self._budget_cutoff(budget)
+        if count == 0:
+            return 0.0
+        work = np.cumsum(self.table.work_core_hours[order[:count]])
+        return float(work[-1])
 
     def jobs_with_budget(self, budget: float) -> int:
         """Jobs completed before a fixed allocation runs out."""
-        spent = 0.0
-        count = 0
-        for outcome in self._sorted_by_end():
-            if spent + outcome.cost > budget:
-                break
-            spent += outcome.cost
-            count += 1
+        count, _ = self._budget_cutoff(budget)
         return count
 
     def jobs_finished_by(self, times_s: list[float]) -> list[int]:
         """Cumulative jobs finished at each query time (Fig. 5b)."""
-        ends = self._sorted_end_times()
-        out = []
-        for t in times_s:
-            out.append(bisect.bisect_right(ends, t))
-        return out
+        ends = self.table.end_s[self._end_order()]
+        return np.searchsorted(ends, np.asarray(times_s), side="right").tolist()
 
     def machine_distribution(self) -> dict[str, int]:
         """Jobs per machine (Fig. 5c)."""
+        table = self.table
+        counts = np.bincount(table.machine_code, minlength=len(table.machines))
         dist = {m: 0 for m in self.machines}
-        for outcome in self.outcomes:
-            dist[outcome.machine] = dist.get(outcome.machine, 0) + 1
+        for name, count in zip(table.machines, counts.tolist()):
+            if count or name in dist:
+                dist[name] = dist.get(name, 0) + count
         return dist
 
     def mean_queue_wait_s(self) -> float:
-        if not self.outcomes:
+        table = self.table
+        if not len(table):
             return 0.0
-        return sum(o.queue_wait_s for o in self.outcomes) / len(self.outcomes)
+        return _seq_sum(table.start_s - table.submit_s) / len(table)
 
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_end_order_cache", None)
+        return state
 
-class _PricingTable:
-    """Struct-of-arrays precompute of per-(job, machine) static charges.
-
-    Built once per run: arrival-time quotes are fully determined at
-    workload load (arrival time == submit time), so every
-    :class:`MachineView` cost the policies will ever see is one row
-    lookup, and the outcome post-pass reuses the same arrays.
-    """
-
-    __slots__ = ("row_of", "cores", "runtime", "energy", "static_views")
-
-    def __init__(
-        self,
-        workload: Workload,
-        pricings: dict[str, MachinePricing],
-        method: AccountingMethod,
-    ) -> None:
-        jobs = workload.jobs
-        n = len(jobs)
-        names = list(pricings)
-        name_idx = {name: mi for mi, name in enumerate(names)}
-        nan = float("nan")
-        self.row_of: dict[int, int] = {}
-        row_of = self.row_of
-        cores_l = [0] * n
-        submit_l = [0.0] * n
-        # Accumulate into Python lists (scalar ndarray stores are an
-        # order of magnitude slower), then convert once per machine.
-        rt_rows = [[nan] * n for _ in names]
-        en_rows = [[nan] * n for _ in names]
-        for i, job in enumerate(jobs):
-            row_of[job.job_id] = i
-            cores_l[i] = job.cores
-            submit_l[i] = job.submit_s
-            energy = job.energy_j
-            for name, rt in job.runtime_s.items():
-                mi = name_idx.get(name)
-                if mi is not None:
-                    rt_rows[mi][i] = rt
-                    en_rows[mi][i] = energy[name]
-        cores = np.array(cores_l, dtype=np.int64)
-        submit = np.array(submit_l)
-        self.cores = cores
-        self.runtime: dict[str, np.ndarray] = {}
-        self.energy: dict[str, np.ndarray] = {}
-        cost_rows: list[list[float]] = []
-        for mi, name in enumerate(names):
-            rt = np.array(rt_rows[mi])
-            en = np.array(en_rows[mi])
-            cost = np.full(n, np.nan)
-            eligible = ~np.isnan(rt)
-            if eligible.any():
-                batch = UsageBatch(
-                    machine=name,
-                    duration_s=rt[eligible],
-                    energy_j=en[eligible],
-                    cores=cores[eligible],
-                    start_time_s=submit[eligible],
-                )
-                cost[eligible] = method.charge_many(batch, pricings[name])
-            self.runtime[name] = rt
-            self.energy[name] = en
-            cost_rows.append(cost.tolist())
-        # Per-job (machine, runtime, energy, quoted cost) tuples in the
-        # job's own eligibility order — what the seed `_views` iterated.
-        static_views: list[list[tuple[str, float, float, float]]] = []
-        append_views = static_views.append
-        for i, job in enumerate(jobs):
-            entries = []
-            energy = job.energy_j
-            for name, rt in job.runtime_s.items():
-                mi = name_idx.get(name)
-                if mi is not None:
-                    entries.append((name, rt, energy[name], cost_rows[mi][i]))
-            append_views(entries)
-        self.static_views = static_views
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimulationResult(policy={self.policy!r}, method={self.method!r}, "
+            f"n_jobs={self.n_jobs})"
+        )
 
 
 class MultiClusterSimulator:
@@ -330,8 +300,8 @@ class MultiClusterSimulator:
         a kind keep submission/push order.
         """
         clusters = {name: ClusterSim(m) for name, m in self.machines.items()}
-        table = (
-            _PricingTable(workload, self.pricings, self.method)
+        kernel = (
+            PricingKernel(workload.jobs, self.pricings, self.method)
             if self.batched
             else None
         )
@@ -350,8 +320,8 @@ class MultiClusterSimulator:
         heappush = heapq.heappush
         heappop = heapq.heappop
         select = self.policy.select
-        static_views = table.static_views if table is not None else None
-        row_of = table.row_of if table is not None else None
+        static_views = kernel.static_views if kernel is not None else None
+        row_of = kernel.row_of if kernel is not None else None
 
         def try_start(cluster: ClusterSim, now: float) -> None:
             nonlocal seq
@@ -371,7 +341,7 @@ class MultiClusterSimulator:
                 now, _, machine_name, job_id, start_s = heappop(finish_heap)
                 cluster = clusters[machine_name]
                 job = cluster.finish(job_id)
-                if table is not None:
+                if kernel is not None:
                     finished.append((job, machine_name, start_s, now))
                 else:
                     outcomes.append(self._outcome(job, machine_name, start_s, now))
@@ -395,76 +365,22 @@ class MultiClusterSimulator:
                 cluster.enqueue(job)
                 try_start(cluster, now)
 
-        if table is not None:
-            outcomes = self._price_outcomes(finished, table)
+        if kernel is not None:
+            return SimulationResult(
+                policy=self.policy.name,
+                method=self.method.name,
+                machines=list(self.machines),
+                table=kernel.price_outcomes(finished),
+            )
 
         return SimulationResult(
             policy=self.policy.name,
             method=self.method.name,
-            outcomes=outcomes,
             machines=list(self.machines),
+            outcomes=outcomes,
         )
 
     # ------------------------------------------------------------------
-    def _price_outcomes(
-        self,
-        finished: list[tuple[Job, str, float, float]],
-        table: _PricingTable,
-    ) -> list[JobOutcome]:
-        """Vectorized post-pass: price every finished job in one
-        ``charge_many`` + ``at_many`` sweep per machine."""
-        n = len(finished)
-        cost = np.empty(n)
-        operational = np.empty(n)
-        attributed = np.empty(n)
-        by_machine: dict[str, list[int]] = {}
-        for i, (_, name, _, _) in enumerate(finished):
-            by_machine.setdefault(name, []).append(i)
-        for name, idxs in by_machine.items():
-            idx = np.asarray(idxs, dtype=np.intp)
-            rows = np.fromiter(
-                (table.row_of[finished[i][0].job_id] for i in idxs),
-                dtype=np.intp,
-                count=len(idxs),
-            )
-            starts = np.fromiter(
-                (finished[i][2] for i in idxs), dtype=float, count=len(idxs)
-            )
-            energy = table.energy[name][rows]
-            batch = UsageBatch(
-                machine=name,
-                duration_s=table.runtime[name][rows],
-                energy_j=energy,
-                cores=table.cores[rows],
-                start_time_s=starts,
-            )
-            pricing = self.pricings[name]
-            cost[idx] = self.method.charge_many(batch, pricing)
-            intensity = self.machines[name].intensity.at_many(starts)
-            op = operational_carbon_g(energy, intensity)
-            operational[idx] = op
-            attributed[idx] = op + self._carbon.embodied_charge_many(batch, pricing)
-        cost_l = cost.tolist()
-        oper_l = operational.tolist()
-        attr_l = attributed.tolist()
-        return [
-            JobOutcome(
-                job_id=job.job_id,
-                user=job.user,
-                machine=name,
-                cores=job.cores,
-                submit_s=job.submit_s,
-                start_s=start_s,
-                end_s=end_s,
-                energy_j=job.energy_j[name],
-                cost=cost_l[i],
-                work_core_hours=job.work_core_hours,
-                operational_carbon_g=oper_l[i],
-                attributed_carbon_g=attr_l[i],
-            )
-            for i, (job, name, start_s, end_s) in enumerate(finished)
-        ]
-
     def _outcome(
         self, job: Job, machine_name: str, start_s: float, end_s: float
     ) -> JobOutcome:

@@ -20,6 +20,27 @@ Model
 * Every segment is charged at its own start-time intensity; a migrated
   job's cost, energy, and carbon are the sums over its segments —
   exactly what a provider metering per interval would bill.
+
+Batched pricing architecture
+----------------------------
+The default path follows the quote-table / settle contract of
+:mod:`repro.accounting.pricing`, so the migration simulator no longer
+prices inside its event loop:
+
+* arrival views come from a precomputed
+  :class:`~repro.accounting.pricing.PricingKernel` quote table (arrival
+  time *is* the submit time, as in the plain engine);
+* each re-evaluation prices *all* stay/move probes with one
+  ``charge_many`` call per machine instead of a ``charge()`` per
+  (running job, machine) pair;
+* finished or preempted segments are appended to a
+  :class:`~repro.accounting.pricing.SegmentLedger` and settled in one
+  vectorized pass after the run, with per-job sums replayed in append
+  order.
+
+All three substitutions use the same IEEE operation order as the scalar
+path, so results are **bit-identical** to ``batched=False`` (the test
+suite asserts exact equality for all five accounting methods).
 """
 
 from __future__ import annotations
@@ -27,8 +48,11 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
-from repro.accounting.base import AccountingMethod, UsageRecord
+import numpy as np
+
+from repro.accounting.base import AccountingMethod, UsageBatch, UsageRecord
 from repro.accounting.methods import CarbonBasedAccounting
+from repro.accounting.pricing import PricingKernel, SegmentLedger
 from repro.sim.cluster import ClusterSim
 from repro.sim.engine import SimulationResult, pricing_for_sim_machine
 from repro.sim.job import Job, JobOutcome
@@ -75,6 +99,10 @@ class MigratingSimulator:
     min_saving:
         Minimum relative saving on the remaining cost required to move
         (hysteresis against flapping between machines).
+    batched:
+        Use the vectorized pricing paths (default).  ``False`` runs the
+        reference per-record implementation; outcomes are bit-identical
+        either way.
     """
 
     def __init__(
@@ -85,6 +113,7 @@ class MigratingSimulator:
         reevaluate_every_s: float = 3600.0,
         overhead_s: float = 300.0,
         min_saving: float = 0.2,
+        batched: bool = True,
     ) -> None:
         if reevaluate_every_s <= 0:
             raise ValueError("re-evaluation period must be positive")
@@ -98,22 +127,28 @@ class MigratingSimulator:
         self.reevaluate_every_s = reevaluate_every_s
         self.overhead_s = overhead_s
         self.min_saving = min_saving
+        self.batched = batched
         self.pricings = {
             name: pricing_for_sim_machine(m) for name, m in machines.items()
         }
         self._carbon = CarbonBasedAccounting()
+        #: Deferred-settlement state, rebuilt per run (batched mode only).
+        self._ledger: SegmentLedger | None = None
+        self._owners: list[_Progress] = []
+        self._kernel: PricingKernel | None = None
 
     # ------------------------------------------------------------------
     # Segment economics
     # ------------------------------------------------------------------
-    def _segment_record(
+    def _segment_scalars(
         self,
         job: Job,
         machine: str,
-        start_s: float,
         fraction: float,
         with_overhead: bool,
-    ) -> UsageRecord:
+    ) -> tuple[float, float]:
+        """(runtime, energy) of one segment — the single definition both
+        the scalar and the batched paths price, so they cannot drift."""
         runtime = job.runtime_s[machine] * fraction
         energy = job.energy_j[machine] * fraction
         if with_overhead:
@@ -123,6 +158,19 @@ class MigratingSimulator:
                 * job.cores
                 * self.overhead_s
             )
+        return runtime, energy
+
+    def _segment_record(
+        self,
+        job: Job,
+        machine: str,
+        start_s: float,
+        fraction: float,
+        with_overhead: bool,
+    ) -> UsageRecord:
+        runtime, energy = self._segment_scalars(
+            job, machine, fraction, with_overhead
+        )
         return UsageRecord(
             machine=machine,
             duration_s=runtime,
@@ -137,7 +185,19 @@ class MigratingSimulator:
         fraction: float,
         with_overhead: bool,
     ) -> None:
-        """Accumulate one segment's cost/energy/carbon into the job state."""
+        """Bill one segment: append it to the deferred ledger (batched)
+        or accumulate its cost/energy/carbon immediately (reference)."""
+        if self._ledger is not None:
+            job = state.job
+            machine = state.segment_machine
+            runtime, energy = self._segment_scalars(
+                job, machine, fraction, with_overhead
+            )
+            self._ledger.add(
+                machine, state.segment_start_s, runtime, energy, job.cores
+            )
+            self._owners.append(state)
+            return
         record = self._segment_record(
             state.job,
             state.segment_machine,
@@ -157,6 +217,28 @@ class MigratingSimulator:
             record, pricing
         )
 
+    def _settle_segments(self) -> None:
+        """Price the whole segment ledger and replay the per-job sums.
+
+        ``settle`` returns per-segment values in append order — the same
+        chronological order the reference path charges in — so the
+        ``+=`` replay below performs the identical sequence of additions
+        per job and the accumulated floats match bit for bit.
+        """
+        ledger = self._ledger
+        if ledger is None or not len(ledger):
+            return
+        cost, operational, attributed = ledger.settle()
+        energy = ledger.energy
+        cost_l = cost.tolist()
+        oper_l = operational.tolist()
+        attr_l = attributed.tolist()
+        for idx, state in enumerate(self._owners):
+            state.energy_j += energy[idx]
+            state.cost += cost_l[idx]
+            state.operational_g += oper_l[idx]
+            state.attributed_g += attr_l[idx]
+
     def _remaining_cost(
         self, state: _Progress, machine: str, at_s: float, migrating: bool
     ) -> float:
@@ -173,6 +255,18 @@ class MigratingSimulator:
         progress = {job.job_id: _Progress(job=job) for job in workload.jobs}
         #: job_id -> runtime its queued continuation needs on its target.
         pending_runtime: dict[int, float] = {}
+
+        kernel: PricingKernel | None = None
+        if self.batched:
+            kernel = PricingKernel(workload.jobs, self.pricings, self.method)
+            self._ledger = SegmentLedger(self.method, self.pricings)
+            self._owners = []
+        else:
+            self._ledger = None
+            self._owners = []
+        self._kernel = kernel
+        static_views = kernel.static_views if kernel is not None else None
+        row_of = kernel.row_of if kernel is not None else None
 
         events: list[tuple[float, int, int, object]] = []
         seq = 0
@@ -191,7 +285,8 @@ class MigratingSimulator:
                 None,
             )
 
-        outcomes: list[JobOutcome] = []
+        #: Finish log: (job_id, end time), in completion order.
+        finish_log: list[tuple[int, float]] = []
         active = len(workload.jobs)
 
         def try_start(cluster: ClusterSim, now: float) -> None:
@@ -216,20 +311,28 @@ class MigratingSimulator:
 
             if kind == _ARRIVAL:
                 job = payload  # type: ignore[assignment]
-                views = [
-                    MachineView(
-                        machine=name,
-                        runtime_s=job.runtime_s[name],
-                        energy_j=job.energy_j[name],
-                        queue_wait_s=clusters[name].estimated_wait_s(),
-                        cost=self.method.charge(
-                            self._segment_record(job, name, now, 1.0, False),
-                            self.pricings[name],
-                        ),
-                    )
-                    for name in job.eligible_machines
-                    if name in clusters
-                ]
+                if static_views is not None:
+                    views = [
+                        MachineView(
+                            name, rt, en, clusters[name].estimated_wait_s(), cost
+                        )
+                        for name, rt, en, cost in static_views[row_of[job.job_id]]
+                    ]
+                else:
+                    views = [
+                        MachineView(
+                            machine=name,
+                            runtime_s=job.runtime_s[name],
+                            energy_j=job.energy_j[name],
+                            queue_wait_s=clusters[name].estimated_wait_s(),
+                            cost=self.method.charge(
+                                self._segment_record(job, name, now, 1.0, False),
+                                self.pricings[name],
+                            ),
+                        )
+                        for name in job.eligible_machines
+                        if name in clusters
+                    ]
                 if not views:
                     active -= 1
                     continue
@@ -243,14 +346,14 @@ class MigratingSimulator:
                 entry = cluster.running.get(job_id)
                 if entry is None or abs(entry.end_s - now) > 1e-6:
                     continue  # stale event from a migrated segment
-                job = cluster.finish(job_id)
+                cluster.finish(job_id)
                 state = progress[job_id]
                 self._charge_segment(
                     state, state.remaining_fraction, state.is_continuation
                 )
                 state.remaining_fraction = 0.0
                 pending_runtime.pop(job_id, None)
-                outcomes.append(self._outcome(state, now))
+                finish_log.append((job_id, now))
                 active -= 1
                 try_start(cluster, now)
 
@@ -262,11 +365,19 @@ class MigratingSimulator:
                 if active > 0:
                     push(now + self.reevaluate_every_s, _REEVALUATE, None)
 
+        self._settle_segments()
+        self._ledger = None
+        self._owners = []
+        self._kernel = None
+        outcomes = [
+            self._outcome(progress[job_id], end_s)
+            for job_id, end_s in finish_log
+        ]
         return SimulationResult(
             policy=f"{self.policy.name}+migrate",
             method=self.method.name,
-            outcomes=outcomes,
             machines=list(self.machines),
+            outcomes=outcomes,
         )
 
     # ------------------------------------------------------------------
@@ -277,8 +388,14 @@ class MigratingSimulator:
         pending_runtime: dict[int, float],
         now: float,
     ) -> bool:
-        """Preempt-and-requeue any running job with a big enough saving."""
-        moved_any = False
+        """Preempt-and-requeue any running job with a big enough saving.
+
+        Probes are pure functions of (job, remaining fraction, now), so
+        the batched path collects every candidate first, prices all
+        stay/move probes with one ``charge_many`` per machine, and then
+        replays the exact decision comparisons of the scalar loop.
+        """
+        candidates: list[tuple[ClusterSim, int, _Progress, Job, float, float]] = []
         for cluster in clusters.values():
             for job_id in list(cluster.running):
                 state = progress[job_id]
@@ -294,35 +411,135 @@ class MigratingSimulator:
                 remaining = state.remaining_fraction - frac_done
                 if remaining <= 0.05:
                     continue  # nearly finished; never worth moving
-
-                probe = _Progress(
-                    job=job,
-                    remaining_fraction=remaining,
-                    segment_start_s=now,
-                    segment_machine=cluster.name,
+                candidates.append(
+                    (cluster, job_id, state, job, remaining, frac_done)
                 )
-                stay = self._remaining_cost(probe, cluster.name, now, migrating=False)
-                best_name, best_cost = None, stay
-                for name in job.eligible_machines:
-                    if name == cluster.name or name not in clusters:
-                        continue
-                    cost = self._remaining_cost(probe, name, now, migrating=True)
-                    if cost < best_cost:
-                        best_name, best_cost = name, cost
-                if best_name is None or best_cost > stay * (1.0 - self.min_saving):
+        if not candidates:
+            return False
+
+        if self.batched:
+            probe_costs, name_idx = self._probe_costs_batched(
+                clusters, candidates, now
+            )
+        else:
+            probe_costs, name_idx = self._probe_costs_scalar(
+                clusters, candidates, now
+            )
+
+        moved_any = False
+        for k, (cluster, job_id, state, job, remaining, frac_done) in enumerate(
+            candidates
+        ):
+            costs = probe_costs[k]
+            stay = costs[name_idx[cluster.name]]
+            best_name, best_cost = None, stay
+            for name in job.eligible_machines:
+                if name == cluster.name or name not in clusters:
                     continue
+                cost = costs[name_idx[name]]
+                if cost < best_cost:
+                    best_name, best_cost = name, cost
+            if best_name is None or best_cost > stay * (1.0 - self.min_saving):
+                continue
 
-                # Bill the partial segment, release, and requeue.
-                self._charge_segment(state, frac_done, state.is_continuation)
-                state.remaining_fraction = remaining
-                state.migrations += 1
-                cluster.finish(job_id)
-                pending_runtime[job_id] = (
-                    job.runtime_s[best_name] * remaining + self.overhead_s
-                )
-                clusters[best_name].enqueue(job)
-                moved_any = True
+            # Bill the partial segment, release, and requeue.
+            self._charge_segment(state, frac_done, state.is_continuation)
+            state.remaining_fraction = remaining
+            state.migrations += 1
+            cluster.finish(job_id)
+            pending_runtime[job_id] = (
+                job.runtime_s[best_name] * remaining + self.overhead_s
+            )
+            clusters[best_name].enqueue(job)
+            moved_any = True
         return moved_any
+
+    def _probe_costs_scalar(
+        self,
+        clusters: dict[str, ClusterSim],
+        candidates: list[tuple[ClusterSim, int, _Progress, Job, float, float]],
+        now: float,
+    ) -> tuple[np.ndarray, dict[str, int]]:
+        """Reference probe pricing: one ``charge()`` per (job, machine)."""
+        names = list(self.pricings)
+        name_idx = {name: mi for mi, name in enumerate(names)}
+        out = np.full((len(candidates), len(names)), np.nan)
+        for k, (cluster, _job_id, _state, job, remaining, _frac_done) in enumerate(
+            candidates
+        ):
+            probe = _Progress(
+                job=job,
+                remaining_fraction=remaining,
+                segment_start_s=now,
+                segment_machine=cluster.name,
+            )
+            out[k, name_idx[cluster.name]] = self._remaining_cost(
+                probe, cluster.name, now, migrating=False
+            )
+            for name in job.eligible_machines:
+                if name == cluster.name or name not in clusters:
+                    continue
+                out[k, name_idx[name]] = self._remaining_cost(
+                    probe, name, now, migrating=True
+                )
+        return out, name_idx
+
+    def _probe_costs_batched(
+        self,
+        clusters: dict[str, ClusterSim],
+        candidates: list[tuple[ClusterSim, int, _Progress, Job, float, float]],
+        now: float,
+    ) -> tuple[np.ndarray, dict[str, int]]:
+        """One ``charge_many`` per machine over every candidate's probes.
+
+        Probe segments are assembled from the kernel's per-machine quote
+        arrays with one gather per machine: ``runtime[rows] * remaining``
+        is the same IEEE multiply as the scalar
+        ``job.runtime_s[m] * fraction``, and the overhead terms are added
+        with the scalar path's association order, so probe costs (and
+        therefore migration decisions) are bit-identical.
+        """
+        kernel = self._kernel
+        n = len(candidates)
+        rows = np.empty(n, dtype=np.intp)
+        remaining = np.empty(n)
+        cores = np.empty(n, dtype=np.int64)
+        current_code = np.empty(n, dtype=np.intp)
+        name_idx = {name: mi for mi, name in enumerate(kernel.machine_names)}
+        row_of = kernel.row_of
+        for k, (cluster, job_id, _state, job, rem, _frac) in enumerate(candidates):
+            rows[k] = row_of[job_id]
+            remaining[k] = rem
+            cores[k] = job.cores
+            current_code[k] = name_idx[cluster.name]
+        out = np.full((n, len(kernel.machine_names)), np.nan)
+        starts = np.full(n, now)
+        for mi, name in enumerate(kernel.machine_names):
+            rt_all = kernel.runtime[name][rows]
+            eligible = ~np.isnan(rt_all)
+            if not eligible.any():
+                continue
+            idx = np.nonzero(eligible)[0]
+            runtime = rt_all[idx] * remaining[idx]
+            energy = kernel.energy[name][rows[idx]] * remaining[idx]
+            moving = current_code[idx] != mi
+            if moving.any():
+                idle = self.machines[name].idle_watts_per_core
+                runtime = np.where(moving, runtime + self.overhead_s, runtime)
+                energy = np.where(
+                    moving,
+                    energy + idle * cores[idx] * self.overhead_s,
+                    energy,
+                )
+            batch = UsageBatch.unchecked(
+                machine=name,
+                duration_s=runtime,
+                energy_j=energy,
+                cores=cores[idx],
+                start_time_s=starts[idx],
+            )
+            out[idx, mi] = self.method.charge_many(batch, self.pricings[name])
+        return out, name_idx
 
     def _outcome(self, state: _Progress, end_s: float) -> JobOutcome:
         job = state.job

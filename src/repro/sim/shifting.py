@@ -180,6 +180,6 @@ class ShiftingSimulator:
         return SimulationResult(
             policy=f"{self.policy.name}+shift",
             method=self.method.name,
-            outcomes=result.outcomes,
             machines=result.machines,
+            table=result.table,
         )

@@ -16,6 +16,21 @@ worker then inherits the generated workload copy-on-write instead of
 regenerating (or unpickling) it.  On non-fork platforms workers fall
 back to regenerating through the same memoized functions.
 
+Shared-memory result return
+---------------------------
+At paper scale (``scale=71_190``) the *results* dominate sweep IPC:
+142k outcomes per task used to be pickled row by row through the
+executor pipe.  Because a :class:`SimulationResult` is backed by the
+columnar :class:`~repro.accounting.pricing.OutcomeTable`, each worker
+now copies the raw column buffers into a
+:mod:`multiprocessing.shared_memory` block and sends only a tiny
+descriptor (name + dtypes + shapes) through the pipe; the parent
+reattaches, rebuilds the arrays, and unlinks the block.  No NumPy data
+is pickled, and the reconstruction is an exact byte copy, so results
+are bit-identical to the in-process path.  Set ``shared_memory=False``
+(or ``REPRO_SWEEP_SHM=0``) to fall back to pickled returns; workers
+also fall back automatically if a shared block cannot be created.
+
 Worker count resolution order: explicit ``workers=`` argument, the
 :func:`set_default_workers` override (the CLI's ``--jobs``), the
 ``REPRO_SWEEP_WORKERS`` environment variable, then ``os.cpu_count()``.
@@ -32,10 +47,14 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from functools import partial
 from itertools import product
+from multiprocessing import shared_memory
 from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
 
 from repro.accounting.base import AccountingMethod
 from repro.accounting.methods import method_by_name
+from repro.accounting.pricing import OUTCOME_FIELDS, OutcomeTable
 from repro.sim.engine import MultiClusterSimulator, SimulationResult
 from repro.sim.policies import FixedMachinePolicy, Policy, standard_policies
 from repro.sim.scenarios import SimMachine
@@ -43,6 +62,9 @@ from repro.sim.workload import Workload
 
 #: Environment knob capping sweep parallelism (laptops, CI).
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+#: Environment knob disabling shared-memory result return ("0"/"false").
+SHM_ENV = "REPRO_SWEEP_SHM"
 
 _workers_override: int | None = None
 
@@ -118,6 +140,87 @@ def _execute(runner: "SweepRunner", task: SweepTask) -> SimulationResult:
     return runner.run_task(task)
 
 
+# ---------------------------------------------------------------------------
+# Pickle-free result transport
+# ---------------------------------------------------------------------------
+def _unregister_shm(shm: shared_memory.SharedMemory) -> None:
+    """Hand cleanup responsibility to the parent process.
+
+    The creating worker must not let its resource tracker unlink the
+    block at interpreter exit — the parent unlinks after copying out.
+    Best-effort: on platforms without the tracker this is a no-op.
+    """
+    try:  # pragma: no cover - depends on interpreter internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:
+        pass
+
+
+def _result_to_shm(result: SimulationResult) -> dict:
+    """Copy a result's column buffers into one shared-memory block and
+    return the picklable descriptor the parent rebuilds it from."""
+    table = result.table
+    arrays = [np.ascontiguousarray(getattr(table, name)) for name, _ in OUTCOME_FIELDS]
+    total = sum(a.nbytes for a in arrays)
+    shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+    layout = []
+    offset = 0
+    for (name, _), array in zip(OUTCOME_FIELDS, arrays):
+        view = np.ndarray(array.shape, array.dtype, buffer=shm.buf, offset=offset)
+        view[...] = array
+        layout.append((name, array.dtype.str, len(array), offset))
+        offset += array.nbytes
+    descriptor = {
+        "shm": shm.name,
+        "layout": layout,
+        "policy": result.policy,
+        "method": result.method,
+        "machines": result.machines,
+        "table_machines": table.machines,
+    }
+    shm.close()
+    _unregister_shm(shm)
+    return descriptor
+
+
+def _result_from_shm(descriptor: dict) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from a worker's descriptor,
+    copying the columns out and unlinking the shared block."""
+    shm = shared_memory.SharedMemory(name=descriptor["shm"])
+    try:
+        columns = {
+            name: np.ndarray(
+                (length,), np.dtype(dtype), buffer=shm.buf, offset=offset
+            ).copy()
+            for name, dtype, length, offset in descriptor["layout"]
+        }
+    finally:
+        shm.close()
+        shm.unlink()
+    table = OutcomeTable(descriptor["table_machines"], **columns)
+    return SimulationResult(
+        policy=descriptor["policy"],
+        method=descriptor["method"],
+        machines=descriptor["machines"],
+        table=table,
+    )
+
+
+def _execute_shm(runner: "SweepRunner", task: SweepTask):
+    """Worker entry point for shared-memory returns.
+
+    Falls back to returning the (picklable) result itself when a shared
+    block cannot be created — the parent handles both shapes.
+    """
+    result = runner.run_task(task)
+    try:
+        return _result_to_shm(result)
+    except OSError:
+        return result
+
+
 class SweepRunner:
     """Fans simulation tasks over processes with shared memoized inputs.
 
@@ -134,6 +237,10 @@ class SweepRunner:
         lookup).
     workers:
         Parallelism cap; see the module docstring for resolution order.
+    shared_memory:
+        Return worker results through :mod:`multiprocessing.shared_memory`
+        instead of pickling them (default; see the module docstring).
+        ``None`` resolves from ``REPRO_SWEEP_SHM``.
     """
 
     def __init__(
@@ -142,11 +249,17 @@ class SweepRunner:
         workload_fn: Callable[..., Workload],
         method_fn: Callable[[str], AccountingMethod] = method_by_name,
         workers: int | None = None,
+        shared_memory: bool | None = None,
     ) -> None:
         self.scenario_fn = scenario_fn
         self.workload_fn = workload_fn
         self.method_fn = method_fn
         self.workers = resolve_workers(workers)
+        if shared_memory is None:
+            shared_memory = os.environ.get(SHM_ENV, "1").lower() not in (
+                "0", "false", "no",
+            )
+        self.shared_memory = shared_memory
 
     # ------------------------------------------------------------------
     def run_task(self, task: SweepTask) -> SimulationResult:
@@ -190,8 +303,31 @@ class SweepRunner:
             if "fork" in multiprocessing.get_all_start_methods()
             else None
         )
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            results = list(pool.map(partial(_execute, self), tasks))
+        worker = _execute_shm if self.shared_memory else _execute
+        raw: list = []
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=context
+            ) as pool:
+                for item in pool.map(partial(worker, self), tasks):
+                    raw.append(item)
+            results = [
+                _result_from_shm(r) if isinstance(r, dict) else r for r in raw
+            ]
+        except BaseException:
+            # A failed task aborts the sweep mid-stream; unlink every
+            # shared block whose descriptor already reached us so the
+            # columns don't outlive the run (workers handed cleanup
+            # responsibility to this process).
+            for item in raw:
+                if isinstance(item, dict):
+                    try:
+                        block = shared_memory.SharedMemory(name=item["shm"])
+                        block.close()
+                        block.unlink()
+                    except OSError:
+                        pass
+            raise
         return dict(zip(tasks, results))
 
     # ------------------------------------------------------------------

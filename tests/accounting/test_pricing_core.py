@@ -1,0 +1,287 @@
+"""The columnar pricing core: quote tables, outcome tables, and the
+deferred-settlement ledgers must be bit-identical to their per-record
+reference paths."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.accounting.base import MachinePricing, UsageRecord
+from repro.accounting.methods import CarbonBasedAccounting, all_methods
+from repro.accounting.pricing import (
+    OutcomeTable,
+    PricingKernel,
+    SegmentLedger,
+    SettlementQueue,
+)
+from repro.carbon.intensity import CarbonIntensityTrace
+from repro.sim.job import Job, JobOutcome
+from repro.units import operational_carbon_g
+
+
+def make_pricings(rng, n_machines=3):
+    pricings = {}
+    for mi in range(n_machines):
+        name = f"M{mi}"
+        trace = CarbonIntensityTrace(
+            f"r{mi}", rng.uniform(20.0, 900.0, size=48)
+        )
+        pricings[name] = MachinePricing(
+            name=name,
+            total_cores=int(rng.integers(8, 256)),
+            tdp_watts=float(rng.uniform(100, 900)),
+            peak_rating=float(rng.uniform(1.0, 4.0)),
+            embodied_carbon_g=float(rng.uniform(1e5, 5e6)),
+            age_years=int(rng.integers(0, 6)),
+            intensity=trace,
+        )
+    return pricings
+
+
+def make_jobs(rng, pricings, n=60):
+    names = list(pricings)
+    jobs = []
+    for i in range(n):
+        eligible = [m for m in names if rng.random() < 0.8] or [names[0]]
+        jobs.append(
+            Job(
+                job_id=i,
+                user=int(rng.integers(0, 10)),
+                cores=int(rng.integers(1, 64)),
+                submit_s=float(rng.uniform(0, 3e5)),
+                runtime_s={m: float(rng.uniform(60, 3e4)) for m in eligible},
+                energy_j={m: float(rng.uniform(1e3, 1e8)) for m in eligible},
+            )
+        )
+    return jobs
+
+
+class TestPricingKernelQuotes:
+    @pytest.mark.parametrize("method_index", range(5))
+    def test_static_views_match_scalar_charges(self, method_index):
+        """Every quoted (job, machine) cost equals a scalar charge()."""
+        rng = np.random.default_rng(21 + method_index)
+        method = all_methods()[method_index]
+        pricings = make_pricings(rng)
+        jobs = make_jobs(rng, pricings)
+        kernel = PricingKernel(jobs, pricings, method)
+        for job in jobs:
+            views = kernel.static_views[kernel.row_of[job.job_id]]
+            assert [v[0] for v in views] == job.eligible_machines
+            for name, runtime, energy, cost in views:
+                record = UsageRecord(
+                    machine=name,
+                    duration_s=runtime,
+                    energy_j=energy,
+                    cores=job.cores,
+                    start_time_s=job.submit_s,
+                )
+                assert cost == method.charge(record, pricings[name])
+
+    def test_price_outcomes_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        method = CarbonBasedAccounting()
+        carbon = CarbonBasedAccounting()
+        pricings = make_pricings(rng)
+        jobs = make_jobs(rng, pricings)
+        kernel = PricingKernel(jobs, pricings, method)
+        finished = []
+        for job in jobs:
+            machine = job.eligible_machines[0]
+            start = job.submit_s + float(rng.uniform(0, 1e4))
+            finished.append((job, machine, start, start + job.runtime_s[machine]))
+        table = kernel.price_outcomes(finished)
+        assert len(table) == len(finished)
+        for row, (job, machine, start, end) in zip(table.rows(), finished):
+            record = UsageRecord(
+                machine=machine,
+                duration_s=job.runtime_s[machine],
+                energy_j=job.energy_j[machine],
+                cores=job.cores,
+                start_time_s=start,
+            )
+            pricing = pricings[machine]
+            assert row.job_id == job.job_id
+            assert row.machine == machine
+            assert row.cost == method.charge(record, pricing)
+            operational = operational_carbon_g(
+                job.energy_j[machine], pricing.intensity.at(start)
+            )
+            assert row.operational_carbon_g == operational
+            assert row.attributed_carbon_g == operational + carbon.embodied_charge(
+                record, pricing
+            )
+
+
+class TestOutcomeTable:
+    def make_rows(self, rng, n=25):
+        machines = ["A", "B", "C"]
+        return machines, [
+            JobOutcome(
+                job_id=i,
+                user=int(rng.integers(0, 5)),
+                machine=machines[int(rng.integers(0, 3))],
+                cores=int(rng.integers(1, 64)),
+                submit_s=float(rng.uniform(0, 1e5)),
+                start_s=float(rng.uniform(1e5, 2e5)),
+                end_s=float(rng.uniform(2e5, 3e5)),
+                energy_j=float(rng.uniform(1, 1e8)),
+                cost=float(rng.uniform(0, 1e4)),
+                work_core_hours=float(rng.uniform(0, 1e3)),
+                operational_carbon_g=float(rng.uniform(0, 1e3)),
+                attributed_carbon_g=float(rng.uniform(0, 2e3)),
+            )
+            for i in range(n)
+        ]
+
+    def test_from_rows_round_trip(self):
+        machines, rows = self.make_rows(np.random.default_rng(1))
+        table = OutcomeTable.from_rows(rows, machines)
+        assert len(table) == len(rows)
+        assert table.rows() == rows
+
+    def test_lazy_rows_materialize_once(self):
+        machines, rows = self.make_rows(np.random.default_rng(2))
+        table = OutcomeTable.from_rows(rows, machines)
+        table._rows_cache = None  # drop the construction cache
+        first = table.rows()
+        assert first == rows
+        assert table.rows() is first
+
+    def test_machines_seeded_plus_extras(self):
+        machines, rows = self.make_rows(np.random.default_rng(3))
+        table = OutcomeTable.from_rows(rows, ["Z", *machines])
+        assert table.machines[0] == "Z"
+        assert set(table.machines) == {"Z", "A", "B", "C"}
+
+    def test_pickle_drops_row_cache_and_preserves_columns(self):
+        machines, rows = self.make_rows(np.random.default_rng(4))
+        table = OutcomeTable.from_rows(rows, machines)
+        clone = pickle.loads(pickle.dumps(table))
+        assert clone._rows_cache is None
+        assert clone.rows() == rows
+        assert np.array_equal(clone.cost, table.cost)
+
+    def test_empty(self):
+        table = OutcomeTable.empty(["A"])
+        assert len(table) == 0
+        assert table.rows() == []
+
+    def test_rejects_ragged_columns(self):
+        machines, rows = self.make_rows(np.random.default_rng(5))
+        table = OutcomeTable.from_rows(rows, machines)
+        state = table.__getstate__()
+        state["cost"] = state["cost"][:-1]
+        with pytest.raises(ValueError):
+            OutcomeTable(machines, **{k: v for k, v in state.items() if k != "machines"})
+
+
+class TestSegmentLedger:
+    @pytest.mark.parametrize("method_index", range(5))
+    def test_settle_bit_identical_to_per_segment_charges(self, method_index):
+        rng = np.random.default_rng(31 + method_index)
+        method = all_methods()[method_index]
+        carbon = CarbonBasedAccounting()
+        pricings = make_pricings(rng)
+        names = list(pricings)
+        ledger = SegmentLedger(method, pricings)
+        records = []
+        for i in range(300):
+            name = names[int(rng.integers(0, len(names)))]
+            record = UsageRecord(
+                machine=name,
+                duration_s=float(rng.uniform(1, 6e4)),
+                energy_j=float(rng.uniform(1, 1e8)),
+                cores=int(rng.integers(1, 64)),
+                start_time_s=float(rng.uniform(0, 3e5)),
+            )
+            records.append(record)
+            ledger.add(
+                name,
+                record.start_time_s,
+                record.duration_s,
+                record.energy_j,
+                record.cores,
+            )
+        cost, operational, attributed = ledger.settle()
+        for i, record in enumerate(records):
+            pricing = pricings[record.machine]
+            assert cost[i] == method.charge(record, pricing)
+            expected_op = operational_carbon_g(
+                record.energy_j, pricing.intensity.at(record.start_time_s)
+            )
+            assert operational[i] == expected_op
+            assert attributed[i] == expected_op + carbon.embodied_charge(
+                record, pricing
+            )
+
+
+class TestSettlementQueue:
+    def make_records(self, rng, pricings, n=200):
+        names = list(pricings)
+        return [
+            UsageRecord(
+                machine=names[int(rng.integers(0, len(names)))],
+                duration_s=float(rng.uniform(0.1, 6e4)),
+                energy_j=float(rng.uniform(0.1, 1e8)),
+                cores=int(rng.integers(1, 64)),
+                provisioned_cores=(
+                    int(rng.integers(1, 64)) if rng.random() < 0.3 else None
+                ),
+                start_time_s=float(rng.uniform(0, 3e5)),
+            )
+            for _ in range(n)
+        ]
+
+    @pytest.mark.parametrize("method_index", range(5))
+    def test_settle_bit_identical_to_immediate_charges(self, method_index):
+        rng = np.random.default_rng(41 + method_index)
+        method = all_methods()[method_index]
+        pricings = make_pricings(rng)
+        records = self.make_records(rng, pricings)
+        queue = SettlementQueue(method, pricings)
+        for record in records:
+            queue.add(record)
+        charges = queue.settle()
+        assert charges == [
+            method.charge(r, pricings[r.machine]) for r in records
+        ]
+        assert len(queue) == 0 and queue.pending_bound == 0.0
+
+    @pytest.mark.parametrize("method_index", range(5))
+    def test_pending_bound_is_sound(self, method_index):
+        """The queue's bound must never undercount the true pending debt
+        — that is what keeps deferred admission control exact."""
+        rng = np.random.default_rng(51 + method_index)
+        method = all_methods()[method_index]
+        pricings = make_pricings(rng)
+        records = self.make_records(rng, pricings)
+        queue = SettlementQueue(method, pricings)
+        actual = 0.0
+        for record in records:
+            queue.add(record)
+            actual += method.charge(record, pricings[record.machine])
+            assert queue.pending_bound >= actual - 1e-9 * abs(actual)
+
+    def test_charge_upper_bound_dominates_charge(self):
+        rng = np.random.default_rng(61)
+        pricings = make_pricings(rng)
+        for method in all_methods():
+            for record in self.make_records(rng, pricings, n=50):
+                pricing = pricings[record.machine]
+                assert method.charge_upper_bound(record, pricing) >= method.charge(
+                    record, pricing
+                )
+
+    def test_rejects_unknown_machine(self):
+        rng = np.random.default_rng(71)
+        pricings = make_pricings(rng)
+        queue = SettlementQueue(all_methods()[0], pricings)
+        with pytest.raises(KeyError):
+            queue.add(UsageRecord(machine="nope", duration_s=1.0, energy_j=1.0))
+
+    def test_empty_settle(self):
+        rng = np.random.default_rng(72)
+        queue = SettlementQueue(all_methods()[0], make_pricings(rng))
+        assert queue.settle() == []

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.accounting.methods import CarbonBasedAccounting, EnergyBasedAccounting
+from repro.accounting.methods import (
+    CarbonBasedAccounting,
+    EnergyBasedAccounting,
+    all_methods,
+)
 from repro.sim.engine import MultiClusterSimulator
 from repro.sim.migration import MigratingSimulator
 from repro.sim.policies import GreedyPolicy
@@ -68,6 +72,57 @@ class TestBenefit:
     def test_migration_does_not_inflate_cost(self, results):
         plain, migrating = results
         assert migrating.total_cost() <= plain.total_cost() * 1.02
+
+
+class TestBatchedExactness:
+    """The batched pricing paths (kernel quotes, batched probes,
+    deferred segment settlement) against the per-record reference, for
+    every accounting method — same outcomes, same order, same floats."""
+
+    @pytest.fixture(scope="class")
+    def exactness_workload(self, low_carbon_machines):
+        cfg = WorkloadConfig(
+            n_base_jobs=120, n_users=30, seed=11, runtime_median_s=5 * 3600.0
+        )
+        return PatelWorkloadGenerator(low_carbon_machines, cfg).generate()
+
+    @pytest.mark.parametrize(
+        "method", all_methods(), ids=lambda m: m.name
+    )
+    def test_bit_identical_outcomes(
+        self, low_carbon_machines, exactness_workload, method
+    ):
+        reference = MigratingSimulator(
+            low_carbon_machines,
+            method,
+            GreedyPolicy(),
+            min_saving=0.1,
+            batched=False,
+        ).run(exactness_workload)
+        batched = MigratingSimulator(
+            low_carbon_machines, method, GreedyPolicy(), min_saving=0.1
+        ).run(exactness_workload)
+        assert batched.outcomes == reference.outcomes
+        assert batched.machines == reference.machines
+        assert batched.policy == reference.policy
+
+    def test_migrations_actually_happen_under_cba(
+        self, low_carbon_machines, exactness_workload
+    ):
+        """Guard the guard: the exactness fixture must exercise the
+        migration (segment-splitting) code path, not just plain runs."""
+        sim = MigratingSimulator(
+            low_carbon_machines,
+            CarbonBasedAccounting(),
+            GreedyPolicy(),
+            min_saving=0.1,
+        )
+        result = sim.run(exactness_workload)
+        assert result.n_jobs == len(exactness_workload)
+        plain = MultiClusterSimulator(
+            low_carbon_machines, CarbonBasedAccounting(), GreedyPolicy()
+        ).run(exactness_workload)
+        assert result.total_cost() != plain.total_cost()
 
 
 class TestKnobs:

@@ -138,6 +138,46 @@ class TestSweepRunner:
             runner.run_task(SweepTask("baseline", "greedy", "EBA", SCALE, SEED))
 
 
+class TestSharedMemoryReturn:
+    """Pickle-free result transport: byte-identical to pickled returns."""
+
+    def test_shm_round_trip_preserves_result(self, sweep_fns):
+        from repro.sim.sweep import _result_from_shm, _result_to_shm
+
+        scenario, workload, method_for = sweep_fns
+        runner = SweepRunner(scenario, workload, method_for, workers=1)
+        original = runner.run_task(
+            SweepTask("baseline", "Greedy", "EBA", SCALE, SEED)
+        )
+        clone = _result_from_shm(_result_to_shm(original))
+        assert clone.policy == original.policy
+        assert clone.method == original.method
+        assert clone.machines == original.machines
+        assert clone.outcomes == original.outcomes
+
+    def test_parallel_shm_matches_pickled(self, sweep_fns):
+        scenario, workload, method_for = sweep_fns
+        tasks = [
+            SweepTask("baseline", p.name, "EBA", SCALE, SEED)
+            for p in standard_policies()[:3]
+        ]
+        with_shm = SweepRunner(
+            scenario, workload, method_for, workers=2, shared_memory=True
+        ).run(tasks)
+        pickled = SweepRunner(
+            scenario, workload, method_for, workers=2, shared_memory=False
+        ).run(tasks)
+        for task in tasks:
+            assert with_shm[task].outcomes == pickled[task].outcomes
+
+    def test_env_knob_disables_shm(self, sweep_fns, monkeypatch):
+        scenario, workload, method_for = sweep_fns
+        monkeypatch.setenv("REPRO_SWEEP_SHM", "0")
+        assert not SweepRunner(scenario, workload, method_for).shared_memory
+        monkeypatch.delenv("REPRO_SWEEP_SHM")
+        assert SweepRunner(scenario, workload, method_for).shared_memory
+
+
 class TestKnobs:
     def test_policy_by_name_standard(self):
         for policy in standard_policies():
