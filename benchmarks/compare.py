@@ -39,6 +39,7 @@ DEFAULT_THRESHOLD = 0.20
 REQUIRED_BENCHMARKS = (
     "test_engine_throughput_2k_jobs",
     "test_workload_generation_2k",
+    "test_event_loop_throughput",
     "test_migration_throughput_1k_jobs",
     "test_migration_segment_settle_10k",
     "test_faas_settlement_5k_records",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, replace
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -332,6 +332,43 @@ class AccountingMethod(abc.ABC):
         that avoids the lookup.
         """
         return self.charge(record, machine)
+
+    def probe_kernel(
+        self, machine: MachinePricing
+    ) -> Callable[[float, float, int, float], float]:
+        """A scalar quote closure ``(duration_s, energy_j, cores,
+        start_time_s) -> cost`` specialized to one machine.
+
+        Event loops that price many tiny probe batches (the migration
+        simulator's per-tick stay/move re-evaluations) are dominated by
+        per-call overhead — :class:`UsageRecord` construction, method
+        dispatch, NumPy fixed costs on two-element arrays — rather than
+        arithmetic.  A probe kernel hoists the per-machine constants
+        once and prices one probe in a handful of float operations.
+
+        The base implementation builds a record and defers to
+        :meth:`charge`, so any method is probe-capable; the built-in
+        methods override it with closed-form closures that perform the
+        **same IEEE operations in the same order** as their ``charge``,
+        so probe quotes are bit-identical to record pricing (the test
+        suite asserts exact equality).
+        """
+
+        def probe(
+            duration_s: float, energy_j: float, cores: int, start_time_s: float
+        ) -> float:
+            return self.charge(
+                UsageRecord(
+                    machine=machine.name,
+                    duration_s=duration_s,
+                    energy_j=energy_j,
+                    cores=cores,
+                    start_time_s=start_time_s,
+                ),
+                machine,
+            )
+
+        return probe
 
     def estimate(
         self,

@@ -18,6 +18,7 @@ jobs for whole devices (§4.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -51,6 +52,16 @@ class RuntimeAccounting(AccountingMethod):
     def charge_many(self, batch: UsageBatch, machine: MachinePricing) -> np.ndarray:
         return batch.cores * batch.duration_s / SECONDS_PER_HOUR
 
+    def probe_kernel(
+        self, machine: MachinePricing
+    ) -> Callable[[float, float, int, float], float]:
+        def probe(
+            duration_s: float, energy_j: float, cores: int, start_time_s: float
+        ) -> float:
+            return cores * duration_s / SECONDS_PER_HOUR
+
+        return probe
+
 
 @dataclass(frozen=True)
 class EnergyAccounting(AccountingMethod):
@@ -64,6 +75,16 @@ class EnergyAccounting(AccountingMethod):
 
     def charge_many(self, batch: UsageBatch, machine: MachinePricing) -> np.ndarray:
         return np.array(batch.energy_j, dtype=float)
+
+    def probe_kernel(
+        self, machine: MachinePricing
+    ) -> Callable[[float, float, int, float], float]:
+        def probe(
+            duration_s: float, energy_j: float, cores: int, start_time_s: float
+        ) -> float:
+            return energy_j
+
+        return probe
 
 
 @dataclass(frozen=True)
@@ -83,6 +104,18 @@ class PeakAccounting(AccountingMethod):
 
     def charge_many(self, batch: UsageBatch, machine: MachinePricing) -> np.ndarray:
         return batch.cores * batch.duration_s * machine.peak_rating
+
+    def probe_kernel(
+        self, machine: MachinePricing
+    ) -> Callable[[float, float, int, float], float]:
+        rating = machine.peak_rating
+
+        def probe(
+            duration_s: float, energy_j: float, cores: int, start_time_s: float
+        ) -> float:
+            return cores * duration_s * rating
+
+        return probe
 
 
 @dataclass(frozen=True)
@@ -118,6 +151,24 @@ class EnergyBasedAccounting(AccountingMethod):
             * machine.attributed_tdp_watts_many(batch.occupancy)
         )
         return (batch.energy_j + potential_j) / 2.0
+
+    def probe_kernel(
+        self, machine: MachinePricing
+    ) -> Callable[[float, float, int, float], float]:
+        beta = self.beta
+        tdp = machine.tdp_watts
+        total = machine.total_cores
+        whole_unit = machine.whole_unit
+
+        def probe(
+            duration_s: float, energy_j: float, cores: int, start_time_s: float
+        ) -> float:
+            # Same associativity as charge(): (beta * d) * (tdp * share).
+            share = 1.0 if whole_unit else min(1.0, cores / total)
+            potential_j = beta * duration_s * (tdp * share)
+            return (energy_j + potential_j) / 2.0
+
+        return probe
 
 
 @dataclass(frozen=True)
@@ -168,6 +219,50 @@ class CarbonBasedAccounting(AccountingMethod):
             intensity = machine.intensity.at_many(batch.start_time_s)
         operational = operational_carbon_g(batch.energy_j, intensity)
         return operational + self.embodied_charge_many(batch, machine)
+
+    def probe_kernel(
+        self, machine: MachinePricing
+    ) -> Callable[[float, float, int, float], float]:
+        if machine.intensity is None:
+            raise ValueError(
+                f"machine {machine.name!r} has no carbon-intensity trace"
+            )
+        trace = machine.intensity
+        rate = self._embodied_rate(machine)
+        total = machine.total_cores
+        whole_unit = machine.whole_unit
+
+        if self.average_intensity_over_run:
+
+            def probe(
+                duration_s: float, energy_j: float, cores: int, start_time_s: float
+            ) -> float:
+                intensity = trace.average_over(start_time_s, duration_s)
+                share = 1.0 if whole_unit else min(1.0, cores / total)
+                return operational_carbon_g(energy_j, intensity) + rate * (
+                    duration_s / SECONDS_PER_HOUR
+                ) * share
+
+            return probe
+
+        # Snapshot pricing: consecutive probes in one re-evaluation tick
+        # share a start time, so memoize the last trace lookup.
+        memo_start: float | None = None
+        memo_intensity = 0.0
+
+        def probe(
+            duration_s: float, energy_j: float, cores: int, start_time_s: float
+        ) -> float:
+            nonlocal memo_start, memo_intensity
+            if start_time_s != memo_start:
+                memo_start = start_time_s
+                memo_intensity = trace.at(start_time_s)
+            share = 1.0 if whole_unit else min(1.0, cores / total)
+            return operational_carbon_g(energy_j, memo_intensity) + rate * (
+                duration_s / SECONDS_PER_HOUR
+            ) * share
+
+        return probe
 
     def charge_upper_bound(
         self, record: UsageRecord, machine: MachinePricing

@@ -92,6 +92,10 @@ class EndpointMonitor:
         self._window_cores: dict[str, dict[int, int]] = {}
         self._pid_energy: dict[tuple[str, int], float] = {}
         self._pid_task: dict[tuple[str, int], str] = {}
+        #: endpoint -> {pid -> task-end timestamp}; the pid->task mapping
+        #: is retired once the interval covering this time is flushed,
+        #: so a later reuse of the pid cannot bill the finished task.
+        self._pid_ended: dict[str, dict[int, float]] = {}
         self._reports: dict[str, TaskEnergyReport] = {}
 
     # ------------------------------------------------------------------
@@ -137,6 +141,9 @@ class EndpointMonitor:
         if value["event"] == "start":
             task_id = str(value["task_id"])
             self._pid_task[pid_key] = task_id
+            # A new task on a recycled pid supersedes any retirement
+            # scheduled for the previous owner.
+            self._pid_ended.get(endpoint, {}).pop(pid_key[1], None)
             self._reports[task_id] = TaskEnergyReport(
                 task_id=task_id,
                 user=str(value.get("user", "")),
@@ -148,6 +155,13 @@ class EndpointMonitor:
             task_id = self._pid_task.get(pid_key)
             if task_id and task_id in self._reports:
                 self._reports[task_id].end_s = msg.timestamp
+                # Keep the mapping until the final interval (the one
+                # covering the end time) has been flushed — intervals
+                # can be buffered while the power model matures — then
+                # retire it so a reused pid stops billing this task.
+                self._pid_ended.setdefault(endpoint, {})[pid_key[1]] = (
+                    msg.timestamp
+                )
 
     def _on_counters(self, msg: Message) -> None:
         endpoint = msg.key
@@ -201,7 +215,9 @@ class EndpointMonitor:
 
     # ------------------------------------------------------------------
     def _flush_pending(self, final: bool) -> None:
+        pid_task = self._pid_task
         for endpoint, intervals in self._pending.items():
+            pid_ended = self._pid_ended.get(endpoint, {})
             model = self._models.get(endpoint)
             if model is None:
                 if not final:
@@ -209,11 +225,17 @@ class EndpointMonitor:
                 fitter = self._fitters.get(endpoint)
                 if fitter is not None and fitter.n_observations >= 3:
                     model = fitter.fit()
+                    # Keep the fallback fit: attribution used it, so
+                    # model_for() must report it after finalize().
+                    self._models[endpoint] = model
                 else:
                     # Bootstrap: zero-idle model, attribute dynamically
                     # by counters via equal weights.
                     model = LinearPowerModel(idle_watts=0.0, weights=np.array([1e-9, 1e-9]))
+            flushed_end: float | None = None
             for interval in intervals:
+                if flushed_end is None or interval.end > flushed_end:
+                    flushed_end = interval.end
                 if not interval.counters:
                     continue
                 shares = disaggregate_energy(
@@ -227,7 +249,16 @@ class EndpointMonitor:
                 for pid, joules in shares.items():
                     key = (endpoint, pid)
                     self._pid_energy[key] = self._pid_energy.get(key, 0.0) + joules
-                    task_id = self._pid_task.get(key)
+                    task_id = pid_task.get(key)
                     if task_id and task_id in self._reports:
-                        self._reports[task_id].energy_j += joules
+                        ended = pid_ended.get(pid)
+                        if ended is None or interval.start < ended:
+                            self._reports[task_id].energy_j += joules
             intervals.clear()
+            if flushed_end is not None and pid_ended:
+                # Retire pid -> task mappings whose final interval (the
+                # one covering the task's end time) has now been flushed.
+                for pid, ended in list(pid_ended.items()):
+                    if ended <= flushed_end:
+                        del pid_ended[pid]
+                        pid_task.pop((endpoint, pid), None)

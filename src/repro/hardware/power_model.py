@@ -19,6 +19,7 @@ attribution unstable.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -61,18 +62,37 @@ class PowerModelFitter:
     into :meth:`observe` and calls :meth:`fit` periodically.  A ridge
     term keeps the fit stable when one counter barely varies (e.g. a
     fleet of near-identical compute-bound jobs).
+
+    The fit is maintained as **running moments** (``n``, ``sum x``,
+    ``sum x xT``, ``sum y``, ``sum x y``): each observation is a rank-1
+    update, and :meth:`fit` solves the (d+1)-dimensional standardized
+    normal equations directly from the moments — O(d^2) per refit
+    instead of rebuilding the full n-row design matrix.  This is what
+    keeps the monitor's refit-per-interval behaviour cheap once warm
+    (the moments describe exactly the retained observation window, so
+    the solution matches the batch least-squares fit on that window).
     """
+
+    #: Evictions between full moment rebuilds (bounds subtraction drift).
+    _REBUILD_EVERY = 4096
 
     def __init__(self, ridge: float = 1e-9, max_observations: int = 4096) -> None:
         if max_observations < 8:
             raise ValueError("need at least 8 observations of history")
         self.ridge = ridge
         self.max_observations = max_observations
-        self._x: list[np.ndarray] = []
-        self._y: list[float] = []
+        #: Deques so window eviction is an O(1) popleft, not a list shift.
+        self._x: deque[np.ndarray] = deque()
+        self._y: deque[float] = deque()
+        d = len(COUNTER_FEATURES)
+        self._sum_x = np.zeros(d)
+        self._sum_outer = np.zeros((d, d))
+        self._sum_y = 0.0
+        self._sum_xy = np.zeros(d)
+        self._evictions = 0
 
     def observe(self, counters: np.ndarray, watts: float) -> None:
-        """Record one node-level observation."""
+        """Record one node-level observation (a rank-1 moment update)."""
         vec = np.asarray(counters, dtype=float).ravel()
         if vec.shape != (len(COUNTER_FEATURES),):
             raise ValueError(f"counter vector must have shape ({len(COUNTER_FEATURES)},)")
@@ -80,10 +100,32 @@ class PowerModelFitter:
             raise ValueError("measured power cannot be negative")
         self._x.append(vec)
         self._y.append(float(watts))
+        self._sum_x += vec
+        self._sum_outer += np.outer(vec, vec)
+        self._sum_y += watts
+        self._sum_xy += vec * watts
         if len(self._x) > self.max_observations:
-            # Keep the newest window; power behaviour drifts with workload mix.
-            self._x = self._x[-self.max_observations :]
-            self._y = self._y[-self.max_observations :]
+            # Keep the newest window; power behaviour drifts with workload
+            # mix.  Downdate the evicted row and occasionally rebuild the
+            # moments from the window to keep cancellation error bounded.
+            old_x = self._x.popleft()
+            old_y = self._y.popleft()
+            self._evictions += 1
+            if self._evictions % self._REBUILD_EVERY == 0:
+                self._rebuild_moments()
+            else:
+                self._sum_x -= old_x
+                self._sum_outer -= np.outer(old_x, old_x)
+                self._sum_y -= old_y
+                self._sum_xy -= old_x * old_y
+
+    def _rebuild_moments(self) -> None:
+        x = np.array(self._x)
+        y = np.array(self._y)
+        self._sum_x = x.sum(axis=0)
+        self._sum_outer = x.T @ x
+        self._sum_y = float(y.sum())
+        self._sum_xy = x.T @ y
 
     @property
     def n_observations(self) -> int:
@@ -94,21 +136,30 @@ class PowerModelFitter:
 
         Counters are standardized before the ridge solve so the penalty
         is scale-free; negative counter weights are clipped to zero and
-        the intercept floored at zero.
+        the intercept floored at zero.  The standardized gram matrix is
+        assembled from the running moments (``aT a`` for ``a = [1, x/s]``
+        is exactly ``[[n, sum(x)/s], [sum(x)/s, sum(x xT)/(s sT)]]``),
+        so no per-observation work happens here.
         """
-        if len(self._x) < len(COUNTER_FEATURES) + 1:
+        n = len(self._x)
+        d = len(COUNTER_FEATURES)
+        if n < d + 1:
             raise RuntimeError(
-                f"need at least {len(COUNTER_FEATURES) + 1} observations, "
-                f"have {len(self._x)}"
+                f"need at least {d + 1} observations, have {n}"
             )
-        x = np.array(self._x)
-        y = np.array(self._y)
-        scale = x.std(axis=0)
+        mean = self._sum_x / n
+        variance = np.maximum(self._sum_outer.diagonal() / n - mean * mean, 0.0)
+        scale = np.sqrt(variance)
         scale[scale == 0] = 1.0
-        xs = x / scale
-        a = np.hstack([np.ones((len(xs), 1)), xs])
-        gram = a.T @ a + self.ridge * np.eye(a.shape[1])
-        coef = np.linalg.solve(gram, a.T @ y)
+        gram = np.empty((d + 1, d + 1))
+        gram[0, 0] = n
+        gram[0, 1:] = gram[1:, 0] = self._sum_x / scale
+        gram[1:, 1:] = self._sum_outer / np.outer(scale, scale)
+        gram += self.ridge * np.eye(d + 1)
+        rhs = np.empty(d + 1)
+        rhs[0] = self._sum_y
+        rhs[1:] = self._sum_xy / scale
+        coef = np.linalg.solve(gram, rhs)
         intercept = max(0.0, float(coef[0]))
         weights = np.clip(coef[1:] / scale, 0.0, None)
         return LinearPowerModel(idle_watts=intercept, weights=weights)

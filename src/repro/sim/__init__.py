@@ -10,6 +10,9 @@ energy dataset [40].  This package rebuilds that pipeline:
   paper's GMM + KNN cross-platform extrapolation (§5.2);
 * :mod:`repro.sim.cluster` — per-machine FCFS queues with backfill and
   the one-running-job-per-user-per-cluster constraint;
+* :mod:`repro.sim.events` — the shared event-scheduling core: one
+  ``(time, kind, seq)`` calendar for every simulator and the indexed
+  ready-queue behind the cluster scan;
 * :mod:`repro.sim.policies` — the eight machine-selection policies
   (§5.3);
 * :mod:`repro.sim.engine` — the event-driven simulation loop with
@@ -24,6 +27,7 @@ energy dataset [40].  This package rebuilds that pipeline:
 from repro.sim.job import Job, JobOutcome
 from repro.sim.workload import WorkloadConfig, PatelWorkloadGenerator, Workload
 from repro.sim.cluster import ClusterSim
+from repro.sim.events import EventCalendar, ReadyQueue
 from repro.sim.policies import (
     Policy,
     GreedyPolicy,
@@ -57,6 +61,8 @@ __all__ = [
     "PatelWorkloadGenerator",
     "Workload",
     "ClusterSim",
+    "EventCalendar",
+    "ReadyQueue",
     "Policy",
     "GreedyPolicy",
     "EnergyPolicy",

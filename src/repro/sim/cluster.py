@@ -5,13 +5,27 @@ starts as soon as enough cores are free; jobs behind a blocked head may
 start only if they fit in the currently free cores (no reservation),
 scanning a bounded window so scheduling stays O(window).
 
+The queue is an **indexed ready-queue**
+(:class:`~repro.sim.events.ReadyQueue`): between scans, every job in the
+backfill window sits in a blocked bucket keyed by (min free cores
+needed, blocking user), so the events that dominate a saturated run — a
+finish that frees too few cores to admit anyone, an arrival that lands
+behind a blocked window — are answered in O(1) instead of rescanning
+the window.  A real scan runs only when the index says some job may
+actually start, and the scan is the seed's exact bounded FCFS+backfill
+loop, so start decisions are bit-identical to always rescanning.
+
 Two paper-specific rules live here:
 
 * **one running job per user per cluster** (§5.3) — queued jobs whose
   user already runs on this cluster are skipped until that job ends;
 * **queue-time estimation** for the EFT/Mixed policies: expected wait is
   the committed core-seconds (running remainders + queued demand)
-  divided by total capacity — the standard backlog heuristic.
+  divided by total capacity — the standard backlog heuristic.  Running
+  jobs count only their *remaining* core-seconds at the query time
+  (tracked incrementally as ``sum(cores * end) - now * sum(cores)``),
+  not their full runtime, so the backlog estimate decays as work
+  progresses instead of overstating busy machines until jobs finish.
 """
 
 from __future__ import annotations
@@ -19,6 +33,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+from repro.sim.events import ReadyQueue
 from repro.sim.job import Job
 from repro.sim.scenarios import SimMachine
 
@@ -32,6 +47,21 @@ class _Running:
 class ClusterSim:
     """Queue + capacity state of one machine inside the simulator."""
 
+    __slots__ = (
+        "machine",
+        "backfill_window",
+        "name",
+        "total_cores",
+        "_capacity",
+        "free_cores",
+        "_ready",
+        "running",
+        "_busy_users",
+        "_queued_core_s",
+        "_running_cores",
+        "_running_end_core_s",
+    )
+
     def __init__(self, machine: SimMachine, backfill_window: int = 64) -> None:
         if backfill_window < 1:
             raise ValueError("backfill window must be >= 1")
@@ -43,22 +73,48 @@ class ClusterSim:
         self.total_cores: int = machine.total_cores
         self._capacity: int = max(1, self.total_cores)
         self.free_cores = self.total_cores
-        self.queue: deque[Job] = deque()
+        self._ready = ReadyQueue(backfill_window)
         self.running: dict[int, _Running] = {}
         self._busy_users: set[int] = set()
-        self._committed_core_s = 0.0
+        #: Committed core-seconds, split so running work can decay:
+        #: queued demand is a plain sum; running remainders at time t are
+        #: sum(cores * end_s) - t * sum(cores), maintained incrementally.
+        self._queued_core_s = 0.0
+        self._running_cores = 0
+        self._running_end_core_s = 0.0
 
     # ------------------------------------------------------------------
     @property
+    def queue(self) -> deque[Job]:
+        """The pending-job deque (first ``backfill_window`` = the window).
+
+        A *read-only view*: mutating it directly bypasses the ready
+        queue's blocked-bucket index and can leave startable jobs
+        stranded — always add work through :meth:`enqueue`.
+        """
+        return self._ready.jobs
+
+    @property
     def queue_length(self) -> int:
-        return len(self.queue)
+        return len(self._ready)
 
     def user_busy(self, user: int) -> bool:
         return user in self._busy_users
 
-    def estimated_wait_s(self) -> float:
-        """Backlog heuristic: committed core-seconds over capacity."""
-        return self._committed_core_s / self._capacity
+    def estimated_wait_s(self, now: float) -> float:
+        """Backlog heuristic: committed core-seconds over capacity.
+
+        Committed work is the queued demand plus what running jobs still
+        have left at ``now`` — a job started long ago contributes only
+        its remainder, so the estimate no longer overstates machines
+        whose work is nearly done.  ``now`` is required because the
+        remainders are tracked against absolute end times; querying
+        with a stale clock silently inflates the estimate.
+        """
+        committed = self._queued_core_s + (
+            self._running_end_core_s - now * self._running_cores
+        )
+        return committed / self._capacity if committed > 0.0 else 0.0
 
     # ------------------------------------------------------------------
     def enqueue(self, job: Job) -> None:
@@ -67,19 +123,30 @@ class ClusterSim:
             raise ValueError(
                 f"job {job.job_id} is not eligible on {self.name!r}"
             )
-        self.queue.append(job)
-        self._committed_core_s += job.cores * runtime
+        self._ready.push(job, self.free_cores, self._busy_users)
+        self._queued_core_s += job.cores * runtime
 
     def startable(self, now: float) -> list[Job]:
-        """Pop every job that can start right now (FCFS + backfill)."""
-        if not self.queue or self.free_cores <= 0:
+        """Pop every job that can start right now (FCFS + backfill).
+
+        The indexed fast path: when the ready-queue's blocked buckets
+        prove no window job changed state since the last scan, return
+        without touching the queue.  Otherwise run the seed's exact
+        bounded scan and reclassify the window under the post-scan
+        state.
+        """
+        ready = self._ready
+        if not ready.jobs or self.free_cores <= 0:
+            return []
+        if not ready.scan_needed():
             return []
         started: list[Job] = []
         scanned = 0
+        queue = ready.jobs
         remaining: deque[Job] = deque()
         busy = self._busy_users
-        while self.queue and scanned < self.backfill_window:
-            job = self.queue.popleft()
+        while queue and scanned < self.backfill_window:
+            job = queue.popleft()
             scanned += 1
             if job.cores <= self.free_cores and job.user not in busy:
                 self._start(job, now)
@@ -87,8 +154,13 @@ class ClusterSim:
             else:
                 remaining.append(job)
         # Re-attach the unstarted (order-preserved) prefix before the
-        # unscanned tail.
-        self.queue = remaining + self.queue
+        # unscanned tail, then rebuild the blocked buckets.  When nothing
+        # was left behind, ``queue`` (popped in place) is already the
+        # residual deque.
+        if remaining:
+            remaining.extend(queue)
+            ready.jobs = remaining
+        ready.reindex(self.free_cores, busy)
         return started
 
     def _start(self, job: Job, now: float) -> None:
@@ -97,22 +169,34 @@ class ClusterSim:
             raise RuntimeError(
                 f"over-allocated {self.name}: free cores {self.free_cores}"
             )
-        end = now + job.runtime_s[self.name]
+        runtime = job.runtime_s[self.name]
+        end = now + runtime
         self.running[job.job_id] = _Running(job=job, end_s=end)
         self._busy_users.add(job.user)
+        self._queued_core_s -= job.cores * runtime
+        self._running_cores += job.cores
+        self._running_end_core_s += job.cores * end
 
     def finish(self, job_id: int) -> Job:
         """Release a running job's resources; returns the job."""
         entry = self.running.pop(job_id)
         job = entry.job
         self.free_cores += job.cores
-        self._committed_core_s = max(
-            0.0, self._committed_core_s - job.cores * job.runtime_s[self.name]
-        )
+        self._running_cores -= job.cores
+        self._running_end_core_s -= job.cores * entry.end_s
         # The user may have exactly one job here, so membership is safe
         # to clear unconditionally.
         self._busy_users.discard(job.user)
+        self._ready.note_release(job.user, self.free_cores)
         return job
+
+    def reschedule_end(self, job_id: int, end_s: float) -> None:
+        """Move a running job's finish time (migration continuations
+        carry only their remaining runtime), keeping the committed
+        remainder accounting consistent."""
+        entry = self.running[job_id]
+        self._running_end_core_s += entry.job.cores * (end_s - entry.end_s)
+        entry.end_s = end_s
 
     def end_time_of(self, job_id: int) -> float:
         return self.running[job_id].end_s

@@ -38,8 +38,6 @@ suite uses to assert exact equivalence.
 
 from __future__ import annotations
 
-import heapq
-
 import numpy as np
 
 from repro.accounting.base import (
@@ -50,6 +48,7 @@ from repro.accounting.base import (
 from repro.accounting.methods import CarbonBasedAccounting
 from repro.accounting.pricing import OutcomeTable, PricingKernel
 from repro.sim.cluster import ClusterSim
+from repro.sim.events import ARRIVAL, EventCalendar
 from repro.sim.job import Job, JobOutcome
 from repro.sim.policies import MachineView, Policy
 from repro.sim.scenarios import SimMachine
@@ -284,7 +283,7 @@ class MultiClusterSimulator:
                     machine=name,
                     runtime_s=runtime,
                     energy_j=energy,
-                    queue_wait_s=clusters[name].estimated_wait_s(),
+                    queue_wait_s=clusters[name].estimated_wait_s(now),
                     cost=self.method.charge(record, self.pricings[name]),
                 )
             )
@@ -293,11 +292,12 @@ class MultiClusterSimulator:
     def run(self, workload: Workload) -> SimulationResult:
         """Run the full workload to completion and collect outcomes.
 
-        Event order is identical to the seed implementation (one heap of
-        ``(time, kind, seq)`` keys): arrivals are consumed from the
-        submit-sorted job list and only *finishes* live in the heap —
-        at equal times arrivals still precede finishes, and ties within
-        a kind keep submission/push order.
+        Events come from the shared :class:`~repro.sim.events.EventCalendar`
+        (one ``(time, kind, seq)`` discipline): arrivals are consumed
+        from the submit-sorted job list and only *finishes* live in the
+        heap — at equal times arrivals still precede finishes, and ties
+        within a kind keep submission/push order, exactly as the seed
+        loop ordered them.
         """
         clusters = {name: ClusterSim(m) for name, m in self.machines.items()}
         kernel = (
@@ -305,55 +305,35 @@ class MultiClusterSimulator:
             if self.batched
             else None
         )
-        jobs = workload.jobs
-        in_order = all(
-            a.submit_s <= b.submit_s for a, b in zip(jobs, jobs[1:])
-        )
-        arrivals = jobs if in_order else sorted(jobs, key=lambda j: j.submit_s)
+        calendar = EventCalendar(workload.jobs)
 
-        #: Finish events: (end_time, seq, machine, job_id, start_time).
-        finish_heap: list[tuple[float, int, str, int, float]] = []
-        seq = 0
         outcomes: list[JobOutcome] = []
         finished: list[tuple[Job, str, float, float]] = []
 
-        heappush = heapq.heappush
-        heappop = heapq.heappop
+        schedule_finish = calendar.schedule_finish
         select = self.policy.select
         static_views = kernel.static_views if kernel is not None else None
         row_of = kernel.row_of if kernel is not None else None
 
         def try_start(cluster: ClusterSim, now: float) -> None:
-            nonlocal seq
             if not cluster.queue or cluster.free_cores <= 0:
                 return
             for job in cluster.startable(now):
                 end = cluster.end_time_of(job.job_id)
-                heappush(finish_heap, (end, seq, cluster.name, job.job_id, now))
-                seq += 1
+                #: Finish payload: (machine, job_id, start_time).
+                schedule_finish(end, (cluster.name, job.job_id, now))
 
-        ai = 0
-        n_arrivals = len(arrivals)
-        while ai < n_arrivals or finish_heap:
-            if finish_heap and (
-                ai >= n_arrivals or finish_heap[0][0] < arrivals[ai].submit_s
-            ):
-                now, _, machine_name, job_id, start_s = heappop(finish_heap)
-                cluster = clusters[machine_name]
-                job = cluster.finish(job_id)
-                if kernel is not None:
-                    finished.append((job, machine_name, start_s, now))
-                else:
-                    outcomes.append(self._outcome(job, machine_name, start_s, now))
-                try_start(cluster, now)
-            else:
-                job = arrivals[ai]
-                ai += 1
-                now = job.submit_s
+        while True:
+            event = calendar.pop()
+            if event is None:
+                break
+            now, kind, payload = event
+            if kind == ARRIVAL:
+                job = payload
                 if static_views is not None:
                     views = [
                         MachineView(
-                            name, rt, en, clusters[name].estimated_wait_s(), cost
+                            name, rt, en, clusters[name].estimated_wait_s(now), cost
                         )
                         for name, rt, en, cost in static_views[row_of[job.job_id]]
                     ]
@@ -363,6 +343,15 @@ class MultiClusterSimulator:
                     continue
                 cluster = clusters[select(job, views)]
                 cluster.enqueue(job)
+                try_start(cluster, now)
+            else:
+                machine_name, job_id, start_s = payload
+                cluster = clusters[machine_name]
+                job = cluster.finish(job_id)
+                if kernel is not None:
+                    finished.append((job, machine_name, start_s, now))
+                else:
+                    outcomes.append(self._outcome(job, machine_name, start_s, now))
                 try_start(cluster, now)
 
         if kernel is not None:

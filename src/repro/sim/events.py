@@ -1,0 +1,233 @@
+"""The shared event-scheduling core under every simulator.
+
+PR 1/2 made pricing columnar, which left the event-loop machinery as the
+bottleneck: each simulator hand-rolled its own heap discipline, and
+:class:`~repro.sim.cluster.ClusterSim` rescanned the backfill window on
+every event even when nothing could possibly start.  This module holds
+the two pieces they now share:
+
+* :class:`EventCalendar` — one ``(time, kind, seq)`` event discipline
+  for the engine, the migration simulator, and (through the engine) the
+  shifting simulator.  Arrivals are consumed from the submit-sorted job
+  list instead of living in the heap, so the heap only ever holds
+  finish events and pushes/pops stay shallow; the single periodic
+  re-evaluation tick is a scalar, not a heap entry.  The pop order is
+  identical to the seed loops: at equal times arrivals precede
+  finishes, finishes precede ticks, and ties within a kind keep
+  submission/push order.
+
+* :class:`ReadyQueue` — the indexed ready-queue behind
+  :meth:`ClusterSim.startable <repro.sim.cluster.ClusterSim.startable>`.
+  Semantics are exactly the seed's bounded FCFS + backfill scan (the
+  first ``window`` queued jobs, in order, starting every one that
+  fits), but the queue keeps per-cluster blocked buckets keyed by
+  (min free cores needed, blocking user) so a finish or enqueue that
+  provably cannot change any job's state is answered in O(1) instead of
+  O(window) deque churn.  The scan itself is only run — and the buckets
+  rebuilt — when the index says some job may actually start, so results
+  are bit-identical to the always-scan implementation by construction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from itertools import islice
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.job import Job
+
+#: Event kinds, in tie-break priority order at equal times.
+ARRIVAL = 0
+FINISH = 1
+TICK = 2
+
+
+class EventCalendar:
+    """Merged event streams under one ``(time, kind, seq)`` discipline.
+
+    Three streams feed a simulation:
+
+    * **arrivals** — known up front; kept as a submit-sorted list plus a
+      cursor (a stable sort, skipped when the list is already ordered,
+      so equal-time arrivals keep submission order exactly like the seed
+      loops' ``(time, kind, seq)`` heaps did);
+    * **finishes** — scheduled as jobs start; a heap of
+      ``(time, seq, payload)`` where ``seq`` preserves push order among
+      equal times;
+    * an optional **tick** — the single outstanding periodic
+      re-evaluation boundary (at most one exists at a time, so it is a
+      scalar rather than a heap entry).
+
+    :meth:`pop` returns the globally next ``(now, kind, payload)``:
+    minimum time, with ``ARRIVAL < FINISH < TICK`` breaking ties —
+    the exact order of the seed engine (arrivals before finishes at
+    equal times) and the seed migration heap (``_ARRIVAL=0 < _FINISH=1 <
+    _REEVALUATE=2``).
+    """
+
+    __slots__ = ("arrivals", "_ai", "_n", "_finishes", "_seq", "_next_tick")
+
+    def __init__(self, jobs: Sequence["Job"]) -> None:
+        in_order = all(
+            a.submit_s <= b.submit_s for a, b in zip(jobs, jobs[1:])
+        )
+        self.arrivals: Sequence["Job"] = (
+            jobs if in_order else sorted(jobs, key=lambda j: j.submit_s)
+        )
+        self._ai = 0
+        self._n = len(jobs)
+        #: Finish heap entries: (time_s, seq, payload).
+        self._finishes: list[tuple[float, int, object]] = []
+        self._seq = 0
+        self._next_tick: float | None = None
+
+    # ------------------------------------------------------------------
+    def schedule_finish(self, time_s: float, payload: object) -> None:
+        """Add a finish event (ties pop in push order)."""
+        heapq.heappush(self._finishes, (time_s, self._seq, payload))
+        self._seq += 1
+
+    def schedule_tick(self, time_s: float) -> None:
+        """Set the single outstanding periodic tick."""
+        self._next_tick = time_s
+
+    # ------------------------------------------------------------------
+    def __bool__(self) -> bool:
+        return (
+            self._ai < self._n
+            or bool(self._finishes)
+            or self._next_tick is not None
+        )
+
+    def pop(self) -> tuple[float, int, object] | None:
+        """The next event as ``(now, kind, payload)``, or None when empty.
+
+        Arrival payloads are the :class:`~repro.sim.job.Job`; finish
+        payloads are whatever :meth:`schedule_finish` stored; tick
+        payloads are ``None``.
+        """
+        ai = self._ai
+        finishes = self._finishes
+        tick = self._next_tick
+        if ai < self._n:
+            job = self.arrivals[ai]
+            t_arr = job.submit_s
+            if (not finishes or t_arr <= finishes[0][0]) and (
+                tick is None or t_arr <= tick
+            ):
+                self._ai = ai + 1
+                return t_arr, ARRIVAL, job
+        if finishes and (tick is None or finishes[0][0] <= tick):
+            time_s, _, payload = heapq.heappop(finishes)
+            return time_s, FINISH, payload
+        if tick is not None:
+            self._next_tick = None
+            return tick, TICK, None
+        return None
+
+
+class ReadyQueue:
+    """Bounded FCFS + backfill queue with O(1) blocked-state buckets.
+
+    The queue itself is the seed's deque; the index answers "can the
+    next scan possibly start anything?" without touching it.  Between
+    scans every job inside the backfill window sits in one of two
+    blocked buckets, classified under the state the last scan ended
+    with:
+
+    * **cores-blocked** — the job's user was idle but the job needs more
+      cores than were free; summarised as the *minimum* such need
+      (``min_blocked_cores``), because free cores only grow outside
+      scans and nothing can start until they reach that minimum;
+    * **user-blocked** — the job's user already runs here; summarised as
+      the set of blocking users, because such a job can only change
+      state when its user drains.
+
+    ``synced`` is True when the buckets are trustworthy, i.e. the last
+    scan proved every window job blocked and no unindexed change
+    happened since.  The owning cluster calls :meth:`push` on enqueue
+    and :meth:`note_release` on finish; both either keep the buckets
+    exact in O(1) or clear ``synced`` to force the next scan.  Jobs
+    beyond the window never need indexing — they cannot start until
+    earlier jobs leave, which only happens inside a scan.
+    """
+
+    __slots__ = ("jobs", "window", "min_blocked_cores", "blocked_users", "synced")
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError("backfill window must be >= 1")
+        self.jobs: deque["Job"] = deque()
+        self.window = window
+        self.min_blocked_cores: float = float("inf")
+        self.blocked_users: set[int] = set()
+        self.synced = False
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __bool__(self) -> bool:
+        return bool(self.jobs)
+
+    # ------------------------------------------------------------------
+    def push(self, job: "Job", free_cores: int, busy_users: set[int]) -> None:
+        """Append ``job`` and classify it against the current state.
+
+        Enqueueing changes nothing for jobs already queued, so a synced
+        index stays synced: the new job either lands beyond the window
+        (unreachable until a scan shrinks the queue), joins a blocked
+        bucket, or — if it could start right now — clears ``synced`` so
+        the next :meth:`scan_needed` triggers a real scan.
+        """
+        position = len(self.jobs)
+        self.jobs.append(job)
+        if not self.synced or position >= self.window:
+            return
+        if job.user in busy_users:
+            self.blocked_users.add(job.user)
+        elif job.cores > free_cores:
+            if job.cores < self.min_blocked_cores:
+                self.min_blocked_cores = job.cores
+        else:
+            self.synced = False
+
+    def note_release(self, user: int, free_cores: int) -> None:
+        """Record a finish: ``user`` drained and cores were freed.
+
+        Clears ``synced`` only when the release can actually unblock a
+        window job — the freed capacity reaches the smallest
+        cores-blocked need, or the drained user blocks someone.
+        """
+        if self.synced and (
+            free_cores >= self.min_blocked_cores or user in self.blocked_users
+        ):
+            self.synced = False
+
+    def scan_needed(self) -> bool:
+        """False when the index proves a scan would start nothing."""
+        return not self.synced
+
+    def reindex(self, free_cores: int, busy_users: set[int]) -> None:
+        """Rebuild the blocked buckets after a scan, under post-scan state.
+
+        Jobs the scan left behind are blocked by construction (free
+        cores only shrank and the busy set only grew while it ran); jobs
+        that shifted into the window when earlier ones started were
+        never examined, so if one of them could start the index stays
+        unsynced and the next event rescans — exactly when the seed's
+        always-scan loop would have started it.
+        """
+        self.blocked_users.clear()
+        self.min_blocked_cores = float("inf")
+        for job in islice(self.jobs, self.window):
+            if job.user in busy_users:
+                self.blocked_users.add(job.user)
+            elif job.cores > free_cores:
+                if job.cores < self.min_blocked_cores:
+                    self.min_blocked_cores = job.cores
+            else:
+                self.synced = False
+                return
+        self.synced = True

@@ -30,9 +30,13 @@ prices inside its event loop:
 * arrival views come from a precomputed
   :class:`~repro.accounting.pricing.PricingKernel` quote table (arrival
   time *is* the submit time, as in the plain engine);
-* each re-evaluation prices *all* stay/move probes with one
-  ``charge_many`` call per machine instead of a ``charge()`` per
-  (running job, machine) pair;
+* each re-evaluation prices the stay/move probes through per-machine
+  :meth:`~repro.accounting.base.AccountingMethod.probe_kernel` closures
+  — hoisted per-machine constants, no record construction, and a
+  memoized trace lookup per (machine, tick) — instead of a full
+  ``charge()`` per (running job, machine) pair.  Probe sets at a tick
+  are small (a handful of running jobs), so scalar closures beat
+  fixed-overhead NumPy batches by a wide margin here;
 * finished or preempted segments are appended to a
   :class:`~repro.accounting.pricing.SegmentLedger` and settled in one
   vectorized pass after the run, with per-job sums replayed in append
@@ -41,29 +45,31 @@ prices inside its event loop:
 All three substitutions use the same IEEE operation order as the scalar
 path, so results are **bit-identical** to ``batched=False`` (the test
 suite asserts exact equality for all five accounting methods).
+
+Events come from the shared :class:`~repro.sim.events.EventCalendar`:
+arrivals are consumed from the submit-sorted job list, only finishes
+live in the heap, and the single outstanding re-evaluation boundary is
+a scalar tick — the same ``(time, kind, seq)`` order as the seed's
+all-in-one heap, without pushing every arrival through it.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.accounting.base import AccountingMethod, UsageBatch, UsageRecord
+from repro.accounting.base import AccountingMethod, UsageRecord
 from repro.accounting.methods import CarbonBasedAccounting
 from repro.accounting.pricing import PricingKernel, SegmentLedger
 from repro.sim.cluster import ClusterSim
 from repro.sim.engine import SimulationResult, pricing_for_sim_machine
+from repro.sim.events import ARRIVAL, FINISH, EventCalendar
 from repro.sim.job import Job, JobOutcome
 from repro.sim.policies import MachineView, Policy
 from repro.sim.scenarios import SimMachine
 from repro.sim.workload import Workload
 from repro.units import operational_carbon_g
-
-_ARRIVAL = 0
-_FINISH = 1
-_REEVALUATE = 2
 
 
 @dataclass
@@ -132,10 +138,19 @@ class MigratingSimulator:
             name: pricing_for_sim_machine(m) for name, m in machines.items()
         }
         self._carbon = CarbonBasedAccounting()
+        self._name_idx = {name: mi for mi, name in enumerate(self.pricings)}
+        #: Idle watts per core, hoisted off the property chain (the probe
+        #: path reads it once per move probe).
+        self._idle_w = {
+            name: m.idle_watts_per_core for name, m in machines.items()
+        }
         #: Deferred-settlement state, rebuilt per run (batched mode only).
         self._ledger: SegmentLedger | None = None
         self._owners: list[_Progress] = []
         self._kernel: PricingKernel | None = None
+        #: Per-machine scalar probe quoters, rebuilt per run (batched
+        #: mode only; closures hold per-run memo state).
+        self._quoters: dict[str, object] | None = None
 
     # ------------------------------------------------------------------
     # Segment economics
@@ -261,28 +276,22 @@ class MigratingSimulator:
             kernel = PricingKernel(workload.jobs, self.pricings, self.method)
             self._ledger = SegmentLedger(self.method, self.pricings)
             self._owners = []
+            self._quoters = {
+                name: self.method.probe_kernel(pricing)
+                for name, pricing in self.pricings.items()
+            }
         else:
             self._ledger = None
             self._owners = []
+            self._quoters = None
         self._kernel = kernel
         static_views = kernel.static_views if kernel is not None else None
         row_of = kernel.row_of if kernel is not None else None
 
-        events: list[tuple[float, int, int, object]] = []
-        seq = 0
-
-        def push(time_s: float, kind: int, payload: object) -> None:
-            nonlocal seq
-            heapq.heappush(events, (time_s, kind, seq, payload))
-            seq += 1
-
-        for job in workload.jobs:
-            push(job.submit_s, _ARRIVAL, job)
+        calendar = EventCalendar(workload.jobs)
         if workload.jobs:
-            push(
-                workload.jobs[0].submit_s + self.reevaluate_every_s,
-                _REEVALUATE,
-                None,
+            calendar.schedule_tick(
+                workload.jobs[0].submit_s + self.reevaluate_every_s
             )
 
         #: Finish log: (job_id, end time), in completion order.
@@ -303,18 +312,18 @@ class MigratingSimulator:
                 end = now + runtime
                 # ClusterSim scheduled the full runtime; continuations
                 # carry only their remainder.
-                cluster.running[job.job_id].end_s = end
-                push(end, _FINISH, (cluster.name, job.job_id))
+                cluster.reschedule_end(job.job_id, end)
+                calendar.schedule_finish(end, (cluster.name, job.job_id))
 
-        while events and active > 0:
-            now, kind, _, payload = heapq.heappop(events)
+        while calendar and active > 0:
+            now, kind, payload = calendar.pop()
 
-            if kind == _ARRIVAL:
+            if kind == ARRIVAL:
                 job = payload  # type: ignore[assignment]
                 if static_views is not None:
                     views = [
                         MachineView(
-                            name, rt, en, clusters[name].estimated_wait_s(), cost
+                            name, rt, en, clusters[name].estimated_wait_s(now), cost
                         )
                         for name, rt, en, cost in static_views[row_of[job.job_id]]
                     ]
@@ -324,7 +333,7 @@ class MigratingSimulator:
                             machine=name,
                             runtime_s=job.runtime_s[name],
                             energy_j=job.energy_j[name],
-                            queue_wait_s=clusters[name].estimated_wait_s(),
+                            queue_wait_s=clusters[name].estimated_wait_s(now),
                             cost=self.method.charge(
                                 self._segment_record(job, name, now, 1.0, False),
                                 self.pricings[name],
@@ -340,7 +349,7 @@ class MigratingSimulator:
                 clusters[choice].enqueue(job)
                 try_start(clusters[choice], now)
 
-            elif kind == _FINISH:
+            elif kind == FINISH:
                 machine_name, job_id = payload  # type: ignore[misc]
                 cluster = clusters[machine_name]
                 entry = cluster.running.get(job_id)
@@ -357,18 +366,19 @@ class MigratingSimulator:
                 active -= 1
                 try_start(cluster, now)
 
-            else:  # _REEVALUATE
+            else:  # TICK: periodic migration re-evaluation
                 moved = self._reevaluate(clusters, progress, pending_runtime, now)
                 if moved:
                     for cluster in clusters.values():
                         try_start(cluster, now)
                 if active > 0:
-                    push(now + self.reevaluate_every_s, _REEVALUATE, None)
+                    calendar.schedule_tick(now + self.reevaluate_every_s)
 
         self._settle_segments()
         self._ledger = None
         self._owners = []
         self._kernel = None
+        self._quoters = None
         outcomes = [
             self._outcome(progress[job_id], end_s)
             for job_id, end_s in finish_log
@@ -392,15 +402,15 @@ class MigratingSimulator:
 
         Probes are pure functions of (job, remaining fraction, now), so
         the batched path collects every candidate first, prices all
-        stay/move probes with one ``charge_many`` per machine, and then
+        stay/move probes through the per-machine probe kernels, and then
         replays the exact decision comparisons of the scalar loop.
         """
         candidates: list[tuple[ClusterSim, int, _Progress, Job, float, float]] = []
         for cluster in clusters.values():
-            for job_id in list(cluster.running):
+            for job_id, entry in cluster.running.items():
                 state = progress[job_id]
                 job = state.job
-                end_s = cluster.running[job_id].end_s
+                end_s = entry.end_s
                 segment_total = end_s - state.segment_start_s
                 if segment_total <= 0 or now >= end_s - 1e-9:
                     continue
@@ -418,7 +428,7 @@ class MigratingSimulator:
             return False
 
         if self.batched:
-            probe_costs, name_idx = self._probe_costs_batched(
+            probe_costs, name_idx = self._probe_costs_indexed(
                 clusters, candidates, now
             )
         else:
@@ -461,9 +471,8 @@ class MigratingSimulator:
         now: float,
     ) -> tuple[np.ndarray, dict[str, int]]:
         """Reference probe pricing: one ``charge()`` per (job, machine)."""
-        names = list(self.pricings)
-        name_idx = {name: mi for mi, name in enumerate(names)}
-        out = np.full((len(candidates), len(names)), np.nan)
+        name_idx = self._name_idx
+        out = np.full((len(candidates), len(name_idx)), np.nan)
         for k, (cluster, _job_id, _state, job, remaining, _frac_done) in enumerate(
             candidates
         ):
@@ -484,61 +493,47 @@ class MigratingSimulator:
                 )
         return out, name_idx
 
-    def _probe_costs_batched(
+    def _probe_costs_indexed(
         self,
         clusters: dict[str, ClusterSim],
         candidates: list[tuple[ClusterSim, int, _Progress, Job, float, float]],
         now: float,
-    ) -> tuple[np.ndarray, dict[str, int]]:
-        """One ``charge_many`` per machine over every candidate's probes.
+    ) -> tuple[list[list[float]], dict[str, int]]:
+        """Probe pricing through the per-machine scalar probe kernels.
 
-        Probe segments are assembled from the kernel's per-machine quote
-        arrays with one gather per machine: ``runtime[rows] * remaining``
-        is the same IEEE multiply as the scalar
-        ``job.runtime_s[m] * fraction``, and the overhead terms are added
-        with the scalar path's association order, so probe costs (and
-        therefore migration decisions) are bit-identical.
+        Candidate sets per tick are tiny (the running jobs of a few
+        clusters), so fixed-overhead NumPy batches lose to plain float
+        arithmetic; the probe kernels hoist every per-machine constant
+        and memoize the single trace lookup a tick needs.  Segment
+        scalars are composed with :meth:`_segment_scalars`' exact
+        association order and the kernels replay ``charge()``'s IEEE
+        operations, so probe costs (and therefore migration decisions)
+        are bit-identical to the reference path.
         """
-        kernel = self._kernel
-        n = len(candidates)
-        rows = np.empty(n, dtype=np.intp)
-        remaining = np.empty(n)
-        cores = np.empty(n, dtype=np.int64)
-        current_code = np.empty(n, dtype=np.intp)
-        name_idx = {name: mi for mi, name in enumerate(kernel.machine_names)}
-        row_of = kernel.row_of
-        for k, (cluster, job_id, _state, job, rem, _frac) in enumerate(candidates):
-            rows[k] = row_of[job_id]
-            remaining[k] = rem
-            cores[k] = job.cores
-            current_code[k] = name_idx[cluster.name]
-        out = np.full((n, len(kernel.machine_names)), np.nan)
-        starts = np.full(n, now)
-        for mi, name in enumerate(kernel.machine_names):
-            rt_all = kernel.runtime[name][rows]
-            eligible = ~np.isnan(rt_all)
-            if not eligible.any():
-                continue
-            idx = np.nonzero(eligible)[0]
-            runtime = rt_all[idx] * remaining[idx]
-            energy = kernel.energy[name][rows[idx]] * remaining[idx]
-            moving = current_code[idx] != mi
-            if moving.any():
-                idle = self.machines[name].idle_watts_per_core
-                runtime = np.where(moving, runtime + self.overhead_s, runtime)
-                energy = np.where(
-                    moving,
-                    energy + idle * cores[idx] * self.overhead_s,
-                    energy,
-                )
-            batch = UsageBatch.unchecked(
-                machine=name,
-                duration_s=runtime,
-                energy_j=energy,
-                cores=cores[idx],
-                start_time_s=starts[idx],
-            )
-            out[idx, mi] = self.method.charge_many(batch, self.pricings[name])
+        quoters = self._quoters
+        name_idx = self._name_idx
+        idle_w = self._idle_w
+        overhead = self.overhead_s
+        nan = float("nan")
+        n_machines = len(name_idx)
+        out: list[list[float]] = []
+        for cluster, _job_id, _state, job, remaining, _frac in candidates:
+            row = [nan] * n_machines
+            current = cluster.name
+            cores = job.cores
+            runtimes = job.runtime_s
+            energies = job.energy_j
+            for name, rt in runtimes.items():
+                mi = name_idx.get(name)
+                if mi is None or name not in clusters:
+                    continue
+                runtime = rt * remaining
+                energy = energies[name] * remaining
+                if name != current:
+                    runtime += overhead
+                    energy += idle_w[name] * cores * overhead
+                row[mi] = quoters[name](runtime, energy, cores, now)
+            out.append(row)
         return out, name_idx
 
     def _outcome(self, state: _Progress, end_s: float) -> JobOutcome:

@@ -20,7 +20,11 @@ The planner is deliberately simple and analyzable:
   whole workload.
 
 :class:`ShiftingSimulator` wraps the standard engine: deferred jobs
-simply re-enter the event queue at their release time.
+simply re-enter the event queue at their release time.  The release
+ordering rides on the shared :class:`~repro.sim.events.EventCalendar`
+(via the engine): the calendar stable-sorts the rewritten submission
+times itself, so the wrapper hands over the shifted job list as-is and
+every queueing/tie-break rule is the engine's own.
 """
 
 from __future__ import annotations
@@ -171,7 +175,9 @@ class ShiftingSimulator:
                     energy_j=job.energy_j,
                 )
             )
-        shifted_jobs.sort(key=lambda j: j.submit_s)
+        # No sort here: the engine's EventCalendar merges the rewritten
+        # arrival stream itself (stable by submit time, so equal-time
+        # releases keep submission order exactly as before).
         shifted = Workload(
             jobs=shifted_jobs, config=workload.config, machines=workload.machines
         )

@@ -128,6 +128,166 @@ class TestMonitorAttribution:
         )
         assert report.endpoint == "Zen3"
 
+    def test_pid_reuse_does_not_bill_finished_task(self):
+        """A recycled pid must stop attributing energy to the finished
+        task once its final interval is flushed (regression: the
+        (endpoint, pid) -> task mapping was never cleared on "end")."""
+        bus = MessageBus()
+        monitor = EndpointMonitor(bus, min_fit_observations=3)
+        ep = "EP"
+
+        def counters(pid, t, scale=1.0):
+            bus.publish(
+                "telemetry.counters",
+                ep,
+                {"pid": pid, "instructions_per_sec": 1e9 * scale,
+                 "llc_misses_per_sec": 1e6 * scale * scale, "cores": 4},
+                timestamp=t,
+            )
+
+        def energy(raw, t):
+            bus.publish(
+                "telemetry.energy",
+                ep,
+                {"package_raw": raw, "energy_unit_j": 1.0, "total_cores": 8},
+                timestamp=t,
+            )
+
+        bus.publish(
+            "telemetry.tasks",
+            ep,
+            {"event": "start", "pid": 5, "task_id": "A", "user": "u", "cores": 4},
+            timestamp=0.0,
+        )
+        energy(0, 0.0)
+        for step in range(1, 6):
+            counters(5, float(step), scale=float(step))
+            energy(step * step * 100, float(step))
+        bus.publish(
+            "telemetry.tasks",
+            ep,
+            {"event": "end", "pid": 5},
+            timestamp=5.0,
+        )
+        monitor.process()
+        billed = monitor._reports["A"].energy_j
+        assert billed > 0
+        # The pid comes back (no new task): later intervals must not
+        # grow the finished task's energy.
+        for step in range(6, 10):
+            counters(5, float(step), scale=float(step))
+            energy(step * step * 100, float(step))
+        reports = monitor.finalize()
+        assert reports["A"].energy_j == billed
+        assert reports["A"].end_s == pytest.approx(5.0)
+
+    def test_pid_reuse_by_new_task_attributes_to_new_task(self):
+        """A start event on a recycled pid supersedes the retirement of
+        the previous owner's mapping."""
+        bus = MessageBus()
+        monitor = EndpointMonitor(bus, min_fit_observations=3)
+        ep = "EP"
+        bus.publish(
+            "telemetry.tasks", ep,
+            {"event": "start", "pid": 5, "task_id": "A", "cores": 4},
+            timestamp=0.0,
+        )
+        bus.publish(
+            "telemetry.energy", ep,
+            {"package_raw": 0, "energy_unit_j": 1.0, "total_cores": 8},
+            timestamp=0.0,
+        )
+        for step in range(1, 5):
+            bus.publish(
+                "telemetry.counters", ep,
+                {"pid": 5, "instructions_per_sec": 1e9 * step,
+                 "llc_misses_per_sec": 1e6 * step * step, "cores": 4},
+                timestamp=float(step),
+            )
+            bus.publish(
+                "telemetry.energy", ep,
+                {"package_raw": step * step * 100, "energy_unit_j": 1.0,
+                 "total_cores": 8},
+                timestamp=float(step),
+            )
+        bus.publish(
+            "telemetry.tasks", ep, {"event": "end", "pid": 5}, timestamp=4.0
+        )
+        bus.publish(
+            "telemetry.tasks", ep,
+            {"event": "start", "pid": 5, "task_id": "B", "cores": 4},
+            timestamp=5.0,
+        )
+        for step in range(5, 9):
+            bus.publish(
+                "telemetry.counters", ep,
+                {"pid": 5, "instructions_per_sec": 1e9 * (step + 1),
+                 "llc_misses_per_sec": 1e6 * (step + 1) ** 2, "cores": 4},
+                timestamp=float(step + 1),
+            )
+            bus.publish(
+                "telemetry.energy", ep,
+                {"package_raw": (step + 1) ** 2 * 100, "energy_unit_j": 1.0,
+                 "total_cores": 8},
+                timestamp=float(step + 1),
+            )
+        reports = monitor.finalize()
+        assert reports["B"].energy_j > 0
+
+    def test_fallback_fitted_model_is_stored(self):
+        """finalize() with fewer than min_fit_observations but >= 3 fits
+        a fallback model for attribution; model_for() must report it
+        (regression: it was used but never stored)."""
+        bus = MessageBus()
+        monitor = EndpointMonitor(bus, min_fit_observations=100)
+        ep = "EP"
+        bus.publish(
+            "telemetry.energy", ep,
+            {"package_raw": 0, "energy_unit_j": 1.0, "total_cores": 8},
+            timestamp=0.0,
+        )
+        for step in range(1, 6):
+            bus.publish(
+                "telemetry.counters", ep,
+                {"pid": 5, "instructions_per_sec": 1e9 * step,
+                 "llc_misses_per_sec": 1e6, "cores": 4},
+                timestamp=float(step),
+            )
+            bus.publish(
+                "telemetry.energy", ep,
+                {"package_raw": step * 100 + step * step * 10,
+                 "energy_unit_j": 1.0, "total_cores": 8},
+                timestamp=float(step),
+            )
+        assert monitor.model_for(ep) is None
+        monitor.finalize()
+        assert monitor.model_for(ep) is not None
+
+    def test_bootstrap_model_not_stored(self):
+        """With < 3 observations the zero-idle bootstrap is used for
+        attribution but is not a fit worth reporting."""
+        bus = MessageBus()
+        monitor = EndpointMonitor(bus, min_fit_observations=100)
+        ep = "EP"
+        bus.publish(
+            "telemetry.energy", ep,
+            {"package_raw": 0, "energy_unit_j": 1.0, "total_cores": 8},
+            timestamp=0.0,
+        )
+        bus.publish(
+            "telemetry.counters", ep,
+            {"pid": 5, "instructions_per_sec": 1e9,
+             "llc_misses_per_sec": 1e6, "cores": 4},
+            timestamp=1.0,
+        )
+        bus.publish(
+            "telemetry.energy", ep,
+            {"package_raw": 100, "energy_unit_j": 1.0, "total_cores": 8},
+            timestamp=1.0,
+        )
+        monitor.finalize()
+        assert monitor.model_for(ep) is None
+
     def test_incremental_processing_matches_finalize(self):
         """Polling the monitor during execution must not change totals."""
         bus = MessageBus()

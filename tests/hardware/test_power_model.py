@@ -69,6 +69,71 @@ class TestFitter:
         with pytest.raises(ValueError):
             fitter.observe(np.ones(3), 1.0)
 
+    @staticmethod
+    def _batch_reference_fit(x, y, ridge=1e-9):
+        """The pre-incremental implementation: full design matrix OLS."""
+        x = np.array(x)
+        y = np.array(y)
+        scale = x.std(axis=0)
+        scale[scale == 0] = 1.0
+        xs = x / scale
+        a = np.hstack([np.ones((len(xs), 1)), xs])
+        gram = a.T @ a + ridge * np.eye(a.shape[1])
+        coef = np.linalg.solve(gram, a.T @ y)
+        return max(0.0, float(coef[0])), np.clip(coef[1:] / scale, 0.0, None)
+
+    def test_incremental_moments_match_batch_fit(self):
+        rng = np.random.default_rng(3)
+        fitter = PowerModelFitter()
+        xs, ys = [], []
+        for _ in range(120):
+            counters = rng.uniform(0, [5e9, 5e7])
+            power = 80.0 + counters @ np.array([2e-9, 5e-8]) + rng.normal(0, 2.0)
+            xs.append(counters)
+            ys.append(max(0.0, power))
+            fitter.observe(counters, ys[-1])
+        model = fitter.fit()
+        idle_ref, weights_ref = self._batch_reference_fit(xs, ys)
+        assert model.idle_watts == pytest.approx(idle_ref, rel=1e-9, abs=1e-9)
+        assert np.allclose(model.weights, weights_ref, rtol=1e-9)
+
+    def test_incremental_fit_after_eviction_matches_window(self):
+        """Downdated moments must describe exactly the retained window."""
+        rng = np.random.default_rng(5)
+        fitter = PowerModelFitter(max_observations=32)
+        xs, ys = [], []
+        for _ in range(200):
+            counters = rng.uniform(0, [5e9, 5e7])
+            power = 120.0 + counters @ np.array([1e-9, 8e-8]) + rng.normal(0, 1.0)
+            xs.append(counters)
+            ys.append(max(0.0, power))
+            fitter.observe(counters, ys[-1])
+        model = fitter.fit()
+        idle_ref, weights_ref = self._batch_reference_fit(xs[-32:], ys[-32:])
+        assert model.idle_watts == pytest.approx(idle_ref, rel=1e-6, abs=1e-6)
+        assert np.allclose(model.weights, weights_ref, rtol=1e-6)
+
+    def test_refit_per_interval_is_cheap_once_warm(self):
+        """Refitting must not scale with history length (the moments are
+        O(d^2)); a generous ratio guard catches an O(n) rebuild."""
+        import time
+
+        rng = np.random.default_rng(7)
+        fitter = PowerModelFitter(max_observations=4096)
+        for _ in range(10):
+            fitter.observe(rng.uniform(0, [5e9, 5e7]), rng.uniform(50, 400))
+        t0 = time.perf_counter()
+        for _ in range(50):
+            fitter.fit()
+        small = time.perf_counter() - t0
+        for _ in range(4000):
+            fitter.observe(rng.uniform(0, [5e9, 5e7]), rng.uniform(50, 400))
+        t0 = time.perf_counter()
+        for _ in range(50):
+            fitter.fit()
+        large = time.perf_counter() - t0
+        assert large < small * 20  # O(n) would be ~400x
+
 
 class TestModel:
     def test_predict_is_affine(self):

@@ -114,17 +114,55 @@ class TestBackfill:
 
 class TestWaitEstimate:
     def test_empty_cluster_no_wait(self, cluster):
-        assert cluster.estimated_wait_s() == 0.0
+        assert cluster.estimated_wait_s(0.0) == 0.0
 
     def test_wait_grows_with_backlog(self, cluster):
         cluster.enqueue(job(1, cores=576, rt=1000.0))
-        w1 = cluster.estimated_wait_s()
+        w1 = cluster.estimated_wait_s(0.0)
         cluster.enqueue(job(2, user=2, cores=576, rt=1000.0))
-        assert cluster.estimated_wait_s() > w1 > 0
+        assert cluster.estimated_wait_s(0.0) > w1 > 0
 
     def test_wait_shrinks_on_finish(self, cluster):
         cluster.enqueue(job(1, cores=576, rt=1000.0))
         cluster.startable(0.0)
-        before = cluster.estimated_wait_s()
+        before = cluster.estimated_wait_s(0.0)
         cluster.finish(1)
-        assert cluster.estimated_wait_s() < before
+        assert cluster.estimated_wait_s(0.0) < before
+
+    def test_running_jobs_count_only_their_remainder(self, cluster):
+        """The docstring's promise, pinned: committed core-seconds are
+        running *remainders* plus queued demand, over capacity."""
+        cluster.enqueue(job(1, user=1, cores=288, rt=1000.0))
+        cluster.startable(0.0)  # runs over [0, 1000]
+        cluster.enqueue(job(2, user=2, cores=576, rt=500.0))  # queued
+        capacity = 576
+        # At t=400 the running job has 600 s left on 288 cores.
+        expected = (288 * 600.0 + 576 * 500.0) / capacity
+        assert cluster.estimated_wait_s(400.0) == pytest.approx(expected)
+        # At t=0 (start) the remainder is the full runtime: the old
+        # full-runtime accounting and the fix agree there.
+        expected_at_start = (288 * 1000.0 + 576 * 500.0) / capacity
+        assert cluster.estimated_wait_s(0.0) == pytest.approx(expected_at_start)
+
+    def test_wait_decays_monotonically_as_time_passes(self, cluster):
+        cluster.enqueue(job(1, cores=576, rt=1000.0))
+        cluster.startable(0.0)
+        waits = [cluster.estimated_wait_s(t) for t in (0.0, 250.0, 500.0, 1000.0)]
+        assert waits == sorted(waits, reverse=True)
+        assert waits[-1] == 0.0
+
+    def test_wait_never_negative_past_scheduled_end(self, cluster):
+        cluster.enqueue(job(1, cores=576, rt=1000.0))
+        cluster.startable(0.0)
+        assert cluster.estimated_wait_s(5000.0) == 0.0
+
+    def test_reschedule_end_updates_remainder(self, cluster):
+        cluster.enqueue(job(1, cores=576, rt=1000.0))
+        cluster.startable(0.0)
+        cluster.reschedule_end(1, 400.0)  # continuation carries less work
+        assert cluster.end_time_of(1) == pytest.approx(400.0)
+        assert cluster.estimated_wait_s(100.0) == pytest.approx(
+            576 * 300.0 / 576
+        )
+        cluster.finish(1)
+        assert cluster.estimated_wait_s(400.0) == 0.0
