@@ -7,22 +7,34 @@ BENCH_BASELINE ?= .benchmarks/kernels-baseline.json
 BENCH_CURRENT  ?= .benchmarks/kernels-current.json
 BENCH_THRESHOLD ?= 0.20
 
-.PHONY: test bench-kernels bench-baseline bench-current bench-compare simulate
+#: Where bench-kernels writes its pytest-benchmark JSON.  Defaults to
+#: the "current" slot so a bare `make bench-kernels` records something
+#: comparable instead of passing an empty --benchmark-json= to pytest.
+OUT ?= $(BENCH_CURRENT)
+
+.PHONY: test lint bench-kernels bench-baseline bench-current bench-compare simulate
 
 ## Tier-1 verify: the full test suite, fail-fast (PYTHONPATH=src exported above).
 test:
 	$(PY) -m pytest -x -q
 
-## Record the hot-path suite into an arbitrary JSON file: make bench-kernels OUT=foo.json
+## Ruff lint (the same check CI runs; requires ruff on PATH).
+lint:
+	ruff check .
+
+## Record the hot-path suite into a JSON file: make bench-kernels [OUT=foo.json]
 bench-kernels:
+	@test -n "$(OUT)" || { \
+		echo "bench-kernels: OUT must not be empty — pass OUT=path.json" \
+		     "or use bench-baseline / bench-current" >&2; \
+		exit 2; }
+	@mkdir -p $(dir $(OUT))
 	$(PY) -m pytest benchmarks/bench_kernels.py --benchmark-only --benchmark-json=$(OUT)
 
 bench-baseline:
-	@mkdir -p $(dir $(BENCH_BASELINE))
 	$(MAKE) bench-kernels OUT=$(BENCH_BASELINE)
 
 bench-current:
-	@mkdir -p $(dir $(BENCH_CURRENT))
 	$(MAKE) bench-kernels OUT=$(BENCH_CURRENT)
 
 ## Fail (exit 1) when any bench_kernels hot path is >$(BENCH_THRESHOLD) slower

@@ -19,13 +19,22 @@ Benchmarks are matched by fully-qualified name; each one whose current
 min time exceeds ``baseline * (1 + threshold)`` counts as a regression
 and the script exits non-zero (CI-friendly).  Min time is used because
 it is the least noisy statistic for micro-benchmarks.  Benchmarks only
-present on one side are reported but never fail the run.
+present on one side are reported but never fail the run — except the
+``REQUIRED_BENCHMARKS``, which must appear in the current run.
+
+CI integration: when ``$GITHUB_STEP_SUMMARY`` is set (GitHub Actions
+sets it for every step), a per-benchmark markdown table is appended to
+that file so the comparison shows up on the workflow summary page.
+``--allow-missing-baseline`` turns an absent baseline *file* into a
+clean skip (exit 0) instead of an error, so the gate can run on PRs
+before any main-branch baseline artifact exists.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -41,8 +50,10 @@ REQUIRED_BENCHMARKS = (
     "test_workload_generation_2k",
     "test_event_loop_throughput",
     "test_migration_throughput_1k_jobs",
+    "test_migration_reeval_tick",
     "test_migration_segment_settle_10k",
     "test_faas_settlement_5k_records",
+    "test_sweep_short_runs_kernel_cache",
 )
 
 
@@ -91,6 +102,59 @@ def compare(
     return lines, regressions
 
 
+def markdown_summary(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    threshold: float,
+    missing: list[str],
+) -> str:
+    """Per-benchmark markdown table for the GitHub step summary."""
+    lines = [
+        "### Benchmark comparison",
+        "",
+        f"Regression threshold: +{threshold:.0%} over baseline min time.",
+        "",
+        "| benchmark | baseline (s) | current (s) | ratio | status |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    for name in sorted({*baseline, *current}):
+        short = name.rsplit("::", 1)[-1]
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None:
+            lines.append(f"| {short} | - | {cur:.6f} | - | new |")
+            continue
+        if cur is None:
+            lines.append(f"| {short} | {base:.6f} | - | - | gone |")
+            continue
+        ratio = cur / base if base > 0 else float("inf")
+        status = (
+            ":x: regression" if cur > base * (1.0 + threshold) else ":white_check_mark: ok"
+        )
+        lines.append(
+            f"| {short} | {base:.6f} | {cur:.6f} | {ratio:.2f}x | {status} |"
+        )
+    if missing:
+        lines += [
+            "",
+            ":x: guarded benchmark(s) missing from the current run: "
+            + ", ".join(missing),
+        ]
+    return "\n".join(lines) + "\n"
+
+
+def append_step_summary(text: str) -> None:
+    """Append markdown to ``$GITHUB_STEP_SUMMARY`` when it is set."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    try:
+        with open(path, "a") as fh:
+            fh.write(text)
+    except OSError as err:  # never fail the gate over a summary file
+        print(f"cannot append step summary: {err}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="fail when hot-path benchmarks regress beyond a threshold"
@@ -109,7 +173,23 @@ def main(argv: list[str] | None = None) -> int:
         help="substring filter on benchmark fullnames "
         "(default: the bench_kernels hot-path suite; '' = everything)",
     )
+    parser.add_argument(
+        "--allow-missing-baseline",
+        action="store_true",
+        help="exit 0 with a skip notice when the baseline file does not "
+        "exist (fresh checkouts / PRs before a main-branch baseline "
+        "artifact has been recorded)",
+    )
     args = parser.parse_args(argv)
+
+    if args.allow_missing_baseline and not args.baseline.exists():
+        note = (
+            f"bench-compare: no baseline at {args.baseline} — skipping "
+            "comparison (it is recorded on main-branch pushes)."
+        )
+        print(note)
+        append_step_summary(f"### Benchmark comparison\n\n{note}\n")
+        return 0
 
     try:
         baseline = load_benchmarks(args.baseline, args.only or None)
@@ -129,6 +209,9 @@ def main(argv: list[str] | None = None) -> int:
 
     lines, regressions = compare(baseline, current, args.threshold)
     print("\n".join(lines))
+    append_step_summary(
+        markdown_summary(baseline, current, args.threshold, missing)
+    )
     if missing:
         print(
             f"\n{len(missing)} guarded benchmark(s) missing from the "

@@ -49,7 +49,8 @@ without pickling per-row objects.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Hashable, Mapping, Sequence
 
 import numpy as np
 
@@ -230,28 +231,30 @@ class OutcomeTable:
 # ---------------------------------------------------------------------------
 # Quote tables
 # ---------------------------------------------------------------------------
-class PricingKernel:
-    """Precomputed per-(job, machine) quote tables plus outcome pricing.
+class QuoteTable:
+    """The workload-determined half of a pricing kernel.
 
-    Built once per run from the full job list: submission-time charges
-    are fully determined at load (arrival time == submit time), so the
-    kernel prices every eligible (job, machine) pair with one
-    ``charge_many`` call per machine and exposes them as
+    Everything in here is a pure function of ``(jobs, machine pricings,
+    accounting method)``: the dense job columns, the per-machine
+    runtime/energy tables, and the submission-time quotes.  Nothing is
+    mutated after :meth:`build`, so one table can back any number of
+    simulation runs over the same workload — a policy sweep builds each
+    distinct table once and every run adopts it through
+    :class:`PricingKernel` instead of re-pricing the whole workload.
+
+    Exposed views:
 
     * ``static_views`` — per-job ``(machine, runtime, energy, cost)``
       tuples in the job's own eligibility order (what policies consume),
     * flat per-machine ``runtime`` / ``energy`` arrays keyed by the
-      job's ``row_of`` index (what the outcome post-pass reuses).
-
-    :meth:`price_outcomes` settles a finish log into a columnar
-    :class:`OutcomeTable` — one ``charge_many`` + ``at_many`` sweep per
-    machine, bit-identical to pricing each outcome with ``charge()``.
+      job's ``row_of`` index (what the outcome post-pass and the
+      migration re-evaluation reuse).
     """
 
     __slots__ = (
-        "method",
-        "pricings",
+        "method_name",
         "machine_names",
+        "pricing_fingerprint",
         "row_of",
         "job_id",
         "user",
@@ -261,24 +264,78 @@ class PricingKernel:
         "runtime",
         "energy",
         "static_views",
-        "_carbon",
     )
 
-    def __init__(
-        self,
+    def __init__(self) -> None:
+        # Populated by :meth:`build`; direct construction is internal.
+        self.method_name: str = "?"
+        self.machine_names: list[str] = []
+        self.pricing_fingerprint: tuple = ()
+        self.row_of: dict[int, int] = {}
+        self.runtime: dict[str, np.ndarray] = {}
+        self.energy: dict[str, np.ndarray] = {}
+        self.static_views: list[list[tuple[str, float, float, float]]] = []
+
+    def __len__(self) -> int:
+        return len(self.job_id)
+
+    @staticmethod
+    def fingerprint(pricings: Mapping[str, MachinePricing]) -> tuple:
+        """Cheap value fingerprint of a pricing catalogue.
+
+        Scenarios share machine *names* but differ in carbon traces and
+        rate overrides, so name equality alone cannot catch a table
+        built against the wrong scenario.  This folds every scalar
+        pricing attribute plus a trace digest (length, endpoints, sum)
+        into a comparable tuple — O(machines x trace length), thousands
+        of times cheaper than rebuilding the table.
+        """
+        parts = []
+        for name, pricing in pricings.items():
+            trace = pricing.intensity
+            if trace is None:
+                digest = None
+            else:
+                values = trace.hourly_g_per_kwh
+                digest = (
+                    len(values),
+                    float(values[0]),
+                    float(values[-1]),
+                    float(values.sum()),
+                )
+            parts.append(
+                (
+                    name,
+                    pricing.total_cores,
+                    pricing.tdp_watts,
+                    pricing.peak_rating,
+                    pricing.embodied_carbon_g,
+                    pricing.age_years,
+                    pricing.carbon_rate_override_g_per_h,
+                    pricing.whole_unit,
+                    digest,
+                )
+            )
+        return tuple(parts)
+
+    @classmethod
+    def build(
+        cls,
         jobs: Sequence["Job"],
         pricings: Mapping[str, MachinePricing],
         method: AccountingMethod,
-    ) -> None:
-        self.method = method
-        self.pricings = dict(pricings)
-        names = list(self.pricings)
-        self.machine_names = names
+    ) -> "QuoteTable":
+        """Price every eligible (job, machine) pair — one ``charge_many``
+        per machine — and pack the workload into dense columns."""
+        table = cls()
+        table.method_name = method.name
+        names = list(pricings)
+        table.machine_names = names
+        table.pricing_fingerprint = cls.fingerprint(pricings)
         name_idx = {name: mi for mi, name in enumerate(names)}
         n = len(jobs)
         nan = float("nan")
-        self.row_of: dict[int, int] = {}
-        row_of = self.row_of
+        row_of = table.row_of
         jid_l = [0] * n
         user_l = [0] * n
         cores_l = [0] * n
@@ -301,15 +358,13 @@ class PricingKernel:
                 if mi is not None:
                     rt_rows[mi][i] = rt
                     en_rows[mi][i] = energy[name]
-        self.job_id = np.array(jid_l, dtype=np.int64)
-        self.user = np.array(user_l, dtype=np.int64)
+        table.job_id = np.array(jid_l, dtype=np.int64)
+        table.user = np.array(user_l, dtype=np.int64)
         cores = np.array(cores_l, dtype=np.int64)
         submit = np.array(submit_l)
-        self.cores = cores
-        self.submit = submit
-        self.work = np.array(work_l)
-        self.runtime: dict[str, np.ndarray] = {}
-        self.energy: dict[str, np.ndarray] = {}
+        table.cores = cores
+        table.submit = submit
+        table.work = np.array(work_l)
         cost_rows: list[list[float]] = []
         for mi, name in enumerate(names):
             rt = np.array(rt_rows[mi])
@@ -324,13 +379,13 @@ class PricingKernel:
                     cores=cores[eligible],
                     start_time_s=submit[eligible],
                 )
-                cost[eligible] = method.charge_many(batch, self.pricings[name])
-            self.runtime[name] = rt
-            self.energy[name] = en
+                cost[eligible] = method.charge_many(batch, pricings[name])
+            table.runtime[name] = rt
+            table.energy[name] = en
             cost_rows.append(cost.tolist())
         # Per-job (machine, runtime, energy, quoted cost) tuples in the
         # job's own eligibility order — what the seed `_views` iterated.
-        static_views: list[list[tuple[str, float, float, float]]] = []
+        static_views = table.static_views
         append_views = static_views.append
         for i, job in enumerate(jobs):
             entries = []
@@ -340,7 +395,158 @@ class PricingKernel:
                 if mi is not None:
                     entries.append((name, rt, energy[name], cost_rows[mi][i]))
             append_views(entries)
-        self.static_views = static_views
+        return table
+
+    # ------------------------------------------------------------------
+    def compatible_with(
+        self,
+        jobs: Sequence["Job"],
+        pricings: Mapping[str, MachinePricing],
+        method: AccountingMethod,
+    ) -> bool:
+        """Cheap identity check before a run adopts a prebuilt table.
+
+        Deliberately far cheaper than a rebuild: the method name, the
+        machine set (in order), the pricing *value* fingerprint
+        (scenarios share machine names but differ in traces and rates),
+        the job count, and the first/last job ids — enough to catch
+        every realistic mix-up (wrong workload, wrong scenario, wrong
+        seed, wrong method) without re-pricing anything.
+        """
+        if self.method_name != method.name:
+            return False
+        if self.machine_names != list(pricings):
+            return False
+        if self.pricing_fingerprint != self.fingerprint(pricings):
+            return False
+        if len(self.job_id) != len(jobs):
+            return False
+        if len(jobs):
+            if int(self.job_id[0]) != jobs[0].job_id:
+                return False
+            if int(self.job_id[-1]) != jobs[-1].job_id:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class QuoteTableKey:
+    """Hashable identity of one :class:`QuoteTable`.
+
+    ``workload`` is a caller-chosen hashable token identifying the job
+    list (the sweep uses its memoization key ``(scenario, scale,
+    seed)``); ``method`` is the accounting method's name and
+    ``machines`` the ordered machine set the table was priced against.
+    """
+
+    workload: Hashable
+    method: str
+    machines: tuple[str, ...]
+
+
+class QuoteTableCache:
+    """Keyed store of built :class:`QuoteTable` objects.
+
+    Tables are immutable once built, so sharing is safe across any
+    number of concurrent runs — including fork-based worker pools, where
+    a table built in the parent before the fork is inherited
+    copy-on-write by every worker.  The cache itself is a plain dict
+    guarded by nothing: builders must populate it before handing it to
+    readers (the sweep warms it up front), and duplicate builds are
+    merely wasteful, never wrong.
+    """
+
+    __slots__ = ("_tables",)
+
+    def __init__(self) -> None:
+        self._tables: dict[QuoteTableKey, QuoteTable] = {}
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __contains__(self, key: QuoteTableKey) -> bool:
+        return key in self._tables
+
+    def get(self, key: QuoteTableKey) -> QuoteTable | None:
+        return self._tables.get(key)
+
+    def store(self, key: QuoteTableKey, table: QuoteTable) -> None:
+        self._tables[key] = table
+
+    def get_or_build(
+        self, key: QuoteTableKey, builder: Callable[[], QuoteTable]
+    ) -> QuoteTable:
+        """Return the cached table for ``key``, building it on a miss."""
+        table = self._tables.get(key)
+        if table is None:
+            table = self._tables[key] = builder()
+        return table
+
+    def clear(self) -> None:
+        self._tables.clear()
+
+
+class PricingKernel:
+    """Per-(job, machine) quote tables plus outcome pricing for one run.
+
+    Splits cleanly in two: the workload-determined tables live in a
+    :class:`QuoteTable` (built here unless a prebuilt one is adopted via
+    ``table=``), while this class binds them to the run's method and
+    pricing catalogue and performs settlement.  Submission-time charges
+    are fully determined at load (arrival time == submit time), which is
+    what makes the tables reusable across same-workload runs.
+
+    :meth:`price_outcomes` settles a finish log into a columnar
+    :class:`OutcomeTable` — one ``charge_many`` + ``at_many`` sweep per
+    machine, bit-identical to pricing each outcome with ``charge()``.
+    """
+
+    __slots__ = (
+        "method",
+        "pricings",
+        "table",
+        "machine_names",
+        "row_of",
+        "job_id",
+        "user",
+        "cores",
+        "submit",
+        "work",
+        "runtime",
+        "energy",
+        "static_views",
+        "_carbon",
+    )
+
+    def __init__(
+        self,
+        jobs: Sequence["Job"],
+        pricings: Mapping[str, MachinePricing],
+        method: AccountingMethod,
+        table: QuoteTable | None = None,
+    ) -> None:
+        self.method = method
+        self.pricings = dict(pricings)
+        if table is None:
+            table = QuoteTable.build(jobs, self.pricings, method)
+        elif not table.compatible_with(jobs, self.pricings, method):
+            raise ValueError(
+                "prebuilt quote table does not match this run: built for "
+                f"method {table.method_name!r} over machines "
+                f"{table.machine_names} ({len(table)} jobs)"
+            )
+        self.table = table
+        # Flat references so hot paths skip one attribute hop.
+        self.machine_names = table.machine_names
+        self.row_of = table.row_of
+        self.job_id = table.job_id
+        self.user = table.user
+        self.cores = table.cores
+        self.submit = table.submit
+        self.work = table.work
+        self.runtime = table.runtime
+        self.energy = table.energy
+        self.static_views = table.static_views
         self._carbon = (
             method
             if isinstance(method, CarbonBasedAccounting)
@@ -638,6 +844,9 @@ __all__ = [
     "OUTCOME_FIELDS",
     "OutcomeTable",
     "PricingKernel",
+    "QuoteTable",
+    "QuoteTableCache",
+    "QuoteTableKey",
     "SegmentLedger",
     "SettlementQueue",
 ]

@@ -36,7 +36,6 @@ def _minimum_image(delta: np.ndarray, box: float) -> np.ndarray:
 
 def _lj_forces(pos: np.ndarray, box: float, rc2: float) -> tuple[np.ndarray, float]:
     """All-pairs Lennard-Jones forces and potential (eps = sigma = 1)."""
-    n = len(pos)
     delta = pos[:, None, :] - pos[None, :, :]
     delta = _minimum_image(delta, box)
     r2 = (delta**2).sum(axis=-1)

@@ -228,8 +228,8 @@ def _demo_cholesky() -> float:
     from repro.apps.cholesky import random_spd, tiled_cholesky
 
     a = random_spd(128, seed=1)
-    l = tiled_cholesky(a, tile=32)
-    return float(np.abs(l @ l.T - a).max())
+    lower = tiled_cholesky(a, tile=32)
+    return float(np.abs(lower @ lower.T - a).max())
 
 
 def _demo_matmul() -> float:

@@ -51,7 +51,7 @@ def tradeoff_summary() -> dict[str, dict[str, str]]:
 
 
 def format_table() -> str:
-    rows = run()
+    run()  # warm the per-app profiles the loop below reads
     machines = list(APP_REGISTRY[CPU_APP_NAMES[0]].runs)
     lines = ["Fig. 4: runtime (s) / energy (J) per application and node", ""]
     header = f"{'App':<10}" + "".join(f"{m:>20}" for m in machines)

@@ -46,7 +46,7 @@ from repro.accounting.base import (
     UsageRecord,
 )
 from repro.accounting.methods import CarbonBasedAccounting
-from repro.accounting.pricing import OutcomeTable, PricingKernel
+from repro.accounting.pricing import OutcomeTable, PricingKernel, QuoteTable
 from repro.sim.cluster import ClusterSim
 from repro.sim.events import ARRIVAL, EventCalendar
 from repro.sim.job import Job, JobOutcome
@@ -242,6 +242,14 @@ class MultiClusterSimulator:
         Use the vectorized pricing paths (default).  ``False`` runs the
         reference per-record implementation; outcomes are bit-identical
         either way.
+    quote_table:
+        Optional prebuilt
+        :class:`~repro.accounting.pricing.QuoteTable` for the workload
+        this simulator will run (e.g. from a sweep's shared
+        :class:`~repro.accounting.pricing.QuoteTableCache`); skips the
+        per-run quote-table build, which dominates short runs.
+        Validated against the workload at ``run()``; ignored when
+        ``batched=False``.
     """
 
     def __init__(
@@ -250,6 +258,7 @@ class MultiClusterSimulator:
         method: AccountingMethod,
         policy: Policy,
         batched: bool = True,
+        quote_table: QuoteTable | None = None,
     ) -> None:
         if not machines:
             raise ValueError("need at least one machine")
@@ -257,6 +266,7 @@ class MultiClusterSimulator:
         self.method = method
         self.policy = policy
         self.batched = batched
+        self.quote_table = quote_table
         self.pricings = {
             name: pricing_for_sim_machine(m) for name, m in machines.items()
         }
@@ -301,7 +311,10 @@ class MultiClusterSimulator:
         """
         clusters = {name: ClusterSim(m) for name, m in self.machines.items()}
         kernel = (
-            PricingKernel(workload.jobs, self.pricings, self.method)
+            PricingKernel(
+                workload.jobs, self.pricings, self.method,
+                table=self.quote_table,
+            )
             if self.batched
             else None
         )

@@ -30,13 +30,22 @@ prices inside its event loop:
 * arrival views come from a precomputed
   :class:`~repro.accounting.pricing.PricingKernel` quote table (arrival
   time *is* the submit time, as in the plain engine);
-* each re-evaluation prices the stay/move probes through per-machine
-  :meth:`~repro.accounting.base.AccountingMethod.probe_kernel` closures
-  — hoisted per-machine constants, no record construction, and a
-  memoized trace lookup per (machine, tick) — instead of a full
-  ``charge()`` per (running job, machine) pair.  Probe sets at a tick
-  are small (a handful of running jobs), so scalar closures beat
-  fixed-overhead NumPy batches by a wide margin here;
+* the running set is mirrored in a columnar :class:`RunningTable`
+  (struct-of-arrays: kernel job row, machine index, segment start,
+  scheduled end, remaining fraction) maintained incrementally on every
+  segment start / finish / migrate, so a re-evaluation tick computes
+  every candidate's remaining-fraction math in one vectorized pass
+  instead of walking the per-cluster ``running`` dicts in Python;
+* candidate stay/move probes are priced adaptively: large candidate
+  sets go through one
+  :meth:`~repro.accounting.base.AccountingMethod.charge_many` per
+  machine over the table's columns, while small sets use the
+  per-machine
+  :meth:`~repro.accounting.base.AccountingMethod.probe_kernel` scalar
+  closures — hoisted per-machine constants, no record construction —
+  which beat fixed-overhead NumPy batches below a few dozen probes.
+  Both replay ``charge()``'s exact IEEE operations, so the crossover
+  threshold can never change a decision;
 * finished or preempted segments are appended to a
   :class:`~repro.accounting.pricing.SegmentLedger` and settled in one
   vectorized pass after the run, with per-job sums replayed in append
@@ -59,9 +68,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.accounting.base import AccountingMethod, UsageRecord
+from repro.accounting.base import AccountingMethod, UsageBatch, UsageRecord
 from repro.accounting.methods import CarbonBasedAccounting
-from repro.accounting.pricing import PricingKernel, SegmentLedger
+from repro.accounting.pricing import PricingKernel, QuoteTable, SegmentLedger
 from repro.sim.cluster import ClusterSim
 from repro.sim.engine import SimulationResult, pricing_for_sim_machine
 from repro.sim.events import ARRIVAL, FINISH, EventCalendar
@@ -89,6 +98,152 @@ class _Progress:
     is_continuation: bool = False
 
 
+#: Live running-row count at or above which a re-evaluation tick
+#: collects its candidates through the columnar :class:`RunningTable`
+#: pass instead of the per-cluster dict walk.  Below it, NumPy's fixed
+#: per-expression cost exceeds the walk over a handful of rows
+#: (measured crossover ~50 rows on the low-carbon scenario).
+TICK_VECTOR_MIN = 48
+
+#: Candidate count at or above which a re-evaluation tick prices its
+#: stay/move probes with one ``charge_many`` per machine instead of the
+#: scalar probe kernels (measured crossover ~50-64 candidates; the
+#: vectorized path is ~2x at 512).  All paths replay ``charge()``'s
+#: exact IEEE operations, so these crossovers affect speed only, never
+#: decisions (the equivalence suite pins every regime to the seed loop).
+PROBE_VECTOR_MIN = 48
+
+
+class RunningTable:
+    """Columnar mirror of every running job across all clusters.
+
+    Struct-of-arrays — per live row: the machine index, the kernel job
+    row, the segment start time, the scheduled end, and the remaining
+    fraction at segment start — maintained incrementally on segment
+    start / finish / migrate events.  A re-evaluation tick then computes
+    the remaining-fraction candidate math for the whole running set as
+    array expressions (:meth:`candidates`) instead of walking the
+    per-cluster ``running`` dicts in Python.
+
+    Rows live in slots recycled through a free list; ``machine == -1``
+    marks a dead slot.  Every insertion stamps a monotone sequence
+    number so candidates can be returned in the *reference* iteration
+    order — clusters in machine-index order, then running-dict insertion
+    order within a cluster — which keeps decision application (and thus
+    requeue order on the target clusters) bit-identical to the
+    dict-walking path.
+    """
+
+    __slots__ = (
+        "machine",
+        "start",
+        "end",
+        "rem",
+        "job_row",
+        "seq",
+        "states",
+        "_slot_of",
+        "_free",
+        "_next_seq",
+    )
+
+    def __init__(self, capacity: int = 64) -> None:
+        capacity = max(1, capacity)
+        self.machine = np.full(capacity, -1, dtype=np.int64)
+        self.start = np.zeros(capacity)
+        self.end = np.zeros(capacity)
+        self.rem = np.zeros(capacity)
+        self.job_row = np.zeros(capacity, dtype=np.intp)
+        self.seq = np.zeros(capacity, dtype=np.int64)
+        #: Per-slot owning :class:`_Progress` (``None`` when dead).
+        self.states: list[_Progress | None] = [None] * capacity
+        self._slot_of: dict[int, int] = {}
+        self._free: list[int] = list(range(capacity - 1, -1, -1))
+        self._next_seq = 0
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    def _grow(self) -> None:
+        old = len(self.machine)
+        new = old * 2
+        for name in ("machine", "start", "end", "rem", "job_row", "seq"):
+            col = getattr(self, name)
+            grown = np.empty(new, dtype=col.dtype)
+            grown[:old] = col
+            setattr(self, name, grown)
+        self.machine[old:] = -1
+        self.states.extend([None] * old)
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    def add(
+        self,
+        job_id: int,
+        job_row: int,
+        machine_idx: int,
+        start_s: float,
+        end_s: float,
+        remaining_fraction: float,
+        state: _Progress,
+    ) -> None:
+        """Mirror one started segment (job_id must not be running)."""
+        if not self._free:
+            self._grow()
+        slot = self._free.pop()
+        self.machine[slot] = machine_idx
+        self.start[slot] = start_s
+        self.end[slot] = end_s
+        self.rem[slot] = remaining_fraction
+        self.job_row[slot] = job_row
+        self.seq[slot] = self._next_seq
+        self._next_seq += 1
+        self.states[slot] = state
+        self._slot_of[job_id] = slot
+
+    def remove(self, job_id: int) -> None:
+        """Drop a row when its segment finishes or migrates away."""
+        slot = self._slot_of.pop(job_id)
+        self.machine[slot] = -1
+        self.states[slot] = None
+        self._free.append(slot)
+
+    def candidates(
+        self, now: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(slots, remaining, frac_done)`` of every migration candidate.
+
+        One vectorized pass over the live rows replays the reference
+        filters element-wise — positive segment length, not within 1e-9 s
+        of the scheduled end, positive progress, more than 5% of the job
+        left — with the exact float expressions of the scalar loop, so
+        the surviving set (and each survivor's remaining fraction) is
+        bit-identical.  Slots come back sorted by (machine, insertion
+        sequence): the reference dict-walk order.
+        """
+        machine = self.machine
+        start = self.start
+        end = self.end
+        rem = self.rem
+        seg_total = end - start
+        # Dead and degenerate slots divide by zero / multiply inf here;
+        # their rows are masked out below, so silence the transients.
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            done = (now - start) / seg_total
+            frac_done = rem * done
+            remaining = rem - frac_done
+        keep = (
+            (machine >= 0)
+            & (seg_total > 0)
+            & (now < end - 1e-9)
+            & (done > 0)
+            & (remaining > 0.05)
+        )
+        slots = np.flatnonzero(keep)
+        if len(slots) > 1:
+            slots = slots[np.lexsort((self.seq[slots], machine[slots]))]
+        return slots, remaining[slots], frac_done[slots]
+
+
 class MigratingSimulator:
     """Event-driven simulation with periodic migration re-evaluation.
 
@@ -109,6 +264,13 @@ class MigratingSimulator:
         Use the vectorized pricing paths (default).  ``False`` runs the
         reference per-record implementation; outcomes are bit-identical
         either way.
+    quote_table:
+        Optional prebuilt
+        :class:`~repro.accounting.pricing.QuoteTable` for the workload
+        this simulator will run (e.g. from a sweep's shared
+        :class:`~repro.accounting.pricing.QuoteTableCache`); skips the
+        per-run quote-table build.  Validated against the workload at
+        ``run()``; ignored when ``batched=False``.
     """
 
     def __init__(
@@ -120,6 +282,7 @@ class MigratingSimulator:
         overhead_s: float = 300.0,
         min_saving: float = 0.2,
         batched: bool = True,
+        quote_table: QuoteTable | None = None,
     ) -> None:
         if reevaluate_every_s <= 0:
             raise ValueError("re-evaluation period must be positive")
@@ -134,6 +297,7 @@ class MigratingSimulator:
         self.overhead_s = overhead_s
         self.min_saving = min_saving
         self.batched = batched
+        self.quote_table = quote_table
         self.pricings = {
             name: pricing_for_sim_machine(m) for name, m in machines.items()
         }
@@ -151,6 +315,12 @@ class MigratingSimulator:
         #: Per-machine scalar probe quoters, rebuilt per run (batched
         #: mode only; closures hold per-run memo state).
         self._quoters: dict[str, object] | None = None
+        #: Columnar running-set mirror, rebuilt per run (batched only).
+        self._running: RunningTable | None = None
+        #: Speed-only crossover knobs (see the module constants); tests
+        #: pin them to 0 / huge to force one regime.
+        self.tick_vector_min = TICK_VECTOR_MIN
+        self.probe_vector_min = PROBE_VECTOR_MIN
 
     # ------------------------------------------------------------------
     # Segment economics
@@ -273,18 +443,25 @@ class MigratingSimulator:
 
         kernel: PricingKernel | None = None
         if self.batched:
-            kernel = PricingKernel(workload.jobs, self.pricings, self.method)
+            kernel = PricingKernel(
+                workload.jobs, self.pricings, self.method,
+                table=self.quote_table,
+            )
             self._ledger = SegmentLedger(self.method, self.pricings)
             self._owners = []
             self._quoters = {
                 name: self.method.probe_kernel(pricing)
                 for name, pricing in self.pricings.items()
             }
+            self._running = RunningTable()
         else:
             self._ledger = None
             self._owners = []
             self._quoters = None
+            self._running = None
         self._kernel = kernel
+        running_table = self._running
+        name_idx = self._name_idx
         static_views = kernel.static_views if kernel is not None else None
         row_of = kernel.row_of if kernel is not None else None
 
@@ -314,6 +491,16 @@ class MigratingSimulator:
                 # carry only their remainder.
                 cluster.reschedule_end(job.job_id, end)
                 calendar.schedule_finish(end, (cluster.name, job.job_id))
+                if running_table is not None:
+                    running_table.add(
+                        job.job_id,
+                        row_of[job.job_id],
+                        name_idx[cluster.name],
+                        now,
+                        end,
+                        state.remaining_fraction,
+                        state,
+                    )
 
         while calendar and active > 0:
             now, kind, payload = calendar.pop()
@@ -356,6 +543,8 @@ class MigratingSimulator:
                 if entry is None or abs(entry.end_s - now) > 1e-6:
                     continue  # stale event from a migrated segment
                 cluster.finish(job_id)
+                if running_table is not None:
+                    running_table.remove(job_id)
                 state = progress[job_id]
                 self._charge_segment(
                     state, state.remaining_fraction, state.is_continuation
@@ -379,6 +568,7 @@ class MigratingSimulator:
         self._owners = []
         self._kernel = None
         self._quoters = None
+        self._running = None
         outcomes = [
             self._outcome(progress[job_id], end_s)
             for job_id, end_s in finish_log
@@ -400,41 +590,80 @@ class MigratingSimulator:
     ) -> bool:
         """Preempt-and-requeue any running job with a big enough saving.
 
-        Probes are pure functions of (job, remaining fraction, now), so
-        the batched path collects every candidate first, prices all
-        stay/move probes through the per-machine probe kernels, and then
-        replays the exact decision comparisons of the scalar loop.
+        Probes are pure functions of (job, remaining fraction, now).
+        The batched path reads its candidates straight out of the
+        columnar :class:`RunningTable` — one vectorized pass over the
+        live rows — prices all stay/move probes (``charge_many`` columns
+        for large candidate sets, scalar probe kernels for small ones),
+        and then replays the exact decision comparisons of the scalar
+        loop.  The reference path walks the per-cluster running dicts.
         """
-        candidates: list[tuple[ClusterSim, int, _Progress, Job, float, float]] = []
-        for cluster in clusters.values():
-            for job_id, entry in cluster.running.items():
-                state = progress[job_id]
+        running_table = self._running
+        candidates: list[tuple[ClusterSim, int, _Progress, Job, float, float]]
+        if (
+            running_table is not None
+            and len(running_table) >= self.tick_vector_min
+        ):
+            slots, rem_arr, done_arr = running_table.candidates(now)
+            if not len(slots):
+                return False
+            names = self._kernel.machine_names
+            states = running_table.states
+            cluster_of = [clusters[name] for name in names]
+            cur_machines = running_table.machine[slots].tolist()
+            candidates = []
+            append = candidates.append
+            for slot, mi, remaining, frac_done in zip(
+                slots.tolist(),
+                cur_machines,
+                rem_arr.tolist(),
+                done_arr.tolist(),
+            ):
+                state = states[slot]
                 job = state.job
-                end_s = entry.end_s
-                segment_total = end_s - state.segment_start_s
-                if segment_total <= 0 or now >= end_s - 1e-9:
-                    continue
-                done_of_segment = (now - state.segment_start_s) / segment_total
-                if done_of_segment <= 0:
-                    continue
-                frac_done = state.remaining_fraction * done_of_segment
-                remaining = state.remaining_fraction - frac_done
-                if remaining <= 0.05:
-                    continue  # nearly finished; never worth moving
-                candidates.append(
-                    (cluster, job_id, state, job, remaining, frac_done)
+                append(
+                    (cluster_of[mi], job.job_id, state, job, remaining, frac_done)
                 )
-        if not candidates:
-            return False
-
-        if self.batched:
-            probe_costs, name_idx = self._probe_costs_indexed(
-                clusters, candidates, now
-            )
+            if len(slots) >= self.probe_vector_min:
+                probe_costs, name_idx = self._probe_costs_columnar(
+                    running_table, slots, rem_arr, now
+                )
+            else:
+                probe_costs, name_idx = self._probe_costs_indexed(
+                    clusters, candidates, now
+                )
         else:
-            probe_costs, name_idx = self._probe_costs_scalar(
-                clusters, candidates, now
-            )
+            candidates = []
+            for cluster in clusters.values():
+                for job_id, entry in cluster.running.items():
+                    state = progress[job_id]
+                    job = state.job
+                    end_s = entry.end_s
+                    segment_total = end_s - state.segment_start_s
+                    if segment_total <= 0 or now >= end_s - 1e-9:
+                        continue
+                    done_of_segment = (
+                        now - state.segment_start_s
+                    ) / segment_total
+                    if done_of_segment <= 0:
+                        continue
+                    frac_done = state.remaining_fraction * done_of_segment
+                    remaining = state.remaining_fraction - frac_done
+                    if remaining <= 0.05:
+                        continue  # nearly finished; never worth moving
+                    candidates.append(
+                        (cluster, job_id, state, job, remaining, frac_done)
+                    )
+            if not candidates:
+                return False
+            if self.batched:
+                probe_costs, name_idx = self._probe_costs_indexed(
+                    clusters, candidates, now
+                )
+            else:
+                probe_costs, name_idx = self._probe_costs_scalar(
+                    clusters, candidates, now
+                )
 
         moved_any = False
         for k, (cluster, job_id, state, job, remaining, frac_done) in enumerate(
@@ -457,6 +686,8 @@ class MigratingSimulator:
             state.remaining_fraction = remaining
             state.migrations += 1
             cluster.finish(job_id)
+            if self._running is not None:
+                self._running.remove(job_id)
             pending_runtime[job_id] = (
                 job.runtime_s[best_name] * remaining + self.overhead_s
             )
@@ -491,6 +722,57 @@ class MigratingSimulator:
                 out[k, name_idx[name]] = self._remaining_cost(
                     probe, name, now, migrating=True
                 )
+        return out, name_idx
+
+    def _probe_costs_columnar(
+        self,
+        running_table: RunningTable,
+        slots: np.ndarray,
+        remaining: np.ndarray,
+        now: float,
+    ) -> tuple[np.ndarray, dict[str, int]]:
+        """Stay/move probe pricing as one ``charge_many`` per machine.
+
+        The candidate columns come straight from the
+        :class:`RunningTable` and the kernel's per-machine runtime and
+        energy tables, so composing a probe batch is pure array
+        arithmetic: scale by the remaining fraction, add the
+        checkpoint/restart overhead on the move rows.  Every expression
+        uses :meth:`_segment_scalars`' exact association order and
+        ``charge_many`` replays ``charge()``'s IEEE operations, so probe
+        costs — and therefore migration decisions — are bit-identical to
+        the reference path.
+        """
+        kernel = self._kernel
+        name_idx = self._name_idx
+        idle_w = self._idle_w
+        overhead = self.overhead_s
+        method = self.method
+        job_rows = running_table.job_row[slots]
+        cur_machine = running_table.machine[slots]
+        cores = kernel.cores[job_rows]
+        out = np.full((len(slots), len(name_idx)), np.nan)
+        for name, mi in name_idx.items():
+            rt = kernel.runtime[name][job_rows]
+            sub = np.flatnonzero(~np.isnan(rt))
+            if not len(sub):
+                continue
+            rem_sub = remaining[sub]
+            runtime = rt[sub] * rem_sub
+            energy = kernel.energy[name][job_rows[sub]] * rem_sub
+            cores_sub = cores[sub]
+            move = cur_machine[sub] != mi
+            if move.any():
+                runtime[move] += overhead
+                energy[move] += idle_w[name] * cores_sub[move] * overhead
+            batch = UsageBatch.unchecked(
+                machine=name,
+                duration_s=runtime,
+                energy_j=energy,
+                cores=cores_sub,
+                start_time_s=np.full(len(sub), now),
+            )
+            out[sub, mi] = method.charge_many(batch, self.pricings[name])
         return out, name_idx
 
     def _probe_costs_indexed(

@@ -31,6 +31,20 @@ are bit-identical to the in-process path.  Set ``shared_memory=False``
 (or ``REPRO_SWEEP_SHM=0``) to fall back to pickled returns; workers
 also fall back automatically if a shared block cannot be created.
 
+Quote-table sharing
+-------------------
+Short engine runs pay a visible fraction of their time just building
+the per-run :class:`~repro.accounting.pricing.PricingKernel` quote
+tables, and every task of a sweep over the same (workload, method,
+machine set) builds the *same* tables.  The runner therefore warms one
+:class:`~repro.accounting.pricing.QuoteTable` per distinct
+``(scenario, scale, seed, method)`` in the parent process before
+forking; workers inherit the built tables copy-on-write and each run
+adopts them instead of re-pricing the workload.  A quote table is a
+pure function of its key, so results are bit-identical with the cache
+on or off.  Set ``kernel_cache=False`` (or
+``REPRO_SWEEP_KERNEL_CACHE=0``) to rebuild per task.
+
 Worker count resolution order: explicit ``workers=`` argument, the
 :func:`set_default_workers` override (the CLI's ``--jobs``), the
 ``REPRO_SWEEP_WORKERS`` environment variable, then ``os.cpu_count()``.
@@ -54,8 +68,18 @@ import numpy as np
 
 from repro.accounting.base import AccountingMethod
 from repro.accounting.methods import method_by_name
-from repro.accounting.pricing import OUTCOME_FIELDS, OutcomeTable
-from repro.sim.engine import MultiClusterSimulator, SimulationResult
+from repro.accounting.pricing import (
+    OUTCOME_FIELDS,
+    OutcomeTable,
+    QuoteTable,
+    QuoteTableCache,
+    QuoteTableKey,
+)
+from repro.sim.engine import (
+    MultiClusterSimulator,
+    SimulationResult,
+    pricing_for_sim_machine,
+)
 from repro.sim.policies import FixedMachinePolicy, Policy, standard_policies
 from repro.sim.scenarios import SimMachine
 from repro.sim.workload import Workload
@@ -65,6 +89,24 @@ WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 
 #: Environment knob disabling shared-memory result return ("0"/"false").
 SHM_ENV = "REPRO_SWEEP_SHM"
+
+#: Environment knob disabling the cross-run quote-table cache
+#: ("0"/"false"): every task then rebuilds its pricing kernel from
+#: scratch, the pre-cache behaviour.
+KERNEL_CACHE_ENV = "REPRO_SWEEP_KERNEL_CACHE"
+
+#: Process-wide quote-table cache.  Deliberately module-level: the
+#: parent populates it in :meth:`SweepRunner._warm` *before* the pool
+#: forks, so workers inherit every built table copy-on-write instead of
+#: receiving (or rebuilding) them per task.  Tables are immutable once
+#: built; see :class:`~repro.accounting.pricing.QuoteTableCache`.
+_QUOTE_TABLES = QuoteTableCache()
+
+
+def clear_quote_tables() -> None:
+    """Drop every cached quote table (tests; long-lived processes that
+    sweep many distinct configurations and want the memory back)."""
+    _QUOTE_TABLES.clear()
 
 _workers_override: int | None = None
 
@@ -241,6 +283,16 @@ class SweepRunner:
         Return worker results through :mod:`multiprocessing.shared_memory`
         instead of pickling them (default; see the module docstring).
         ``None`` resolves from ``REPRO_SWEEP_SHM``.
+    kernel_cache:
+        Share one prebuilt
+        :class:`~repro.accounting.pricing.QuoteTable` per distinct
+        ``(workload, method, machine set)`` across the sweep's runs
+        (default; ``None`` resolves from ``REPRO_SWEEP_KERNEL_CACHE``).
+        :meth:`_warm` builds each distinct table once in the parent so
+        forked workers inherit it copy-on-write; short engine runs then
+        stop paying the kernel construction per task.  Results are
+        bit-identical either way — a quote table is a pure function of
+        its key.
     """
 
     def __init__(
@@ -250,6 +302,7 @@ class SweepRunner:
         method_fn: Callable[[str], AccountingMethod] = method_by_name,
         workers: int | None = None,
         shared_memory: bool | None = None,
+        kernel_cache: bool | None = None,
     ) -> None:
         self.scenario_fn = scenario_fn
         self.workload_fn = workload_fn
@@ -260,8 +313,52 @@ class SweepRunner:
                 "0", "false", "no",
             )
         self.shared_memory = shared_memory
+        if kernel_cache is None:
+            kernel_cache = os.environ.get(KERNEL_CACHE_ENV, "1").lower() not in (
+                "0", "false", "no",
+            )
+        self.kernel_cache = kernel_cache
 
     # ------------------------------------------------------------------
+    def _quote_table_key(
+        self, task: SweepTask, machines: Mapping[str, SimMachine]
+    ) -> QuoteTableKey:
+        """Cache identity of a task's quote table.
+
+        The workload token is the ``workload_fn`` memoization key
+        ``(scenario, scale, seed)`` — the caller's contract is that
+        those three determine the job list — plus the method name and
+        the ordered machine set the table is priced against.
+        """
+        return QuoteTableKey(
+            workload=(task.scenario, task.scale, task.seed),
+            method=task.method,
+            machines=tuple(machines),
+        )
+
+    def _quote_table_for(
+        self,
+        task: SweepTask,
+        machines: Mapping[str, SimMachine],
+        workload: Workload,
+        method: AccountingMethod,
+    ) -> QuoteTable:
+        """The task's shared quote table, built on first use.
+
+        ``get_or_build`` hits for every task after the first of a
+        distinct (workload, method, machine set) — in the parent because
+        :meth:`_warm` pre-built it, in forked workers because they
+        inherited the warmed cache.  Non-fork workers start empty and
+        rebuild once per (worker, key): still correct, merely slower.
+        """
+        pricings = {
+            name: pricing_for_sim_machine(m) for name, m in machines.items()
+        }
+        return _QUOTE_TABLES.get_or_build(
+            self._quote_table_key(task, machines),
+            lambda: QuoteTable.build(workload.jobs, pricings, method),
+        )
+
     def run_task(self, task: SweepTask) -> SimulationResult:
         """Run one grid cell (in this process)."""
         machines = dict(self.scenario_fn(task.scenario, task.seed))
@@ -279,8 +376,14 @@ class SweepRunner:
                 f"nor a machine of scenario {task.scenario!r} "
                 f"(machines: {sorted(machines)})"
             )
+        method = self.method_fn(task.method)
+        quote_table = (
+            self._quote_table_for(task, machines, workload, method)
+            if self.kernel_cache
+            else None
+        )
         simulator = MultiClusterSimulator(
-            machines, self.method_fn(task.method), policy
+            machines, method, policy, quote_table=quote_table
         )
         return simulator.run(workload)
 
@@ -332,7 +435,8 @@ class SweepRunner:
 
     # ------------------------------------------------------------------
     def _warm(self, tasks: Sequence[SweepTask]) -> None:
-        """Build each distinct scenario/workload once in the parent so
+        """Build each distinct scenario/workload — and, when the kernel
+        cache is on, each distinct quote table — once in the parent so
         forked workers inherit the memoized objects copy-on-write."""
         seen: set[tuple] = set()
         for task in tasks:
@@ -344,3 +448,15 @@ class SweepRunner:
             if ("w", *workload_key) not in seen:
                 seen.add(("w", *workload_key))
                 self.workload_fn(*workload_key)
+            if not self.kernel_cache:
+                continue
+            kernel_key = (*workload_key, task.method)
+            if ("k", *kernel_key) not in seen:
+                seen.add(("k", *kernel_key))
+                machines = dict(self.scenario_fn(*scenario_key))
+                self._quote_table_for(
+                    task,
+                    machines,
+                    self.workload_fn(*workload_key),
+                    self.method_fn(task.method),
+                )

@@ -103,7 +103,6 @@ def generate_respondents(seed: int = 0) -> list[Respondent]:
     complete_idx = np.flatnonzero(completed)
 
     # Percentage-based answers apply to the 192 completers.
-    nc = len(complete_idx)
     cols = {
         "aware_node_hours": np.zeros(n, dtype=bool),
         "reduced_node_hours": np.zeros(n, dtype=bool),

@@ -3,12 +3,7 @@
 import pytest
 
 from repro.accounting.comparison import normalized_cost_table
-from repro.accounting.methods import (
-    CarbonBasedAccounting,
-    EnergyBasedAccounting,
-    PeakAccounting,
-    all_methods,
-)
+from repro.accounting.methods import all_methods
 
 
 @pytest.fixture

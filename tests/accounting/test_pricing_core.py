@@ -12,6 +12,9 @@ from repro.accounting.methods import CarbonBasedAccounting, all_methods
 from repro.accounting.pricing import (
     OutcomeTable,
     PricingKernel,
+    QuoteTable,
+    QuoteTableCache,
+    QuoteTableKey,
     SegmentLedger,
     SettlementQueue,
 )
@@ -112,6 +115,99 @@ class TestPricingKernelQuotes:
             assert row.attributed_carbon_g == operational + carbon.embodied_charge(
                 record, pricing
             )
+
+
+class TestQuoteTableSharing:
+    """The workload-determined tables split out of the kernel: prebuilt
+    adoption must be exact, incompatible adoption must fail loudly."""
+
+    @pytest.fixture()
+    def setup(self):
+        rng = np.random.default_rng(17)
+        pricings = make_pricings(rng)
+        jobs = make_jobs(rng, pricings)
+        return jobs, pricings
+
+    @pytest.mark.parametrize("method", all_methods(), ids=lambda m: m.name)
+    def test_prebuilt_table_is_bit_identical(self, setup, method):
+        jobs, pricings = setup
+        fresh = PricingKernel(jobs, pricings, method)
+        table = QuoteTable.build(jobs, pricings, method)
+        adopted = PricingKernel(jobs, pricings, method, table=table)
+        assert adopted.table is table
+        assert adopted.static_views == fresh.static_views
+        for name in pricings:
+            assert np.array_equal(
+                adopted.runtime[name], fresh.runtime[name], equal_nan=True
+            )
+            assert np.array_equal(
+                adopted.energy[name], fresh.energy[name], equal_nan=True
+            )
+
+    def test_wrong_method_rejected(self, setup):
+        jobs, pricings = setup
+        methods = all_methods()
+        table = QuoteTable.build(jobs, pricings, methods[0])
+        with pytest.raises(ValueError, match="quote table does not match"):
+            PricingKernel(jobs, pricings, methods[1], table=table)
+
+    def test_wrong_workload_rejected(self, setup):
+        jobs, pricings = setup
+        method = all_methods()[0]
+        table = QuoteTable.build(jobs, pricings, method)
+        with pytest.raises(ValueError, match="quote table does not match"):
+            PricingKernel(jobs[:-1], pricings, method, table=table)
+
+    def test_same_names_different_pricing_values_rejected(self, setup):
+        """Scenarios share machine names; a table built against another
+        scenario's traces/rates must not be adoptable."""
+        jobs, pricings = setup
+        method = all_methods()[0]
+        other = make_pricings(np.random.default_rng(99))  # same M0..M2 names
+        assert list(other) == list(pricings)
+        table = QuoteTable.build(jobs, other, method)
+        with pytest.raises(ValueError, match="quote table does not match"):
+            PricingKernel(jobs, pricings, method, table=table)
+
+    def test_wrong_machine_set_rejected(self, setup):
+        jobs, pricings = setup
+        method = all_methods()[0]
+        table = QuoteTable.build(jobs, pricings, method)
+        fewer = dict(list(pricings.items())[:-1])
+        with pytest.raises(ValueError, match="quote table does not match"):
+            PricingKernel(jobs, fewer, method, table=table)
+
+    def test_cache_get_or_build_builds_once(self, setup):
+        jobs, pricings = setup
+        method = all_methods()[0]
+        cache = QuoteTableCache()
+        key = QuoteTableKey(
+            workload=("wl", 60, 0),
+            method=method.name,
+            machines=tuple(pricings),
+        )
+        builds = []
+
+        def builder():
+            builds.append(1)
+            return QuoteTable.build(jobs, pricings, method)
+
+        first = cache.get_or_build(key, builder)
+        second = cache.get_or_build(key, builder)
+        assert first is second
+        assert len(builds) == 1
+        assert key in cache and len(cache) == 1
+        assert cache.get(key) is first
+        cache.clear()
+        assert len(cache) == 0 and cache.get(key) is None
+
+    def test_keys_are_hashable_and_value_equal(self):
+        a = QuoteTableKey(("wl", 1, 2), "CBA", ("M0", "M1"))
+        b = QuoteTableKey(("wl", 1, 2), "CBA", ("M0", "M1"))
+        c = QuoteTableKey(("wl", 1, 3), "CBA", ("M0", "M1"))
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert len({a, b, c}) == 2
 
 
 class TestOutcomeTable:

@@ -11,13 +11,13 @@ class TestTiledCholesky:
     @pytest.mark.parametrize("n,tile", [(16, 4), (50, 16), (64, 64), (33, 8)])
     def test_reconstructs_input(self, n, tile):
         a = random_spd(n, seed=n)
-        l = tiled_cholesky(a, tile=tile)
-        np.testing.assert_allclose(l @ l.T, a, rtol=1e-8, atol=1e-8)
+        lower = tiled_cholesky(a, tile=tile)
+        np.testing.assert_allclose(lower @ lower.T, a, rtol=1e-8, atol=1e-8)
 
     def test_lower_triangular(self):
         a = random_spd(20, seed=1)
-        l = tiled_cholesky(a, tile=8)
-        assert np.allclose(np.triu(l, k=1), 0.0)
+        lower = tiled_cholesky(a, tile=8)
+        assert np.allclose(np.triu(lower, k=1), 0.0)
 
     def test_matches_numpy(self):
         a = random_spd(30, seed=2)
@@ -43,8 +43,8 @@ class TestTiledCholesky:
     @given(st.integers(min_value=2, max_value=24), st.integers(min_value=1, max_value=10))
     def test_property_reconstruction(self, n, tile):
         a = random_spd(n, seed=n * 31 + tile)
-        l = tiled_cholesky(a, tile=tile)
-        np.testing.assert_allclose(l @ l.T, a, rtol=1e-7, atol=1e-7)
+        lower = tiled_cholesky(a, tile=tile)
+        np.testing.assert_allclose(lower @ lower.T, a, rtol=1e-7, atol=1e-7)
 
 
 class TestTaskGraphCholesky:

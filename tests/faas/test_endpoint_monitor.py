@@ -1,6 +1,5 @@
 """Endpoint telemetry -> monitor attribution, the §4.1 pipeline."""
 
-import numpy as np
 import pytest
 
 from repro.apps.registry import APP_REGISTRY

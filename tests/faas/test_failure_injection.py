@@ -5,7 +5,6 @@ degrade gracefully rather than mis-bill.  These tests corrupt the
 telemetry stream between endpoint and monitor and check the attribution
 invariants that survive."""
 
-import numpy as np
 import pytest
 
 from repro.apps.registry import APP_REGISTRY

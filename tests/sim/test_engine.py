@@ -6,9 +6,7 @@ from repro.accounting.methods import CarbonBasedAccounting, EnergyBasedAccountin
 from repro.sim.engine import MultiClusterSimulator, pricing_for_sim_machine
 from repro.sim.policies import (
     EnergyPolicy,
-    FixedMachinePolicy,
     GreedyPolicy,
-    RuntimePolicy,
     standard_policies,
 )
 

@@ -563,6 +563,33 @@ class TestMigrationEquivalence:
         assert_results_identical(batched, reference)
         assert_results_identical(scalar, reference)
 
+    @pytest.mark.parametrize("method", all_methods(), ids=lambda m: m.name)
+    @pytest.mark.parametrize(
+        "tick_min,probe_min",
+        [(0, 0), (0, 10**9)],
+        ids=["columnar-collect+columnar-probes", "columnar-collect+scalar-probes"],
+    )
+    def test_running_table_regimes_bit_identical(
+        self, low_carbon_machines, migration_workload, method, tick_min, probe_min
+    ):
+        """The columnar RunningTable tick, forced on for every
+        re-evaluation (the adaptive thresholds would otherwise leave it
+        idle at this workload's concurrency), in both probe-pricing
+        regimes — all five methods, exact equality with the seed loop."""
+        reference = seed_migration_run(
+            low_carbon_machines,
+            method,
+            GreedyPolicy(),
+            migration_workload,
+            min_saving=0.15,
+        )
+        sim = MigratingSimulator(
+            low_carbon_machines, method, GreedyPolicy(), min_saving=0.15
+        )
+        sim.tick_vector_min = tick_min
+        sim.probe_vector_min = probe_min
+        assert_results_identical(sim.run(migration_workload), reference)
+
     def test_migrations_actually_happen(
         self, low_carbon_machines, migration_workload
     ):

@@ -7,7 +7,8 @@ from repro.accounting.methods import (
     EnergyBasedAccounting,
     all_methods,
 )
-from repro.sim.engine import MultiClusterSimulator
+from repro.accounting.pricing import QuoteTable
+from repro.sim.engine import MultiClusterSimulator, pricing_for_sim_machine
 from repro.sim.migration import MigratingSimulator
 from repro.sim.policies import GreedyPolicy
 from repro.sim.workload import PatelWorkloadGenerator, WorkloadConfig
@@ -123,6 +124,48 @@ class TestBatchedExactness:
             low_carbon_machines, CarbonBasedAccounting(), GreedyPolicy()
         ).run(exactness_workload)
         assert result.total_cost() != plain.total_cost()
+
+
+class TestPrebuiltQuoteTable:
+    """Runs that adopt a sweep-shared quote table must change nothing."""
+
+    def test_prebuilt_table_bit_identical(
+        self, low_carbon_machines, long_job_workload
+    ):
+        cba = CarbonBasedAccounting()
+        pricings = {
+            name: pricing_for_sim_machine(m)
+            for name, m in low_carbon_machines.items()
+        }
+        table = QuoteTable.build(long_job_workload.jobs, pricings, cba)
+        fresh = MigratingSimulator(
+            low_carbon_machines, cba, GreedyPolicy(), min_saving=0.15
+        ).run(long_job_workload)
+        adopted = MigratingSimulator(
+            low_carbon_machines,
+            cba,
+            GreedyPolicy(),
+            min_saving=0.15,
+            quote_table=table,
+        ).run(long_job_workload)
+        assert adopted.outcomes == fresh.outcomes
+
+    def test_mismatched_table_rejected(
+        self, low_carbon_machines, long_job_workload
+    ):
+        cba = CarbonBasedAccounting()
+        pricings = {
+            name: pricing_for_sim_machine(m)
+            for name, m in low_carbon_machines.items()
+        }
+        table = QuoteTable.build(
+            long_job_workload.jobs[:5], pricings, cba
+        )
+        sim = MigratingSimulator(
+            low_carbon_machines, cba, GreedyPolicy(), quote_table=table
+        )
+        with pytest.raises(ValueError, match="quote table does not match"):
+            sim.run(long_job_workload)
 
 
 class TestKnobs:

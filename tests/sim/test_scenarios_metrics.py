@@ -6,11 +6,7 @@ from repro.accounting.methods import EnergyBasedAccounting
 from repro.sim.engine import MultiClusterSimulator
 from repro.sim.metrics import format_summaries, summarize
 from repro.sim.policies import GreedyPolicy
-from repro.sim.scenarios import (
-    PERF_CURVES,
-    baseline_scenario,
-    low_carbon_scenario,
-)
+from repro.sim.scenarios import PERF_CURVES
 
 
 class TestBaselineScenario:

@@ -19,8 +19,10 @@ from repro.sim.policies import (
     standard_policies,
 )
 from repro.sim.sweep import (
+    _QUOTE_TABLES,
     SweepRunner,
     SweepTask,
+    clear_quote_tables,
     policy_by_name,
     resolve_workers,
     set_default_workers,
@@ -176,6 +178,111 @@ class TestSharedMemoryReturn:
         assert not SweepRunner(scenario, workload, method_for).shared_memory
         monkeypatch.delenv("REPRO_SWEEP_SHM")
         assert SweepRunner(scenario, workload, method_for).shared_memory
+
+    def test_env_knob_fallback_path_matches_serial(self, sweep_fns, monkeypatch):
+        """REPRO_SWEEP_SHM=0 through a real pool: the pickled-return
+        fallback must produce bit-identical results."""
+        from repro.experiments._simulation import policy_sweep_serial
+
+        scenario, workload, method_for = sweep_fns
+        monkeypatch.setenv("REPRO_SWEEP_SHM", "0")
+        runner = SweepRunner(scenario, workload, method_for, workers=2)
+        assert not runner.shared_memory
+        tasks = [
+            SweepTask("baseline", p.name, "EBA", SCALE, SEED)
+            for p in standard_policies()[:3]
+        ]
+        results = runner.run(tasks)
+        serial = policy_sweep_serial("baseline", "EBA", SCALE, SEED)
+        for task in tasks:
+            assert results[task].outcomes == serial[task.policy].outcomes
+
+    def test_shm_creation_failure_falls_back_to_pickling(
+        self, sweep_fns, monkeypatch
+    ):
+        """A worker that cannot create a shared block returns the result
+        itself; the parent must handle the mixed shapes."""
+        import repro.sim.sweep as sweep_mod
+
+        def broken(result):
+            raise OSError("no shared memory on this box")
+
+        # Patched before the pool forks, so workers inherit the failure.
+        monkeypatch.setattr(sweep_mod, "_result_to_shm", broken)
+        scenario, workload, method_for = sweep_fns
+        runner = SweepRunner(
+            scenario, workload, method_for, workers=2, shared_memory=True
+        )
+        tasks = [
+            SweepTask("baseline", p.name, "EBA", SCALE, SEED)
+            for p in standard_policies()[:2]
+        ]
+        results = runner.run(tasks)
+        reference = runner.run_task(tasks[0])
+        assert results[tasks[0]].outcomes == reference.outcomes
+
+
+class TestKernelCache:
+    """Cross-run quote-table sharing: bit-identical, built once."""
+
+    def test_cache_on_matches_cache_off_exactly(self, sweep_fns):
+        scenario, workload, method_for = sweep_fns
+        tasks = [
+            SweepTask("baseline", p.name, "CBA", SCALE, SEED)
+            for p in standard_policies()
+        ]
+        clear_quote_tables()
+        cached = SweepRunner(
+            scenario, workload, method_for, workers=1, kernel_cache=True
+        ).run(tasks)
+        uncached = SweepRunner(
+            scenario, workload, method_for, workers=1, kernel_cache=False
+        ).run(tasks)
+        for task in tasks:
+            assert cached[task].outcomes == uncached[task].outcomes
+
+    def test_parallel_cache_matches_serial(self, sweep_fns):
+        scenario, workload, method_for = sweep_fns
+        tasks = [
+            SweepTask("baseline", p.name, "EBA", SCALE, SEED)
+            for p in standard_policies()[:4]
+        ]
+        clear_quote_tables()
+        parallel = SweepRunner(
+            scenario, workload, method_for, workers=2, kernel_cache=True
+        ).run(tasks)
+        serial = SweepRunner(
+            scenario, workload, method_for, workers=1, kernel_cache=False
+        ).run(tasks)
+        for task in tasks:
+            assert parallel[task].outcomes == serial[task].outcomes
+
+    def test_warm_builds_one_table_per_distinct_config(self, sweep_fns):
+        scenario, workload, method_for = sweep_fns
+        clear_quote_tables()
+        runner = SweepRunner(
+            scenario, workload, method_for, workers=1, kernel_cache=True
+        )
+        tasks = [
+            SweepTask("baseline", p.name, "EBA", SCALE, SEED)
+            for p in standard_policies()
+        ] + [
+            SweepTask("baseline", p.name, "CBA", SCALE, SEED)
+            for p in standard_policies()
+        ]
+        runner._warm(tasks)
+        # 8 policies x 2 methods share exactly 2 tables.
+        assert len(_QUOTE_TABLES) == 2
+        runner.run(tasks)
+        assert len(_QUOTE_TABLES) == 2
+        clear_quote_tables()
+
+    def test_env_knob_disables_kernel_cache(self, sweep_fns, monkeypatch):
+        scenario, workload, method_for = sweep_fns
+        monkeypatch.setenv("REPRO_SWEEP_KERNEL_CACHE", "0")
+        assert not SweepRunner(scenario, workload, method_for).kernel_cache
+        monkeypatch.delenv("REPRO_SWEEP_KERNEL_CACHE")
+        assert SweepRunner(scenario, workload, method_for).kernel_cache
 
 
 class TestKnobs:

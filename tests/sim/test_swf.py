@@ -17,15 +17,15 @@ class TestWrite:
         path = write_swf(tiny_workload, tmp_path / "trace.swf")
         text = path.read_text()
         assert text.startswith(";")
-        data_lines = [l for l in text.splitlines() if l and not l.startswith(";")]
+        data_lines = [ln for ln in text.splitlines() if ln and not ln.startswith(";")]
         assert len(data_lines) == len(tiny_workload)
-        assert all(len(l.split()) == 18 for l in data_lines)
+        assert all(len(ln.split()) == 18 for ln in data_lines)
 
     def test_reference_runtime_recorded(self, tiny_workload, tmp_path):
         path = write_swf(tiny_workload, tmp_path / "trace.swf")
         first = next(
-            l for l in path.read_text().splitlines()
-            if l and not l.startswith(";")
+            ln for ln in path.read_text().splitlines()
+            if ln and not ln.startswith(";")
         ).split()
         job = tiny_workload.jobs[0]
         assert int(first[3]) == round(job.runtime_s[REFERENCE_MACHINE])

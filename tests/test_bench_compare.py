@@ -1,0 +1,183 @@
+"""The bench-regression gate itself (``benchmarks/compare.py``).
+
+The gate guards every perf PR, so its own failure modes need pinning:
+a regression past the threshold must fail, a guarded benchmark that
+vanishes must fail, an absent baseline must skip cleanly only when CI
+asks for that, and the GitHub step summary must carry the table.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+COMPARE = Path(__file__).resolve().parents[1] / "benchmarks" / "compare.py"
+
+#: Every benchmark the gate insists on, from the gate's own manifest.
+sys.path.insert(0, str(COMPARE.parent))
+from compare import REQUIRED_BENCHMARKS  # noqa: E402
+
+sys.path.pop(0)
+
+
+def bench_json(path: Path, mins: dict[str, float]) -> Path:
+    payload = {
+        "benchmarks": [
+            {
+                "fullname": f"benchmarks/bench_kernels.py::{name}",
+                "name": name,
+                "stats": {"min": value},
+            }
+            for name, value in mins.items()
+        ]
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def run_compare(*args: str, env: dict | None = None):
+    merged = dict(os.environ)
+    if env:
+        merged.update(env)
+    return subprocess.run(
+        [sys.executable, str(COMPARE), *args],
+        capture_output=True,
+        text=True,
+        env=merged,
+    )
+
+
+@pytest.fixture()
+def healthy(tmp_path):
+    """Baseline + identical current covering every guarded benchmark."""
+    mins = {name: 0.010 * (i + 1) for i, name in enumerate(REQUIRED_BENCHMARKS)}
+    baseline = bench_json(tmp_path / "baseline.json", mins)
+    current = bench_json(tmp_path / "current.json", mins)
+    return baseline, current, mins
+
+
+class TestVerdicts:
+    def test_identical_runs_pass(self, healthy):
+        baseline, current, _ = healthy
+        proc = run_compare(str(baseline), str(current))
+        assert proc.returncode == 0, proc.stderr
+        assert "no benchmark regressed" in proc.stdout
+
+    def test_regression_over_threshold_fails(self, tmp_path, healthy):
+        baseline, _, mins = healthy
+        slow = dict(mins)
+        slow[REQUIRED_BENCHMARKS[0]] *= 1.5
+        current = bench_json(tmp_path / "slow.json", slow)
+        proc = run_compare(str(baseline), str(current), "--threshold", "0.2")
+        assert proc.returncode == 1
+        assert REQUIRED_BENCHMARKS[0] in proc.stderr
+        assert "REGRESSION" in proc.stdout
+
+    def test_slowdown_within_threshold_passes(self, tmp_path, healthy):
+        baseline, _, mins = healthy
+        slow = {name: value * 1.1 for name, value in mins.items()}
+        current = bench_json(tmp_path / "slow.json", slow)
+        proc = run_compare(str(baseline), str(current), "--threshold", "0.2")
+        assert proc.returncode == 0, proc.stderr
+
+    def test_missing_guarded_benchmark_fails(self, tmp_path, healthy):
+        baseline, _, mins = healthy
+        gone = dict(mins)
+        gone.pop(REQUIRED_BENCHMARKS[-1])
+        current = bench_json(tmp_path / "gone.json", gone)
+        proc = run_compare(str(baseline), str(current))
+        assert proc.returncode == 1
+        assert REQUIRED_BENCHMARKS[-1] in proc.stderr
+        assert "missing" in proc.stderr
+
+    def test_new_unguarded_benchmark_never_fails(self, tmp_path, healthy):
+        baseline, _, mins = healthy
+        grown = dict(mins)
+        grown["test_shiny_new_kernel"] = 0.001
+        current = bench_json(tmp_path / "grown.json", grown)
+        proc = run_compare(str(baseline), str(current))
+        assert proc.returncode == 0, proc.stderr
+        assert "new" in proc.stdout
+
+
+class TestMissingBaseline:
+    def test_absent_baseline_errors_by_default(self, tmp_path, healthy):
+        _, current, _ = healthy
+        proc = run_compare(str(tmp_path / "nope.json"), str(current))
+        assert proc.returncode == 2
+
+    def test_absent_baseline_skips_cleanly_when_allowed(
+        self, tmp_path, healthy
+    ):
+        _, current, _ = healthy
+        proc = run_compare(
+            str(tmp_path / "nope.json"),
+            str(current),
+            "--allow-missing-baseline",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "skipping comparison" in proc.stdout
+
+    def test_corrupt_baseline_still_errors(self, tmp_path, healthy):
+        _, current, _ = healthy
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        proc = run_compare(
+            str(bad), str(current), "--allow-missing-baseline"
+        )
+        assert proc.returncode == 2
+        assert "cannot read benchmark JSON" in proc.stderr
+
+
+class TestStepSummary:
+    def test_markdown_table_appended(self, tmp_path, healthy):
+        baseline, current, _ = healthy
+        summary = tmp_path / "summary.md"
+        proc = run_compare(
+            str(baseline),
+            str(current),
+            env={"GITHUB_STEP_SUMMARY": str(summary)},
+        )
+        assert proc.returncode == 0, proc.stderr
+        text = summary.read_text()
+        assert "### Benchmark comparison" in text
+        assert "| benchmark | baseline (s) | current (s) | ratio | status |" in text
+        for name in REQUIRED_BENCHMARKS:
+            assert name in text
+
+    def test_regression_flagged_in_summary(self, tmp_path, healthy):
+        baseline, _, mins = healthy
+        slow = dict(mins)
+        slow[REQUIRED_BENCHMARKS[0]] *= 2.0
+        current = bench_json(tmp_path / "slow.json", slow)
+        summary = tmp_path / "summary.md"
+        proc = run_compare(
+            str(baseline),
+            str(current),
+            env={"GITHUB_STEP_SUMMARY": str(summary)},
+        )
+        assert proc.returncode == 1
+        assert ":x: regression" in summary.read_text()
+
+    def test_skip_notice_appended_on_missing_baseline(
+        self, tmp_path, healthy
+    ):
+        _, current, _ = healthy
+        summary = tmp_path / "summary.md"
+        proc = run_compare(
+            str(tmp_path / "nope.json"),
+            str(current),
+            "--allow-missing-baseline",
+            env={"GITHUB_STEP_SUMMARY": str(summary)},
+        )
+        assert proc.returncode == 0
+        assert "skipping comparison" in summary.read_text()
+
+    def test_no_summary_env_writes_nothing(self, tmp_path, healthy):
+        baseline, current, _ = healthy
+        proc = run_compare(str(baseline), str(current))
+        assert proc.returncode == 0
+        assert not (tmp_path / "summary.md").exists()
