@@ -12,7 +12,7 @@ BENCH_THRESHOLD ?= 0.20
 #: comparable instead of passing an empty --benchmark-json= to pytest.
 OUT ?= $(BENCH_CURRENT)
 
-.PHONY: test lint bench-kernels bench-baseline bench-current bench-compare simulate
+.PHONY: test lint docs bench-kernels bench-baseline bench-current bench-compare simulate
 
 ## Tier-1 verify: the full test suite, fail-fast (PYTHONPATH=src exported above).
 test:
@@ -21,6 +21,12 @@ test:
 ## Ruff lint (the same check CI runs; requires ruff on PATH).
 lint:
 	ruff check .
+
+## Build the docs site into site/ (fails on dead links, missing nav
+## entries, or unimportable API directives — the same gate CI runs).
+## Needs PyYAML only; docs sources live in docs/ + mkdocs.yml.
+docs:
+	$(PY) tools/build_docs.py --site-dir site
 
 ## Record the hot-path suite into a JSON file: make bench-kernels [OUT=foo.json]
 bench-kernels:
@@ -41,12 +47,17 @@ bench-current:
 ## than the recorded baseline — wire this pair into CI around a change.
 ## Without a recorded baseline the target skips cleanly (exit 0) so it can sit
 ## in a fresh checkout's CI before anyone has run `make bench-baseline`.
+## Locally $GITHUB_STEP_SUMMARY is unset and no summary file is written;
+## pass BENCH_SUMMARY=path.md to capture the markdown table anyway.
+BENCH_SUMMARY ?=
 bench-compare:
 	@if [ ! -f $(BENCH_BASELINE) ]; then \
 		echo "bench-compare: no baseline at $(BENCH_BASELINE) — run 'make bench-baseline' first; skipping comparison."; \
 	else \
 		$(MAKE) bench-current && \
-		$(PY) benchmarks/compare.py $(BENCH_BASELINE) $(BENCH_CURRENT) --threshold $(BENCH_THRESHOLD); \
+		$(PY) benchmarks/compare.py $(BENCH_BASELINE) $(BENCH_CURRENT) \
+			--threshold $(BENCH_THRESHOLD) \
+			$(if $(BENCH_SUMMARY),--summary $(BENCH_SUMMARY)); \
 	fi
 
 ## Paper-scale §5 study: make simulate SCALE=71190 JOBS=8

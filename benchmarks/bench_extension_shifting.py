@@ -35,7 +35,11 @@ def test_temporal_shifting(run_once, benchmark, capsys):
     with capsys.disabled():
         print("\nTemporal-shifting extension (Greedy under CBA, low-carbon grids):")
         for label, result in results.items():
-            saving = 1.0 - result.total_operational_carbon_g() / plain.total_operational_carbon_g()
+            saving = (
+                1.0
+                - result.total_operational_carbon_g()
+                / plain.total_operational_carbon_g()
+            )
             print(
                 f"  {label:<12} opCarbon={result.total_operational_carbon_g() / 1e3:7.1f} kg"
                 f"  ({saving:+.1%} vs no shift)"

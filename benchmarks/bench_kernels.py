@@ -179,10 +179,11 @@ def _staged_migration_tick(n_running: int):
 
 def test_migration_reeval_tick(benchmark):
     """The columnar re-evaluation tick over 512 running jobs: one
-    vectorized candidate pass over the :class:`RunningTable` plus one
-    ``charge_many`` per machine for all stay/move probes (reference: a
-    Python walk over every running dict and a scalar probe per
-    (job, machine) pair)."""
+    vectorized candidate pass over the :class:`RunningTable`, one
+    ``charge_many`` per machine for all stay/move probes, and one
+    masked-argmin decision pass over the probe matrix (reference: a
+    Python walk over every running dict, a scalar probe per
+    (job, machine) pair, and a per-candidate decision loop)."""
     sim, clusters, progress = _staged_migration_tick(512)
     moved = benchmark(sim._reevaluate, clusters, progress, {}, 1800.0)
     assert moved is False  # min_saving=0.95: probes run, nothing moves

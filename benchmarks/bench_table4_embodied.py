@@ -17,5 +17,8 @@ def test_table4(benchmark, capsys):
         assert row.operational_mg == pytest.approx(expect["operational"], abs=0.15)
         assert row.accelerated_mg == pytest.approx(expect["accelerated"], abs=0.15)
     # Accelerated charges old machines less, new machines more.
-    assert by_machine["Cascade Lake"].accelerated_mg < by_machine["Cascade Lake"].linear_mg
+    assert (
+        by_machine["Cascade Lake"].accelerated_mg
+        < by_machine["Cascade Lake"].linear_mg
+    )
     assert by_machine["Zen3"].accelerated_mg > by_machine["Zen3"].linear_mg

@@ -25,6 +25,10 @@ present on one side are reported but never fail the run — except the
 CI integration: when ``$GITHUB_STEP_SUMMARY`` is set (GitHub Actions
 sets it for every step), a per-benchmark markdown table is appended to
 that file so the comparison shows up on the workflow summary page.
+Locally — where that variable is unset — nothing is written anywhere
+unless ``--summary PATH`` asks for the same markdown explicitly
+(``make bench-compare BENCH_SUMMARY=path.md``); an unset, empty, or
+whitespace-only variable never creates a file.
 ``--allow-missing-baseline`` turns an absent baseline *file* into a
 clean skip (exit 0) instead of an error, so the gate can run on PRs
 before any main-branch baseline artifact exists.
@@ -129,7 +133,9 @@ def markdown_summary(
             continue
         ratio = cur / base if base > 0 else float("inf")
         status = (
-            ":x: regression" if cur > base * (1.0 + threshold) else ":white_check_mark: ok"
+            ":x: regression"
+            if cur > base * (1.0 + threshold)
+            else ":white_check_mark: ok"
         )
         lines.append(
             f"| {short} | {base:.6f} | {cur:.6f} | {ratio:.2f}x | {status} |"
@@ -143,16 +149,30 @@ def markdown_summary(
     return "\n".join(lines) + "\n"
 
 
-def append_step_summary(text: str) -> None:
-    """Append markdown to ``$GITHUB_STEP_SUMMARY`` when it is set."""
-    path = os.environ.get("GITHUB_STEP_SUMMARY")
-    if not path:
+def summary_destination(explicit: str | None) -> str | None:
+    """Where the markdown summary goes, or ``None`` for nowhere.
+
+    An explicit ``--summary`` path wins; otherwise ``$GITHUB_STEP_SUMMARY``
+    is used when it is set to a real path.  Unset, empty, or
+    whitespace-only values mean "no summary" — a local
+    ``make bench-compare`` must never create a stray file just because
+    the CI variable leaked into the environment half-configured.
+    """
+    for candidate in (explicit, os.environ.get("GITHUB_STEP_SUMMARY")):
+        if candidate and candidate.strip():
+            return candidate
+    return None
+
+
+def append_summary(text: str, path: str | None) -> None:
+    """Append markdown to ``path`` (no-op when ``None``)."""
+    if path is None:
         return
     try:
         with open(path, "a") as fh:
             fh.write(text)
     except OSError as err:  # never fail the gate over a summary file
-        print(f"cannot append step summary: {err}", file=sys.stderr)
+        print(f"cannot append summary to {path!r}: {err}", file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -180,7 +200,16 @@ def main(argv: list[str] | None = None) -> int:
         "exist (fresh checkouts / PRs before a main-branch baseline "
         "artifact has been recorded)",
     )
+    parser.add_argument(
+        "--summary",
+        default=None,
+        metavar="PATH",
+        help="append the markdown comparison table to PATH (wins over "
+        "$GITHUB_STEP_SUMMARY; by default nothing is written when that "
+        "variable is unset, e.g. local runs)",
+    )
     args = parser.parse_args(argv)
+    summary_path = summary_destination(args.summary)
 
     if args.allow_missing_baseline and not args.baseline.exists():
         note = (
@@ -188,7 +217,7 @@ def main(argv: list[str] | None = None) -> int:
             "comparison (it is recorded on main-branch pushes)."
         )
         print(note)
-        append_step_summary(f"### Benchmark comparison\n\n{note}\n")
+        append_summary(f"### Benchmark comparison\n\n{note}\n", summary_path)
         return 0
 
     try:
@@ -209,8 +238,9 @@ def main(argv: list[str] | None = None) -> int:
 
     lines, regressions = compare(baseline, current, args.threshold)
     print("\n".join(lines))
-    append_step_summary(
-        markdown_summary(baseline, current, args.threshold, missing)
+    append_summary(
+        markdown_summary(baseline, current, args.threshold, missing),
+        summary_path,
     )
     if missing:
         print(

@@ -73,7 +73,11 @@ class UsageRecord:
     @property
     def occupancy(self) -> int:
         """Cores actually occupied (falls back to the request)."""
-        return self.provisioned_cores if self.provisioned_cores is not None else self.cores
+        return (
+            self.provisioned_cores
+            if self.provisioned_cores is not None
+            else self.cores
+        )
 
 
 @dataclass(frozen=True)

@@ -231,6 +231,12 @@ class OutcomeTable:
 # ---------------------------------------------------------------------------
 # Quote tables
 # ---------------------------------------------------------------------------
+#: Sentinel in :attr:`QuoteTable.elig_rank` for (job, machine) pairs the
+#: job cannot use.  Any real eligibility rank is strictly smaller, so a
+#: masked argmin over ranks can never pick an ineligible machine.
+ELIG_RANK_INELIGIBLE = np.iinfo(np.int32).max
+
+
 class QuoteTable:
     """The workload-determined half of a pricing kernel.
 
@@ -248,7 +254,16 @@ class QuoteTable:
       tuples in the job's own eligibility order (what policies consume),
     * flat per-machine ``runtime`` / ``energy`` arrays keyed by the
       job's ``row_of`` index (what the outcome post-pass and the
-      migration re-evaluation reuse).
+      migration re-evaluation reuse),
+    * ``elig_rank`` — a dense ``(n_jobs, n_machines)`` int32 array
+      giving each machine's position in the job's own eligibility walk
+      (:attr:`~repro.sim.job.Job.eligible_machines` order;
+      :data:`ELIG_RANK_INELIGIBLE` marks machines the job cannot use).
+      This is what lets a vectorized argmin replay the scalar decision
+      loops' first-strict-improvement tie-breaking exactly: among
+      equal-cost machines the scalar walk keeps the *earliest* one, so
+      a masked argmin over ``elig_rank`` restricted to the cost minima
+      selects the identical winner.
     """
 
     __slots__ = (
@@ -264,6 +279,7 @@ class QuoteTable:
         "runtime",
         "energy",
         "static_views",
+        "elig_rank",
     )
 
     def __init__(self) -> None:
@@ -275,6 +291,7 @@ class QuoteTable:
         self.runtime: dict[str, np.ndarray] = {}
         self.energy: dict[str, np.ndarray] = {}
         self.static_views: list[list[tuple[str, float, float, float]]] = []
+        self.elig_rank = np.empty((0, 0), dtype=np.int32)
 
     def __len__(self) -> int:
         return len(self.job_id)
@@ -345,6 +362,7 @@ class QuoteTable:
         # order of magnitude slower), then convert once per machine.
         rt_rows = [[nan] * n for _ in names]
         en_rows = [[nan] * n for _ in names]
+        rank_rows = [[ELIG_RANK_INELIGIBLE] * n for _ in names]
         for i, job in enumerate(jobs):
             row_of[job.job_id] = i
             jid_l[i] = job.job_id
@@ -353,11 +371,12 @@ class QuoteTable:
             submit_l[i] = job.submit_s
             work_l[i] = job.work_core_hours
             energy = job.energy_j
-            for name, rt in job.runtime_s.items():
+            for rank, (name, rt) in enumerate(job.runtime_s.items()):
                 mi = name_idx.get(name)
                 if mi is not None:
                     rt_rows[mi][i] = rt
                     en_rows[mi][i] = energy[name]
+                    rank_rows[mi][i] = rank
         table.job_id = np.array(jid_l, dtype=np.int64)
         table.user = np.array(user_l, dtype=np.int64)
         cores = np.array(cores_l, dtype=np.int64)
@@ -383,6 +402,9 @@ class QuoteTable:
             table.runtime[name] = rt
             table.energy[name] = en
             cost_rows.append(cost.tolist())
+        table.elig_rank = np.ascontiguousarray(
+            np.array(rank_rows, dtype=np.int32).T
+        )
         # Per-job (machine, runtime, energy, quoted cost) tuples in the
         # job's own eligibility order — what the seed `_views` iterated.
         static_views = table.static_views
@@ -444,22 +466,78 @@ class QuoteTableKey:
     machines: tuple[str, ...]
 
 
-class QuoteTableCache:
-    """Keyed store of built :class:`QuoteTable` objects.
+@dataclass(frozen=True)
+class QuoteTableCacheStats:
+    """Point-in-time counters of one :class:`QuoteTableCache`.
 
-    Tables are immutable once built, so sharing is safe across any
-    number of concurrent runs — including fork-based worker pools, where
-    a table built in the parent before the fork is inherited
-    copy-on-write by every worker.  The cache itself is a plain dict
-    guarded by nothing: builders must populate it before handing it to
-    readers (the sweep warms it up front), and duplicate builds are
-    merely wasteful, never wrong.
+    Attributes
+    ----------
+    size:
+        Tables currently held.
+    capacity:
+        The LRU bound, or ``None`` for an unbounded cache.
+    hits, misses:
+        Lookup outcomes since construction (or the last
+        :meth:`QuoteTableCache.clear`).  :meth:`QuoteTableCache.get`
+        and :meth:`QuoteTableCache.get_or_build` both count; a
+        ``get_or_build`` miss is exactly one miss even though it also
+        stores the freshly built table.
+    evictions:
+        Tables dropped by the LRU bound.  ``clear()`` resets the
+        counters without counting its drops as evictions.
     """
 
-    __slots__ = ("_tables",)
+    size: int
+    capacity: int | None
+    hits: int
+    misses: int
+    evictions: int
 
-    def __init__(self) -> None:
+
+class QuoteTableCache:
+    """Keyed LRU store of built :class:`QuoteTable` objects.
+
+    Tables are immutable once built, so sharing is safe across any
+    number of concurrent runs — including fork-based worker pools,
+    where a table built in the parent before the fork is inherited by
+    every worker (each process then owns its private cache copy).  The
+    cache itself is guarded by nothing, and — unlike the pre-LRU
+    version — **lookups are writes**: :meth:`get` and
+    :meth:`get_or_build` refresh the key's recency by mutating the
+    underlying dict.  Do not share one instance across threads without
+    external locking; across processes, populate before forking (the
+    sweep warms it up front).  Duplicate builds are merely wasteful,
+    never wrong.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of tables held at once; ``None`` (the default)
+        keeps the cache unbounded.  When a store would exceed the
+        bound, the *least recently used* table is dropped — recency is
+        updated by every hit (:meth:`get` / :meth:`get_or_build`) and
+        every store.  Eviction only frees memory: a quote table is a
+        pure function of its key, so a later request for an evicted
+        key rebuilds a bit-identical table (the test suite asserts
+        identical simulation results across evict/re-warm cycles).
+
+    Hit, miss, and eviction counts are exposed through :meth:`stats`,
+    which the sweep runner surfaces per run
+    (:meth:`~repro.sim.sweep.SweepRunner.cache_stats`).
+    """
+
+    __slots__ = ("_tables", "capacity", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("cache capacity must be >= 1 (or None)")
+        #: Insertion/recency-ordered (oldest first): a plain dict plus
+        #: explicit move-to-end on hit is the whole LRU discipline.
         self._tables: dict[QuoteTableKey, QuoteTable] = {}
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._tables)
@@ -467,23 +545,77 @@ class QuoteTableCache:
     def __contains__(self, key: QuoteTableKey) -> bool:
         return key in self._tables
 
+    def _touch(self, key: QuoteTableKey, table: QuoteTable) -> None:
+        """Mark ``key`` most recently used (dicts preserve insertion
+        order, so remove + re-insert is move-to-end).  ``pop`` with a
+        default keeps this tolerant of a key that vanished between the
+        caller's lookup and the touch."""
+        self._tables.pop(key, None)
+        self._tables[key] = table
+
     def get(self, key: QuoteTableKey) -> QuoteTable | None:
-        return self._tables.get(key)
+        """The cached table for ``key`` (refreshing its recency), or
+        ``None`` on a miss."""
+        table = self._tables.get(key)
+        if table is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._touch(key, table)
+        return table
 
     def store(self, key: QuoteTableKey, table: QuoteTable) -> None:
+        """Insert (or refresh) ``key``, evicting the least recently
+        used table when the capacity bound would be exceeded."""
+        if key in self._tables:
+            self._touch(key, table)
+            return
         self._tables[key] = table
+        if self.capacity is not None and len(self._tables) > self.capacity:
+            oldest = next(iter(self._tables))
+            del self._tables[oldest]
+            self.evictions += 1
 
     def get_or_build(
         self, key: QuoteTableKey, builder: Callable[[], QuoteTable]
     ) -> QuoteTable:
         """Return the cached table for ``key``, building it on a miss."""
         table = self._tables.get(key)
-        if table is None:
-            table = self._tables[key] = builder()
+        if table is not None:
+            self.hits += 1
+            self._touch(key, table)
+            return table
+        self.misses += 1
+        table = builder()
+        self.store(key, table)
         return table
 
+    def resize(self, capacity: int | None) -> None:
+        """Change the LRU bound in place, evicting down to it if the
+        cache currently holds more tables than the new bound allows."""
+        if capacity is not None and capacity < 1:
+            raise ValueError("cache capacity must be >= 1 (or None)")
+        self.capacity = capacity
+        if capacity is not None:
+            while len(self._tables) > capacity:
+                oldest = next(iter(self._tables))
+                del self._tables[oldest]
+                self.evictions += 1
+
+    def stats(self) -> QuoteTableCacheStats:
+        """Current size, bound, and hit/miss/eviction counters."""
+        return QuoteTableCacheStats(
+            size=len(self._tables),
+            capacity=self.capacity,
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+        )
+
     def clear(self) -> None:
+        """Drop every table and reset the counters."""
         self._tables.clear()
+        self.hits = self.misses = self.evictions = 0
 
 
 class PricingKernel:
@@ -515,6 +647,7 @@ class PricingKernel:
         "runtime",
         "energy",
         "static_views",
+        "elig_rank",
         "_carbon",
     )
 
@@ -547,6 +680,7 @@ class PricingKernel:
         self.runtime = table.runtime
         self.energy = table.energy
         self.static_views = table.static_views
+        self.elig_rank = table.elig_rank
         self._carbon = (
             method
             if isinstance(method, CarbonBasedAccounting)
@@ -841,11 +975,13 @@ class SettlementQueue:
 
 
 __all__ = [
+    "ELIG_RANK_INELIGIBLE",
     "OUTCOME_FIELDS",
     "OutcomeTable",
     "PricingKernel",
     "QuoteTable",
     "QuoteTableCache",
+    "QuoteTableCacheStats",
     "QuoteTableKey",
     "SegmentLedger",
     "SettlementQueue",

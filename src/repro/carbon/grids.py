@@ -164,7 +164,9 @@ def synthetic_trace(
     return CarbonIntensityTrace(region=profile.region, hourly_g_per_kwh=values)
 
 
-def trace_for_region(region: str, days: int = 365, seed: int | None = 0) -> CarbonIntensityTrace:
+def trace_for_region(
+    region: str, days: int = 365, seed: int | None = 0
+) -> CarbonIntensityTrace:
     """Convenience lookup + generate for a known region code."""
     try:
         profile = GRID_PROFILES[region]

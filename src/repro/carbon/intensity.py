@@ -178,7 +178,9 @@ class CarbonIntensityTrace:
         return self.hourly_g_per_kwh[idx]
 
 
-def constant_trace(region: str, g_per_kwh: float, hours: int = 24) -> CarbonIntensityTrace:
+def constant_trace(
+    region: str, g_per_kwh: float, hours: int = 24
+) -> CarbonIntensityTrace:
     """A flat trace — what the Table 5 yearly-average scenario uses."""
     if g_per_kwh < 0:
         raise ValueError("carbon intensity cannot be negative")

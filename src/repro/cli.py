@@ -42,7 +42,10 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     wanted = args.only or list(sections)
     for name in wanted:
         if name not in sections:
-            print(f"unknown table {name!r}; known: {', '.join(sections)}", file=sys.stderr)
+            print(
+                f"unknown table {name!r}; known: {', '.join(sections)}",
+                file=sys.stderr,
+            )
             return 2
         print(sections[name]())
         print()

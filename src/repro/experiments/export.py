@@ -63,7 +63,9 @@ def export_table1(path: Path) -> Path:
     rows = []
     for machine in table.machines:
         runtime, energy = table.metrics[machine]
-        rows.append([machine, runtime, energy, eba[machine], cba[machine], peak[machine]])
+        rows.append(
+            [machine, runtime, energy, eba[machine], cba[machine], peak[machine]]
+        )
     return _write(
         path, ["machine", "runtime_s", "energy_j", "eba", "cba", "peak"], rows
     )
@@ -87,7 +89,9 @@ def export_table3(path: Path) -> Path:
     rows = []
     for machine in table.machines:
         runtime, energy_kj = table.metrics[machine]
-        rows.append([machine, runtime, energy_kj, eba[machine], cba[machine], perf[machine]])
+        rows.append(
+            [machine, runtime, energy_kj, eba[machine], cba[machine], perf[machine]]
+        )
     return _write(
         path, ["config", "runtime_s", "energy_kj", "eba", "cba", "perf"], rows
     )
@@ -130,7 +134,14 @@ def export_fig5(path: Path, scale: int, seed: int = 0) -> Path:
         rows.append(row)
     return _write(
         path,
-        ["policy", "work_core_hours", "jobs_FASTER", "jobs_Desktop", "jobs_IC", "jobs_Theta"],
+        [
+            "policy",
+            "work_core_hours",
+            "jobs_FASTER",
+            "jobs_Desktop",
+            "jobs_IC",
+            "jobs_Theta",
+        ],
         rows,
     )
 

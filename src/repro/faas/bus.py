@@ -68,7 +68,9 @@ class MessageBus:
         return self._base_offset.get(topic, 0) + len(self._topics.get(topic, []))
 
     # ------------------------------------------------------------------
-    def poll(self, topic: str, group: str, max_messages: int | None = None) -> list[Message]:
+    def poll(
+        self, topic: str, group: str, max_messages: int | None = None
+    ) -> list[Message]:
         """Fetch unseen records for a consumer group and advance its offset."""
         log = self._topics.get(topic, [])
         base = self._base_offset.get(topic, 0)
@@ -76,7 +78,11 @@ class MessageBus:
         # A consumer that fell behind retention resumes at the log head.
         position = max(position, base)
         start = position - base
-        batch = log[start:] if max_messages is None else log[start : start + max_messages]
+        batch = (
+            log[start:]
+            if max_messages is None
+            else log[start : start + max_messages]
+        )
         if batch:
             self._offsets[(topic, group)] = batch[-1].offset + 1
         else:

@@ -256,7 +256,9 @@ class Endpoint:
             self._publish_counters(step)
             self._publish_energy()
             finished = [
-                pid for pid, p in self._active.items() if p["ends_at"] <= self.now + 1e-9
+                pid
+                for pid, p in self._active.items()
+                if p["ends_at"] <= self.now + 1e-9
             ]
             for pid in finished:
                 inv = self._active[pid]["inv"]

@@ -231,7 +231,9 @@ class EndpointMonitor:
                 else:
                     # Bootstrap: zero-idle model, attribute dynamically
                     # by counters via equal weights.
-                    model = LinearPowerModel(idle_watts=0.0, weights=np.array([1e-9, 1e-9]))
+                    model = LinearPowerModel(
+                        idle_watts=0.0, weights=np.array([1e-9, 1e-9])
+                    )
             flushed_end: float | None = None
             for interval in intervals:
                 if flushed_end is None or interval.end > flushed_end:

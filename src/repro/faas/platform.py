@@ -270,7 +270,9 @@ class GreenAccess:
         :meth:`submit` (the receipt lands in :attr:`receipts`).
         """
         if not self.batched:
-            return self.submit(user, function, machine, cores, callable_override).task_id
+            return self.submit(
+                user, function, machine, cores, callable_override
+            ).task_id
 
         machine, estimate = self._admit_checks(user, function, machine, cores)
         allocation = self.ledger.get(user)

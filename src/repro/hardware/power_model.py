@@ -95,7 +95,9 @@ class PowerModelFitter:
         """Record one node-level observation (a rank-1 moment update)."""
         vec = np.asarray(counters, dtype=float).ravel()
         if vec.shape != (len(COUNTER_FEATURES),):
-            raise ValueError(f"counter vector must have shape ({len(COUNTER_FEATURES)},)")
+            raise ValueError(
+                f"counter vector must have shape ({len(COUNTER_FEATURES)},)"
+            )
         if watts < 0:
             raise ValueError("measured power cannot be negative")
         self._x.append(vec)

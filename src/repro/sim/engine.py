@@ -273,7 +273,9 @@ class MultiClusterSimulator:
         self._carbon = CarbonBasedAccounting()
 
     # ------------------------------------------------------------------
-    def _views(self, job: Job, clusters: dict[str, ClusterSim], now: float) -> list[MachineView]:
+    def _views(
+        self, job: Job, clusters: dict[str, ClusterSim], now: float
+    ) -> list[MachineView]:
         """Reference (per-record) view builder — the ``batched=False`` path."""
         views = []
         for name in job.eligible_machines:

@@ -46,6 +46,12 @@ prices inside its event loop:
   which beat fixed-overhead NumPy batches below a few dozen probes.
   Both replay ``charge()``'s exact IEEE operations, so the crossover
   threshold can never change a decision;
+* above the same crossover the stay/move *decision* is vectorized too:
+  winners come from a masked argmin over the probe-cost matrix whose
+  tie-breaking replays the scalar walk's eligibility order through the
+  quote table's ``elig_rank`` column, and only the movers are applied
+  (in the reference candidate order), so a re-evaluation tick does no
+  per-candidate Python work at all on the hot path;
 * finished or preempted segments are appended to a
   :class:`~repro.accounting.pricing.SegmentLedger` and settled in one
   vectorized pass after the run, with per-job sums replayed in append
@@ -70,7 +76,12 @@ import numpy as np
 
 from repro.accounting.base import AccountingMethod, UsageBatch, UsageRecord
 from repro.accounting.methods import CarbonBasedAccounting
-from repro.accounting.pricing import PricingKernel, QuoteTable, SegmentLedger
+from repro.accounting.pricing import (
+    ELIG_RANK_INELIGIBLE,
+    PricingKernel,
+    QuoteTable,
+    SegmentLedger,
+)
 from repro.sim.cluster import ClusterSim
 from repro.sim.engine import SimulationResult, pricing_for_sim_machine
 from repro.sim.events import ARRIVAL, FINISH, EventCalendar
@@ -593,10 +604,14 @@ class MigratingSimulator:
         Probes are pure functions of (job, remaining fraction, now).
         The batched path reads its candidates straight out of the
         columnar :class:`RunningTable` — one vectorized pass over the
-        live rows — prices all stay/move probes (``charge_many`` columns
-        for large candidate sets, scalar probe kernels for small ones),
-        and then replays the exact decision comparisons of the scalar
-        loop.  The reference path walks the per-cluster running dicts.
+        live rows — and, for large candidate sets, also *decides*
+        vectorized: stay/move probe costs become columns, winners come
+        from a masked argmin whose tie-breaking replays the scalar
+        loop's eligibility-walk order through the quote table's
+        ``elig_rank`` (see :meth:`_decide_and_apply_columnar`), and only
+        the movers are applied in a final pass.  Small candidate sets
+        keep the scalar probe kernels and the per-candidate decision
+        loop; the reference path walks the per-cluster running dicts.
         """
         running_table = self._running
         candidates: list[tuple[ClusterSim, int, _Progress, Job, float, float]]
@@ -607,6 +622,10 @@ class MigratingSimulator:
             slots, rem_arr, done_arr = running_table.candidates(now)
             if not len(slots):
                 return False
+            if len(slots) >= self.probe_vector_min:
+                return self._decide_and_apply_columnar(
+                    clusters, pending_runtime, now, slots, rem_arr, done_arr
+                )
             names = self._kernel.machine_names
             states = running_table.states
             cluster_of = [clusters[name] for name in names]
@@ -624,14 +643,9 @@ class MigratingSimulator:
                 append(
                     (cluster_of[mi], job.job_id, state, job, remaining, frac_done)
                 )
-            if len(slots) >= self.probe_vector_min:
-                probe_costs, name_idx = self._probe_costs_columnar(
-                    running_table, slots, rem_arr, now
-                )
-            else:
-                probe_costs, name_idx = self._probe_costs_indexed(
-                    clusters, candidates, now
-                )
+            probe_costs, name_idx = self._probe_costs_indexed(
+                clusters, candidates, now
+            )
         else:
             candidates = []
             for cluster in clusters.values():
@@ -694,6 +708,83 @@ class MigratingSimulator:
             clusters[best_name].enqueue(job)
             moved_any = True
         return moved_any
+
+    def _decide_and_apply_columnar(
+        self,
+        clusters: dict[str, ClusterSim],
+        pending_runtime: dict[int, float],
+        now: float,
+        slots: np.ndarray,
+        remaining: np.ndarray,
+        frac_done: np.ndarray,
+    ) -> bool:
+        """One vectorized stay/move decision pass over all candidates.
+
+        Probe costs come back from :meth:`_probe_costs_columnar` as a
+        ``(candidate, machine)`` matrix; the decision is then three
+        array expressions instead of a Python walk per candidate:
+
+        * ``stay`` is each candidate's cost on its current machine;
+        * the cheapest move is a row minimum over the move columns
+          (current machine and ineligible machines masked to ``inf``);
+        * a candidate moves exactly when the scalar loop would —
+          ``best < stay`` (the walk only replaces on a strict
+          improvement) **and** ``best <= stay * (1 - min_saving)``
+          (the hysteresis gate, with the identical IEEE expression).
+
+        The winning machine replays the scalar walk's tie-breaking
+        through the quote table's ``elig_rank``: the walk keeps the
+        *first* machine, in the job's own eligibility order, that
+        reaches the row minimum, so among the columns equal to that
+        minimum the smallest eligibility rank is the identical winner.
+        Only the movers are then applied, in candidate order — the same
+        (machine index, insertion seq) order the scalar loop iterates —
+        so preempt/requeue order on the target clusters is unchanged.
+        """
+        running_table = self._running
+        kernel = self._kernel
+        costs, _ = self._probe_costs_columnar(
+            running_table, slots, remaining, now
+        )
+        n = len(slots)
+        rows = np.arange(n)
+        cur = running_table.machine[slots]
+        stay = costs[rows, cur]
+        move = np.where(np.isnan(costs), np.inf, costs)
+        move[rows, cur] = np.inf
+        best_cost = move.min(axis=1)
+        movers = (best_cost < stay) & (
+            best_cost <= stay * (1.0 - self.min_saving)
+        )
+        if not movers.any():
+            return False
+        mk = np.flatnonzero(movers)
+        ranks = kernel.elig_rank[running_table.job_row[slots[mk]]]
+        tied = move[mk] == best_cost[mk, None]
+        best_mi = np.where(tied, ranks, ELIG_RANK_INELIGIBLE).argmin(axis=1)
+        names = kernel.machine_names
+        states = running_table.states
+        overhead = self.overhead_s
+        for slot, mi_cur, mi_best, rem, fdone in zip(
+            slots[mk].tolist(),
+            cur[mk].tolist(),
+            best_mi.tolist(),
+            remaining[mk].tolist(),
+            frac_done[mk].tolist(),
+        ):
+            state = states[slot]
+            job = state.job
+            best_name = names[mi_best]
+            self._charge_segment(state, fdone, state.is_continuation)
+            state.remaining_fraction = rem
+            state.migrations += 1
+            clusters[names[mi_cur]].finish(job.job_id)
+            running_table.remove(job.job_id)
+            pending_runtime[job.job_id] = (
+                job.runtime_s[best_name] * rem + overhead
+            )
+            clusters[best_name].enqueue(job)
+        return True
 
     def _probe_costs_scalar(
         self,

@@ -138,7 +138,12 @@ def baseline_scenario(days: int = 365, seed: int = 0) -> dict[str, SimMachine]:
     Table 5's "Avg. Carbon Intensity" column (FASTER on the Texas grid,
     Desktop/IC on the Illinois grid, Theta on its higher-carbon feed).
     """
-    regions = {"FASTER": "US-TEX", "Desktop": "US-MIDW", "IC": "US-MIDW", "Theta": "US-ALCF"}
+    regions = {
+        "FASTER": "US-TEX",
+        "Desktop": "US-MIDW",
+        "IC": "US-MIDW",
+        "Theta": "US-ALCF",
+    }
     machines = {}
     for node in SIMULATION_MACHINES:
         trace = trace_for_region(regions[node.name], days=days, seed=seed)

@@ -32,7 +32,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.accounting.base import AccountingMethod, UsageRecord
-from repro.sim.engine import MultiClusterSimulator, SimulationResult, pricing_for_sim_machine
+from repro.sim.engine import (
+    MultiClusterSimulator,
+    SimulationResult,
+    pricing_for_sim_machine,
+)
 from repro.sim.job import Job
 from repro.sim.policies import Policy
 from repro.sim.scenarios import SimMachine
@@ -119,7 +123,11 @@ class TemporalShiftPlanner:
             for machine in candidates:
                 cost = self._cost(job, machine, release)
                 if cost < best_cost * (1.0 - 1e-12):
-                    best_cost, best_machine, best_delay = cost, machine, k * SECONDS_PER_HOUR
+                    best_cost, best_machine, best_delay = (
+                        cost,
+                        machine,
+                        k * SECONDS_PER_HOUR,
+                    )
 
         # Apply the patience hurdle: defer only for a real saving.
         if best_delay > 0 and best_cost > best_now[0] * (1.0 - self.patience):

@@ -45,6 +45,15 @@ pure function of its key, so results are bit-identical with the cache
 on or off.  Set ``kernel_cache=False`` (or
 ``REPRO_SWEEP_KERNEL_CACHE=0``) to rebuild per task.
 
+The cache is **bounded**: an LRU policy (default
+:data:`DEFAULT_KERNEL_CACHE_SIZE` tables, ``REPRO_SWEEP_KERNEL_CACHE_SIZE``
+to change it, ``0`` for unbounded) keeps a long-lived process that
+sweeps thousands of distinct (scenario, scale, seed, method)
+configurations at flat memory.  Eviction never changes results — an
+evicted table rebuilds bit-identically on the next request — and
+hit/miss/eviction counters are surfaced through
+:func:`quote_table_cache_stats` / :meth:`SweepRunner.cache_stats`.
+
 Worker count resolution order: explicit ``workers=`` argument, the
 :func:`set_default_workers` override (the CLI's ``--jobs``), the
 ``REPRO_SWEEP_WORKERS`` environment variable, then ``os.cpu_count()``.
@@ -73,6 +82,7 @@ from repro.accounting.pricing import (
     OutcomeTable,
     QuoteTable,
     QuoteTableCache,
+    QuoteTableCacheStats,
     QuoteTableKey,
 )
 from repro.sim.engine import (
@@ -95,18 +105,77 @@ SHM_ENV = "REPRO_SWEEP_SHM"
 #: scratch, the pre-cache behaviour.
 KERNEL_CACHE_ENV = "REPRO_SWEEP_KERNEL_CACHE"
 
+#: Environment knob bounding the quote-table cache (read once at
+#: import): the maximum number of distinct (workload, method, machine
+#: set) tables held at once.  ``0`` or a negative value removes the
+#: bound; use :func:`set_quote_table_capacity` to change it at runtime.
+KERNEL_CACHE_SIZE_ENV = "REPRO_SWEEP_KERNEL_CACHE_SIZE"
+
+#: Default LRU bound on the quote-table cache.  Sized to the workload
+#: memoization lifecycle it rides on: the experiment driver memoizes at
+#: most 4 live workloads (``repro.experiments._simulation.workload``,
+#: ``lru_cache(maxsize=4)``) times two §5 methods, so 16 keeps every
+#: table a live workload can request resident with headroom, while a
+#: long-lived process sweeping thousands of distinct (scenario, scale,
+#: seed, method) configurations stays at flat memory.
+DEFAULT_KERNEL_CACHE_SIZE = 16
+
+
+def _resolve_cache_capacity() -> int | None:
+    """The quote-table LRU bound from the environment (None=unbounded)."""
+    raw = os.environ.get(KERNEL_CACHE_SIZE_ENV)
+    if raw is None or raw.strip() == "":
+        return DEFAULT_KERNEL_CACHE_SIZE
+    try:
+        value = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring non-integer {KERNEL_CACHE_SIZE_ENV}={raw!r}; "
+            f"using the default bound of {DEFAULT_KERNEL_CACHE_SIZE}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return DEFAULT_KERNEL_CACHE_SIZE
+    return None if value <= 0 else value
+
+
 #: Process-wide quote-table cache.  Deliberately module-level: the
 #: parent populates it in :meth:`SweepRunner._warm` *before* the pool
 #: forks, so workers inherit every built table copy-on-write instead of
 #: receiving (or rebuilding) them per task.  Tables are immutable once
-#: built; see :class:`~repro.accounting.pricing.QuoteTableCache`.
-_QUOTE_TABLES = QuoteTableCache()
+#: built and the LRU bound only frees memory — an evicted key rebuilds
+#: a bit-identical table; see
+#: :class:`~repro.accounting.pricing.QuoteTableCache`.
+_QUOTE_TABLES = QuoteTableCache(capacity=_resolve_cache_capacity())
 
 
 def clear_quote_tables() -> None:
-    """Drop every cached quote table (tests; long-lived processes that
-    sweep many distinct configurations and want the memory back)."""
+    """Drop every cached quote table and reset its counters (tests;
+    long-lived processes that want the memory back immediately)."""
     _QUOTE_TABLES.clear()
+
+
+def set_quote_table_capacity(capacity: int | None) -> None:
+    """Re-bound the process-wide quote-table cache at runtime.
+
+    ``None`` removes the bound; shrinking below the current size evicts
+    least-recently-used tables immediately.  The environment knob
+    ``REPRO_SWEEP_KERNEL_CACHE_SIZE`` is read once at import, so
+    processes that change it later should call this instead.
+    """
+    _QUOTE_TABLES.resize(capacity)
+
+
+def quote_table_cache_stats() -> QuoteTableCacheStats:
+    """Size, bound, and hit/miss/eviction counters of the process-wide
+    quote-table cache (what :meth:`SweepRunner.cache_stats` returns).
+
+    Counters reflect *this* process: the parent's warm-phase builds and
+    any serial (``workers=1``) lookups.  Forked workers operate on a
+    copy-on-write snapshot, so their hits are not aggregated here.
+    """
+    return _QUOTE_TABLES.stats()
+
 
 _workers_override: int | None = None
 
@@ -195,7 +264,9 @@ def _unregister_shm(shm: shared_memory.SharedMemory) -> None:
     try:  # pragma: no cover - depends on interpreter internals
         from multiprocessing import resource_tracker
 
-        resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+        resource_tracker.unregister(
+            shm._name, "shared_memory"
+        )  # type: ignore[attr-defined]
     except Exception:
         pass
 
@@ -297,7 +368,9 @@ class SweepRunner:
 
     def __init__(
         self,
-        scenario_fn: Callable[..., Mapping[str, SimMachine] | Iterable[tuple[str, SimMachine]]],
+        scenario_fn: Callable[
+            ..., Mapping[str, SimMachine] | Iterable[tuple[str, SimMachine]]
+        ],
         workload_fn: Callable[..., Workload],
         method_fn: Callable[[str], AccountingMethod] = method_by_name,
         workers: int | None = None,
@@ -318,6 +391,9 @@ class SweepRunner:
                 "0", "false", "no",
             )
         self.kernel_cache = kernel_cache
+        #: Quote-table cache traffic of the most recent :meth:`run`
+        #: (counter deltas), or ``None`` before any run completed.
+        self.last_cache_stats: QuoteTableCacheStats | None = None
 
     # ------------------------------------------------------------------
     def _quote_table_key(
@@ -397,10 +473,13 @@ class SweepRunner:
         tasks = list(tasks)
         if not tasks:
             return {}
+        stats_before = _QUOTE_TABLES.stats()
         self._warm(tasks)
         workers = min(self.workers, len(tasks))
         if workers <= 1:
-            return {task: self.run_task(task) for task in tasks}
+            out = {task: self.run_task(task) for task in tasks}
+            self._record_cache_stats(stats_before)
+            return out
         context = multiprocessing.get_context(
             "fork"
             if "fork" in multiprocessing.get_all_start_methods()
@@ -431,13 +510,65 @@ class SweepRunner:
                     except OSError:
                         pass
             raise
+        self._record_cache_stats(stats_before)
         return dict(zip(tasks, results))
+
+    def _record_cache_stats(self, before: QuoteTableCacheStats) -> None:
+        """Publish this run's quote-table traffic as ``last_cache_stats``
+        (counter deltas against the sweep's start; size and capacity are
+        the live values)."""
+        after = _QUOTE_TABLES.stats()
+        self.last_cache_stats = QuoteTableCacheStats(
+            size=after.size,
+            capacity=after.capacity,
+            hits=after.hits - before.hits,
+            misses=after.misses - before.misses,
+            evictions=after.evictions - before.evictions,
+        )
+
+    def cache_stats(self) -> QuoteTableCacheStats:
+        """Live counters of the process-wide quote-table cache (see
+        :func:`quote_table_cache_stats` for scope caveats)."""
+        return _QUOTE_TABLES.stats()
 
     # ------------------------------------------------------------------
     def _warm(self, tasks: Sequence[SweepTask]) -> None:
         """Build each distinct scenario/workload — and, when the kernel
         cache is on, each distinct quote table — once in the parent so
-        forked workers inherit the memoized objects copy-on-write."""
+        forked workers inherit the memoized objects copy-on-write.
+
+        The quote-table cache's LRU bound is deliberately *not* grown
+        to fit a wide sweep — flat memory is the bound's whole point —
+        so a sweep whose distinct-table working set exceeds the bound
+        only prewarms the first ``capacity`` distinct tables (warming
+        more would build tables just to evict them before any task ran)
+        and later configurations build on demand, staying resident for
+        their own contiguous task block.  That costs time, never
+        correctness; warn so the operator can raise
+        ``REPRO_SWEEP_KERNEL_CACHE_SIZE`` (or call
+        :func:`set_quote_table_capacity`) instead of paying the
+        rebuilds silently.
+        """
+        capacity = _QUOTE_TABLES.capacity
+        kernel_warm_budget = None
+        if self.kernel_cache and capacity is not None:
+            distinct = {
+                (task.scenario, task.scale, task.seed, task.method)
+                for task in tasks
+            }
+            if len(distinct) > capacity:
+                kernel_warm_budget = capacity
+                warnings.warn(
+                    f"sweep needs {len(distinct)} distinct quote tables "
+                    f"but the cache is bounded at {capacity}; only the "
+                    f"first {capacity} are prewarmed and later "
+                    "configurations rebuild on demand (raise "
+                    f"{KERNEL_CACHE_SIZE_ENV} or call "
+                    "set_quote_table_capacity to avoid the rebuilds)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+        kernel_keys_warmed = 0
         seen: set[tuple] = set()
         for task in tasks:
             scenario_key = (task.scenario, task.seed)
@@ -453,6 +584,12 @@ class SweepRunner:
             kernel_key = (*workload_key, task.method)
             if ("k", *kernel_key) not in seen:
                 seen.add(("k", *kernel_key))
+                if (
+                    kernel_warm_budget is not None
+                    and kernel_keys_warmed >= kernel_warm_budget
+                ):
+                    continue
+                kernel_keys_warmed += 1
                 machines = dict(self.scenario_fn(*scenario_key))
                 self._quote_table_for(
                     task,

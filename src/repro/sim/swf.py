@@ -161,7 +161,12 @@ def read_swf(
     )
 
 
-def roundtrip_consistent(workload: Workload, machines: dict[str, SimMachine], tmp: str | Path, seed: int = 0) -> bool:
+def roundtrip_consistent(
+    workload: Workload,
+    machines: dict[str, SimMachine],
+    tmp: str | Path,
+    seed: int = 0,
+) -> bool:
     """Write + read back; check the reference columns survive exactly."""
     path = write_swf(workload, Path(tmp))
     back = read_swf(path, machines, seed=seed)
@@ -172,8 +177,20 @@ def roundtrip_consistent(workload: Workload, machines: dict[str, SimMachine], tm
         orig = originals.get(job.job_id)
         if orig is None:
             continue
-        if abs(job.runtime_s[REFERENCE_MACHINE] - round(orig.runtime_s[REFERENCE_MACHINE])) > 1.0:
+        if (
+            abs(
+                job.runtime_s[REFERENCE_MACHINE]
+                - round(orig.runtime_s[REFERENCE_MACHINE])
+            )
+            > 1.0
+        ):
             return False
-        if abs(job.energy_j[REFERENCE_MACHINE] - round(orig.energy_j[REFERENCE_MACHINE])) > 1.0:
+        if (
+            abs(
+                job.energy_j[REFERENCE_MACHINE]
+                - round(orig.energy_j[REFERENCE_MACHINE])
+            )
+            > 1.0
+        ):
             return False
     return True

@@ -98,8 +98,14 @@ class Game:
     ) -> None:
         self.version = GameVersion(version)
         self.config = config or GameConfig()
-        self.machines = machines if machines is not None else baseline_scenario(days=7, seed=7)
-        self.deck = list(deck) if deck is not None else default_job_deck(machines=self.machines)
+        self.machines = (
+            machines if machines is not None else baseline_scenario(days=7, seed=7)
+        )
+        self.deck = (
+            list(deck)
+            if deck is not None
+            else default_job_deck(machines=self.machines)
+        )
         self.cards = {name: MachineCard(machine=m) for name, m in self.machines.items()}
 
         self._pending = list(self.deck)

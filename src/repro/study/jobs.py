@@ -68,7 +68,9 @@ def default_job_deck(
     """
     if n_jobs < 1:
         raise ValueError("need at least one job")
-    machines = machines if machines is not None else baseline_scenario(days=7, seed=seed)
+    machines = (
+        machines if machines is not None else baseline_scenario(days=7, seed=seed)
+    )
     rng = np.random.default_rng(seed)
 
     jobs: list[GameJob] = []

@@ -50,7 +50,9 @@ class Respondent:
     fig2: dict[str, int]  # factor -> 1/2/3
 
 
-def _spread(rng: np.random.Generator, n_total: int, flags: dict[str, int]) -> dict[str, np.ndarray]:
+def _spread(
+    rng: np.random.Generator, n_total: int, flags: dict[str, int]
+) -> dict[str, np.ndarray]:
     """Boolean columns with exact popcounts, randomly placed."""
     out = {}
     for name, count in flags.items():

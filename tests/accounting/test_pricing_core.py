@@ -10,6 +10,7 @@ import pytest
 from repro.accounting.base import MachinePricing, UsageRecord
 from repro.accounting.methods import CarbonBasedAccounting, all_methods
 from repro.accounting.pricing import (
+    ELIG_RANK_INELIGIBLE,
     OutcomeTable,
     PricingKernel,
     QuoteTable,
@@ -209,6 +210,119 @@ class TestQuoteTableSharing:
         assert a != c
         assert len({a, b, c}) == 2
 
+    def test_elig_rank_replays_eligibility_order(self, setup):
+        """``elig_rank`` must be each machine's position in the job's
+        own eligibility walk — what the vectorized migration decision
+        uses to replay the scalar loop's tie-breaking."""
+        jobs, pricings = setup
+        table = QuoteTable.build(jobs, pricings, all_methods()[0])
+        assert table.elig_rank.shape == (len(jobs), len(pricings))
+        name_idx = {name: mi for mi, name in enumerate(pricings)}
+        for job in jobs:
+            row = table.elig_rank[table.row_of[job.job_id]]
+            for rank, name in enumerate(job.eligible_machines):
+                assert row[name_idx[name]] == rank
+            for name in set(pricings) - set(job.eligible_machines):
+                assert row[name_idx[name]] == ELIG_RANK_INELIGIBLE
+
+
+class TestQuoteTableCacheLRU:
+    """The capacity bound: LRU eviction, counters, re-warm exactness."""
+
+    @staticmethod
+    def keys(n):
+        return [
+            QuoteTableKey(("wl", i, 0), "EBA", ("M0",)) for i in range(n)
+        ]
+
+    def test_capacity_bound_honored(self):
+        cache = QuoteTableCache(capacity=2)
+        k = self.keys(3)
+        for key in k:
+            cache.store(key, QuoteTable())
+        assert len(cache) == 2
+        assert k[0] not in cache and k[1] in cache and k[2] in cache
+        assert cache.stats().evictions == 1
+
+    def test_eviction_order_is_least_recently_used(self):
+        cache = QuoteTableCache(capacity=2)
+        k = self.keys(3)
+        a, b = QuoteTable(), QuoteTable()
+        cache.store(k[0], a)
+        cache.store(k[1], b)
+        assert cache.get(k[0]) is a  # refresh: k[1] is now the LRU
+        cache.store(k[2], QuoteTable())
+        assert k[0] in cache and k[1] not in cache
+
+    def test_counters_and_stats(self):
+        cache = QuoteTableCache(capacity=2)
+        k = self.keys(3)
+        built = []
+
+        def builder():
+            table = QuoteTable()
+            built.append(table)
+            return table
+
+        assert cache.get(k[0]) is None  # miss
+        cache.get_or_build(k[0], builder)  # miss + build
+        cache.get_or_build(k[0], builder)  # hit
+        cache.get_or_build(k[1], builder)  # miss + build
+        cache.get_or_build(k[2], builder)  # miss + build -> evicts k[0]
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.evictions) == (1, 4, 1)
+        assert stats.size == 2 and stats.capacity == 2
+        assert len(built) == 3
+        cache.clear()
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.evictions) == (0, 0, 0)
+        assert stats.size == 0
+
+    def test_resize_evicts_down_to_new_bound(self):
+        cache = QuoteTableCache()
+        k = self.keys(4)
+        for key in k:
+            cache.store(key, QuoteTable())
+        assert len(cache) == 4 and cache.stats().capacity is None
+        cache.resize(2)
+        assert len(cache) == 2
+        assert k[0] not in cache and k[1] not in cache
+        assert k[2] in cache and k[3] in cache
+        assert cache.stats().evictions == 2
+
+    @pytest.mark.parametrize("capacity", [0, -3])
+    def test_invalid_capacity_rejected(self, capacity):
+        with pytest.raises(ValueError, match="capacity"):
+            QuoteTableCache(capacity=capacity)
+        with pytest.raises(ValueError, match="capacity"):
+            QuoteTableCache().resize(capacity)
+
+    def test_rewarm_after_eviction_is_bit_identical(self):
+        """An evicted table rebuilds exactly: a quote table is a pure
+        function of its key, so eviction can only ever cost time."""
+        rng = np.random.default_rng(31)
+        pricings = make_pricings(rng)
+        jobs = make_jobs(rng, pricings)
+        method = all_methods()[0]
+        key = QuoteTableKey(("wl", 60, 0), method.name, tuple(pricings))
+        other = QuoteTableKey(("other", 1, 0), method.name, tuple(pricings))
+        cache = QuoteTableCache(capacity=1)
+        builder = lambda: QuoteTable.build(jobs, pricings, method)  # noqa: E731
+        first = cache.get_or_build(key, builder)
+        cache.store(other, QuoteTable())  # evicts `key`
+        assert key not in cache
+        rebuilt = cache.get_or_build(key, builder)
+        assert rebuilt is not first
+        assert rebuilt.static_views == first.static_views
+        assert np.array_equal(rebuilt.elig_rank, first.elig_rank)
+        for name in pricings:
+            assert np.array_equal(
+                rebuilt.runtime[name], first.runtime[name], equal_nan=True
+            )
+            assert np.array_equal(
+                rebuilt.energy[name], first.energy[name], equal_nan=True
+            )
+
 
 class TestOutcomeTable:
     def make_rows(self, rng, n=25):
@@ -270,7 +384,9 @@ class TestOutcomeTable:
         state = table.__getstate__()
         state["cost"] = state["cost"][:-1]
         with pytest.raises(ValueError):
-            OutcomeTable(machines, **{k: v for k, v in state.items() if k != "machines"})
+            OutcomeTable(
+                machines, **{k: v for k, v in state.items() if k != "machines"}
+            )
 
 
 class TestSegmentLedger:

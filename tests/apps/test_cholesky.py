@@ -40,7 +40,10 @@ class TestTiledCholesky:
             tiled_cholesky(np.eye(4), tile=0)
 
     @settings(max_examples=20, deadline=None)
-    @given(st.integers(min_value=2, max_value=24), st.integers(min_value=1, max_value=10))
+    @given(
+        st.integers(min_value=2, max_value=24),
+        st.integers(min_value=1, max_value=10),
+    )
     def test_property_reconstruction(self, n, tile):
         a = random_spd(n, seed=n * 31 + tile)
         lower = tiled_cholesky(a, tile=tile)

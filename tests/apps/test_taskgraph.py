@@ -80,7 +80,10 @@ class TestSchedule:
         stats = diamond().execute(workers=2)
         assert 0.0 < stats.parallel_efficiency <= 1.0
 
-    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=30))
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=30),
+    )
     def test_independent_tasks_scale(self, workers, n_tasks):
         g = TaskGraph()
         for i in range(n_tasks):
@@ -98,7 +101,11 @@ class TestSchedule:
         names = []
         for i in range(40):
             deps = list(
-                rng.choice(names, size=min(len(names), int(rng.integers(0, 3))), replace=False)
+                rng.choice(
+                    names,
+                    size=min(len(names), int(rng.integers(0, 3))),
+                    replace=False,
+                )
             ) if names else []
             cost = float(rng.uniform(0.1, 2.0))
             g1.add(f"t{i}", lambda: None, deps=deps, cost=cost)

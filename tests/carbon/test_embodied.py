@@ -63,7 +63,10 @@ class TestDoubleDecliningBalance:
         assert ddb.yearly_charge(c, 2) < lin.yearly_charge(c, 2)
         assert ddb.yearly_charge(c, 4) < lin.yearly_charge(c, 4)
 
-    @given(st.floats(min_value=0, max_value=1e9), st.integers(min_value=0, max_value=30))
+    @given(
+        st.floats(min_value=0, max_value=1e9),
+        st.integers(min_value=0, max_value=30),
+    )
     def test_remaining_plus_charges_conserve_total(self, total, years):
         ddb = DoubleDecliningBalance()
         charged = sum(ddb.yearly_charge(total, y) for y in range(years))

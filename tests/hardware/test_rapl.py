@@ -67,7 +67,9 @@ class TestWrapAround:
         meter = SimulatedRAPL(package_power=lambda t: joules_to_wrap + 100.0)
         meter.advance(1.0)
         assert 0 <= meter.read_raw() < COUNTER_WRAP
-        assert meter.read_raw() == pytest.approx(100.0 / DEFAULT_ENERGY_UNIT_J, rel=1e-3)
+        assert meter.read_raw() == pytest.approx(
+            100.0 / DEFAULT_ENERGY_UNIT_J, rel=1e-3
+        )
 
     def test_delta_handles_single_wrap(self):
         before = COUNTER_WRAP - 50
@@ -88,7 +90,10 @@ class TestWrapAround:
         assert counter_delta_joules(before, after) >= 0.0
 
 
-@given(st.floats(min_value=0.1, max_value=500.0), st.floats(min_value=0.1, max_value=100.0))
+@given(
+    st.floats(min_value=0.1, max_value=500.0),
+    st.floats(min_value=0.1, max_value=100.0),
+)
 def test_energy_matches_power_times_time(power, duration):
     # Keep total energy below the 2^32-unit wrap (65,536 J at the default
     # energy unit) so the raw counter reading is directly comparable.
@@ -96,4 +101,6 @@ def test_energy_matches_power_times_time(power, duration):
         duration = 50_000.0 / power
     meter = SimulatedRAPL(package_power=lambda t: power)
     meter.advance(duration)
-    assert meter.read_joules() == pytest.approx(power * duration, rel=1e-3, abs=2 * DEFAULT_ENERGY_UNIT_J)
+    assert meter.read_joules() == pytest.approx(
+        power * duration, rel=1e-3, abs=2 * DEFAULT_ENERGY_UNIT_J
+    )

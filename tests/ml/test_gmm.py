@@ -28,7 +28,10 @@ class TestFit:
         data = two_cluster_data()
         short = GaussianMixture(n_components=2, max_iter=1, seed=0).fit(data)
         long = GaussianMixture(n_components=2, max_iter=100, seed=0).fit(data)
-        assert long.score_samples(data).mean() >= short.score_samples(data).mean() - 1e-9
+        assert (
+            long.score_samples(data).mean()
+            >= short.score_samples(data).mean() - 1e-9
+        )
 
     def test_converged_flag(self):
         gmm = GaussianMixture(n_components=2, seed=0).fit(two_cluster_data())

@@ -55,8 +55,12 @@ class TestConservation:
 class TestDeterminism:
     def test_same_inputs_same_outcomes(self, sim_machines, small_workload):
         method = EnergyBasedAccounting()
-        a = MultiClusterSimulator(sim_machines, method, GreedyPolicy()).run(small_workload)
-        b = MultiClusterSimulator(sim_machines, method, GreedyPolicy()).run(small_workload)
+        a = MultiClusterSimulator(sim_machines, method, GreedyPolicy()).run(
+            small_workload
+        )
+        b = MultiClusterSimulator(sim_machines, method, GreedyPolicy()).run(
+            small_workload
+        )
         assert [o.job_id for o in a.outcomes] == [o.job_id for o in b.outcomes]
         assert a.total_cost() == pytest.approx(b.total_cost())
 

@@ -567,15 +567,21 @@ class TestMigrationEquivalence:
     @pytest.mark.parametrize(
         "tick_min,probe_min",
         [(0, 0), (0, 10**9)],
-        ids=["columnar-collect+columnar-probes", "columnar-collect+scalar-probes"],
+        ids=[
+            "columnar-collect+columnar-probes+argmin-decisions",
+            "columnar-collect+scalar-probes+scalar-decisions",
+        ],
     )
     def test_running_table_regimes_bit_identical(
         self, low_carbon_machines, migration_workload, method, tick_min, probe_min
     ):
         """The columnar RunningTable tick, forced on for every
         re-evaluation (the adaptive thresholds would otherwise leave it
-        idle at this workload's concurrency), in both probe-pricing
-        regimes — all five methods, exact equality with the seed loop."""
+        idle at this workload's concurrency), in both regimes: fully
+        columnar (charge_many probe matrix + masked-argmin decisions
+        with elig_rank tie-breaking) and scalar probes with the
+        per-candidate decision walk — all five methods, exact equality
+        with the seed loop."""
         reference = seed_migration_run(
             low_carbon_machines,
             method,

@@ -1,5 +1,8 @@
 """The migration extension (§7 limitation, lifted)."""
 
+import dataclasses
+
+import numpy as np
 import pytest
 
 from repro.accounting.methods import (
@@ -8,10 +11,16 @@ from repro.accounting.methods import (
     all_methods,
 )
 from repro.accounting.pricing import QuoteTable
+from repro.carbon.intensity import CarbonIntensityTrace
 from repro.sim.engine import MultiClusterSimulator, pricing_for_sim_machine
+from repro.sim.job import Job
 from repro.sim.migration import MigratingSimulator
-from repro.sim.policies import GreedyPolicy
-from repro.sim.workload import PatelWorkloadGenerator, WorkloadConfig
+from repro.sim.policies import FixedMachinePolicy, GreedyPolicy
+from repro.sim.workload import (
+    PatelWorkloadGenerator,
+    Workload,
+    WorkloadConfig,
+)
 
 
 @pytest.fixture(scope="module")
@@ -203,8 +212,90 @@ class TestKnobs:
     def test_validation(self, low_carbon_machines):
         cba = CarbonBasedAccounting()
         with pytest.raises(ValueError):
-            MigratingSimulator(low_carbon_machines, cba, GreedyPolicy(), reevaluate_every_s=0)
+            MigratingSimulator(
+                low_carbon_machines, cba, GreedyPolicy(), reevaluate_every_s=0
+            )
         with pytest.raises(ValueError):
             MigratingSimulator(low_carbon_machines, cba, GreedyPolicy(), overhead_s=-1)
         with pytest.raises(ValueError):
             MigratingSimulator(low_carbon_machines, cba, GreedyPolicy(), min_saving=1.0)
+
+
+class TestVectorizedDecisionTieBreak:
+    """Exactly tied move targets: the masked-argmin decision pass must
+    pick the scalar walk's winner — the *first* machine in the job's own
+    eligibility order that reaches the minimum move cost."""
+
+    @pytest.fixture()
+    def tied_world(self, low_carbon_machines):
+        """Home on a dirty grid plus two bit-identical clean clones.
+
+        CloneA and CloneB share one node spec, one intensity trace
+        object, and (below) identical per-job runtimes/energies, so
+        their move probes are equal to the last bit and every migration
+        decision is a tie between them.
+        """
+        base = low_carbon_machines["FASTER"]
+        hours = 21 * 24
+        dirty = CarbonIntensityTrace("dirty", np.full(hours, 900.0))
+        clean = CarbonIntensityTrace("clean", np.full(hours, 20.0))
+
+        def clone(name, trace):
+            return dataclasses.replace(
+                base,
+                node=dataclasses.replace(base.node, name=name),
+                intensity=trace,
+            )
+
+        machines = {
+            "Home": clone("Home", dirty),
+            "CloneA": clone("CloneA", clean),
+            "CloneB": clone("CloneB", clean),
+        }
+        jobs = [
+            Job(
+                job_id=i,
+                user=i,
+                cores=4,
+                submit_s=0.0,
+                # Eligibility order: Home, CloneA, CloneB — the scalar
+                # walk must settle on CloneA.
+                runtime_s={
+                    "Home": 10 * 3600.0,
+                    "CloneA": 10 * 3600.0,
+                    "CloneB": 10 * 3600.0,
+                },
+                energy_j={"Home": 5e8, "CloneA": 5e8, "CloneB": 5e8},
+            )
+            for i in range(6)
+        ]
+        workload = Workload(
+            jobs=jobs, config=WorkloadConfig(), machines=list(machines)
+        )
+        return machines, workload
+
+    def _run(self, machines, workload, **kwargs):
+        sim = MigratingSimulator(
+            machines,
+            CarbonBasedAccounting(),
+            FixedMachinePolicy("Home"),
+            min_saving=0.05,
+            overhead_s=30.0,
+            **kwargs,
+        )
+        return sim
+
+    def test_tied_targets_bit_identical_and_first_eligible_wins(
+        self, tied_world
+    ):
+        machines, workload = tied_world
+        reference = self._run(machines, workload, batched=False).run(workload)
+        vectorized = self._run(machines, workload)
+        vectorized.tick_vector_min = 0
+        vectorized.probe_vector_min = 0
+        result = vectorized.run(workload)
+        assert result.outcomes == reference.outcomes
+        # The tie must actually occur and resolve to the first-eligible
+        # clone, or this proves nothing about argmin tie-breaking.
+        finals = {o.machine for o in reference.outcomes}
+        assert finals == {"CloneA"}

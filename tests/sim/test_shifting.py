@@ -25,7 +25,9 @@ class TestPlanner:
             assert plan.cost_at_release <= plan.cost_now + 1e-9
             assert 0.0 <= plan.delay_s <= 12 * 3600.0
 
-    def test_some_jobs_actually_deferred(self, low_carbon_machines, low_carbon_workload):
+    def test_some_jobs_actually_deferred(
+        self, low_carbon_machines, low_carbon_workload
+    ):
         planner = TemporalShiftPlanner(
             low_carbon_machines, CarbonBasedAccounting(), max_delay_h=12
         )

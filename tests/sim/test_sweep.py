@@ -20,12 +20,15 @@ from repro.sim.policies import (
 )
 from repro.sim.sweep import (
     _QUOTE_TABLES,
+    DEFAULT_KERNEL_CACHE_SIZE,
     SweepRunner,
     SweepTask,
+    _resolve_cache_capacity,
     clear_quote_tables,
     policy_by_name,
     resolve_workers,
     set_default_workers,
+    set_quote_table_capacity,
     sweep_grid,
 )
 
@@ -283,6 +286,100 @@ class TestKernelCache:
         assert not SweepRunner(scenario, workload, method_for).kernel_cache
         monkeypatch.delenv("REPRO_SWEEP_KERNEL_CACHE")
         assert SweepRunner(scenario, workload, method_for).kernel_cache
+
+    def test_kernel_cache_opt_out_bypasses_cache_entirely(self, sweep_fns):
+        """kernel_cache=False (the REPRO_SWEEP_KERNEL_CACHE=0 path) must
+        generate zero cache traffic, not merely ignore hits."""
+        scenario, workload, method_for = sweep_fns
+        clear_quote_tables()
+        runner = SweepRunner(
+            scenario, workload, method_for, workers=1, kernel_cache=False
+        )
+        tasks = [
+            SweepTask("baseline", p.name, "EBA", SCALE, SEED)
+            for p in standard_policies()[:2]
+        ]
+        runner.run(tasks)
+        assert len(_QUOTE_TABLES) == 0
+        stats = runner.last_cache_stats
+        assert (stats.hits, stats.misses, stats.evictions) == (0, 0, 0)
+
+
+class TestKernelCacheLRU:
+    """The bounded cache under sweeps wider than its capacity."""
+
+    @pytest.fixture()
+    def bounded_cache(self):
+        """Capacity 2 for the test, restored (and drained) afterwards."""
+        clear_quote_tables()
+        set_quote_table_capacity(2)
+        yield
+        set_quote_table_capacity(_resolve_cache_capacity())
+        clear_quote_tables()
+
+    def _wide_tasks(self):
+        """Four distinct (method, seed) quote-table configs, two policies
+        each — more distinct tables than the bounded cache can hold."""
+        return [
+            SweepTask("baseline", p.name, method, SCALE, seed)
+            for method in ("EBA", "CBA")
+            for seed in (SEED, SEED + 1)
+            for p in standard_policies()[:2]
+        ]
+
+    def test_sweep_beyond_capacity_is_bounded_and_bit_identical(
+        self, sweep_fns, bounded_cache
+    ):
+        scenario, workload, method_for = sweep_fns
+        tasks = self._wide_tasks()
+        bounded = SweepRunner(
+            scenario, workload, method_for, workers=1, kernel_cache=True
+        )
+        with pytest.warns(RuntimeWarning, match="distinct quote tables"):
+            results = bounded.run(tasks)
+        stats = bounded.last_cache_stats
+        assert len(_QUOTE_TABLES) <= 2
+        assert stats.size <= 2 and stats.capacity == 2
+        assert stats.evictions > 0
+        reference = SweepRunner(
+            scenario, workload, method_for, workers=1, kernel_cache=False
+        ).run(tasks)
+        for task in tasks:
+            assert results[task].outcomes == reference[task].outcomes
+
+    def test_stats_surfaced_per_run(self, sweep_fns):
+        """Unbounded enough for the working set: the warm phase builds
+        each distinct table once (misses), every task then hits."""
+        scenario, workload, method_for = sweep_fns
+        clear_quote_tables()
+        runner = SweepRunner(
+            scenario, workload, method_for, workers=1, kernel_cache=True
+        )
+        tasks = [
+            SweepTask("baseline", p.name, method, SCALE, SEED)
+            for method in ("EBA", "CBA")
+            for p in standard_policies()[:3]
+        ]
+        runner.run(tasks)
+        stats = runner.last_cache_stats
+        assert stats.misses == 2  # one build per distinct (method,) config
+        assert stats.hits == len(tasks)
+        assert stats.evictions == 0
+        assert runner.cache_stats().size == 2
+        clear_quote_tables()
+
+    def test_capacity_resolution_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_KERNEL_CACHE_SIZE", raising=False)
+        assert _resolve_cache_capacity() == DEFAULT_KERNEL_CACHE_SIZE
+        monkeypatch.setenv("REPRO_SWEEP_KERNEL_CACHE_SIZE", "7")
+        assert _resolve_cache_capacity() == 7
+        monkeypatch.setenv("REPRO_SWEEP_KERNEL_CACHE_SIZE", "0")
+        assert _resolve_cache_capacity() is None
+        monkeypatch.setenv("REPRO_SWEEP_KERNEL_CACHE_SIZE", "-1")
+        assert _resolve_cache_capacity() is None
+        monkeypatch.setenv("REPRO_SWEEP_KERNEL_CACHE_SIZE", "bogus")
+        with pytest.warns(RuntimeWarning, match="KERNEL_CACHE_SIZE"):
+            assert _resolve_cache_capacity() == DEFAULT_KERNEL_CACHE_SIZE
 
 
 class TestKnobs:

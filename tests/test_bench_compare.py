@@ -181,3 +181,47 @@ class TestStepSummary:
         proc = run_compare(str(baseline), str(current))
         assert proc.returncode == 0
         assert not (tmp_path / "summary.md").exists()
+
+    @pytest.mark.parametrize("value", ["", "   "], ids=["empty", "whitespace"])
+    def test_degenerate_summary_env_writes_nothing(
+        self, tmp_path, healthy, value, monkeypatch
+    ):
+        """A half-configured GITHUB_STEP_SUMMARY (empty / whitespace)
+        must behave like local runs: no stray file, not even an empty
+        one in the current directory."""
+        baseline, current, _ = healthy
+        monkeypatch.chdir(tmp_path)
+        before = set(tmp_path.iterdir())
+        proc = run_compare(
+            str(baseline),
+            str(current),
+            env={"GITHUB_STEP_SUMMARY": value},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert set(tmp_path.iterdir()) == before
+
+    def test_explicit_summary_flag_writes_locally(self, tmp_path, healthy):
+        """--summary captures the table with the CI variable unset —
+        the local `make bench-compare BENCH_SUMMARY=...` path."""
+        baseline, current, _ = healthy
+        out = tmp_path / "local-summary.md"
+        proc = run_compare(
+            str(baseline), str(current), "--summary", str(out)
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "### Benchmark comparison" in out.read_text()
+
+    def test_explicit_summary_flag_wins_over_env(self, tmp_path, healthy):
+        baseline, current, _ = healthy
+        flagged = tmp_path / "flagged.md"
+        env_target = tmp_path / "env-target.md"
+        proc = run_compare(
+            str(baseline),
+            str(current),
+            "--summary",
+            str(flagged),
+            env={"GITHUB_STEP_SUMMARY": str(env_target)},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert flagged.exists()
+        assert not env_target.exists()

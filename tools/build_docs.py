@@ -1,0 +1,554 @@
+#!/usr/bin/env python
+"""Build the documentation site from ``docs/`` + ``mkdocs.yml``.
+
+A deliberately dependency-light static site generator: the only
+third-party requirement is PyYAML (to read ``mkdocs.yml``, which stays
+the single source of truth for the nav so the tree remains compatible
+with a stock ``mkdocs`` install).  The full mkdocs/sphinx toolchains are
+*not* required — CI and laptops build the same site with the same
+strictness guarantees from the standard library:
+
+* a Markdown subset renderer (headings, fenced code, lists, tables,
+  blockquotes, inline code/bold/italic/links) with GitHub-style heading
+  slugs;
+* ``::: dotted.path`` API directives that import the named object and
+  render its **live docstring** and signature — the architecture pages
+  can therefore never drift from the code's own contract wording
+  without the build noticing (an unimportable directive fails the
+  build);
+* an internal link checker: every relative link must resolve to a page
+  in the nav and every ``#fragment`` to a real heading or API anchor.
+  Dead links fail the build (exit 1), which is what the CI docs job
+  gates on.
+
+Usage::
+
+    python tools/build_docs.py [--site-dir site] [--docs-dir docs]
+    make docs
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import importlib
+import inspect
+import posixpath
+import re
+import shutil
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Directive marker: a line of the form ``::: repro.module.Object``.
+API_DIRECTIVE = re.compile(r"^:::\s+([A-Za-z_][\w.]*)\s*$")
+
+_SLUG_STRIP = re.compile(r"[^\w\- ]")
+
+
+def slugify(text: str) -> str:
+    """GitHub-style heading slug: lowercase, punctuation out, spaces to
+    hyphens."""
+    return _SLUG_STRIP.sub("", text.strip().lower()).replace(" ", "-")
+
+
+# ---------------------------------------------------------------------------
+# Inline markdown
+# ---------------------------------------------------------------------------
+_CODE_SPAN = re.compile(r"``([^`]+)``|`([^`]+)`")
+_BOLD = re.compile(r"\*\*([^*]+)\*\*")
+_ITALIC = re.compile(r"(?<!\*)\*([^*\s][^*]*)\*(?!\*)")
+_LINK = re.compile(r"\[([^\]]+)\]\(([^)\s]+)\)")
+
+
+def render_inline(text: str, links: list[str]) -> str:
+    """Escape HTML and apply inline markup; collects link targets."""
+    tokens: list[str] = []
+
+    def stash_code(match: re.Match) -> str:
+        content = match.group(1) or match.group(2)
+        tokens.append(f"<code>{html.escape(content)}</code>")
+        return f"\x00{len(tokens) - 1}\x00"
+
+    text = _CODE_SPAN.sub(stash_code, text)
+    text = html.escape(text, quote=False)
+
+    def link(match: re.Match) -> str:
+        label, target = match.group(1), match.group(2)
+        links.append(target)
+        href = target
+        if not target.startswith(("http://", "https://", "mailto:", "#")):
+            # Internal page links are authored against the .md sources.
+            href = re.sub(r"\.md(#|$)", r".html\1", target)
+        return f'<a href="{html.escape(href)}">{label}</a>'
+
+    text = _LINK.sub(link, text)
+    text = _BOLD.sub(r"<strong>\1</strong>", text)
+    text = _ITALIC.sub(r"<em>\1</em>", text)
+    return re.sub(
+        "\x00(\\d+)\x00", lambda match: tokens[int(match.group(1))], text
+    )
+
+
+# ---------------------------------------------------------------------------
+# Block markdown
+# ---------------------------------------------------------------------------
+@dataclass
+class Page:
+    """One rendered page plus what the link checker needs to know."""
+
+    src: Path
+    rel: str  # nav-relative posix path of the .md source
+    title: str
+    body_html: str = ""
+    anchors: set[str] = field(default_factory=set)
+    links: list[str] = field(default_factory=list)
+
+    @property
+    def out_rel(self) -> str:
+        return posixpath.splitext(self.rel)[0] + ".html"
+
+
+def _table_row(line: str, cell_tag: str, links: list[str]) -> str:
+    cells = [c.strip() for c in line.strip().strip("|").split("|")]
+    inner = "".join(
+        f"<{cell_tag}>{render_inline(c, links)}</{cell_tag}>" for c in cells
+    )
+    return f"<tr>{inner}</tr>"
+
+
+def render_markdown(text: str, page: Page) -> str:
+    """The markdown-subset renderer; records anchors and links on
+    ``page``."""
+    out: list[str] = []
+    lines = text.split("\n")
+    i = 0
+    n = len(lines)
+    in_list: list[str] = []  # stack of open list tags
+
+    def close_lists() -> None:
+        while in_list:
+            out.append(f"</{in_list.pop()}>")
+
+    while i < n:
+        line = lines[i]
+        stripped = line.strip()
+
+        if stripped.startswith("```"):
+            close_lists()
+            lang = stripped[3:].strip()
+            cls = f' class="language-{html.escape(lang)}"' if lang else ""
+            block: list[str] = []
+            i += 1
+            while i < n and not lines[i].strip().startswith("```"):
+                block.append(lines[i])
+                i += 1
+            i += 1  # closing fence
+            code = html.escape("\n".join(block))
+            out.append(f"<pre><code{cls}>{code}</code></pre>")
+            continue
+
+        if not stripped:
+            close_lists()
+            i += 1
+            continue
+
+        heading = re.match(r"^(#{1,6})\s+(.*)$", stripped)
+        if heading:
+            close_lists()
+            level = len(heading.group(1))
+            raw = heading.group(2).strip()
+            slug = slugify(re.sub(r"[`*]", "", raw))
+            page.anchors.add(slug)
+            out.append(
+                f'<h{level} id="{slug}">'
+                f"{render_inline(raw, page.links)}</h{level}>"
+            )
+            i += 1
+            continue
+
+        if stripped in ("---", "***", "___"):
+            close_lists()
+            out.append("<hr/>")
+            i += 1
+            continue
+
+        if stripped.startswith("|") and i + 1 < n and re.match(
+            r"^\|[\s:|-]+\|?$", lines[i + 1].strip()
+        ):
+            close_lists()
+            out.append("<table><thead>")
+            out.append(_table_row(stripped, "th", page.links))
+            out.append("</thead><tbody>")
+            i += 2
+            while i < n and lines[i].strip().startswith("|"):
+                out.append(_table_row(lines[i].strip(), "td", page.links))
+                i += 1
+            out.append("</tbody></table>")
+            continue
+
+        if stripped.startswith(">"):
+            close_lists()
+            quoted: list[str] = []
+            while i < n and lines[i].strip().startswith(">"):
+                quoted.append(lines[i].strip().lstrip("> "))
+                i += 1
+            inner = render_inline(" ".join(quoted), page.links)
+            out.append(f"<blockquote><p>{inner}</p></blockquote>")
+            continue
+
+        bullet = re.match(r"^(\s*)([-*]|\d+\.)\s+(.*)$", line)
+        if bullet:
+            tag = "ol" if bullet.group(2)[0].isdigit() else "ul"
+            if not in_list:
+                in_list.append(tag)
+                out.append(f"<{tag}>")
+            # Continuation lines (indented, no bullet) join the item.
+            item = [bullet.group(3)]
+            i += 1
+            while i < n:
+                nxt = lines[i]
+                if nxt.strip() and not re.match(
+                    r"^(\s*)([-*]|\d+\.)\s+", nxt
+                ) and nxt.startswith("  "):
+                    item.append(nxt.strip())
+                    i += 1
+                else:
+                    break
+            out.append(f"<li>{render_inline(' '.join(item), page.links)}</li>")
+            continue
+
+        close_lists()
+        # Paragraph: greedy until a blank / structural line.
+        para = [stripped]
+        i += 1
+        while i < n:
+            nxt = lines[i].strip()
+            if (
+                not nxt
+                or nxt.startswith(("#", "```", "|", ">", "- ", "* "))
+                or re.match(r"^\d+\.\s", nxt)
+                or API_DIRECTIVE.match(nxt)
+            ):
+                break
+            para.append(nxt)
+            i += 1
+        out.append(f"<p>{render_inline(' '.join(para), page.links)}</p>")
+
+    close_lists()
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# API directives
+# ---------------------------------------------------------------------------
+def _signature_of(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def _is_public_member(name: str, value) -> bool:
+    return not name.startswith("_") and (
+        inspect.isfunction(value) or isinstance(value, property)
+    )
+
+
+def render_api_object(dotted: str, page: Page) -> str:
+    """Render one ``::: module.Object`` directive from the live object.
+
+    Raises on anything unimportable — an API page that silently renders
+    nothing would defeat the point of generating from docstrings.
+    """
+    module_name, _, attr = dotted.rpartition(".")
+    if not module_name:
+        raise ValueError(f"API directive needs a dotted path, got {dotted!r}")
+    module = importlib.import_module(module_name)
+    try:
+        obj = getattr(module, attr)
+    except AttributeError as err:
+        raise ValueError(f"{module_name} has no attribute {attr!r}") from err
+    doc = inspect.getdoc(obj)
+    if not doc:
+        raise ValueError(f"{dotted} has no docstring to document")
+
+    anchor = dotted
+    page.anchors.add(anchor)
+    kind = "class" if inspect.isclass(obj) else (
+        "function" if callable(obj) else "data"
+    )
+    parts = [f'<section class="api" id="{html.escape(anchor)}">']
+    signature = (
+        _signature_of(obj) if kind in ("class", "function") else ""
+    )
+    parts.append(
+        f'<h3 class="api-name"><span class="api-kind">{kind}</span> '
+        f"<code>{html.escape(dotted)}{html.escape(signature)}</code></h3>"
+    )
+    parts.append(f'<pre class="docstring">{html.escape(doc)}</pre>')
+    if inspect.isclass(obj):
+        for name, value in vars(obj).items():
+            if not _is_public_member(name, value):
+                continue
+            member = value.fget if isinstance(value, property) else value
+            member_doc = inspect.getdoc(member)
+            if not member_doc:
+                continue
+            member_sig = (
+                "" if isinstance(value, property) else _signature_of(member)
+            )
+            member_anchor = f"{dotted}.{name}"
+            page.anchors.add(member_anchor)
+            label = "property" if isinstance(value, property) else "method"
+            parts.append(
+                f'<div class="api-member" id="{html.escape(member_anchor)}">'
+                f'<h4><span class="api-kind">{label}</span> '
+                f"<code>{html.escape(name)}{html.escape(member_sig)}</code></h4>"
+                f'<pre class="docstring">{html.escape(member_doc)}</pre></div>'
+            )
+    parts.append("</section>")
+    return "\n".join(parts)
+
+
+def render_page_body(text: str, page: Page) -> str:
+    """Render a page as alternating markdown and API-directive chunks —
+    directive output is real HTML and must bypass the markdown pass."""
+    chunks: list[tuple[str, str]] = []
+    buffer: list[str] = []
+    for line in text.split("\n"):
+        match = API_DIRECTIVE.match(line.strip())
+        if match:
+            chunks.append(("md", "\n".join(buffer)))
+            buffer = []
+            chunks.append(("api", match.group(1)))
+        else:
+            buffer.append(line)
+    chunks.append(("md", "\n".join(buffer)))
+    parts = []
+    for kind, payload in chunks:
+        if kind == "md":
+            if payload.strip():
+                parts.append(render_markdown(payload, page))
+        else:
+            parts.append(render_api_object(payload, page))
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Site assembly
+# ---------------------------------------------------------------------------
+STYLE = """\
+:root { --ink: #1f2430; --muted: #5b6372; --accent: #0b6e4f;
+        --line: #e3e6ea; --code-bg: #f5f6f8; }
+* { box-sizing: border-box; }
+body { margin: 0; color: var(--ink); font: 16px/1.6 system-ui, sans-serif; }
+.layout { display: flex; min-height: 100vh; }
+nav.sidebar { width: 270px; flex-shrink: 0; border-right: 1px solid var(--line);
+  padding: 1.5rem 1.25rem; }
+nav.sidebar h1 { font-size: 1.05rem; margin: 0 0 1rem; }
+nav.sidebar h2 { font-size: .78rem; text-transform: uppercase;
+  letter-spacing: .06em; color: var(--muted); margin: 1.2rem 0 .3rem; }
+nav.sidebar ul { list-style: none; margin: 0; padding: 0; }
+nav.sidebar a { display: block; padding: .15rem 0; color: var(--ink);
+  text-decoration: none; }
+nav.sidebar a.current { color: var(--accent); font-weight: 600; }
+main { flex: 1; max-width: 54rem; padding: 2rem 3rem 4rem; }
+main a { color: var(--accent); }
+pre { background: var(--code-bg); border: 1px solid var(--line);
+  border-radius: 6px; padding: .8rem 1rem; overflow-x: auto;
+  font-size: .88rem; }
+code { font-family: ui-monospace, monospace; font-size: .92em;
+  background: var(--code-bg); padding: .08em .3em; border-radius: 4px; }
+pre > code { background: none; padding: 0; }
+table { border-collapse: collapse; margin: 1rem 0; }
+th, td { border: 1px solid var(--line); padding: .35rem .7rem;
+  text-align: left; }
+th { background: var(--code-bg); }
+blockquote { border-left: 3px solid var(--accent); margin: 1rem 0;
+  padding: .2rem 1rem; color: var(--muted); }
+section.api { border: 1px solid var(--line); border-radius: 8px;
+  padding: .2rem 1.2rem 1rem; margin: 1.5rem 0; }
+.api-kind { font-size: .72rem; text-transform: uppercase;
+  color: var(--accent); margin-right: .4rem; }
+.api-member { margin-left: 1rem; }
+pre.docstring { white-space: pre-wrap; }
+"""
+
+PAGE_TEMPLATE = """\
+<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8"/>
+<meta name="viewport" content="width=device-width, initial-scale=1"/>
+<title>{title} — {site_name}</title>
+<link rel="stylesheet" href="{root}assets/style.css"/>
+</head>
+<body>
+<div class="layout">
+<nav class="sidebar">
+<h1><a href="{root}index.html">{site_name}</a></h1>
+{nav}
+</nav>
+<main>
+{body}
+</main>
+</div>
+</body>
+</html>
+"""
+
+
+def flatten_nav(nav) -> list[tuple[str | None, str, str]]:
+    """``mkdocs.yml`` nav -> ``(section, title, relpath)`` rows."""
+    rows: list[tuple[str | None, str, str]] = []
+    for entry in nav:
+        (title, value), = entry.items()
+        if isinstance(value, str):
+            rows.append((None, title, value))
+        else:
+            for sub in value:
+                (sub_title, sub_value), = sub.items()
+                if not isinstance(sub_value, str):
+                    raise ValueError("nav nesting deeper than one section")
+                rows.append((title, sub_title, sub_value))
+    return rows
+
+
+def build_nav_html(
+    rows: list[tuple[str | None, str, str]], current: Page
+) -> str:
+    root = "../" * current.rel.count("/")
+    parts: list[str] = []
+    open_list = False
+    last_section: str | None = object()  # sentinel != None
+    for section, title, rel in rows:
+        if section != last_section:
+            if open_list:
+                parts.append("</ul>")
+            if section is not None:
+                parts.append(f"<h2>{html.escape(section)}</h2>")
+            parts.append("<ul>")
+            open_list = True
+            last_section = section
+        href = root + posixpath.splitext(rel)[0] + ".html"
+        cls = ' class="current"' if rel == current.rel else ""
+        parts.append(f'<li><a{cls} href="{href}">{html.escape(title)}</a></li>')
+    if open_list:
+        parts.append("</ul>")
+    return "\n".join(parts)
+
+
+def check_links(pages: dict[str, Page]) -> list[str]:
+    """Every internal link must hit a known page (and a real anchor)."""
+    problems: list[str] = []
+    for page in pages.values():
+        base = posixpath.dirname(page.rel)
+        for target in page.links:
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                if target[1:] not in page.anchors:
+                    problems.append(
+                        f"{page.rel}: dead same-page anchor {target!r}"
+                    )
+                continue
+            path, _, fragment = target.partition("#")
+            resolved = posixpath.normpath(posixpath.join(base, path))
+            dest = pages.get(resolved)
+            if dest is None:
+                problems.append(
+                    f"{page.rel}: dead link {target!r} "
+                    f"(no page {resolved!r} in the nav)"
+                )
+                continue
+            if fragment and fragment not in dest.anchors:
+                problems.append(
+                    f"{page.rel}: dead anchor {target!r} "
+                    f"(no heading {fragment!r} in {resolved!r})"
+                )
+    return problems
+
+
+def build(docs_dir: Path, site_dir: Path, config_path: Path) -> list[str]:
+    """Build the site; returns a list of problems (empty on success)."""
+    import yaml
+
+    config = yaml.safe_load(config_path.read_text())
+    site_name = config.get("site_name", "docs")
+    rows = flatten_nav(config["nav"])
+
+    problems: list[str] = []
+    pages: dict[str, Page] = {}
+    for _section, title, rel in rows:
+        src = docs_dir / rel
+        if not src.exists():
+            problems.append(f"mkdocs.yml: nav entry {rel!r} has no file")
+            continue
+        page = Page(src=src, rel=rel, title=title)
+        try:
+            page.body_html = render_page_body(src.read_text(), page)
+        except Exception as err:  # unimportable directive: fail the build
+            problems.append(f"{rel}: API directive failed: {err}")
+            continue
+        pages[rel] = page
+
+    # Orphans are almost always a forgotten nav entry; fail loudly.
+    # (Checked against the nav, not the built set, so a page whose API
+    # directive failed above is not *also* misreported as un-navved.)
+    nav_rels = {rel for _section, _title, rel in rows}
+    for src in sorted(docs_dir.rglob("*.md")):
+        rel = src.relative_to(docs_dir).as_posix()
+        if rel not in nav_rels:
+            problems.append(f"{rel}: markdown file not referenced in nav")
+
+    problems.extend(check_links(pages))
+    if problems:
+        return problems
+
+    # Start from a clean slate so pages removed or renamed in the nav
+    # cannot survive as stale, unvalidated HTML from an earlier build.
+    if site_dir.exists():
+        shutil.rmtree(site_dir)
+    assets = site_dir / "assets"
+    assets.mkdir(parents=True, exist_ok=True)
+    (assets / "style.css").write_text(STYLE)
+    for page in pages.values():
+        out = site_dir / page.out_rel
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            PAGE_TEMPLATE.format(
+                title=html.escape(page.title),
+                site_name=html.escape(site_name),
+                root="../" * page.rel.count("/"),
+                nav=build_nav_html(rows, page),
+                body=page.body_html,
+            )
+        )
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    repo = Path(__file__).resolve().parents[1]
+    parser.add_argument("--docs-dir", type=Path, default=repo / "docs")
+    parser.add_argument("--site-dir", type=Path, default=repo / "site")
+    parser.add_argument(
+        "--config", type=Path, default=repo / "mkdocs.yml",
+        help="mkdocs-compatible config holding site_name and nav",
+    )
+    args = parser.parse_args(argv)
+
+    problems = build(args.docs_dir, args.site_dir, args.config)
+    if problems:
+        print(f"docs build failed ({len(problems)} problem(s)):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    n = len(list(args.site_dir.rglob("*.html")))
+    print(f"docs: built {n} page(s) into {args.site_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
