@@ -18,7 +18,10 @@ Usage
 Benchmarks are matched by fully-qualified name; each one whose current
 min time exceeds ``baseline * (1 + threshold)`` counts as a regression
 and the script exits non-zero (CI-friendly).  Min time is used because
-it is the least noisy statistic for micro-benchmarks.  Benchmarks only
+it is the least noisy statistic for micro-benchmarks.  Benchmarks that
+record ``extra_info["peak_rss_mb"]`` (the memory-guarded streaming
+trace replay) are additionally compared on peak RSS with their own
+threshold (``--rss-threshold``).  Benchmarks only
 present on one side are reported but never fail the run — except the
 ``REQUIRED_BENCHMARKS``, which must appear in the current run.
 
@@ -45,6 +48,12 @@ from pathlib import Path
 #: Default regression budget for the bench_kernels hot-path suite.
 DEFAULT_THRESHOLD = 0.20
 
+#: Default regression budget for peak-RSS figures (``extra_info``
+#: ``peak_rss_mb``, recorded by memory-guarded benchmarks such as the
+#: streaming trace replay).  Memory is less noisy than wall time but a
+#: chunk-size bump legitimately moves it, so the budget is a bit wider.
+DEFAULT_RSS_THRESHOLD = 0.30
+
 #: Hot-path benchmarks the gate insists on seeing in the *current* run.
 #: A guarded kernel that silently vanishes from the suite (renamed,
 #: skipped, collection error) would otherwise stop being compared at
@@ -58,20 +67,33 @@ REQUIRED_BENCHMARKS = (
     "test_migration_segment_settle_10k",
     "test_faas_settlement_5k_records",
     "test_sweep_short_runs_kernel_cache",
+    "test_swf_stream_1m_jobs",
 )
 
 
-def load_benchmarks(path: Path, only: str | None) -> dict[str, float]:
-    """``fullname -> min seconds`` for one pytest-benchmark JSON file."""
+def load_benchmarks(
+    path: Path, only: str | None
+) -> tuple[dict[str, float], dict[str, float]]:
+    """``(fullname -> min seconds, fullname -> peak RSS MB)`` for one
+    pytest-benchmark JSON file.
+
+    The RSS map only carries benchmarks that recorded
+    ``extra_info["peak_rss_mb"]`` — most micro-benchmarks do not, and
+    their absence from either side never fails the gate.
+    """
     with open(path) as fh:
         data = json.load(fh)
-    out: dict[str, float] = {}
+    times: dict[str, float] = {}
+    rss: dict[str, float] = {}
     for bench in data.get("benchmarks", []):
         name = bench.get("fullname") or bench["name"]
         if only and only not in name:
             continue
-        out[name] = float(bench["stats"]["min"])
-    return out
+        times[name] = float(bench["stats"]["min"])
+        extra = bench.get("extra_info") or {}
+        if "peak_rss_mb" in extra:
+            rss[name] = float(extra["peak_rss_mb"])
+    return times, rss
 
 
 def compare(
@@ -106,11 +128,55 @@ def compare(
     return lines, regressions
 
 
+def compare_rss(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    threshold: float,
+) -> tuple[list[str], list[str]]:
+    """Peak-RSS counterpart of :func:`compare`.
+
+    Returns ``([], [])`` when neither run recorded RSS figures, so the
+    gate's output is unchanged for time-only suites.  A benchmark with
+    RSS on only one side is reported but never fails (same contract as
+    unguarded time benchmarks).
+    """
+    if not baseline and not current:
+        return [], []
+    lines = []
+    regressions = []
+    width = max((len(n) for n in {*baseline, *current}), default=10)
+    lines.append("")
+    lines.append(
+        f"{'peak RSS (MB)':<{width}}  {'baseline':>12}  {'current':>12}  {'ratio':>7}"
+    )
+    for name in sorted({*baseline, *current}):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None:
+            lines.append(f"{name:<{width}}  {'-':>12}  {cur:>12.1f}  {'new':>7}")
+            continue
+        if cur is None:
+            lines.append(f"{name:<{width}}  {base:>12.1f}  {'-':>12}  {'gone':>7}")
+            continue
+        ratio = cur / base if base > 0 else float("inf")
+        flag = ""
+        if cur > base * (1.0 + threshold):
+            flag = "  << RSS REGRESSION"
+            regressions.append(name)
+        lines.append(
+            f"{name:<{width}}  {base:>12.1f}  {cur:>12.1f}  {ratio:>6.2f}x{flag}"
+        )
+    return lines, regressions
+
+
 def markdown_summary(
     baseline: dict[str, float],
     current: dict[str, float],
     threshold: float,
     missing: list[str],
+    baseline_rss: dict[str, float] | None = None,
+    current_rss: dict[str, float] | None = None,
+    rss_threshold: float = DEFAULT_RSS_THRESHOLD,
 ) -> str:
     """Per-benchmark markdown table for the GitHub step summary."""
     lines = [
@@ -140,6 +206,37 @@ def markdown_summary(
         lines.append(
             f"| {short} | {base:.6f} | {cur:.6f} | {ratio:.2f}x | {status} |"
         )
+    baseline_rss = baseline_rss or {}
+    current_rss = current_rss or {}
+    if baseline_rss or current_rss:
+        lines += [
+            "",
+            "#### Peak RSS",
+            "",
+            f"Regression threshold: +{rss_threshold:.0%} over baseline peak RSS.",
+            "",
+            "| benchmark | baseline (MB) | current (MB) | ratio | status |",
+            "| --- | ---: | ---: | ---: | --- |",
+        ]
+        for name in sorted({*baseline_rss, *current_rss}):
+            short = name.rsplit("::", 1)[-1]
+            base = baseline_rss.get(name)
+            cur = current_rss.get(name)
+            if base is None:
+                lines.append(f"| {short} | - | {cur:.1f} | - | new |")
+                continue
+            if cur is None:
+                lines.append(f"| {short} | {base:.1f} | - | - | gone |")
+                continue
+            ratio = cur / base if base > 0 else float("inf")
+            status = (
+                ":x: regression"
+                if cur > base * (1.0 + rss_threshold)
+                else ":white_check_mark: ok"
+            )
+            lines.append(
+                f"| {short} | {base:.1f} | {cur:.1f} | {ratio:.2f}x | {status} |"
+            )
     if missing:
         lines += [
             "",
@@ -188,6 +285,13 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed relative slowdown (default 0.20 = +20%%)",
     )
     parser.add_argument(
+        "--rss-threshold",
+        type=float,
+        default=DEFAULT_RSS_THRESHOLD,
+        help="allowed relative peak-RSS growth for benchmarks that "
+        "record extra_info peak_rss_mb (default 0.30 = +30%%)",
+    )
+    parser.add_argument(
         "--only",
         default="bench_kernels",
         help="substring filter on benchmark fullnames "
@@ -221,8 +325,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     try:
-        baseline = load_benchmarks(args.baseline, args.only or None)
-        current = load_benchmarks(args.current, args.only or None)
+        baseline, baseline_rss = load_benchmarks(args.baseline, args.only or None)
+        current, current_rss = load_benchmarks(args.current, args.only or None)
     except (OSError, json.JSONDecodeError) as err:
         print(f"cannot read benchmark JSON: {err}", file=sys.stderr)
         return 2
@@ -237,9 +341,20 @@ def main(argv: list[str] | None = None) -> int:
     ]
 
     lines, regressions = compare(baseline, current, args.threshold)
-    print("\n".join(lines))
+    rss_lines, rss_regressions = compare_rss(
+        baseline_rss, current_rss, args.rss_threshold
+    )
+    print("\n".join(lines + rss_lines))
     append_summary(
-        markdown_summary(baseline, current, args.threshold, missing),
+        markdown_summary(
+            baseline,
+            current,
+            args.threshold,
+            missing,
+            baseline_rss,
+            current_rss,
+            args.rss_threshold,
+        ),
         summary_path,
     )
     if missing:
@@ -249,12 +364,20 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
-    if regressions:
-        print(
-            f"\n{len(regressions)} benchmark(s) slower than baseline "
-            f"by more than {args.threshold:.0%}: " + ", ".join(regressions),
-            file=sys.stderr,
-        )
+    if regressions or rss_regressions:
+        if regressions:
+            print(
+                f"\n{len(regressions)} benchmark(s) slower than baseline "
+                f"by more than {args.threshold:.0%}: " + ", ".join(regressions),
+                file=sys.stderr,
+            )
+        if rss_regressions:
+            print(
+                f"\n{len(rss_regressions)} benchmark(s) with peak RSS above "
+                f"baseline by more than {args.rss_threshold:.0%}: "
+                + ", ".join(rss_regressions),
+                file=sys.stderr,
+            )
         return 1
     print(f"\nok: no benchmark regressed by more than {args.threshold:.0%}")
     return 0

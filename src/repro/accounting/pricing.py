@@ -754,6 +754,218 @@ class PricingKernel:
 
 
 # ---------------------------------------------------------------------------
+# Sharded quote tables (streaming ingestion)
+# ---------------------------------------------------------------------------
+@dataclass
+class QuoteTableShard:
+    """One ingestion chunk's :class:`QuoteTable` plus retirement state.
+
+    Identity-wise a shard is an ordinary quote table: ``key`` is a
+    :class:`QuoteTableKey` whose workload token extends the stream's
+    token with the shard ordinal, so shard caching/diagnostics compose
+    with the existing cache machinery unchanged.  ``unsettled`` counts
+    the shard's jobs that have not yet settled (or been discarded); the
+    owning kernel drops the shard the moment it reaches zero, which is
+    what bounds quote-table memory by the number of chunks with jobs
+    still in flight rather than by the trace length.
+    """
+
+    key: QuoteTableKey
+    table: QuoteTable
+    #: Ordinal of the chunk this shard was built from.
+    index: int
+    #: Jobs of this shard not yet settled or discarded.
+    unsettled: int
+
+
+class ShardedPricingKernel:
+    """Chunk-at-a-time :class:`PricingKernel` for streaming ingestion.
+
+    The monolithic kernel prices the whole workload up front; this one
+    builds a :class:`QuoteTableShard` per ingestion chunk
+    (:meth:`load_chunk`) and retires each shard once its last job
+    settles.  Quotes come from the same :meth:`QuoteTable.build` and
+    settlement from the same :func:`_price_batch` as the monolithic
+    path, and both are element-wise per row — so a streaming run's
+    quotes and settled outcomes are bit-identical to the in-memory
+    run's, merely delivered in blocks.
+
+    Settlement (:meth:`price_block`) takes consecutive slices of the
+    completion-ordered finish log, so concatenating the returned tables
+    in call order reproduces :meth:`PricingKernel.price_outcomes` of
+    the whole log row for row.
+    """
+
+    __slots__ = (
+        "method",
+        "pricings",
+        "machine_names",
+        "workload_token",
+        "shards_built",
+        "shards_retired",
+        "peak_live_shards",
+        "_carbon",
+        "_locate",
+        "_live",
+        "_next_index",
+    )
+
+    def __init__(
+        self,
+        pricings: Mapping[str, MachinePricing],
+        method: AccountingMethod,
+        workload_token: Hashable = "stream",
+    ) -> None:
+        self.method = method
+        self.pricings = dict(pricings)
+        self.machine_names = list(self.pricings)
+        self.workload_token = workload_token
+        self.shards_built = 0
+        self.shards_retired = 0
+        self.peak_live_shards = 0
+        self._carbon = (
+            method
+            if isinstance(method, CarbonBasedAccounting)
+            else CarbonBasedAccounting()
+        )
+        #: job_id -> (shard, row) for every job still in flight.  This
+        #: is the only per-job state and it shrinks as jobs settle.
+        self._locate: dict[int, tuple[QuoteTableShard, int]] = {}
+        self._live: dict[int, QuoteTableShard] = {}
+        self._next_index = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def live_shards(self) -> int:
+        return len(self._live)
+
+    def load_chunk(self, jobs: Sequence["Job"]) -> QuoteTableShard:
+        """Build and register the next chunk's shard."""
+        table = QuoteTable.build(jobs, self.pricings, self.method)
+        shard = QuoteTableShard(
+            key=QuoteTableKey(
+                workload=(self.workload_token, self._next_index),
+                method=self.method.name,
+                machines=tuple(self.machine_names),
+            ),
+            table=table,
+            index=self._next_index,
+            unsettled=len(table),
+        )
+        self._next_index += 1
+        locate = self._locate
+        for job_id, row in table.row_of.items():
+            locate[job_id] = (shard, row)
+        self._live[shard.index] = shard
+        self.shards_built += 1
+        if len(self._live) > self.peak_live_shards:
+            self.peak_live_shards = len(self._live)
+        return shard
+
+    def static_views_of(self, job_id: int) -> list[tuple[str, float, float, float]]:
+        """The job's quoted ``(machine, runtime, energy, cost)`` views."""
+        shard, row = self._locate[job_id]
+        return shard.table.static_views[row]
+
+    def discard(self, job_id: int) -> None:
+        """Release a job that will never settle (no eligible machine).
+
+        Without this a single unplaceable job would pin its whole shard
+        for the rest of the run.
+        """
+        self._release(job_id)
+
+    def _release(self, job_id: int) -> None:
+        shard, _ = self._locate.pop(job_id)
+        shard.unsettled -= 1
+        if shard.unsettled == 0:
+            del self._live[shard.index]
+            self.shards_retired += 1
+
+    # ------------------------------------------------------------------
+    def price_block(
+        self,
+        finished: Sequence[tuple["Job", str, float, float]],
+    ) -> OutcomeTable:
+        """Settle one block of the finish log and release its jobs.
+
+        Same contract as :meth:`PricingKernel.price_outcomes`, restricted
+        to a block: rows come back in log order, one ``charge_many`` +
+        ``at_many`` sweep per (shard, machine) group.  Grouping by shard
+        as well as machine changes only how rows are batched, never a
+        row's operands — the settlement math is element-wise — so the
+        block is bit-identical to its slice of a whole-log settlement.
+        """
+        n = len(finished)
+        name_code = {name: i for i, name in enumerate(self.machine_names)}
+        rows = np.empty(n, dtype=np.intp)
+        codes = np.empty(n, dtype=np.int32)
+        starts = np.empty(n)
+        ends = np.empty(n)
+        locate = self._locate
+        shard_of_index: dict[int, QuoteTableShard] = {}
+        groups: dict[tuple[int, str], list[int]] = {}
+        for i, (job, name, start_s, end_s) in enumerate(finished):
+            shard, row = locate[job.job_id]
+            rows[i] = row
+            codes[i] = name_code[name]
+            starts[i] = start_s
+            ends[i] = end_s
+            shard_of_index[shard.index] = shard
+            groups.setdefault((shard.index, name), []).append(i)
+        job_id_out = np.empty(n, dtype=np.int64)
+        user_out = np.empty(n, dtype=np.int64)
+        cores_out = np.empty(n, dtype=np.int64)
+        submit_out = np.empty(n)
+        work_out = np.empty(n)
+        energy_out = np.empty(n)
+        cost = np.empty(n)
+        operational = np.empty(n)
+        attributed = np.empty(n)
+        for (shard_index, name), idxs in groups.items():
+            table = shard_of_index[shard_index].table
+            idx = np.asarray(idxs, dtype=np.intp)
+            sub_rows = rows[idx]
+            energy = table.energy[name][sub_rows]
+            batch = UsageBatch(
+                machine=name,
+                duration_s=table.runtime[name][sub_rows],
+                energy_j=energy,
+                cores=table.cores[sub_rows],
+                start_time_s=starts[idx],
+            )
+            c, op, attr = _price_batch(
+                self.method, self._carbon, self.pricings[name], batch
+            )
+            job_id_out[idx] = table.job_id[sub_rows]
+            user_out[idx] = table.user[sub_rows]
+            cores_out[idx] = table.cores[sub_rows]
+            submit_out[idx] = table.submit[sub_rows]
+            work_out[idx] = table.work[sub_rows]
+            energy_out[idx] = energy
+            cost[idx] = c
+            operational[idx] = op
+            attributed[idx] = attr
+        for job, _name, _start, _end in finished:
+            self._release(job.job_id)
+        return OutcomeTable(
+            self.machine_names,
+            job_id=job_id_out,
+            user=user_out,
+            machine_code=codes,
+            cores=cores_out,
+            submit_s=submit_out,
+            start_s=starts,
+            end_s=ends,
+            energy_j=energy_out,
+            cost=cost,
+            work_core_hours=work_out,
+            operational_carbon_g=operational,
+            attributed_carbon_g=attributed,
+        )
+
+
+# ---------------------------------------------------------------------------
 # Shared settlement pricing
 # ---------------------------------------------------------------------------
 def _price_batch(
@@ -983,6 +1195,8 @@ __all__ = [
     "QuoteTableCache",
     "QuoteTableCacheStats",
     "QuoteTableKey",
+    "QuoteTableShard",
     "SegmentLedger",
     "SettlementQueue",
+    "ShardedPricingKernel",
 ]

@@ -105,6 +105,29 @@ def _cmd_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments._simulation import simulate_swf_trace
+    from repro.reporting import fleet_report, format_fleet_report
+
+    result = simulate_swf_trace(
+        args.trace,
+        scenario_name=args.scenario,
+        method_name=args.method,
+        policy_name=args.policy,
+        streaming=not args.in_memory,
+        chunk_jobs=args.chunk_jobs,
+        spill_dir=args.spill_dir,
+        seed=args.seed,
+    )
+    print(format_fleet_report(fleet_report(result)))
+    print()
+    print(
+        f"jobs {result.n_jobs}  makespan {result.makespan_s / 3600.0:.1f} h  "
+        f"total cost {result.total_cost():.3e}"
+    )
+    return 0
+
+
 def _cmd_quote(args: argparse.Namespace) -> int:
     from repro.accounting.base import pricing_for_node
     from repro.accounting.methods import method_by_name
@@ -185,6 +208,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="Runtime | Energy | Peak | EBA | CBA")
     p_quote.add_argument("--cores", type=int, default=8)
     p_quote.set_defaults(fn=_cmd_quote)
+
+    p_trace = sub.add_parser(
+        "trace", help="replay an SWF trace through the streaming engine"
+    )
+    p_trace.add_argument("trace", help="path to an SWF trace file")
+    p_trace.add_argument("--scenario", default="baseline",
+                         help="baseline | low-carbon")
+    p_trace.add_argument("--method", default="EBA",
+                         help="Runtime | Energy | Peak | EBA | CBA")
+    p_trace.add_argument("--policy", default="EFT",
+                         help="a standard policy name, e.g. Greedy or EFT")
+    p_trace.add_argument("--chunk-jobs", type=int, default=None,
+                         help="jobs ingested per chunk (streaming)")
+    p_trace.add_argument("--spill-dir", default=None,
+                         help="directory for spilled outcome blocks")
+    p_trace.add_argument("--in-memory", action="store_true",
+                         help="materialize the whole trace (reference path)")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.set_defaults(fn=_cmd_trace)
     return parser
 
 

@@ -127,6 +127,48 @@ def policy_sweep_serial(
     return results
 
 
+def simulate_swf_trace(
+    path: str,
+    scenario_name: str = "baseline",
+    method_name: str = "EBA",
+    policy_name: str = "EFT",
+    streaming: bool = True,
+    chunk_jobs: int | None = None,
+    spill_dir: str | None = None,
+    seed: int = 0,
+) -> SimulationResult:
+    """Replay an SWF trace through one (policy, method) simulation.
+
+    The trace-replay entry point behind ``repro trace``: any accounting
+    method (all five, not just the simulation study's EBA/CBA) and any
+    standard policy.  With ``streaming=True`` (the default) the trace is
+    ingested chunk-at-a-time through
+    :func:`~repro.sim.swf.open_swf_stream` and settled outcomes spill to
+    ``spill_dir`` — peak memory stays O(chunk) however long the trace
+    is; ``streaming=False`` materializes the whole trace, which the
+    equivalence tests use to assert the two regimes are bit-identical.
+    """
+    from repro.accounting.methods import method_by_name
+    from repro.sim.swf import DEFAULT_CHUNK_JOBS, open_swf_stream, read_swf
+
+    machines = dict(scenario(scenario_name, seed))
+    method = method_by_name(method_name)
+    policy = next(
+        (p for p in standard_policies() if p.name == policy_name), None
+    )
+    if policy is None:
+        raise KeyError(f"unknown policy {policy_name!r}")
+    sim = MultiClusterSimulator(
+        machines, method, policy, spill_dir=spill_dir
+    )
+    chunk = chunk_jobs or DEFAULT_CHUNK_JOBS
+    if streaming:
+        return sim.run(
+            open_swf_stream(path, machines, seed=seed, chunk_jobs=chunk)
+        )
+    return sim.run(read_swf(path, machines, seed=seed, chunk_jobs=chunk))
+
+
 def greedy_budget(
     scenario_name: str = "baseline",
     method_name: str = "EBA",

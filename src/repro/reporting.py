@@ -74,29 +74,54 @@ class FleetReport:
 def fleet_report(result: SimulationResult) -> FleetReport:
     """Aggregate a simulation run into the provider view.
 
-    One weighted ``bincount`` over the outcome table's machine codes per
-    metric — no per-row objects."""
-    table = result.table
-    names = list(table.machines)
+    Consumes the result block-wise (``result.iter_tables()``), one
+    ``np.add.at`` accumulation per metric over the machine codes — no
+    per-row objects, and streamed results never materialize.  ``add.at``
+    is unbuffered and applies repeated indices in row order, so each
+    machine's accumulator replays the identical left-to-right float
+    additions as a whole-table weighted ``bincount`` — in-memory and
+    streamed runs of the same workload report the same floats.
+    """
+    index_of: dict[str, int] = {}
+    count = np.zeros(0, dtype=np.int64)
+    core_s = np.zeros(0)
+    energy = np.zeros(0)
+    op = np.zeros(0)
+    attr = np.zeros(0)
+    wait = np.zeros(0)
+
+    for table in result.iter_tables():
+        mapping = np.array(
+            [
+                index_of.setdefault(name, len(index_of))
+                for name in table.machines
+            ],
+            dtype=np.intp,
+        )
+        if len(index_of) > len(count):
+            grow = len(index_of) - len(count)
+            count = np.concatenate([count, np.zeros(grow, dtype=np.int64)])
+            core_s = np.concatenate([core_s, np.zeros(grow)])
+            energy = np.concatenate([energy, np.zeros(grow)])
+            op = np.concatenate([op, np.zeros(grow)])
+            attr = np.concatenate([attr, np.zeros(grow)])
+            wait = np.concatenate([wait, np.zeros(grow)])
+        idx = mapping[table.machine_code]
+        np.add.at(count, idx, 1)
+        np.add.at(core_s, idx, table.cores * (table.end_s - table.start_s))
+        np.add.at(energy, idx, table.energy_j)
+        np.add.at(op, idx, table.operational_carbon_g)
+        np.add.at(attr, idx, table.attributed_carbon_g)
+        np.add.at(wait, idx, table.start_s - table.submit_s)
+
+    names = list(index_of)
     for name in result.machines:  # machines that served zero jobs
-        if name not in names:
+        if name not in index_of:
             names.append(name)
-    n = len(table.machines)
-    code = table.machine_code
-    count = np.bincount(code, minlength=n)
-
-    def per_machine(weights: np.ndarray) -> np.ndarray:
-        return np.bincount(code, weights=weights, minlength=n)
-
-    core_s = per_machine(table.cores * (table.end_s - table.start_s))
-    energy = per_machine(table.energy_j)
-    op = per_machine(table.operational_carbon_g)
-    attr = per_machine(table.attributed_carbon_g)
-    wait = per_machine(table.start_s - table.submit_s)
 
     machines = []
     for name in names:
-        mi = table.machines.index(name) if name in table.machines else None
+        mi = index_of.get(name)
         jobs = int(count[mi]) if mi is not None else 0
         machines.append(
             MachineReport(

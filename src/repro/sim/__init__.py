@@ -25,7 +25,12 @@ energy dataset [40].  This package rebuilds that pipeline:
 """
 
 from repro.sim.job import Job, JobOutcome
-from repro.sim.workload import WorkloadConfig, PatelWorkloadGenerator, Workload
+from repro.sim.workload import (
+    WorkloadConfig,
+    PatelWorkloadGenerator,
+    StreamingWorkload,
+    Workload,
+)
 from repro.sim.cluster import ClusterSim
 from repro.sim.events import EventCalendar, ReadyQueue
 from repro.sim.policies import (
@@ -38,7 +43,11 @@ from repro.sim.policies import (
     FixedMachinePolicy,
     standard_policies,
 )
-from repro.sim.engine import MultiClusterSimulator, SimulationResult
+from repro.sim.engine import (
+    MultiClusterSimulator,
+    SimulationResult,
+    StreamingSimulationResult,
+)
 from repro.sim.sweep import SweepRunner, SweepTask, sweep_grid
 from repro.sim.metrics import PolicySummary, summarize
 from repro.sim.scenarios import (
@@ -52,13 +61,14 @@ from repro.sim.shifting import (
     TemporalShiftPlanner,
 )
 from repro.sim.migration import MigratingSimulator
-from repro.sim.swf import read_swf, write_swf
+from repro.sim.swf import open_swf_stream, read_swf, write_swf
 
 __all__ = [
     "Job",
     "JobOutcome",
     "WorkloadConfig",
     "PatelWorkloadGenerator",
+    "StreamingWorkload",
     "Workload",
     "ClusterSim",
     "EventCalendar",
@@ -85,6 +95,8 @@ __all__ = [
     "ShiftingSimulator",
     "TemporalShiftPlanner",
     "MigratingSimulator",
+    "StreamingSimulationResult",
+    "open_swf_stream",
     "read_swf",
     "write_swf",
 ]

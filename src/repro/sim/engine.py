@@ -46,14 +46,23 @@ from repro.accounting.base import (
     UsageRecord,
 )
 from repro.accounting.methods import CarbonBasedAccounting
-from repro.accounting.pricing import OutcomeTable, PricingKernel, QuoteTable
+from repro.accounting.pricing import (
+    OutcomeTable,
+    PricingKernel,
+    QuoteTable,
+    ShardedPricingKernel,
+)
+from repro.accounting.spill import OutcomeSpillStore
 from repro.sim.cluster import ClusterSim
 from repro.sim.events import ARRIVAL, EventCalendar
 from repro.sim.job import Job, JobOutcome
 from repro.sim.policies import MachineView, Policy
 from repro.sim.scenarios import SimMachine
-from repro.sim.workload import Workload
+from repro.sim.workload import StreamingWorkload, Workload
 from repro.units import operational_carbon_g
+
+#: Finished jobs settled (and spilled) per block on the streaming path.
+DEFAULT_SPILL_BLOCK_JOBS = 32_768
 
 def _seq_sum(column: np.ndarray) -> float:
     """Left-to-right sum of a column.
@@ -215,6 +224,32 @@ class SimulationResult:
         return _seq_sum(table.start_s - table.submit_s) / len(table)
 
     # ------------------------------------------------------------------
+    def iter_tables(self):
+        """The result as a sequence of completion-ordered column blocks.
+
+        In-memory results are a single block; streamed results yield
+        their spilled blocks one at a time.  Consumers that aggregate
+        with carried accumulators (e.g. :func:`repro.reporting.fleet_report`)
+        work on both without materializing streamed rows.
+        """
+        yield self.table
+
+    def user_balances(self) -> dict[int, float]:
+        """Settled cost per user — the credit-ledger view of a run.
+
+        ``np.add.at`` is unbuffered and applies repeated indices in row
+        order, so each user's balance is the same left-to-right float
+        accumulation as the reference ``balance[user] += cost`` loop.
+        """
+        table = self.table
+        if not len(table):
+            return {}
+        users = np.unique(table.user)
+        acc = np.zeros(len(users))
+        np.add.at(acc, np.searchsorted(users, table.user), table.cost)
+        return {int(u): float(v) for u, v in zip(users, acc)}
+
+    # ------------------------------------------------------------------
     def __getstate__(self):
         state = dict(self.__dict__)
         state.pop("_end_order_cache", None)
@@ -224,6 +259,205 @@ class SimulationResult:
         return (
             f"SimulationResult(policy={self.policy!r}, method={self.method!r}, "
             f"n_jobs={self.n_jobs})"
+        )
+
+
+class StreamingSimulationResult(SimulationResult):
+    """A simulation result whose rows live in an outcome spill store.
+
+    Drop-in compatible with :class:`SimulationResult`: every aggregate
+    returns the identical floats, computed by streaming the spilled
+    blocks with carried accumulators instead of holding all rows.  The
+    exactness rests on two facts — the blocks are consecutive slices of
+    the completion-ordered finish log (so ``end_s`` is globally
+    non-decreasing and the reference completion-order permutation is the
+    identity), and ``np.cumsum`` / ``np.add.at`` accumulate
+    sequentially, so carrying a partial sum into the next block replays
+    the whole-column left-to-right accumulation bit for bit.
+
+    Accessing :attr:`table` (or :attr:`outcomes`) still works — it
+    materializes and caches the concatenated table — but defeats the
+    flat-memory point; aggregate through the methods instead.
+    """
+
+    def __init__(
+        self,
+        policy: str,
+        method: str,
+        machines: list[str],
+        store: OutcomeSpillStore,
+        shard_stats: dict | None = None,
+    ) -> None:
+        self.policy = policy
+        self.method = method
+        self.machines = list(machines)
+        self.store = store
+        #: Shard lifecycle counters from the pricing kernel
+        #: (built/retired/peak live), for diagnostics and tests.
+        self.shard_stats = dict(shard_stats or {})
+
+    # ------------------------------------------------------------------
+    @property
+    def table(self) -> OutcomeTable:
+        cached = self.__dict__.get("_table_cache")
+        if cached is None:
+            cached = self.store.materialize()
+            self.__dict__["_table_cache"] = cached
+        return cached
+
+    def iter_tables(self):
+        yield from self.store.blocks()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_jobs(self) -> int:
+        return len(self.store)
+
+    @property
+    def makespan_s(self) -> float:
+        latest = 0.0
+        empty = True
+        for block in self.iter_tables():
+            empty = False
+            latest = max(latest, float(block.end_s.max()))
+        return 0.0 if empty else latest
+
+    def _stream_seq_sum(self, column: str) -> float:
+        """Whole-column :func:`_seq_sum` replayed block-wise.
+
+        The first block seeds the accumulator with its own cumsum (so
+        the first addition is ``c0 + c1``, exactly as in the reference);
+        later blocks prepend the carry, which continues the identical
+        left-to-right addition chain.
+        """
+        acc: float | None = None
+        for block in self.iter_tables():
+            col = getattr(block, column)
+            if not len(col):
+                continue
+            if acc is None:
+                acc = float(np.cumsum(col)[-1])
+            else:
+                acc = float(np.cumsum(np.concatenate(([acc], col)))[-1])
+        return 0.0 if acc is None else acc
+
+    def total_cost(self) -> float:
+        return self._stream_seq_sum("cost")
+
+    def total_energy_j(self) -> float:
+        return self._stream_seq_sum("energy_j")
+
+    def total_work_core_hours(self) -> float:
+        return self._stream_seq_sum("work_core_hours")
+
+    def total_operational_carbon_g(self) -> float:
+        return self._stream_seq_sum("operational_carbon_g")
+
+    def total_attributed_carbon_g(self) -> float:
+        return self._stream_seq_sum("attributed_carbon_g")
+
+    def mean_queue_wait_s(self) -> float:
+        if not len(self.store):
+            return 0.0
+        acc: float | None = None
+        for block in self.iter_tables():
+            col = block.start_s - block.submit_s
+            if not len(col):
+                continue
+            if acc is None:
+                acc = float(np.cumsum(col)[-1])
+            else:
+                acc = float(np.cumsum(np.concatenate(([acc], col)))[-1])
+        return (acc or 0.0) / len(self.store)
+
+    # ------------------------------------------------------------------
+    def _streamed_cutoff(self, budget: float) -> int:
+        """Jobs affordable within ``budget``, streamed in block order.
+
+        Blocks are already in completion order, so the reference
+        permutation is the identity; the running spend carries across
+        blocks through the same cumsum trick as the totals.
+        """
+        if budget < 0:
+            raise ValueError("budget cannot be negative")
+        count = 0
+        acc: float | None = None
+        for block in self.iter_tables():
+            cost = block.cost
+            if not len(cost):
+                continue
+            if acc is None:
+                spent = np.cumsum(cost)
+            else:
+                spent = np.cumsum(np.concatenate(([acc], cost)))[1:]
+            cut = int(np.searchsorted(spent > budget, True))
+            count += cut
+            if cut < len(cost):
+                return count
+            acc = float(spent[-1])
+        return count
+
+    def jobs_with_budget(self, budget: float) -> int:
+        return self._streamed_cutoff(budget)
+
+    def work_with_budget(self, budget: float) -> float:
+        count = self._streamed_cutoff(budget)
+        if count == 0:
+            return 0.0
+        remaining = count
+        acc: float | None = None
+        for block in self.iter_tables():
+            col = block.work_core_hours[:remaining]
+            if len(col):
+                if acc is None:
+                    acc = float(np.cumsum(col)[-1])
+                else:
+                    acc = float(np.cumsum(np.concatenate(([acc], col)))[-1])
+            remaining -= len(col)
+            if remaining <= 0:
+                break
+        return acc or 0.0
+
+    def jobs_finished_by(self, times_s: list[float]) -> list[int]:
+        times = np.asarray(times_s)
+        counts = np.zeros(len(times), dtype=np.int64)
+        for block in self.iter_tables():
+            counts += np.searchsorted(block.end_s, times, side="right")
+        return counts.tolist()
+
+    def machine_distribution(self) -> dict[str, int]:
+        names = self.store.machines
+        counts = np.zeros(len(names), dtype=np.int64)
+        for block in self.iter_tables():
+            counts += np.bincount(block.machine_code, minlength=len(names))
+        dist = {m: 0 for m in self.machines}
+        for name, count in zip(names, counts.tolist()):
+            if count or name in dist:
+                dist[name] = dist.get(name, 0) + count
+        return dist
+
+    def user_balances(self) -> dict[int, float]:
+        blocks_users = [np.unique(b.user) for b in self.iter_tables()]
+        if not blocks_users:
+            return {}
+        users = np.unique(np.concatenate(blocks_users))
+        acc = np.zeros(len(users))
+        for block in self.iter_tables():
+            np.add.at(acc, np.searchsorted(users, block.user), block.cost)
+        return {int(u): float(v) for u, v in zip(users, acc)}
+
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_table_cache", None)
+        state.pop("_end_order_cache", None)
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamingSimulationResult(policy={self.policy!r}, "
+            f"method={self.method!r}, n_jobs={self.n_jobs}, "
+            f"blocks={self.store.n_blocks})"
         )
 
 
@@ -250,6 +484,15 @@ class MultiClusterSimulator:
         per-run quote-table build, which dominates short runs.
         Validated against the workload at ``run()``; ignored when
         ``batched=False``.
+    spill_dir:
+        Streaming runs only: directory for the outcome spill store's
+        ``.npz`` segments.  ``None`` (the default) keeps settled blocks
+        in memory — still chunked, but not flat; pass a directory for
+        archive-scale traces.
+    spill_block_jobs:
+        Streaming runs only: finished jobs settled (and spilled) per
+        block.  Any value yields bit-identical results; it only trades
+        settlement batch efficiency against peak memory.
     """
 
     def __init__(
@@ -259,14 +502,20 @@ class MultiClusterSimulator:
         policy: Policy,
         batched: bool = True,
         quote_table: QuoteTable | None = None,
+        spill_dir: str | None = None,
+        spill_block_jobs: int = DEFAULT_SPILL_BLOCK_JOBS,
     ) -> None:
         if not machines:
             raise ValueError("need at least one machine")
+        if spill_block_jobs < 1:
+            raise ValueError("spill_block_jobs must be >= 1")
         self.machines = machines
         self.method = method
         self.policy = policy
         self.batched = batched
         self.quote_table = quote_table
+        self.spill_dir = spill_dir
+        self.spill_block_jobs = spill_block_jobs
         self.pricings = {
             name: pricing_for_sim_machine(m) for name, m in machines.items()
         }
@@ -301,7 +550,9 @@ class MultiClusterSimulator:
             )
         return views
 
-    def run(self, workload: Workload) -> SimulationResult:
+    def run(
+        self, workload: Workload | StreamingWorkload
+    ) -> SimulationResult:
         """Run the full workload to completion and collect outcomes.
 
         Events come from the shared :class:`~repro.sim.events.EventCalendar`
@@ -310,7 +561,15 @@ class MultiClusterSimulator:
         heap — at equal times arrivals still precede finishes, and ties
         within a kind keep submission/push order, exactly as the seed
         loop ordered them.
+
+        A :class:`~repro.sim.workload.StreamingWorkload` takes the
+        flat-memory path (:meth:`_run_streaming`): same event
+        discipline, same pricing math, chunked ingestion and spilled
+        settlement — results are bit-identical to running the
+        materialized workload through this method.
         """
+        if isinstance(workload, StreamingWorkload):
+            return self._run_streaming(workload)
         clusters = {name: ClusterSim(m) for name, m in self.machines.items()}
         kernel = (
             PricingKernel(
@@ -382,6 +641,107 @@ class MultiClusterSimulator:
             method=self.method.name,
             machines=list(self.machines),
             outcomes=outcomes,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_streaming(
+        self, stream: StreamingWorkload
+    ) -> StreamingSimulationResult:
+        """Flat-memory run: chunked arrivals, sharded quotes, spilled
+        settlement.
+
+        The event loop is the same as :meth:`run`'s; what changes is
+        where state lives.  Arrivals refill the calendar one chunk at a
+        time — always *before* the next pop, so the globally next
+        arrival is visible whenever the calendar merges it against the
+        finish heap and the event order matches the in-memory run
+        exactly.  Quotes come from a per-chunk
+        :class:`~repro.accounting.pricing.QuoteTableShard` that retires
+        when its last job settles, and finished jobs settle in
+        ``spill_block_jobs``-sized blocks flushed to the spill store.
+        Peak memory is O(chunk + in-flight jobs), never O(trace).
+        """
+        if not self.batched:
+            raise ValueError("streaming ingestion requires batched=True")
+        if self.quote_table is not None:
+            raise ValueError(
+                "a prebuilt quote table cannot back a streaming run; "
+                "shards are built per chunk"
+            )
+        clusters = {name: ClusterSim(m) for name, m in self.machines.items()}
+        kernel = ShardedPricingKernel(
+            self.pricings, self.method, workload_token=stream.source
+        )
+        calendar = EventCalendar(())
+        store = OutcomeSpillStore(kernel.machine_names, directory=self.spill_dir)
+        chunks = stream.chunks()
+        pending: list[tuple[Job, str, float, float]] = []
+        block_jobs = self.spill_block_jobs
+
+        schedule_finish = calendar.schedule_finish
+        select = self.policy.select
+        views_of = kernel.static_views_of
+
+        def try_start(cluster: ClusterSim, now: float) -> None:
+            if not cluster.queue or cluster.free_cores <= 0:
+                return
+            for job in cluster.startable(now):
+                end = cluster.end_time_of(job.job_id)
+                schedule_finish(end, (cluster.name, job.job_id, now))
+
+        exhausted = False
+        while True:
+            if not exhausted and not calendar.arrivals_pending:
+                chunk = next(chunks, None)
+                while chunk is not None and not chunk:
+                    chunk = next(chunks, None)
+                if chunk is None:
+                    exhausted = True
+                else:
+                    kernel.load_chunk(chunk)
+                    calendar.refill(chunk)
+            event = calendar.pop()
+            if event is None:
+                if exhausted:
+                    break
+                continue
+            now, kind, payload = event
+            if kind == ARRIVAL:
+                job = payload
+                views = [
+                    MachineView(
+                        name, rt, en, clusters[name].estimated_wait_s(now), cost
+                    )
+                    for name, rt, en, cost in views_of(job.job_id)
+                ]
+                if not views:
+                    kernel.discard(job.job_id)
+                    continue
+                cluster = clusters[select(job, views)]
+                cluster.enqueue(job)
+                try_start(cluster, now)
+            else:
+                machine_name, job_id, start_s = payload
+                cluster = clusters[machine_name]
+                job = cluster.finish(job_id)
+                pending.append((job, machine_name, start_s, now))
+                if len(pending) >= block_jobs:
+                    store.append(kernel.price_block(pending))
+                    pending.clear()
+                try_start(cluster, now)
+        if pending:
+            store.append(kernel.price_block(pending))
+            pending.clear()
+        return StreamingSimulationResult(
+            policy=self.policy.name,
+            method=self.method.name,
+            machines=list(self.machines),
+            store=store,
+            shard_stats={
+                "built": kernel.shards_built,
+                "retired": kernel.shards_retired,
+                "peak_live": kernel.peak_live_shards,
+            },
         )
 
     # ------------------------------------------------------------------

@@ -67,9 +67,17 @@ class EventCalendar:
     _REEVALUATE=2``).
     """
 
-    __slots__ = ("arrivals", "_ai", "_n", "_finishes", "_seq", "_next_tick")
+    __slots__ = (
+        "arrivals",
+        "_ai",
+        "_n",
+        "_finishes",
+        "_seq",
+        "_next_tick",
+        "_last_arrival",
+    )
 
-    def __init__(self, jobs: Sequence["Job"]) -> None:
+    def __init__(self, jobs: Sequence["Job"] = ()) -> None:
         in_order = all(
             a.submit_s <= b.submit_s for a, b in zip(jobs, jobs[1:])
         )
@@ -82,6 +90,42 @@ class EventCalendar:
         self._finishes: list[tuple[float, int, object]] = []
         self._seq = 0
         self._next_tick: float | None = None
+        self._last_arrival = (
+            self.arrivals[-1].submit_s if self._n else float("-inf")
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def arrivals_pending(self) -> bool:
+        """True while unconsumed arrivals remain in the current list."""
+        return self._ai < self._n
+
+    def refill(self, jobs: Sequence["Job"]) -> None:
+        """Replace the exhausted arrival list with the next chunk.
+
+        The streaming engine feeds arrivals chunk by chunk; a refill is
+        only legal once the previous chunk is fully consumed (otherwise
+        pending arrivals would be dropped), and the new chunk must
+        continue the global submit order — within itself and against
+        the last arrival already handed out — because the pop discipline
+        merges arrivals against the finish heap by comparing only the
+        *next* arrival's time.
+        """
+        if self._ai < self._n:
+            raise RuntimeError("refill with arrivals still pending")
+        last = self._last_arrival
+        for job in jobs:
+            if job.submit_s < last:
+                raise ValueError(
+                    "refill chunk breaks submit order: streaming arrivals "
+                    "must be non-decreasing across chunks"
+                )
+            last = job.submit_s
+        self.arrivals = jobs
+        self._ai = 0
+        self._n = len(jobs)
+        if self._n:
+            self._last_arrival = last
 
     # ------------------------------------------------------------------
     def schedule_finish(self, time_s: float, payload: object) -> None:

@@ -125,6 +125,11 @@ TICK_VECTOR_MIN = 48
 PROBE_VECTOR_MIN = 48
 
 
+#: Slot-array capacity below which :class:`RunningTable` never compacts
+#: (small tables scan fast anyway), and the floor compaction shrinks to.
+COMPACT_MIN_CAPACITY = 64
+
+
 class RunningTable:
     """Columnar mirror of every running job across all clusters.
 
@@ -143,6 +148,16 @@ class RunningTable:
     order within a cluster — which keeps decision application (and thus
     requeue order on the target clusters) bit-identical to the
     dict-walking path.
+
+    Churn-heavy workloads grow the slot arrays to their high-water mark
+    and then leave most slots dead, so every tick would keep scanning
+    capacity, not liveness.  :meth:`candidates` therefore compacts the
+    table when live rows fall to a quarter of capacity (see
+    :data:`COMPACT_MIN_CAPACITY`): live rows are repacked densely into
+    right-sized arrays, preserving sequence numbers — and therefore the
+    candidate order and every float the tick computes.  Compaction runs
+    only at the top of :meth:`candidates`, never inside :meth:`remove`,
+    because decision application holds slot indices across removes.
     """
 
     __slots__ = (
@@ -153,6 +168,7 @@ class RunningTable:
         "job_row",
         "seq",
         "states",
+        "compactions",
         "_slot_of",
         "_free",
         "_next_seq",
@@ -168,6 +184,8 @@ class RunningTable:
         self.seq = np.zeros(capacity, dtype=np.int64)
         #: Per-slot owning :class:`_Progress` (``None`` when dead).
         self.states: list[_Progress | None] = [None] * capacity
+        #: Compaction passes run so far (diagnostics and tests).
+        self.compactions = 0
         self._slot_of: dict[int, int] = {}
         self._free: list[int] = list(range(capacity - 1, -1, -1))
         self._next_seq = 0
@@ -218,6 +236,36 @@ class RunningTable:
         self.states[slot] = None
         self._free.append(slot)
 
+    def _compact(self) -> None:
+        """Repack live rows densely into right-sized slot arrays.
+
+        Live rows keep their relative slot order and every per-row value
+        (including ``seq``), so the (machine, seq) candidate sort — and
+        therefore every downstream decision — is unchanged; only the
+        dead capacity scanned per tick shrinks.  Must not run while any
+        caller holds slot indices, which is why the only call site is
+        the top of :meth:`candidates`.
+        """
+        live = np.flatnonzero(self.machine >= 0)
+        n_live = len(live)
+        capacity = max(COMPACT_MIN_CAPACITY, 2 * n_live)
+        for name in ("machine", "start", "end", "rem", "job_row", "seq"):
+            col = getattr(self, name)
+            packed = np.empty(capacity, dtype=col.dtype)
+            packed[:n_live] = col[live]
+            setattr(self, name, packed)
+        self.machine[n_live:] = -1
+        old_states = self.states
+        self.states = [old_states[slot] for slot in live.tolist()] + [None] * (
+            capacity - n_live
+        )
+        new_slot = {old: new for new, old in enumerate(live.tolist())}
+        self._slot_of = {
+            job_id: new_slot[slot] for job_id, slot in self._slot_of.items()
+        }
+        self._free = list(range(capacity - 1, n_live - 1, -1))
+        self.compactions += 1
+
     def candidates(
         self, now: float
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -230,7 +278,14 @@ class RunningTable:
         the surviving set (and each survivor's remaining fraction) is
         bit-identical.  Slots come back sorted by (machine, insertion
         sequence): the reference dict-walk order.
+
+        When dead slots dominate (live rows at or below a quarter of
+        capacity), the table compacts first — a safe point, since no
+        slot indices from earlier ticks are live here.
         """
+        capacity = len(self.machine)
+        if capacity > COMPACT_MIN_CAPACITY and len(self._slot_of) * 4 <= capacity:
+            self._compact()
         machine = self.machine
         start = self.start
         end = self.end

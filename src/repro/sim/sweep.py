@@ -273,7 +273,15 @@ def _unregister_shm(shm: shared_memory.SharedMemory) -> None:
 
 def _result_to_shm(result: SimulationResult) -> dict:
     """Copy a result's column buffers into one shared-memory block and
-    return the picklable descriptor the parent rebuilds it from."""
+    return the picklable descriptor the parent rebuilds it from.
+
+    A :class:`~repro.sim.engine.StreamingSimulationResult` is
+    materialized here (``result.table`` concatenates its spilled
+    blocks): spill segments live in the worker's filesystem/tempdir and
+    must not outlive the worker, so the parent always receives a plain
+    in-memory result.  Sweep tasks are mid-size by construction; a
+    trace too large to materialize should not go through a fan-out
+    sweep in the first place."""
     table = result.table
     arrays = [np.ascontiguousarray(getattr(table, name)) for name, _ in OUTCOME_FIELDS]
     total = sum(a.nbytes for a in arrays)

@@ -27,6 +27,7 @@ jobs bit-for-bit.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -88,6 +89,31 @@ class Workload:
     def frac_requiring_large_machine(self) -> float:
         """Fraction of jobs that cannot run on the 16-core Desktop."""
         return sum(1 for j in self.jobs if j.cores > 16) / max(1, len(self.jobs))
+
+
+@dataclass
+class StreamingWorkload:
+    """A workload delivered as submit-ordered job chunks, never whole.
+
+    The flat-memory counterpart of :class:`Workload`: instead of a job
+    list, it carries a *factory* of chunk iterators, so the trace is
+    re-parseable (one workload can back several runs) while no consumer
+    ever holds more than one chunk of jobs.  The engine's streaming loop
+    (:meth:`~repro.sim.engine.MultiClusterSimulator.run`) dispatches on
+    this type; chunks must be non-empty lists of jobs whose submit times
+    never decrease across the whole stream — producers such as
+    :func:`~repro.sim.swf.open_swf_stream` enforce that contract.
+    """
+
+    #: Zero-argument callable returning a fresh chunk iterator.
+    chunk_factory: Callable[[], Iterator[list[Job]]]
+    machines: list[str]
+    #: Human-readable provenance (e.g. the trace path).
+    source: str = "<stream>"
+
+    def chunks(self) -> Iterator[list[Job]]:
+        """A fresh iterator over the job chunks."""
+        return self.chunk_factory()
 
 
 # ---------------------------------------------------------------------------

@@ -299,3 +299,98 @@ class TestVectorizedDecisionTieBreak:
         # clone, or this proves nothing about argmin tie-breaking.
         finals = {o.machine for o in reference.outcomes}
         assert finals == {"CloneA"}
+
+
+class TestRunningTableCompaction:
+    """Dead-slot-ratio-triggered compaction of the running table.
+
+    Long runs with high churn leave the slot arrays mostly dead
+    (``machine == -1``), so every ``candidates`` tick scans stale
+    capacity.  The table repacks when live rows fall to a quarter of
+    capacity — the repack must be invisible to the candidate scan."""
+
+    def _build(self, n):
+        from repro.sim.migration import RunningTable
+
+        table = RunningTable()
+        sentinels = {}
+        for i in range(n):
+            state = object()
+            sentinels[i] = state
+            table.add(
+                job_id=i,
+                job_row=i,
+                machine_idx=i % 4,
+                start_s=0.0,
+                end_s=1000.0 + i,
+                remaining_fraction=1.0,
+                state=state,
+            )
+        return table, sentinels
+
+    def _churn(self, table, n, keep_every=16):
+        for i in range(n):
+            if i % keep_every:
+                table.remove(i)
+
+    def test_candidates_trigger_compaction(self):
+        table, _ = self._build(512)
+        self._churn(table, 512)
+        capacity_before = len(table.machine)
+        assert table.compactions == 0
+        table.candidates(500.0)
+        assert table.compactions == 1
+        assert len(table.machine) < capacity_before
+        # A second tick on the already-dense table must not re-compact.
+        table.candidates(500.0)
+        assert table.compactions == 1
+
+    def test_compaction_is_invisible_to_the_scan(self, monkeypatch):
+        """(job, remaining, frac_done) from a compacted table equals the
+        never-compacted reference, in the same candidate order."""
+        compacting, _ = self._build(512)
+        self._churn(compacting, 512)
+
+        def scan(table, now):
+            slots, remaining, frac_done = table.candidates(now)
+            job_of = {slot: jid for jid, slot in table._slot_of.items()}
+            return [
+                (job_of[int(s)], float(r), float(f))
+                for s, r, f in zip(slots, remaining, frac_done)
+            ]
+
+        got = scan(compacting, 500.0)
+        assert compacting.compactions == 1
+
+        monkeypatch.setattr(
+            "repro.sim.migration.COMPACT_MIN_CAPACITY", 10**9
+        )
+        reference, _ = self._build(512)
+        self._churn(reference, 512)
+        expected = scan(reference, 500.0)
+        assert reference.compactions == 0
+        assert got == expected
+
+    def test_table_stays_consistent_after_compaction(self):
+        table, sentinels = self._build(512)
+        self._churn(table, 512)
+        table.candidates(500.0)
+        assert table.compactions == 1
+        live = sorted(table._slot_of)
+        assert live == [i for i in range(512) if i % 16 == 0]
+        for job_id, slot in table._slot_of.items():
+            assert table.machine[slot] == job_id % 4
+            assert table.end[slot] == 1000.0 + job_id
+            assert table.states[slot] is sentinels[job_id]
+        # Adds keep working off the rebuilt free list.
+        table.add(
+            job_id=9000,
+            job_row=9000,
+            machine_idx=1,
+            start_s=0.0,
+            end_s=5000.0,
+            remaining_fraction=1.0,
+            state=object(),
+        )
+        assert 9000 in table._slot_of
+        assert len(table) == len(live) + 1

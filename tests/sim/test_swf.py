@@ -2,7 +2,16 @@
 
 import pytest
 
-from repro.sim.swf import REFERENCE_MACHINE, read_swf, roundtrip_consistent, write_swf
+from repro.sim.swf import (
+    HEADER_TEMPLATE,
+    REFERENCE_MACHINE,
+    iter_swf_job_chunks,
+    open_swf_stream,
+    read_swf,
+    roundtrip_consistent,
+    write_swf,
+    write_synthetic_swf,
+)
 from repro.sim.workload import PatelWorkloadGenerator, WorkloadConfig
 
 
@@ -87,3 +96,134 @@ class TestRead:
         path.write_text("1 2 3\n")
         with pytest.raises(ValueError, match="malformed"):
             read_swf(path, sim_machines)
+
+    def test_thirteen_field_record_rejected(self, sim_machines, tmp_path):
+        """One field short of the 14 the energy convention needs."""
+        path = tmp_path / "thirteen.swf"
+        path.write_text(" ".join(["1", "0", "-1", "100", "8"] + ["-1"] * 8) + "\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_swf(path, sim_machines)
+
+    def test_non_numeric_field_rejected(self, sim_machines, tmp_path):
+        path = tmp_path / "garbled.swf"
+        path.write_text(
+            "1 0 -1 oops 8 -1 -1 -1 -1 -1 -1 3 -1 5000 -1 -1 -1 -1\n"
+        )
+        with pytest.raises(ValueError):
+            read_swf(path, sim_machines)
+
+
+class TestEnergyConvention:
+    """Field 14 ("requested memory", site-defined per the archive spec)
+    carries reference-machine energy in joules; the header documents it."""
+
+    def test_header_documents_field_14(self, tiny_workload, tmp_path):
+        assert "field 14 = energy" in HEADER_TEMPLATE
+        path = write_swf(tiny_workload, tmp_path / "trace.swf")
+        header = "\n".join(
+            ln for ln in path.read_text().splitlines() if ln.startswith(";")
+        )
+        assert "field 14 = energy" in header
+        assert REFERENCE_MACHINE in header
+
+    def test_field_14_lands_in_reference_energy(self, sim_machines, tmp_path):
+        path = tmp_path / "one.swf"
+        path.write_text(
+            "7 0 -1 120 4 -1 -1 -1 -1 -1 -1 3 -1 98765 -1 -1 -1 -1\n"
+        )
+        back = read_swf(path, sim_machines, seed=1)
+        (job,) = back.jobs
+        assert job.job_id == 7
+        assert job.energy_j[REFERENCE_MACHINE] == 98765.0
+        assert job.runtime_s[REFERENCE_MACHINE] == 120.0
+
+
+class TestChunkInvariance:
+    def test_chunk_boundaries_do_not_change_any_float(
+        self, tiny_workload, sim_machines, tmp_path
+    ):
+        """Record i's extrapolated runtimes/energies are a pure function
+        of (seed, i): reading the trace in chunks of 1, 7, or 1000 jobs
+        yields bit-identical jobs to the whole-trace read."""
+        path = write_swf(tiny_workload, tmp_path / "trace.swf")
+        whole = read_swf(path, sim_machines, seed=3)
+        for chunk_jobs in (1, 7, 64, 1000):
+            chunked = read_swf(path, sim_machines, seed=3, chunk_jobs=chunk_jobs)
+            assert len(chunked) == len(whole)
+            for a, b in zip(whole.jobs, chunked.jobs):
+                assert a.job_id == b.job_id
+                assert a.runtime_s == b.runtime_s  # exact float equality
+                assert a.energy_j == b.energy_j
+
+    def test_streamed_chunks_match_whole_read(
+        self, tiny_workload, sim_machines, tmp_path
+    ):
+        path = write_swf(tiny_workload, tmp_path / "trace.swf")
+        whole = read_swf(path, sim_machines, seed=3)
+        stream = open_swf_stream(path, sim_machines, seed=3, chunk_jobs=17)
+        streamed = [job for chunk in stream.chunks() for job in chunk]
+        assert [j.job_id for j in streamed] == [j.job_id for j in whole.jobs]
+        for a, b in zip(whole.jobs, streamed):
+            assert a.runtime_s == b.runtime_s
+            assert a.energy_j == b.energy_j
+
+
+class TestStreamOrder:
+    def test_unsorted_trace_rejected_when_required(self, sim_machines, tmp_path):
+        path = tmp_path / "unsorted.swf"
+        path.write_text(
+            "1 100 -1 60 1 -1 -1 -1 -1 -1 -1 3 -1 5000 -1 -1 -1 -1\n"
+            "2 50 -1 60 1 -1 -1 -1 -1 -1 -1 3 -1 5000 -1 -1 -1 -1\n"
+        )
+        with pytest.raises(ValueError, match="submit-sorted"):
+            list(
+                iter_swf_job_chunks(
+                    path, sim_machines, seed=1, require_sorted=True
+                )
+            )
+
+    def test_unsorted_across_chunk_boundary_rejected(
+        self, sim_machines, tmp_path
+    ):
+        path = tmp_path / "unsorted2.swf"
+        path.write_text(
+            "1 100 -1 60 1 -1 -1 -1 -1 -1 -1 3 -1 5000 -1 -1 -1 -1\n"
+            "2 50 -1 60 1 -1 -1 -1 -1 -1 -1 3 -1 5000 -1 -1 -1 -1\n"
+        )
+        with pytest.raises(ValueError, match="submit-sorted"):
+            list(
+                iter_swf_job_chunks(
+                    path, sim_machines, seed=1, chunk_jobs=1, require_sorted=True
+                )
+            )
+
+    def test_unsorted_trace_fine_in_memory(self, sim_machines, tmp_path):
+        """read_swf sorts, so unsorted archives stay importable."""
+        path = tmp_path / "unsorted3.swf"
+        path.write_text(
+            "1 100 -1 60 1 -1 -1 -1 -1 -1 -1 3 -1 5000 -1 -1 -1 -1\n"
+            "2 50 -1 60 1 -1 -1 -1 -1 -1 -1 3 -1 5000 -1 -1 -1 -1\n"
+        )
+        back = read_swf(path, sim_machines, seed=1)
+        assert [j.job_id for j in back.jobs] == [2, 1]
+
+
+class TestSyntheticTrace:
+    def test_deterministic_and_parseable(self, sim_machines, tmp_path):
+        a = write_synthetic_swf(tmp_path / "a.swf", 500, seed=4)
+        b = write_synthetic_swf(tmp_path / "b.swf", 500, seed=4)
+        assert a.read_bytes() == b.read_bytes()
+        chunks = list(
+            iter_swf_job_chunks(
+                a, sim_machines, seed=0, chunk_jobs=128, require_sorted=True
+            )
+        )
+        jobs = [job for chunk in chunks for job in chunk]
+        assert len(jobs) == 500  # small core counts: nothing dropped
+        submits = [j.submit_s for j in jobs]
+        assert submits == sorted(submits)
+        assert all(j.cores <= 8 for j in jobs)
+
+    def test_rejects_empty(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one job"):
+            write_synthetic_swf(tmp_path / "x.swf", 0)

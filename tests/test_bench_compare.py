@@ -23,18 +23,21 @@ from compare import REQUIRED_BENCHMARKS  # noqa: E402
 sys.path.pop(0)
 
 
-def bench_json(path: Path, mins: dict[str, float]) -> Path:
-    payload = {
-        "benchmarks": [
-            {
-                "fullname": f"benchmarks/bench_kernels.py::{name}",
-                "name": name,
-                "stats": {"min": value},
-            }
-            for name, value in mins.items()
-        ]
-    }
-    path.write_text(json.dumps(payload))
+def bench_json(
+    path: Path, mins: dict[str, float], rss: dict[str, float] | None = None
+) -> Path:
+    rss = rss or {}
+    benchmarks = []
+    for name, value in mins.items():
+        entry = {
+            "fullname": f"benchmarks/bench_kernels.py::{name}",
+            "name": name,
+            "stats": {"min": value},
+        }
+        if name in rss:
+            entry["extra_info"] = {"peak_rss_mb": rss[name]}
+        benchmarks.append(entry)
+    path.write_text(json.dumps({"benchmarks": benchmarks}))
     return path
 
 
@@ -101,6 +104,85 @@ class TestVerdicts:
         proc = run_compare(str(baseline), str(current))
         assert proc.returncode == 0, proc.stderr
         assert "new" in proc.stdout
+
+
+class TestPeakRss:
+    """The peak-RSS side of the gate (``extra_info["peak_rss_mb"]``,
+    recorded by the memory-guarded streaming trace benchmark)."""
+
+    RSS_BENCH = "test_swf_stream_1m_jobs"
+
+    def _mins(self):
+        return {n: 0.010 * (i + 1) for i, n in enumerate(REQUIRED_BENCHMARKS)}
+
+    def test_rss_regression_fails(self, tmp_path):
+        mins = self._mins()
+        baseline = bench_json(
+            tmp_path / "baseline.json", mins, rss={self.RSS_BENCH: 300.0}
+        )
+        current = bench_json(
+            tmp_path / "current.json", mins, rss={self.RSS_BENCH: 600.0}
+        )
+        proc = run_compare(str(baseline), str(current), "--rss-threshold", "0.3")
+        assert proc.returncode == 1
+        assert "peak RSS" in proc.stderr
+        assert self.RSS_BENCH in proc.stderr
+        assert "RSS REGRESSION" in proc.stdout
+
+    def test_rss_within_threshold_passes(self, tmp_path):
+        mins = self._mins()
+        baseline = bench_json(
+            tmp_path / "baseline.json", mins, rss={self.RSS_BENCH: 300.0}
+        )
+        current = bench_json(
+            tmp_path / "current.json", mins, rss={self.RSS_BENCH: 330.0}
+        )
+        proc = run_compare(str(baseline), str(current), "--rss-threshold", "0.3")
+        assert proc.returncode == 0, proc.stderr
+        assert "no benchmark regressed" in proc.stdout
+
+    def test_rss_on_one_side_only_never_fails(self, tmp_path):
+        """A benchmark that starts (or stops) recording RSS is reported
+        as new/gone, same as unguarded time benchmarks."""
+        mins = self._mins()
+        baseline = bench_json(tmp_path / "baseline.json", mins)
+        current = bench_json(
+            tmp_path / "current.json", mins, rss={self.RSS_BENCH: 400.0}
+        )
+        proc = run_compare(str(baseline), str(current))
+        assert proc.returncode == 0, proc.stderr
+        assert "new" in proc.stdout
+
+    def test_rss_table_in_summary(self, tmp_path):
+        mins = self._mins()
+        baseline = bench_json(
+            tmp_path / "baseline.json", mins, rss={self.RSS_BENCH: 300.0}
+        )
+        current = bench_json(
+            tmp_path / "current.json", mins, rss={self.RSS_BENCH: 700.0}
+        )
+        summary = tmp_path / "summary.md"
+        proc = run_compare(
+            str(baseline),
+            str(current),
+            env={"GITHUB_STEP_SUMMARY": str(summary)},
+        )
+        assert proc.returncode == 1
+        text = summary.read_text()
+        assert "#### Peak RSS" in text
+        assert "| benchmark | baseline (MB) | current (MB) | ratio | status |" in text
+        assert ":x: regression" in text
+
+    def test_no_rss_section_without_rss_data(self, tmp_path, healthy):
+        baseline, current, _ = healthy
+        summary = tmp_path / "summary.md"
+        proc = run_compare(
+            str(baseline),
+            str(current),
+            env={"GITHUB_STEP_SUMMARY": str(summary)},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "Peak RSS" not in summary.read_text()
 
 
 class TestMissingBaseline:

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Run one streaming SWF trace replay and report peak RSS as JSON.
+
+The flat-memory benchmark (``test_swf_stream_1m_jobs``) needs a peak-RSS
+number that covers *only* the streaming run — ``VmHWM`` is a
+process-lifetime high-water mark, so measuring inside the benchmark
+process would be contaminated by whatever ran before it.  This probe is
+the clean room: the benchmark launches it as a subprocess, it replays
+the trace through the streaming engine, and prints one JSON object::
+
+    {"n_jobs": ..., "peak_rss_mb": ..., "total_cost": ...,
+     "shard_stats": {...}, "spilled_mb": ...}
+
+Usage::
+
+    python tools/swf_stream_probe.py TRACE.swf --spill-dir DIR \
+        [--chunk-jobs N] [--method Runtime] [--policy EFT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+
+def peak_rss_mb() -> float:
+    """Process peak resident set in MiB (VmHWM, ru_maxrss fallback)."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return float(line.split()[1]) / 1024.0
+    except OSError:  # pragma: no cover - non-Linux fallback
+        pass
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return float(rss_kb) / 1024.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace")
+    parser.add_argument("--scenario", default="baseline")
+    parser.add_argument("--method", default="Runtime")
+    parser.add_argument("--policy", default="EFT")
+    parser.add_argument("--chunk-jobs", type=int, default=None)
+    parser.add_argument("--spill-dir", default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    from repro.experiments._simulation import simulate_swf_trace
+
+    result = simulate_swf_trace(
+        args.trace,
+        scenario_name=args.scenario,
+        method_name=args.method,
+        policy_name=args.policy,
+        streaming=True,
+        chunk_jobs=args.chunk_jobs,
+        spill_dir=args.spill_dir,
+        seed=args.seed,
+    )
+    report = {
+        "n_jobs": result.n_jobs,
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+        "total_cost": result.total_cost(),
+        "makespan_s": result.makespan_s,
+        "shard_stats": result.shard_stats,
+        "spilled_mb": round(result.store.spilled_bytes / 2**20, 1),
+        "n_blocks": result.store.n_blocks,
+    }
+    print(json.dumps(report))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
