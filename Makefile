@@ -12,7 +12,7 @@ BENCH_THRESHOLD ?= 0.20
 #: comparable instead of passing an empty --benchmark-json= to pytest.
 OUT ?= $(BENCH_CURRENT)
 
-.PHONY: test lint docs bench-kernels bench-baseline bench-current bench-compare simulate
+.PHONY: test lint docs bench-kernels bench-baseline bench-current bench-compare bench-record simulate
 
 ## Tier-1 verify: the full test suite, fail-fast (PYTHONPATH=src exported above).
 test:
@@ -42,6 +42,15 @@ bench-baseline:
 
 bench-current:
 	$(MAKE) bench-kernels OUT=$(BENCH_CURRENT)
+
+## Commit-friendly perf trajectory: re-run the hot paths and trim the
+## result into BENCH_baseline.json (sorted name -> {min_s, peak_rss_mb},
+## no machine info or timestamps).  The snapshot loads anywhere a raw
+## pytest-benchmark JSON does: make bench-record [BENCH_RECORD=foo.json]
+BENCH_RECORD ?= BENCH_baseline.json
+bench-record:
+	$(MAKE) bench-current
+	$(PY) benchmarks/compare.py $(BENCH_CURRENT) --record $(BENCH_RECORD)
 
 ## Fail (exit 1) when any bench_kernels hot path is >$(BENCH_THRESHOLD) slower
 ## than the recorded baseline — wire this pair into CI around a change.

@@ -200,6 +200,21 @@ def test_migration_reeval_tick(benchmark):
     assert len(sim._running) == 512
 
 
+def test_migration_reeval_multi_tick(benchmark):
+    """A quiet 16-tick re-evaluation run over 512 running jobs priced in
+    one flattened ``charge_many`` pass per machine — the batch the
+    event calendar's ``next_disturbance`` horizon licenses when no
+    arrival or finish falls between consecutive ticks (reference: 16
+    sequential :func:`test_migration_reeval_tick` passes)."""
+    sim, clusters, progress = _staged_migration_tick(512)
+    ticks = [1800.0 * (k + 1) for k in range(16)]
+    moved, consumed = benchmark(sim._reevaluate_multi, clusters, {}, ticks)
+    assert moved is False  # min_saving=0.95: state untouched, reusable
+    assert consumed == ticks[-1]  # no mover: the whole run was consumed
+    assert sim.multi_tick_batches > 0
+    assert len(sim._running) == 512
+
+
 def test_sweep_short_runs_kernel_cache(run_once, benchmark):
     """A serial 8-policy sweep of short engine runs with the shared
     quote-table cache: the workload is priced once for the whole sweep

@@ -35,6 +35,13 @@ whitespace-only variable never creates a file.
 ``--allow-missing-baseline`` turns an absent baseline *file* into a
 clean skip (exit 0) instead of an error, so the gate can run on PRs
 before any main-branch baseline artifact exists.
+
+``--record PATH`` trims a run into a committed-friendly snapshot —
+sorted ``{name: {min_s, peak_rss_mb?}}``, no machine info, no
+timestamps — so the repo can carry a perf trajectory file
+(``make bench-record`` writes ``BENCH_baseline.json``).  Snapshots
+load anywhere a raw pytest-benchmark JSON does, so one can sit on
+either side of a comparison.
 """
 
 from __future__ import annotations
@@ -64,6 +71,7 @@ REQUIRED_BENCHMARKS = (
     "test_event_loop_throughput",
     "test_migration_throughput_1k_jobs",
     "test_migration_reeval_tick",
+    "test_migration_reeval_multi_tick",
     "test_migration_segment_settle_10k",
     "test_faas_settlement_5k_records",
     "test_sweep_short_runs_kernel_cache",
@@ -80,12 +88,25 @@ def load_benchmarks(
     The RSS map only carries benchmarks that recorded
     ``extra_info["peak_rss_mb"]`` — most micro-benchmarks do not, and
     their absence from either side never fails the gate.
+
+    Accepts both raw pytest-benchmark output (``benchmarks`` is a list
+    of stat records) and the trimmed ``--record`` snapshot format
+    (``benchmarks`` is a ``{name: {min_s, peak_rss_mb?}}`` mapping).
     """
     with open(path) as fh:
         data = json.load(fh)
     times: dict[str, float] = {}
     rss: dict[str, float] = {}
-    for bench in data.get("benchmarks", []):
+    benches = data.get("benchmarks", [])
+    if isinstance(benches, dict):  # committed snapshot (--record)
+        for name, entry in benches.items():
+            if only and only not in name:
+                continue
+            times[name] = float(entry["min_s"])
+            if "peak_rss_mb" in entry:
+                rss[name] = float(entry["peak_rss_mb"])
+        return times, rss
+    for bench in benches:
         name = bench.get("fullname") or bench["name"]
         if only and only not in name:
             continue
@@ -94,6 +115,25 @@ def load_benchmarks(
         if "peak_rss_mb" in extra:
             rss[name] = float(extra["peak_rss_mb"])
     return times, rss
+
+
+#: Identity tag written into ``--record`` snapshots.
+SNAPSHOT_FORMAT = "repro-bench-snapshot-v1"
+
+
+def snapshot_payload(
+    times: dict[str, float], rss: dict[str, float]
+) -> dict:
+    """The committed-friendly snapshot document: sorted names, min
+    seconds, peak RSS where recorded — and nothing machine- or
+    time-stamped, so diffs carry only performance changes."""
+    benchmarks: dict[str, dict[str, float]] = {}
+    for name in sorted(times):
+        entry: dict[str, float] = {"min_s": times[name]}
+        if name in rss:
+            entry["peak_rss_mb"] = rss[name]
+        benchmarks[name] = entry
+    return {"format": SNAPSHOT_FORMAT, "benchmarks": benchmarks}
 
 
 def compare(
@@ -277,7 +317,24 @@ def main(argv: list[str] | None = None) -> int:
         description="fail when hot-path benchmarks regress beyond a threshold"
     )
     parser.add_argument("baseline", type=Path, help="baseline --benchmark-json file")
-    parser.add_argument("current", type=Path, help="current --benchmark-json file")
+    parser.add_argument(
+        "current",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="current --benchmark-json file (optional with --record, "
+        "which reads the first file)",
+    )
+    parser.add_argument(
+        "--record",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="instead of comparing, trim the given run into a "
+        "committed-friendly snapshot ({name: {min_s, peak_rss_mb?}}, "
+        "no machine info or timestamps) at PATH; refuses to record a "
+        "run missing any guarded benchmark",
+    )
     parser.add_argument(
         "--threshold",
         type=float,
@@ -314,6 +371,34 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     summary_path = summary_destination(args.summary)
+
+    if args.record is not None:
+        source = args.current or args.baseline
+        try:
+            times, rss = load_benchmarks(source, args.only or None)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"cannot read benchmark JSON: {err}", file=sys.stderr)
+            return 2
+        absent = [
+            required
+            for required in REQUIRED_BENCHMARKS
+            if not any(required in name for name in times)
+        ]
+        if absent:
+            print(
+                "refusing to record a snapshot missing guarded "
+                "benchmarks: " + ", ".join(absent),
+                file=sys.stderr,
+            )
+            return 1
+        args.record.write_text(
+            json.dumps(snapshot_payload(times, rss), indent=2) + "\n"
+        )
+        print(f"recorded {len(times)} benchmarks -> {args.record}")
+        return 0
+
+    if args.current is None:
+        parser.error("current benchmark file is required unless --record is given")
 
     if args.allow_missing_baseline and not args.baseline.exists():
         note = (

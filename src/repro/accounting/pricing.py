@@ -278,8 +278,10 @@ class QuoteTable:
         "work",
         "runtime",
         "energy",
+        "cost",
         "static_views",
         "elig_rank",
+        "_shm",
     )
 
     def __init__(self) -> None:
@@ -290,8 +292,12 @@ class QuoteTable:
         self.row_of: dict[int, int] = {}
         self.runtime: dict[str, np.ndarray] = {}
         self.energy: dict[str, np.ndarray] = {}
+        self.cost: dict[str, np.ndarray] = {}
         self.static_views: list[list[tuple[str, float, float, float]]] = []
         self.elig_rank = np.empty((0, 0), dtype=np.int32)
+        #: The shared-memory mapping backing this table's columns when
+        #: it came from :meth:`attach`; ``None`` for owned arrays.
+        self._shm = None
 
     def __len__(self) -> int:
         return len(self.job_id)
@@ -401,6 +407,7 @@ class QuoteTable:
                 cost[eligible] = method.charge_many(batch, pricings[name])
             table.runtime[name] = rt
             table.energy[name] = en
+            table.cost[name] = cost
             cost_rows.append(cost.tolist())
         table.elig_rank = np.ascontiguousarray(
             np.array(rank_rows, dtype=np.int32).T
@@ -450,6 +457,209 @@ class QuoteTable:
                 return False
         return True
 
+    # ------------------------------------------------------------------
+    # Shared-memory serialization (the sweep's spawn-context transport)
+    # ------------------------------------------------------------------
+    @property
+    def from_shm(self) -> bool:
+        """True for tables whose columns are :meth:`attach` views over a
+        shipped shared-memory block (the sweep reconstructs workloads
+        from such tables instead of regenerating them)."""
+        return self._shm is not None
+
+    def _shm_columns(self) -> list[tuple[str, np.ndarray]]:
+        """Every numeric column, in the fixed layout order."""
+        cols = [
+            ("job_id", self.job_id),
+            ("user", self.user),
+            ("cores", self.cores),
+            ("submit", self.submit),
+            ("work", self.work),
+            ("elig_rank", self.elig_rank),
+        ]
+        for name in self.machine_names:
+            cols.append((f"runtime/{name}", self.runtime[name]))
+            cols.append((f"energy/{name}", self.energy[name]))
+            cols.append((f"cost/{name}", self.cost[name]))
+        return cols
+
+    def to_shm(self) -> "QuoteTableShm":
+        """Pack every column into one ``multiprocessing.shared_memory``
+        block and return a small picklable :class:`QuoteTableShm`
+        descriptor.
+
+        Fork-based pools inherit warmed tables copy-on-write for free,
+        but spawn-based platforms (macOS/Windows default) would rebuild
+        workload and table in every worker.  Shipping the descriptor
+        instead lets each worker :meth:`attach` zero-copy views over
+        the same physical pages.  The block is *named and persistent*:
+        the creating process owns its lifetime and must eventually
+        call :meth:`QuoteTableShm.unlink` (the sweep runner does this
+        when the pool finishes).
+        """
+        from multiprocessing import shared_memory
+
+        cols = [
+            (field, np.ascontiguousarray(arr))
+            for field, arr in self._shm_columns()
+        ]
+        layout = []
+        offset = 0
+        for field, arr in cols:
+            layout.append((field, arr.dtype.str, arr.shape, offset))
+            offset += arr.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
+        for (_, arr), (_, _, _, off) in zip(cols, layout):
+            dest = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=off)
+            dest[...] = arr
+            del dest
+        descriptor = QuoteTableShm(
+            shm_name=shm.name,
+            method_name=self.method_name,
+            machine_names=tuple(self.machine_names),
+            pricing_fingerprint=self.pricing_fingerprint,
+            n_jobs=len(self.job_id),
+            layout=tuple(layout),
+        )
+        shm.close()
+        return descriptor
+
+    @classmethod
+    def attach(cls, descriptor: "QuoteTableShm") -> "QuoteTable":
+        """Rebuild a table as zero-copy views over a :meth:`to_shm` block.
+
+        The column arrays are read-only views of the shared pages (no
+        workload regeneration, no re-pricing); ``row_of`` and the
+        ``static_views`` tuples are reconstructed from the columns.
+        Reconstruction converts the exact stored doubles, so an attached
+        table is value-identical to the one :meth:`to_shm` packed and
+        every simulation it backs is bit-identical.  The returned table
+        holds the mapping open until :meth:`release`.
+        """
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=descriptor.shm_name)
+        arrays: dict[str, np.ndarray] = {}
+        for field, dtype_str, shape, offset in descriptor.layout:
+            arr = np.ndarray(
+                shape, dtype=np.dtype(dtype_str), buffer=shm.buf, offset=offset
+            )
+            arr.flags.writeable = False
+            arrays[field] = arr
+        table = cls()
+        table.method_name = descriptor.method_name
+        table.machine_names = list(descriptor.machine_names)
+        table.pricing_fingerprint = descriptor.pricing_fingerprint
+        table.job_id = arrays["job_id"]
+        table.user = arrays["user"]
+        table.cores = arrays["cores"]
+        table.submit = arrays["submit"]
+        table.work = arrays["work"]
+        table.elig_rank = arrays["elig_rank"]
+        for name in table.machine_names:
+            table.runtime[name] = arrays[f"runtime/{name}"]
+            table.energy[name] = arrays[f"energy/{name}"]
+            table.cost[name] = arrays[f"cost/{name}"]
+        table.row_of = {
+            int(jid): i for i, jid in enumerate(table.job_id.tolist())
+        }
+        table._rebuild_static_views()
+        table._shm = shm
+        return table
+
+    def _rebuild_static_views(self) -> None:
+        """Reconstruct the per-job ``(machine, runtime, energy, cost)``
+        tuples from the rank/runtime/energy/cost columns.
+
+        ``elig_rank`` records each machine's position in the job's own
+        eligibility walk, so sorting the eligible machines by rank
+        replays the original ``job.runtime_s`` iteration order; the
+        floats are the exact doubles :meth:`build` packed.
+        """
+        names = self.machine_names
+        runtime = [self.runtime[n] for n in names]
+        energy = [self.energy[n] for n in names]
+        cost = [self.cost[n] for n in names]
+        rank = self.elig_rank
+        n_machines = len(names)
+        views: list[list[tuple[str, float, float, float]]] = []
+        for i in range(len(self.job_id)):
+            row = rank[i]
+            by_rank = sorted(
+                (int(row[mi]), mi)
+                for mi in range(n_machines)
+                if row[mi] != ELIG_RANK_INELIGIBLE
+            )
+            views.append(
+                [
+                    (
+                        names[mi],
+                        float(runtime[mi][i]),
+                        float(energy[mi][i]),
+                        float(cost[mi][i]),
+                    )
+                    for _, mi in by_rank
+                ]
+            )
+        self.static_views = views
+
+    def release(self) -> None:
+        """Drop the column references and close the shared-memory
+        mapping (no-op for tables that own their arrays).
+
+        Called on cache eviction so an evicted attached table gives its
+        mapping back immediately instead of waiting for GC; the named
+        block itself lives until its creator unlinks it.
+        """
+        shm = self._shm
+        if shm is None:
+            return
+        self._shm = None
+        self.row_of = {}
+        self.runtime = {}
+        self.energy = {}
+        self.cost = {}
+        self.static_views = []
+        self.elig_rank = np.empty((0, 0), dtype=np.int32)
+        self.job_id = np.empty(0, dtype=np.int64)
+        self.user = np.empty(0, dtype=np.int64)
+        self.cores = np.empty(0, dtype=np.int64)
+        self.submit = np.empty(0)
+        self.work = np.empty(0)
+        try:
+            shm.close()
+        except BufferError:  # a caller still holds column views
+            pass
+
+
+@dataclass(frozen=True)
+class QuoteTableShm:
+    """Picklable descriptor of a :meth:`QuoteTable.to_shm` block.
+
+    Carries the shared-memory block name, the table identity
+    (method, machines, pricing fingerprint), and the exact byte layout
+    — ``(field, dtype, shape, offset)`` per column — needed to rebuild
+    zero-copy views with :meth:`QuoteTable.attach`.
+    """
+
+    shm_name: str
+    method_name: str
+    machine_names: tuple[str, ...]
+    pricing_fingerprint: tuple
+    n_jobs: int
+    layout: tuple[tuple[str, str, tuple[int, ...], int], ...]
+
+    def unlink(self) -> None:
+        """Free the named block (creator-side cleanup; idempotent)."""
+        from multiprocessing import shared_memory
+
+        try:
+            block = shared_memory.SharedMemory(name=self.shm_name)
+        except FileNotFoundError:
+            return
+        block.close()
+        block.unlink()
+
 
 @dataclass(frozen=True)
 class QuoteTableKey:
@@ -485,6 +695,11 @@ class QuoteTableCacheStats:
     evictions:
         Tables dropped by the LRU bound.  ``clear()`` resets the
         counters without counting its drops as evictions.
+    shm_attached:
+        Tables adopted as zero-copy :meth:`QuoteTable.attach` views over
+        a shipped shared-memory block instead of being built — the
+        spawn-context sweep path (callers bump
+        :attr:`QuoteTableCache.shm_attached` when they attach-and-store).
     """
 
     size: int
@@ -492,6 +707,7 @@ class QuoteTableCacheStats:
     hits: int
     misses: int
     evictions: int
+    shm_attached: int = 0
 
 
 class QuoteTableCache:
@@ -526,7 +742,9 @@ class QuoteTableCache:
     (:meth:`~repro.sim.sweep.SweepRunner.cache_stats`).
     """
 
-    __slots__ = ("_tables", "capacity", "hits", "misses", "evictions")
+    __slots__ = (
+        "_tables", "capacity", "hits", "misses", "evictions", "shm_attached"
+    )
 
     def __init__(self, capacity: int | None = None) -> None:
         if capacity is not None and capacity < 1:
@@ -538,6 +756,9 @@ class QuoteTableCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Tables stored as shared-memory attaches (bumped by callers
+        #: that satisfy a miss with :meth:`QuoteTable.attach`).
+        self.shm_attached = 0
 
     def __len__(self) -> int:
         return len(self._tables)
@@ -573,7 +794,7 @@ class QuoteTableCache:
         self._tables[key] = table
         if self.capacity is not None and len(self._tables) > self.capacity:
             oldest = next(iter(self._tables))
-            del self._tables[oldest]
+            self._tables.pop(oldest).release()
             self.evictions += 1
 
     def get_or_build(
@@ -599,7 +820,7 @@ class QuoteTableCache:
         if capacity is not None:
             while len(self._tables) > capacity:
                 oldest = next(iter(self._tables))
-                del self._tables[oldest]
+                self._tables.pop(oldest).release()
                 self.evictions += 1
 
     def stats(self) -> QuoteTableCacheStats:
@@ -610,12 +831,16 @@ class QuoteTableCache:
             hits=self.hits,
             misses=self.misses,
             evictions=self.evictions,
+            shm_attached=self.shm_attached,
         )
 
     def clear(self) -> None:
-        """Drop every table and reset the counters."""
+        """Drop every table (releasing any shared-memory mappings) and
+        reset the counters."""
+        for table in self._tables.values():
+            table.release()
         self._tables.clear()
-        self.hits = self.misses = self.evictions = 0
+        self.hits = self.misses = self.evictions = self.shm_attached = 0
 
 
 class PricingKernel:

@@ -124,10 +124,21 @@ TICK_VECTOR_MIN = 48
 #: decisions (the equivalence suite pins every regime to the seed loop).
 PROBE_VECTOR_MIN = 48
 
+#: Most re-evaluation ticks one batched multi-tick pass will price at
+#: once when the calendar shows no arrival/finish before them (bounds
+#: the ``(ticks × rows × machines)`` probe matrix).  ``1`` disables
+#: batching.  Speed-only, like the crossover knobs: the batch replays
+#: the per-tick IEEE expressions exactly.
+MULTI_TICK_MAX = 64
 
-#: Slot-array capacity below which :class:`RunningTable` never compacts
-#: (small tables scan fast anyway), and the floor compaction shrinks to.
+
+#: Slot-array capacity :class:`RunningTable` never shrinks below (small
+#: arrays are cheap to keep), and the initial allocation size.
 COMPACT_MIN_CAPACITY = 64
+
+#: Columns of :class:`RunningTable` (the ``states`` object list rides
+#: along separately).
+_RUNNING_COLUMNS = ("machine", "start", "end", "rem", "job_row", "seq", "job_id")
 
 
 class RunningTable:
@@ -141,23 +152,28 @@ class RunningTable:
     array expressions (:meth:`candidates`) instead of walking the
     per-cluster ``running`` dicts in Python.
 
-    Rows live in slots recycled through a free list; ``machine == -1``
-    marks a dead slot.  Every insertion stamps a monotone sequence
-    number so candidates can be returned in the *reference* iteration
-    order — clusters in machine-index order, then running-dict insertion
-    order within a cluster — which keeps decision application (and thus
-    requeue order on the target clusters) bit-identical to the
+    The layout is a **dense live-row index**: rows ``[0, len(table))``
+    are all live, and :meth:`remove` fills the hole it leaves by
+    swapping the last live row down.  There are no dead slots to skip,
+    so :meth:`candidates` does zero work proportional to anything but
+    the live count — churn-heavy workloads no longer pay for their
+    high-water mark on every tick (the old free-list layout needed a
+    periodic compaction heuristic to merely bound that waste).
+
+    Every insertion stamps a monotone sequence number and candidates
+    come back sorted by (machine index, sequence) — the *reference*
+    iteration order: clusters in machine-index order, then running-dict
+    insertion order within a cluster.  The sort makes the swap
+    shuffling invisible downstream, so decision application (and thus
+    requeue order on the target clusters) stays bit-identical to the
     dict-walking path.
 
-    Churn-heavy workloads grow the slot arrays to their high-water mark
-    and then leave most slots dead, so every tick would keep scanning
-    capacity, not liveness.  :meth:`candidates` therefore compacts the
-    table when live rows fall to a quarter of capacity (see
-    :data:`COMPACT_MIN_CAPACITY`): live rows are repacked densely into
-    right-sized arrays, preserving sequence numbers — and therefore the
-    candidate order and every float the tick computes.  Compaction runs
-    only at the top of :meth:`candidates`, never inside :meth:`remove`,
-    because decision application holds slot indices across removes.
+    Because :meth:`remove` renumbers the last row, callers must not
+    hold row indices across removes — resolve rows to their ``states``
+    objects first.  Capacity doubles on demand and shrinks back to
+    ``2 × live`` when live rows fall to a quarter of it (never below
+    :data:`COMPACT_MIN_CAPACITY`); the shrink is purely an allocator
+    detail, invisible to the scan.
     """
 
     __slots__ = (
@@ -167,14 +183,15 @@ class RunningTable:
         "rem",
         "job_row",
         "seq",
+        "job_id",
         "states",
-        "compactions",
+        "shrinks",
+        "last_scan_rows",
         "_slot_of",
-        "_free",
         "_next_seq",
     )
 
-    def __init__(self, capacity: int = 64) -> None:
+    def __init__(self, capacity: int = COMPACT_MIN_CAPACITY) -> None:
         capacity = max(1, capacity)
         self.machine = np.full(capacity, -1, dtype=np.int64)
         self.start = np.zeros(capacity)
@@ -182,28 +199,28 @@ class RunningTable:
         self.rem = np.zeros(capacity)
         self.job_row = np.zeros(capacity, dtype=np.intp)
         self.seq = np.zeros(capacity, dtype=np.int64)
-        #: Per-slot owning :class:`_Progress` (``None`` when dead).
+        self.job_id = np.full(capacity, -1, dtype=np.int64)
+        #: Per-row owning :class:`_Progress` (``None`` past the live end).
         self.states: list[_Progress | None] = [None] * capacity
-        #: Compaction passes run so far (diagnostics and tests).
-        self.compactions = 0
+        #: Capacity shrinks performed so far (diagnostics and tests).
+        self.shrinks = 0
+        #: Rows the most recent :meth:`candidates` call touched — always
+        #: exactly the live count (diagnostics and tests).
+        self.last_scan_rows = 0
         self._slot_of: dict[int, int] = {}
-        self._free: list[int] = list(range(capacity - 1, -1, -1))
         self._next_seq = 0
 
     def __len__(self) -> int:
         return len(self._slot_of)
 
-    def _grow(self) -> None:
-        old = len(self.machine)
-        new = old * 2
-        for name in ("machine", "start", "end", "rem", "job_row", "seq"):
+    def _resize(self, capacity: int) -> None:
+        n = len(self._slot_of)
+        for name in _RUNNING_COLUMNS:
             col = getattr(self, name)
-            grown = np.empty(new, dtype=col.dtype)
-            grown[:old] = col
-            setattr(self, name, grown)
-        self.machine[old:] = -1
-        self.states.extend([None] * old)
-        self._free.extend(range(new - 1, old - 1, -1))
+            resized = np.empty(capacity, dtype=col.dtype)
+            resized[:n] = col[:n]
+            setattr(self, name, resized)
+        self.states = self.states[:n] + [None] * (capacity - n)
 
     def add(
         self,
@@ -216,98 +233,84 @@ class RunningTable:
         state: _Progress,
     ) -> None:
         """Mirror one started segment (job_id must not be running)."""
-        if not self._free:
-            self._grow()
-        slot = self._free.pop()
-        self.machine[slot] = machine_idx
-        self.start[slot] = start_s
-        self.end[slot] = end_s
-        self.rem[slot] = remaining_fraction
-        self.job_row[slot] = job_row
-        self.seq[slot] = self._next_seq
+        row = len(self._slot_of)
+        if row == len(self.machine):
+            self._resize(2 * row)
+        self.machine[row] = machine_idx
+        self.start[row] = start_s
+        self.end[row] = end_s
+        self.rem[row] = remaining_fraction
+        self.job_row[row] = job_row
+        self.seq[row] = self._next_seq
+        self.job_id[row] = job_id
         self._next_seq += 1
-        self.states[slot] = state
-        self._slot_of[job_id] = slot
+        self.states[row] = state
+        self._slot_of[job_id] = row
 
     def remove(self, job_id: int) -> None:
-        """Drop a row when its segment finishes or migrates away."""
-        slot = self._slot_of.pop(job_id)
-        self.machine[slot] = -1
-        self.states[slot] = None
-        self._free.append(slot)
+        """Drop a row when its segment finishes or migrates away.
 
-    def _compact(self) -> None:
-        """Repack live rows densely into right-sized slot arrays.
-
-        Live rows keep their relative slot order and every per-row value
-        (including ``seq``), so the (machine, seq) candidate sort — and
-        therefore every downstream decision — is unchanged; only the
-        dead capacity scanned per tick shrinks.  Must not run while any
-        caller holds slot indices, which is why the only call site is
-        the top of :meth:`candidates`.
+        The last live row swaps into the hole, keeping the live prefix
+        dense — any row index held from before this call is invalid
+        afterwards.
         """
-        live = np.flatnonzero(self.machine >= 0)
-        n_live = len(live)
-        capacity = max(COMPACT_MIN_CAPACITY, 2 * n_live)
-        for name in ("machine", "start", "end", "rem", "job_row", "seq"):
-            col = getattr(self, name)
-            packed = np.empty(capacity, dtype=col.dtype)
-            packed[:n_live] = col[live]
-            setattr(self, name, packed)
-        self.machine[n_live:] = -1
-        old_states = self.states
-        self.states = [old_states[slot] for slot in live.tolist()] + [None] * (
-            capacity - n_live
-        )
-        new_slot = {old: new for new, old in enumerate(live.tolist())}
-        self._slot_of = {
-            job_id: new_slot[slot] for job_id, slot in self._slot_of.items()
-        }
-        self._free = list(range(capacity - 1, n_live - 1, -1))
-        self.compactions += 1
+        row = self._slot_of.pop(job_id)
+        last = len(self._slot_of)
+        if row != last:
+            self.machine[row] = self.machine[last]
+            self.start[row] = self.start[last]
+            self.end[row] = self.end[last]
+            self.rem[row] = self.rem[last]
+            self.job_row[row] = self.job_row[last]
+            self.seq[row] = self.seq[last]
+            moved_id = int(self.job_id[last])
+            self.job_id[row] = moved_id
+            self.states[row] = self.states[last]
+            self._slot_of[moved_id] = row
+        self.states[last] = None
+        capacity = len(self.machine)
+        if capacity > COMPACT_MIN_CAPACITY and last * 4 <= capacity:
+            self._resize(max(COMPACT_MIN_CAPACITY, 2 * last))
+            self.shrinks += 1
 
     def candidates(
         self, now: float
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """``(slots, remaining, frac_done)`` of every migration candidate.
+        """``(rows, remaining, frac_done)`` of every migration candidate.
 
-        One vectorized pass over the live rows replays the reference
-        filters element-wise — positive segment length, not within 1e-9 s
-        of the scheduled end, positive progress, more than 5% of the job
-        left — with the exact float expressions of the scalar loop, so
-        the surviving set (and each survivor's remaining fraction) is
-        bit-identical.  Slots come back sorted by (machine, insertion
-        sequence): the reference dict-walk order.
-
-        When dead slots dominate (live rows at or below a quarter of
-        capacity), the table compacts first — a safe point, since no
-        slot indices from earlier ticks are live here.
+        One vectorized pass over the live rows — and *only* the live
+        rows: the dense layout means dead capacity is never touched —
+        replays the reference filters element-wise: positive segment
+        length, not within 1e-9 s of the scheduled end, positive
+        progress, more than 5% of the job left, with the exact float
+        expressions of the scalar loop, so the surviving set (and each
+        survivor's remaining fraction) is bit-identical.  Rows come back
+        sorted by (machine, insertion sequence): the reference dict-walk
+        order.
         """
-        capacity = len(self.machine)
-        if capacity > COMPACT_MIN_CAPACITY and len(self._slot_of) * 4 <= capacity:
-            self._compact()
-        machine = self.machine
-        start = self.start
-        end = self.end
-        rem = self.rem
+        n = len(self._slot_of)
+        self.last_scan_rows = n
+        machine = self.machine[:n]
+        start = self.start[:n]
+        end = self.end[:n]
+        rem = self.rem[:n]
         seg_total = end - start
-        # Dead and degenerate slots divide by zero / multiply inf here;
-        # their rows are masked out below, so silence the transients.
+        # Degenerate (zero-length) segments divide by zero here; their
+        # rows are masked out below, so silence the transients.
         with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
             done = (now - start) / seg_total
             frac_done = rem * done
             remaining = rem - frac_done
         keep = (
-            (machine >= 0)
-            & (seg_total > 0)
+            (seg_total > 0)
             & (now < end - 1e-9)
             & (done > 0)
             & (remaining > 0.05)
         )
-        slots = np.flatnonzero(keep)
-        if len(slots) > 1:
-            slots = slots[np.lexsort((self.seq[slots], machine[slots]))]
-        return slots, remaining[slots], frac_done[slots]
+        rows = np.flatnonzero(keep)
+        if len(rows) > 1:
+            rows = rows[np.lexsort((self.seq[rows], machine[rows]))]
+        return rows, remaining[rows], frac_done[rows]
 
 
 class MigratingSimulator:
@@ -387,6 +390,12 @@ class MigratingSimulator:
         #: pin them to 0 / huge to force one regime.
         self.tick_vector_min = TICK_VECTOR_MIN
         self.probe_vector_min = PROBE_VECTOR_MIN
+        #: Cap on ticks priced per batched multi-tick pass (1 disables).
+        self.multi_tick_max = MULTI_TICK_MAX
+        #: Multi-tick passes taken / ticks they covered (diagnostics and
+        #: tests; cumulative across runs).
+        self.multi_tick_batches = 0
+        self.multi_tick_ticks = 0
 
     # ------------------------------------------------------------------
     # Segment economics
@@ -622,7 +631,31 @@ class MigratingSimulator:
                 try_start(cluster, now)
 
             else:  # TICK: periodic migration re-evaluation
-                moved = self._reevaluate(clusters, progress, pending_runtime, now)
+                # A run of ticks with no arrival/finish before them all
+                # sees the same running set, so the columnar regime can
+                # price the whole run in one pass.  ``now`` advances to
+                # the last tick actually consumed (the first tick that
+                # moves anything ends the run: movers change state).
+                tick_run = [now]
+                if (
+                    running_table is not None
+                    and self.multi_tick_max > 1
+                    and len(running_table) >= self.tick_vector_min
+                    and len(running_table) >= self.probe_vector_min
+                ):
+                    horizon = calendar.next_disturbance()
+                    t = now + self.reevaluate_every_s
+                    while len(tick_run) < self.multi_tick_max and t < horizon:
+                        tick_run.append(t)
+                        t += self.reevaluate_every_s
+                if len(tick_run) > 1:
+                    moved, now = self._reevaluate_multi(
+                        clusters, pending_runtime, tick_run
+                    )
+                else:
+                    moved = self._reevaluate(
+                        clusters, progress, pending_runtime, now
+                    )
                 if moved:
                     for cluster in clusters.values():
                         try_start(cluster, now)
@@ -764,6 +797,141 @@ class MigratingSimulator:
             moved_any = True
         return moved_any
 
+    def _reevaluate_multi(
+        self,
+        clusters: dict[str, ClusterSim],
+        pending_runtime: dict[int, float],
+        tick_times: list[float],
+    ) -> tuple[bool, float]:
+        """Price a run of quiet re-evaluation ticks in one batched pass.
+
+        ``tick_times`` are consecutive tick boundaries with no arrival
+        or finish before any of them (see
+        :meth:`~repro.sim.events.EventCalendar.next_disturbance`), so
+        every tick sees the identical running set — until the first
+        tick that moves something, which changes state and ends the
+        run.  The batch therefore:
+
+        * computes the candidate filters and remaining-fraction math
+          for all ``(tick, row)`` pairs with one broadcast of the
+          per-tick expressions (identical IEEE operations per element);
+        * prices every eligible ``(tick, row)`` stay/move probe with
+          **one** ``charge_many`` per machine over the flattened pairs
+          — the batch kernels are elementwise, so each element equals
+          the per-tick batch bit for bit;
+        * runs the masked stay/move decision over all pairs at once and
+          finds the first tick with any mover.
+
+        Ticks before that first mover tick are consumed with no state
+        change — exactly what the per-tick loop would have done — and
+        the mover tick itself is applied through
+        :meth:`_decide_and_apply_columnar` in reference candidate
+        order.  Returns ``(moved, now)`` where ``now`` is the last tick
+        actually consumed; the caller resumes per-tick scheduling from
+        there.
+        """
+        kernel = self._kernel
+        name_idx = self._name_idx
+        idle_w = self._idle_w
+        overhead = self.overhead_s
+        method = self.method
+        table = self._running
+        K = len(tick_times)
+        n = len(table)
+        table.last_scan_rows = n
+        self.multi_tick_batches += 1
+        if n == 0:
+            self.multi_tick_ticks += K
+            return False, tick_times[-1]
+        machine = table.machine[:n]
+        start = table.start[:n]
+        end = table.end[:n]
+        rem = table.rem[:n]
+        job_rows = table.job_row[:n]
+        ts = np.asarray(tick_times)
+        seg_total = end - start
+        # Same transient div-by-zero note as RunningTable.candidates.
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            done = (ts[:, None] - start) / seg_total
+            frac_done = rem * done
+            remaining = rem - frac_done
+        keep = (
+            (seg_total > 0)
+            & (ts[:, None] < end - 1e-9)
+            & (done > 0)
+            & (remaining > 0.05)
+        )
+        if not keep.any():
+            self.multi_tick_ticks += K
+            return False, tick_times[-1]
+
+        # One charge_many per machine over the flattened (tick, row)
+        # pairs — position k*n + i is tick k, table row i.
+        cores = kernel.cores[job_rows]
+        keep_flat = keep.ravel()
+        starts_flat = np.repeat(ts, n)
+        rem_flat = remaining.ravel()
+        costs = np.full((K * n, len(name_idx)), np.nan)
+        for name, mi in name_idx.items():
+            rt = kernel.runtime[name][job_rows]
+            sel = np.flatnonzero(keep_flat & np.tile(~np.isnan(rt), K))
+            if not len(sel):
+                continue
+            rows_sel = sel % n
+            rem_sel = rem_flat[sel]
+            runtime = rt[rows_sel] * rem_sel
+            energy = kernel.energy[name][job_rows[rows_sel]] * rem_sel
+            cores_sel = cores[rows_sel]
+            move = machine[rows_sel] != mi
+            if move.any():
+                runtime[move] += overhead
+                energy[move] += idle_w[name] * cores_sel[move] * overhead
+            batch = UsageBatch.unchecked(
+                machine=name,
+                duration_s=runtime,
+                energy_j=energy,
+                cores=cores_sel,
+                start_time_s=starts_flat[sel],
+            )
+            costs[sel, mi] = method.charge_many(batch, self.pricings[name])
+
+        # The stay/move decision over all pairs at once: non-candidate
+        # pairs carry NaN stay costs, and NaN comparisons are False, so
+        # they can never be movers — matching the per-tick candidate
+        # filter exactly.
+        flat_rows = np.arange(K * n)
+        cur_flat = np.tile(machine, K)
+        stay = costs[flat_rows, cur_flat]
+        move_costs = np.where(np.isnan(costs), np.inf, costs)
+        move_costs[flat_rows, cur_flat] = np.inf
+        best_cost = move_costs.min(axis=1)
+        with np.errstate(invalid="ignore"):
+            movers = (best_cost < stay) & (
+                best_cost <= stay * (1.0 - self.min_saving)
+            )
+        mover_ticks = np.flatnonzero(movers.reshape(K, n).any(axis=1))
+        if not len(mover_ticks):
+            self.multi_tick_ticks += K
+            return False, tick_times[-1]
+
+        # Apply the first mover tick in reference candidate order; the
+        # later ticks in the run are discarded (their running set just
+        # changed) and per-tick scheduling resumes from here.
+        j = int(mover_ticks[0])
+        self.multi_tick_ticks += j + 1
+        order = np.lexsort((table.seq[:n], machine))
+        cand = order[keep[j][order]]
+        moved = self._decide_and_apply_columnar(
+            clusters,
+            pending_runtime,
+            tick_times[j],
+            cand,
+            remaining[j, cand],
+            frac_done[j, cand],
+            costs=costs[j * n + cand],
+        )
+        return moved, tick_times[j]
+
     def _decide_and_apply_columnar(
         self,
         clusters: dict[str, ClusterSim],
@@ -772,12 +940,14 @@ class MigratingSimulator:
         slots: np.ndarray,
         remaining: np.ndarray,
         frac_done: np.ndarray,
+        costs: np.ndarray | None = None,
     ) -> bool:
         """One vectorized stay/move decision pass over all candidates.
 
         Probe costs come back from :meth:`_probe_costs_columnar` as a
-        ``(candidate, machine)`` matrix; the decision is then three
-        array expressions instead of a Python walk per candidate:
+        ``(candidate, machine)`` matrix (the multi-tick batch passes the
+        matrix it already priced); the decision is then three array
+        expressions instead of a Python walk per candidate:
 
         * ``stay`` is each candidate's cost on its current machine;
         * the cheapest move is a row minimum over the move columns
@@ -798,9 +968,10 @@ class MigratingSimulator:
         """
         running_table = self._running
         kernel = self._kernel
-        costs, _ = self._probe_costs_columnar(
-            running_table, slots, remaining, now
-        )
+        if costs is None:
+            costs, _ = self._probe_costs_columnar(
+                running_table, slots, remaining, now
+            )
         n = len(slots)
         rows = np.arange(n)
         cur = running_table.machine[slots]
@@ -820,14 +991,16 @@ class MigratingSimulator:
         names = kernel.machine_names
         states = running_table.states
         overhead = self.overhead_s
-        for slot, mi_cur, mi_best, rem, fdone in zip(
-            slots[mk].tolist(),
+        # Swap-with-last removal renumbers rows, so resolve every
+        # mover's state before the first remove invalidates the indices.
+        mover_states = [states[row] for row in slots[mk].tolist()]
+        for state, mi_cur, mi_best, rem, fdone in zip(
+            mover_states,
             cur[mk].tolist(),
             best_mi.tolist(),
             remaining[mk].tolist(),
             frac_done[mk].tolist(),
         ):
-            state = states[slot]
             job = state.job
             best_name = names[mi_best]
             self._charge_segment(state, fdone, state.is_continuation)

@@ -13,8 +13,16 @@ Workload generation is the second-most expensive step, so the runner
 *warms* the caller-supplied memoized ``scenario``/``workload`` builders
 in the parent process before forking; on fork-capable platforms every
 worker then inherits the generated workload copy-on-write instead of
-regenerating (or unpickling) it.  On non-fork platforms workers fall
-back to regenerating through the same memoized functions.
+regenerating (or unpickling) it.  Non-fork pools (``mp_context=
+"spawn"``/``"forkserver"``, or platforms without fork) cannot inherit,
+so with the kernel cache on the runner *ships* each warmed quote table
+to workers as a :mod:`multiprocessing.shared_memory` block: a worker
+attaches zero-copy column views (one attach per (worker, table),
+counted in the ``shm_attached`` cache statistic) and reconstructs the
+workload's job list bit-identically from the table's own columns —
+no workload regeneration, no re-pricing.  Only with the kernel cache
+*off* do non-fork workers fall back to regenerating through the
+memoized functions.
 
 Shared-memory result return
 ---------------------------
@@ -78,24 +86,35 @@ import numpy as np
 from repro.accounting.base import AccountingMethod
 from repro.accounting.methods import method_by_name
 from repro.accounting.pricing import (
+    ELIG_RANK_INELIGIBLE,
     OUTCOME_FIELDS,
     OutcomeTable,
     QuoteTable,
     QuoteTableCache,
     QuoteTableCacheStats,
     QuoteTableKey,
+    QuoteTableShm,
 )
 from repro.sim.engine import (
     MultiClusterSimulator,
     SimulationResult,
     pricing_for_sim_machine,
 )
+from repro.sim.job import Job
 from repro.sim.policies import FixedMachinePolicy, Policy, standard_policies
 from repro.sim.scenarios import SimMachine
-from repro.sim.workload import Workload
+from repro.sim.workload import Workload, WorkloadConfig
 
 #: Environment knob capping sweep parallelism (laptops, CI).
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+#: Environment knob forcing the pool's multiprocessing start method
+#: ("fork", "spawn", "forkserver"); empty/unset keeps the platform
+#: default (fork where available).  Speed/transport only — results are
+#: bit-identical under every context — but spawn-context pools change
+#: *how* warm state reaches workers: quote tables are shipped through
+#: shared memory instead of inherited copy-on-write.
+MP_CONTEXT_ENV = "REPRO_SWEEP_MP_CONTEXT"
 
 #: Environment knob disabling shared-memory result return ("0"/"false").
 SHM_ENV = "REPRO_SWEEP_SHM"
@@ -148,11 +167,19 @@ def _resolve_cache_capacity() -> int | None:
 #: :class:`~repro.accounting.pricing.QuoteTableCache`.
 _QUOTE_TABLES = QuoteTableCache(capacity=_resolve_cache_capacity())
 
+#: Workloads reconstructed from attached quote tables, keyed like the
+#: table cache.  Spawn-context workers fill this on first attach so the
+#: remaining tasks of a sweep reuse the rebuilt job list instead of
+#: looping over the columns again — the spawn-side analogue of the
+#: fork path's memoized ``workload_fn``.  Never populated under fork.
+_ATTACHED_WORKLOADS: dict[QuoteTableKey, Workload] = {}
+
 
 def clear_quote_tables() -> None:
     """Drop every cached quote table and reset its counters (tests;
     long-lived processes that want the memory back immediately)."""
     _QUOTE_TABLES.clear()
+    _ATTACHED_WORKLOADS.clear()
 
 
 def set_quote_table_capacity(capacity: int | None) -> None:
@@ -247,8 +274,85 @@ def sweep_grid(
     ]
 
 
-def _execute(runner: "SweepRunner", task: SweepTask) -> SimulationResult:
-    return runner.run_task(task)
+def _workload_from_quote_table(table: QuoteTable) -> Workload:
+    """Rebuild the job list of a workload from its quote-table columns.
+
+    A spawn-context worker that attached a shipped table has everything
+    the simulation needs already in the columns: per-job ids, users,
+    cores, submit times, the machine-neutral work metric, and the
+    per-machine runtime/energy values in eligibility-rank order.
+    Reconstructing jobs from them skips the whole generator pipeline —
+    the exact stored doubles come back out, and ``elig_rank`` replays
+    each job's original ``runtime_s`` iteration order, so a simulation
+    over the rebuilt workload is bit-identical to one over the
+    generator's output.  (Only machines the table was priced against
+    are restored, which is every machine a sweep scenario exposes.)
+    """
+    names = table.machine_names
+    n_machines = len(names)
+    runtime_cols = [table.runtime[name].tolist() for name in names]
+    energy_cols = [table.energy[name].tolist() for name in names]
+    job_ids = table.job_id.tolist()
+    users = table.user.tolist()
+    cores = table.cores.tolist()
+    submits = table.submit.tolist()
+    works = table.work.tolist()
+    rank = table.elig_rank
+    jobs: list[Job] = []
+    append = jobs.append
+    for i in range(len(job_ids)):
+        row = rank[i]
+        by_rank = sorted(
+            (int(row[mi]), mi)
+            for mi in range(n_machines)
+            if row[mi] != ELIG_RANK_INELIGIBLE
+        )
+        runtime_s = {}
+        energy_j = {}
+        for _, mi in by_rank:
+            name = names[mi]
+            runtime_s[name] = runtime_cols[mi][i]
+            energy_j[name] = energy_cols[mi][i]
+        job = Job(
+            job_id=job_ids[i],
+            user=users[i],
+            cores=cores[i],
+            submit_s=submits[i],
+            runtime_s=runtime_s,
+            energy_j=energy_j,
+        )
+        # Pin the stored work metric rather than letting the lazy
+        # property re-derive it: the stored double IS the original.
+        job._work_core_hours = works[i]
+        append(job)
+    return Workload(
+        jobs=jobs,
+        config=WorkloadConfig(n_base_jobs=max(1, len(jobs))),
+        machines=list(names),
+    )
+
+
+def _stats_delta(before: QuoteTableCacheStats) -> QuoteTableCacheStats:
+    """Quote-table cache counter deltas since ``before`` (size and
+    capacity are the live values)."""
+    after = _QUOTE_TABLES.stats()
+    return QuoteTableCacheStats(
+        size=after.size,
+        capacity=after.capacity,
+        hits=after.hits - before.hits,
+        misses=after.misses - before.misses,
+        evictions=after.evictions - before.evictions,
+        shm_attached=after.shm_attached - before.shm_attached,
+    )
+
+
+def _execute(runner: "SweepRunner", task: SweepTask):
+    """Worker entry point for pickled returns: ``(result, stats)``
+    where ``stats`` is this task's cache-counter delta *in the worker
+    process* (the parent aggregates them per sweep)."""
+    before = _QUOTE_TABLES.stats()
+    result = runner.run_task(task)
+    return result, _stats_delta(before)
 
 
 # ---------------------------------------------------------------------------
@@ -330,16 +434,18 @@ def _result_from_shm(descriptor: dict) -> SimulationResult:
 
 
 def _execute_shm(runner: "SweepRunner", task: SweepTask):
-    """Worker entry point for shared-memory returns.
-
-    Falls back to returning the (picklable) result itself when a shared
-    block cannot be created — the parent handles both shapes.
+    """Worker entry point for shared-memory returns: ``(payload, stats)``
+    where ``payload`` is the block descriptor — or, when a shared block
+    cannot be created, the (picklable) result itself; the parent handles
+    both shapes.
     """
+    before = _QUOTE_TABLES.stats()
     result = runner.run_task(task)
     try:
-        return _result_to_shm(result)
+        payload = _result_to_shm(result)
     except OSError:
-        return result
+        payload = result
+    return payload, _stats_delta(before)
 
 
 class SweepRunner:
@@ -368,10 +474,24 @@ class SweepRunner:
         ``(workload, method, machine set)`` across the sweep's runs
         (default; ``None`` resolves from ``REPRO_SWEEP_KERNEL_CACHE``).
         :meth:`_warm` builds each distinct table once in the parent so
-        forked workers inherit it copy-on-write; short engine runs then
-        stop paying the kernel construction per task.  Results are
-        bit-identical either way — a quote table is a pure function of
-        its key.
+        forked workers inherit it copy-on-write; non-fork pools receive
+        the same tables through shared memory instead (see
+        ``mp_context``).  Short engine runs then stop paying the kernel
+        construction per task.  Results are bit-identical either way —
+        a quote table is a pure function of its key.
+    mp_context:
+        Multiprocessing start method for the worker pool ("fork",
+        "spawn", "forkserver").  ``None`` resolves from
+        ``REPRO_SWEEP_MP_CONTEXT``, then falls back to fork where
+        available (the platform default elsewhere).  Transport only —
+        results are bit-identical under every context — but non-fork
+        pools cannot inherit the warmed caches, so the runner ships
+        each warmed quote table to workers as a
+        :mod:`multiprocessing.shared_memory` block: workers attach
+        zero-copy views (counted in
+        :attr:`~repro.accounting.pricing.QuoteTableCacheStats.shm_attached`)
+        and reconstruct the workload's job list from the table columns
+        instead of regenerating it.
     """
 
     def __init__(
@@ -384,11 +504,22 @@ class SweepRunner:
         workers: int | None = None,
         shared_memory: bool | None = None,
         kernel_cache: bool | None = None,
+        mp_context: str | None = None,
     ) -> None:
         self.scenario_fn = scenario_fn
         self.workload_fn = workload_fn
         self.method_fn = method_fn
         self.workers = resolve_workers(workers)
+        if mp_context is None:
+            mp_context = os.environ.get(MP_CONTEXT_ENV, "").strip() or None
+        if mp_context is not None:
+            available = multiprocessing.get_all_start_methods()
+            if mp_context not in available:
+                raise ValueError(
+                    f"unknown multiprocessing start method {mp_context!r}; "
+                    f"this platform supports {available}"
+                )
+        self.mp_context = mp_context
         if shared_memory is None:
             shared_memory = os.environ.get(SHM_ENV, "1").lower() not in (
                 "0", "false", "no",
@@ -402,6 +533,21 @@ class SweepRunner:
         #: Quote-table cache traffic of the most recent :meth:`run`
         #: (counter deltas), or ``None`` before any run completed.
         self.last_cache_stats: QuoteTableCacheStats | None = None
+        #: Aggregated *worker-side* cache traffic of the most recent
+        #: parallel :meth:`run` (summed per-task deltas reported back
+        #: through the result pipe), or ``None`` before any parallel
+        #: run completed.  Under fork this shows pure hits (workers
+        #: inherit the warmed cache); under spawn it shows one
+        #: miss + ``shm_attached`` per (worker, table) pair and hits
+        #: for every other task — and, with the kernel cache off, pure
+        #: misses (per-task rebuilds).
+        self.last_worker_cache_stats: QuoteTableCacheStats | None = None
+        #: Shared-memory descriptors of the tables shipped to the
+        #: current non-fork pool, keyed like the cache.  Populated by
+        #: :meth:`_ship_tables` just before the pool starts (so it is
+        #: pickled into every worker task) and emptied — with the
+        #: blocks unlinked — when the pool finishes.
+        self._shipped: dict[QuoteTableKey, QuoteTableShm] = {}
 
     # ------------------------------------------------------------------
     def _quote_table_key(
@@ -444,9 +590,18 @@ class SweepRunner:
         )
 
     def run_task(self, task: SweepTask) -> SimulationResult:
-        """Run one grid cell (in this process)."""
+        """Run one grid cell (in this process).
+
+        With the kernel cache on, the task's quote table is resolved
+        with exactly one cache lookup: a hit adopts the shared table; a
+        miss is satisfied — in preference order — by attaching a
+        shipped shared-memory block (non-fork workers; counted in
+        ``shm_attached``) or by building from the generated workload.
+        A worker holding an attached table also skips workload
+        generation entirely: the job list is reconstructed once per
+        (worker, table) from the table's own columns, bit-identically.
+        """
         machines = dict(self.scenario_fn(task.scenario, task.seed))
-        workload = self.workload_fn(task.scenario, task.scale, task.seed)
         policy = policy_by_name(task.policy)
         if (
             isinstance(policy, FixedMachinePolicy)
@@ -461,11 +616,44 @@ class SweepRunner:
                 f"(machines: {sorted(machines)})"
             )
         method = self.method_fn(task.method)
-        quote_table = (
-            self._quote_table_for(task, machines, workload, method)
-            if self.kernel_cache
-            else None
-        )
+        workload: Workload | None = None
+        quote_table: QuoteTable | None = None
+        if self.kernel_cache:
+            key = self._quote_table_key(task, machines)
+            quote_table = _QUOTE_TABLES.get(key)
+            if quote_table is None:
+                descriptor = self._shipped.get(key)
+                if descriptor is not None:
+                    quote_table = QuoteTable.attach(descriptor)
+                    # Pre-3.13 attach re-registers the block with the
+                    # resource tracker the pool shares with the parent.
+                    # Leave that registration alone: the tracker's cache
+                    # is a set (duplicate registers collapse), and the
+                    # parent's post-sweep unlink unregisters the name
+                    # once.  An explicit unregister here would race a
+                    # sibling worker attaching the same block and crash
+                    # the shared tracker on the second removal.
+                    _QUOTE_TABLES.store(key, quote_table)
+                    _QUOTE_TABLES.shm_attached += 1
+                else:
+                    workload = self.workload_fn(
+                        task.scenario, task.scale, task.seed
+                    )
+                    pricings = {
+                        name: pricing_for_sim_machine(m)
+                        for name, m in machines.items()
+                    }
+                    quote_table = QuoteTable.build(
+                        workload.jobs, pricings, method
+                    )
+                    _QUOTE_TABLES.store(key, quote_table)
+            if workload is None and quote_table.from_shm:
+                workload = _ATTACHED_WORKLOADS.get(key)
+                if workload is None:
+                    workload = _workload_from_quote_table(quote_table)
+                    _ATTACHED_WORKLOADS[key] = workload
+        if workload is None:
+            workload = self.workload_fn(task.scenario, task.scale, task.seed)
         simulator = MultiClusterSimulator(
             machines, method, policy, quote_table=quote_table
         )
@@ -487,12 +675,20 @@ class SweepRunner:
         if workers <= 1:
             out = {task: self.run_task(task) for task in tasks}
             self._record_cache_stats(stats_before)
+            self.last_worker_cache_stats = None
             return out
-        context = multiprocessing.get_context(
-            "fork"
-            if "fork" in multiprocessing.get_all_start_methods()
-            else None
-        )
+        if self.mp_context is not None:
+            start_method = self.mp_context
+        elif "fork" in multiprocessing.get_all_start_methods():
+            start_method = "fork"
+        else:
+            start_method = multiprocessing.get_start_method()
+        context = multiprocessing.get_context(start_method)
+        if self.kernel_cache and start_method != "fork":
+            # Non-fork workers start with empty caches; ship the warmed
+            # tables through shared memory so they attach instead of
+            # regenerating workload + kernel per worker.
+            self._ship_tables(tasks)
         worker = _execute_shm if self.shared_memory else _execute
         raw: list = []
         try:
@@ -502,7 +698,8 @@ class SweepRunner:
                 for item in pool.map(partial(worker, self), tasks):
                     raw.append(item)
             results = [
-                _result_from_shm(r) if isinstance(r, dict) else r for r in raw
+                _result_from_shm(r) if isinstance(r, dict) else r
+                for r, _ in raw
             ]
         except BaseException:
             # A failed task aborts the sweep mid-stream; unlink every
@@ -510,16 +707,55 @@ class SweepRunner:
             # columns don't outlive the run (workers handed cleanup
             # responsibility to this process).
             for item in raw:
-                if isinstance(item, dict):
+                payload = item[0] if isinstance(item, tuple) else item
+                if isinstance(payload, dict):
                     try:
-                        block = shared_memory.SharedMemory(name=item["shm"])
+                        block = shared_memory.SharedMemory(name=payload["shm"])
                         block.close()
                         block.unlink()
                     except OSError:
                         pass
             raise
+        finally:
+            self._release_shipped()
         self._record_cache_stats(stats_before)
+        self.last_worker_cache_stats = QuoteTableCacheStats(
+            size=0,
+            capacity=_QUOTE_TABLES.capacity,
+            hits=sum(s.hits for _, s in raw),
+            misses=sum(s.misses for _, s in raw),
+            evictions=sum(s.evictions for _, s in raw),
+            shm_attached=sum(s.shm_attached for _, s in raw),
+        )
         return dict(zip(tasks, results))
+
+    def _ship_tables(self, tasks: Sequence[SweepTask]) -> None:
+        """Serialize each warmed quote table a non-fork pool will need
+        into a shared-memory block (descriptors land in ``_shipped``,
+        which is pickled into every worker task).
+
+        Only tables actually resident after :meth:`_warm` are shipped —
+        a table the warm budget skipped rebuilds worker-side on demand,
+        exactly as before.  Reads bypass the cache counters: shipping
+        is transport, not a lookup.
+        """
+        shipped: dict[QuoteTableKey, QuoteTableShm] = {}
+        for task in tasks:
+            machines = dict(self.scenario_fn(task.scenario, task.seed))
+            key = self._quote_table_key(task, machines)
+            if key in shipped:
+                continue
+            table = _QUOTE_TABLES._tables.get(key)
+            if table is not None:
+                shipped[key] = table.to_shm()
+        self._shipped = shipped
+
+    def _release_shipped(self) -> None:
+        """Unlink every block shipped to the finished pool (workers
+        only hold attach views; the parent owns the blocks)."""
+        shipped, self._shipped = self._shipped, {}
+        for descriptor in shipped.values():
+            descriptor.unlink()
 
     def _record_cache_stats(self, before: QuoteTableCacheStats) -> None:
         """Publish this run's quote-table traffic as ``last_cache_stats``
@@ -532,6 +768,7 @@ class SweepRunner:
             hits=after.hits - before.hits,
             misses=after.misses - before.misses,
             evictions=after.evictions - before.evictions,
+            shm_attached=after.shm_attached - before.shm_attached,
         )
 
     def cache_stats(self) -> QuoteTableCacheStats:

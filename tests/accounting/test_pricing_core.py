@@ -324,6 +324,118 @@ class TestQuoteTableCacheLRU:
             )
 
 
+class TestQuoteTableShm:
+    """The ``to_shm``/``attach`` transport behind spawn-context sweeps:
+    attached tables must be value-identical to the packed original, and
+    the cache must release attached mappings when it drops them."""
+
+    @pytest.fixture()
+    def built(self):
+        rng = np.random.default_rng(41)
+        pricings = make_pricings(rng)
+        jobs = make_jobs(rng, pricings)
+        table = QuoteTable.build(jobs, pricings, all_methods()[0])
+        return jobs, pricings, table
+
+    def test_round_trip_is_value_identical(self, built):
+        jobs, pricings, table = built
+        descriptor = table.to_shm()
+        try:
+            clone = QuoteTable.attach(descriptor)
+            try:
+                assert clone.from_shm and not table.from_shm
+                assert clone.method_name == table.method_name
+                assert clone.machine_names == table.machine_names
+                assert clone.pricing_fingerprint == table.pricing_fingerprint
+                assert clone.row_of == table.row_of
+                assert clone.static_views == table.static_views
+                assert np.array_equal(clone.elig_rank, table.elig_rank)
+                assert np.array_equal(clone.job_id, table.job_id)
+                for name in pricings:
+                    for col in ("runtime", "energy", "cost"):
+                        assert np.array_equal(
+                            getattr(clone, col)[name],
+                            getattr(table, col)[name],
+                            equal_nan=True,
+                        )
+            finally:
+                clone.release()
+        finally:
+            descriptor.unlink()
+
+    def test_descriptor_pickles_and_views_are_read_only(self, built):
+        _, pricings, table = built
+        descriptor = pickle.loads(pickle.dumps(table.to_shm()))
+        try:
+            clone = QuoteTable.attach(descriptor)
+            try:
+                name = next(iter(pricings))
+                with pytest.raises(ValueError):
+                    clone.runtime[name][0] = 1.0
+                with pytest.raises(ValueError):
+                    clone.elig_rank[0, 0] = 0
+            finally:
+                clone.release()
+        finally:
+            descriptor.unlink()
+
+    def test_attached_table_is_adoptable_by_a_kernel(self, built):
+        """The whole point of the transport: a kernel over an attached
+        table quotes exactly what a freshly priced kernel quotes."""
+        jobs, pricings, table = built
+        method = all_methods()[0]
+        descriptor = table.to_shm()
+        try:
+            clone = QuoteTable.attach(descriptor)
+            try:
+                adopted = PricingKernel(jobs, pricings, method, table=clone)
+                fresh = PricingKernel(jobs, pricings, method)
+                assert adopted.static_views == fresh.static_views
+                for name in pricings:
+                    assert np.array_equal(
+                        adopted.runtime[name],
+                        fresh.runtime[name],
+                        equal_nan=True,
+                    )
+            finally:
+                clone.release()
+        finally:
+            descriptor.unlink()
+
+    def test_cache_eviction_releases_attached_mapping(self, built):
+        _, pricings, table = built
+        descriptor = table.to_shm()
+        try:
+            clone = QuoteTable.attach(descriptor)
+            cache = QuoteTableCache(capacity=1)
+            key = QuoteTableKey(("wl", 60, 0), table.method_name, tuple(pricings))
+            cache.store(key, clone)
+            cache.shm_attached += 1
+            assert cache.stats().shm_attached == 1
+            cache.store(
+                QuoteTableKey(("other", 1, 0), "EBA", ("M0",)), QuoteTable()
+            )  # evicts the attached table
+            assert key not in cache
+            assert not clone.from_shm  # mapping handed back, not leaked
+            assert clone.static_views == []
+            cache.clear()
+            assert cache.stats().shm_attached == 0
+        finally:
+            descriptor.unlink()
+
+    def test_release_is_a_no_op_for_owned_tables(self, built):
+        _, _, table = built
+        views_before = table.static_views
+        table.release()
+        assert table.static_views is views_before
+
+    def test_unlink_is_idempotent(self, built):
+        _, _, table = built
+        descriptor = table.to_shm()
+        descriptor.unlink()
+        descriptor.unlink()  # the block is gone; second call is a no-op
+
+
 class TestOutcomeTable:
     def make_rows(self, rng, n=25):
         machines = ["A", "B", "C"]

@@ -596,6 +596,43 @@ class TestMigrationEquivalence:
         sim.probe_vector_min = probe_min
         assert_results_identical(sim.run(migration_workload), reference)
 
+    @pytest.mark.parametrize("method", all_methods(), ids=lambda m: m.name)
+    def test_multi_tick_batches_bit_identical(
+        self, low_carbon_machines, migration_workload, method
+    ):
+        """Batched multi-tick re-evaluation: when the calendar shows no
+        arrival/finish between consecutive ticks, the columnar regime
+        prices the whole quiet run in one flattened pass.  Forced on
+        (thresholds zeroed) it must equal both the same forced-columnar
+        simulator with batching disabled (``multi_tick_max=1``) and the
+        seed loop exactly, for all five methods — and the batch path
+        must actually engage, or this proves nothing."""
+        reference = seed_migration_run(
+            low_carbon_machines,
+            method,
+            GreedyPolicy(),
+            migration_workload,
+            min_saving=0.15,
+        )
+        multi = MigratingSimulator(
+            low_carbon_machines, method, GreedyPolicy(), min_saving=0.15
+        )
+        multi.tick_vector_min = 0
+        multi.probe_vector_min = 0
+        single = MigratingSimulator(
+            low_carbon_machines, method, GreedyPolicy(), min_saving=0.15
+        )
+        single.tick_vector_min = 0
+        single.probe_vector_min = 0
+        single.multi_tick_max = 1
+        multi_result = multi.run(migration_workload)
+        single_result = single.run(migration_workload)
+        assert multi.multi_tick_batches > 0
+        assert multi.multi_tick_ticks > multi.multi_tick_batches
+        assert single.multi_tick_batches == 0
+        assert_results_identical(multi_result, reference)
+        assert_results_identical(single_result, reference)
+
     def test_migrations_actually_happen(
         self, low_carbon_machines, migration_workload
     ):

@@ -301,13 +301,14 @@ class TestVectorizedDecisionTieBreak:
         assert finals == {"CloneA"}
 
 
-class TestRunningTableCompaction:
-    """Dead-slot-ratio-triggered compaction of the running table.
+class TestRunningTableLiveRows:
+    """Dense live-row layout of the running table.
 
-    Long runs with high churn leave the slot arrays mostly dead
-    (``machine == -1``), so every ``candidates`` tick scans stale
-    capacity.  The table repacks when live rows fall to a quarter of
-    capacity — the repack must be invisible to the candidate scan."""
+    Rows ``[0, len(table))`` are all live; ``remove`` fills the hole it
+    leaves by swapping the last row down.  ``candidates`` must therefore
+    do zero work proportional to dead capacity — high-churn runs used to
+    pay for their slot-array high-water mark on every tick (bounded, but
+    not eliminated, by the old compaction heuristic)."""
 
     def _build(self, n):
         from repro.sim.migration import RunningTable
@@ -333,56 +334,70 @@ class TestRunningTableCompaction:
             if i % keep_every:
                 table.remove(i)
 
-    def test_candidates_trigger_compaction(self):
+    def test_candidates_touch_only_live_rows(self):
+        """The scan-free contract: after heavy churn a scan visits
+        exactly the live rows, never the 512-row high-water mark."""
         table, _ = self._build(512)
         self._churn(table, 512)
-        capacity_before = len(table.machine)
-        assert table.compactions == 0
-        table.candidates(500.0)
-        assert table.compactions == 1
-        assert len(table.machine) < capacity_before
-        # A second tick on the already-dense table must not re-compact.
-        table.candidates(500.0)
-        assert table.compactions == 1
+        live = 512 // 16
+        assert len(table) == live
+        rows, _, _ = table.candidates(500.0)
+        assert table.last_scan_rows == live
+        assert len(rows) == live
+        assert int(rows.max()) < live
 
-    def test_compaction_is_invisible_to_the_scan(self, monkeypatch):
-        """(job, remaining, frac_done) from a compacted table equals the
-        never-compacted reference, in the same candidate order."""
-        compacting, _ = self._build(512)
-        self._churn(compacting, 512)
+    def test_remove_swaps_last_row_into_hole(self):
+        table, sentinels = self._build(4)
+        table.remove(1)
+        assert len(table) == 3
+        row = table._slot_of[3]
+        assert row == 1
+        assert table.job_id[row] == 3
+        assert table.states[row] is sentinels[3]
 
-        def scan(table, now):
-            slots, remaining, frac_done = table.candidates(now)
-            job_of = {slot: jid for jid, slot in table._slot_of.items()}
-            return [
-                (job_of[int(s)], float(r), float(f))
-                for s, r, f in zip(slots, remaining, frac_done)
-            ]
-
-        got = scan(compacting, 500.0)
-        assert compacting.compactions == 1
-
-        monkeypatch.setattr(
-            "repro.sim.migration.COMPACT_MIN_CAPACITY", 10**9
+    def test_swap_removal_is_invisible_to_the_scan(self):
+        """(job, remaining, frac_done) from a churned table equals the
+        per-survivor scalar math, in (machine, seq) candidate order."""
+        table, _ = self._build(512)
+        self._churn(table, 512)
+        rows, remaining, frac_done = table.candidates(500.0)
+        got = [
+            (int(table.job_id[r]), float(rem), float(f))
+            for r, rem, f in zip(rows, remaining, frac_done)
+        ]
+        survivors = sorted(
+            (i for i in range(512) if i % 16 == 0),
+            key=lambda i: (i % 4, i),  # (machine, insertion seq)
         )
-        reference, _ = self._build(512)
-        self._churn(reference, 512)
-        expected = scan(reference, 500.0)
-        assert reference.compactions == 0
+        expected = []
+        for i in survivors:
+            done = (500.0 - 0.0) / ((1000.0 + i) - 0.0)
+            frac = 1.0 * done
+            expected.append((i, 1.0 - frac, frac))
         assert got == expected
 
-    def test_table_stays_consistent_after_compaction(self):
+    def test_capacity_shrinks_as_an_allocator_detail(self):
+        from repro.sim.migration import COMPACT_MIN_CAPACITY
+
+        table, _ = self._build(512)
+        assert len(table.machine) >= 512
+        self._churn(table, 512)
+        assert table.shrinks >= 1
+        assert len(table.machine) < 512
+        assert len(table.machine) >= COMPACT_MIN_CAPACITY
+
+    def test_table_stays_consistent_after_churn(self):
         table, sentinels = self._build(512)
         self._churn(table, 512)
-        table.candidates(500.0)
-        assert table.compactions == 1
         live = sorted(table._slot_of)
         assert live == [i for i in range(512) if i % 16 == 0]
-        for job_id, slot in table._slot_of.items():
-            assert table.machine[slot] == job_id % 4
-            assert table.end[slot] == 1000.0 + job_id
-            assert table.states[slot] is sentinels[job_id]
-        # Adds keep working off the rebuilt free list.
+        for job_id, row in table._slot_of.items():
+            assert row < len(table)
+            assert table.job_id[row] == job_id
+            assert table.machine[row] == job_id % 4
+            assert table.end[row] == 1000.0 + job_id
+            assert table.states[row] is sentinels[job_id]
+        # Adds keep working off the shrunk arrays.
         table.add(
             job_id=9000,
             job_row=9000,
@@ -394,3 +409,4 @@ class TestRunningTableCompaction:
         )
         assert 9000 in table._slot_of
         assert len(table) == len(live) + 1
+        assert table.job_id[table._slot_of[9000]] == 9000

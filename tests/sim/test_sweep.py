@@ -5,6 +5,7 @@ results: same outcomes, same order, same floats as the per-record serial
 reference paths.
 """
 
+import multiprocessing
 import os
 
 import pytest
@@ -34,6 +35,40 @@ from repro.sim.sweep import (
 
 SCALE = 250
 SEED = 5
+
+#: Env var naming a file the sentinel workload builder appends its pid
+#: to — the regeneration detector for the spawn-context tests.  Module
+#: level so spawn workers (which re-import this module) see it too.
+_WORKLOAD_SENTINEL_ENV = "REPRO_TEST_WORKLOAD_CALLS"
+
+requires_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="platform has no fork start method",
+)
+
+
+def _sentinel_workload(scenario_name, scale, seed):
+    """Module-level (spawn-picklable) workload builder that records the
+    calling pid before delegating to the memoized builder."""
+    path = os.environ.get(_WORKLOAD_SENTINEL_ENV)
+    if path:
+        with open(path, "a") as fh:
+            fh.write(f"{os.getpid()}\n")
+    from repro.experiments._simulation import workload
+
+    return workload(scenario_name, scale, seed)
+
+
+@pytest.fixture(autouse=True, params=["platform", "spawn"])
+def mp_start_method(request, monkeypatch):
+    """Run the whole suite under the platform default (fork on Linux)
+    AND with ``REPRO_SWEEP_MP_CONTEXT=spawn``, so every pool test also
+    exercises the shipped-quote-table transport the knob enables."""
+    if request.param == "spawn":
+        monkeypatch.setenv("REPRO_SWEEP_MP_CONTEXT", "spawn")
+    else:
+        monkeypatch.delenv("REPRO_SWEEP_MP_CONTEXT", raising=False)
+    return request.param
 
 
 @pytest.fixture(scope="module")
@@ -380,6 +415,143 @@ class TestKernelCacheLRU:
         monkeypatch.setenv("REPRO_SWEEP_KERNEL_CACHE_SIZE", "bogus")
         with pytest.warns(RuntimeWarning, match="KERNEL_CACHE_SIZE"):
             assert _resolve_cache_capacity() == DEFAULT_KERNEL_CACHE_SIZE
+
+
+class TestSpawnContext:
+    """The ``mp_context=`` knob: spawn pools must attach shipped quote
+    tables and reconstruct workloads from them — bit-identical to fork,
+    with zero worker-side workload regeneration."""
+
+    def test_mp_context_resolution_and_validation(self, sweep_fns, monkeypatch):
+        scenario, workload, method_for = sweep_fns
+        monkeypatch.delenv("REPRO_SWEEP_MP_CONTEXT", raising=False)
+        assert SweepRunner(scenario, workload, method_for).mp_context is None
+        monkeypatch.setenv("REPRO_SWEEP_MP_CONTEXT", "spawn")
+        assert SweepRunner(scenario, workload, method_for).mp_context == "spawn"
+        # Explicit argument beats the environment.
+        assert (
+            SweepRunner(
+                scenario, workload, method_for, mp_context="spawn"
+            ).mp_context
+            == "spawn"
+        )
+        with pytest.raises(ValueError, match="start method"):
+            SweepRunner(scenario, workload, method_for, mp_context="bogus")
+
+    @requires_fork
+    def test_spawn_matches_fork_without_regeneration(
+        self, monkeypatch, tmp_path
+    ):
+        """The acceptance bar: spawn results bit-identical to fork, all
+        worker-side misses satisfied by shm attaches (no rebuilds), and
+        the workload builder never called outside the parent."""
+        from repro.experiments._simulation import method_for, scenario
+
+        sentinel = tmp_path / "workload-calls"
+        monkeypatch.setenv(_WORKLOAD_SENTINEL_ENV, str(sentinel))
+        clear_quote_tables()
+        tasks = [
+            SweepTask("baseline", p.name, "EBA", SCALE, SEED)
+            for p in standard_policies()[:4]
+        ]
+        spawn_runner = SweepRunner(
+            scenario,
+            _sentinel_workload,
+            method_for,
+            workers=2,
+            mp_context="spawn",
+            kernel_cache=True,
+        )
+        spawn_results = spawn_runner.run(tasks)
+        worker = spawn_runner.last_worker_cache_stats
+        assert worker is not None
+        assert worker.shm_attached >= 1
+        # Every worker-side miss was satisfied by attaching a shipped
+        # block — nothing was re-priced or regenerated.
+        assert worker.misses == worker.shm_attached
+        assert worker.hits == len(tasks) - worker.shm_attached
+        spawn_pids = set(sentinel.read_text().split())
+        assert spawn_pids == {str(os.getpid())}
+        clear_quote_tables()
+        fork_runner = SweepRunner(
+            scenario,
+            _sentinel_workload,
+            method_for,
+            workers=2,
+            mp_context="fork",
+            kernel_cache=True,
+        )
+        fork_results = fork_runner.run(tasks)
+        # Fork workers inherit the warmed cache: pure hits, no attaches.
+        fork_worker = fork_runner.last_worker_cache_stats
+        assert fork_worker.shm_attached == 0 and fork_worker.misses == 0
+        assert fork_worker.hits == len(tasks)
+        for task in tasks:
+            assert spawn_results[task].outcomes == fork_results[task].outcomes
+        clear_quote_tables()
+
+    def test_spawn_cache_opt_out_regenerates_per_worker(
+        self, monkeypatch, tmp_path
+    ):
+        """REPRO_SWEEP_KERNEL_CACHE=0 restores the old spawn behaviour —
+        workers regenerate workloads themselves — and stays correct."""
+        from repro.experiments._simulation import method_for, scenario
+
+        sentinel = tmp_path / "workload-calls"
+        monkeypatch.setenv(_WORKLOAD_SENTINEL_ENV, str(sentinel))
+        tasks = [
+            SweepTask("baseline", p.name, "EBA", SCALE, SEED)
+            for p in standard_policies()[:2]
+        ]
+        runner = SweepRunner(
+            scenario,
+            _sentinel_workload,
+            method_for,
+            workers=2,
+            mp_context="spawn",
+            kernel_cache=False,
+        )
+        results = runner.run(tasks)
+        worker = runner.last_worker_cache_stats
+        assert (worker.hits, worker.misses, worker.shm_attached) == (0, 0, 0)
+        pids = set(sentinel.read_text().split())
+        assert str(os.getpid()) in pids
+        assert len(pids) >= 2  # at least one worker regenerated
+        reference = SweepRunner(
+            scenario, _sentinel_workload, method_for, workers=1,
+            kernel_cache=False,
+        ).run(tasks)
+        for task in tasks:
+            assert results[task].outcomes == reference[task].outcomes
+
+    def test_spawn_shipping_unlinks_blocks_after_run(self, monkeypatch):
+        """The parent owns the shipped blocks: after a run none remain
+        linked (``_shipped`` drained, descriptors unlinked)."""
+        from multiprocessing import shared_memory
+
+        from repro.experiments._simulation import method_for, scenario, workload
+
+        clear_quote_tables()
+        tasks = [
+            SweepTask("baseline", p.name, "EBA", SCALE, SEED)
+            for p in standard_policies()[:2]
+        ]
+        runner = SweepRunner(
+            scenario, workload, method_for, workers=2,
+            mp_context="spawn", kernel_cache=True,
+        )
+        runner._warm(tasks)
+        runner._ship_tables(tasks)
+        assert len(runner._shipped) == 1  # 2 tasks share one table
+        names = [d.shm_name for d in runner._shipped.values()]
+        runner._release_shipped()
+        assert runner._shipped == {}
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        runner.run(tasks)  # the full path drains the dict too
+        assert runner._shipped == {}
+        clear_quote_tables()
 
 
 class TestKnobs:

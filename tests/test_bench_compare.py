@@ -185,6 +185,79 @@ class TestPeakRss:
         assert "Peak RSS" not in summary.read_text()
 
 
+class TestRecordSnapshot:
+    """``--record``: the committed perf-trajectory snapshot
+    (``make bench-record`` → ``BENCH_baseline.json``)."""
+
+    RSS_BENCH = "test_swf_stream_1m_jobs"
+
+    def test_record_writes_trimmed_sorted_snapshot(self, tmp_path, healthy):
+        _, current, mins = healthy
+        out = tmp_path / "BENCH_baseline.json"
+        proc = run_compare(str(current), "--record", str(out))
+        assert proc.returncode == 0, proc.stderr
+        assert "recorded" in proc.stdout
+        data = json.loads(out.read_text())
+        assert data["format"] == "repro-bench-snapshot-v1"
+        assert isinstance(data["benchmarks"], dict)
+        names = list(data["benchmarks"])
+        assert names == sorted(names)
+        assert len(names) == len(mins)
+        # Nothing machine- or time-stamped survives the trim.
+        assert "machine_info" not in data and "datetime" not in data
+
+    def test_snapshot_loads_as_a_baseline(self, tmp_path, healthy):
+        """The whole point: a recorded snapshot sits on the baseline
+        side of the gate exactly like a raw pytest-benchmark file."""
+        _, current, _ = healthy
+        snapshot = tmp_path / "BENCH_baseline.json"
+        assert run_compare(str(current), "--record", str(snapshot)).returncode == 0
+        proc = run_compare(str(snapshot), str(current))
+        assert proc.returncode == 0, proc.stderr
+        assert "no benchmark regressed" in proc.stdout
+
+    def test_snapshot_regression_still_fails(self, tmp_path, healthy):
+        _, current, mins = healthy
+        snapshot = tmp_path / "BENCH_baseline.json"
+        assert run_compare(str(current), "--record", str(snapshot)).returncode == 0
+        slow = dict(mins)
+        slow[REQUIRED_BENCHMARKS[0]] *= 1.5
+        slow_run = bench_json(tmp_path / "slow.json", slow)
+        proc = run_compare(str(snapshot), str(slow_run), "--threshold", "0.2")
+        assert proc.returncode == 1
+        assert "REGRESSION" in proc.stdout
+
+    def test_record_preserves_peak_rss(self, tmp_path):
+        mins = {n: 0.010 * (i + 1) for i, n in enumerate(REQUIRED_BENCHMARKS)}
+        current = bench_json(
+            tmp_path / "current.json", mins, rss={self.RSS_BENCH: 321.5}
+        )
+        out = tmp_path / "snap.json"
+        assert run_compare(str(current), "--record", str(out)).returncode == 0
+        data = json.loads(out.read_text())
+        entry = next(
+            v for k, v in data["benchmarks"].items() if self.RSS_BENCH in k
+        )
+        assert entry["peak_rss_mb"] == 321.5
+
+    def test_record_refuses_missing_guarded_benchmark(self, tmp_path, healthy):
+        _, _, mins = healthy
+        gone = dict(mins)
+        gone.pop(REQUIRED_BENCHMARKS[0])
+        current = bench_json(tmp_path / "gone.json", gone)
+        out = tmp_path / "snap.json"
+        proc = run_compare(str(current), "--record", str(out))
+        assert proc.returncode == 1
+        assert REQUIRED_BENCHMARKS[0] in proc.stderr
+        assert not out.exists()
+
+    def test_compare_still_requires_current_without_record(self, healthy):
+        baseline, _, _ = healthy
+        proc = run_compare(str(baseline))
+        assert proc.returncode == 2
+        assert "required unless --record" in proc.stderr
+
+
 class TestMissingBaseline:
     def test_absent_baseline_errors_by_default(self, tmp_path, healthy):
         _, current, _ = healthy
