@@ -12,7 +12,7 @@ BENCH_THRESHOLD ?= 0.20
 #: comparable instead of passing an empty --benchmark-json= to pytest.
 OUT ?= $(BENCH_CURRENT)
 
-.PHONY: test lint docs bench-kernels bench-baseline bench-current bench-compare bench-record simulate
+.PHONY: test lint lint-invariants typecheck docs bench-kernels bench-baseline bench-current bench-compare bench-record simulate
 
 ## Tier-1 verify: the full test suite, fail-fast (PYTHONPATH=src exported above).
 test:
@@ -21,6 +21,17 @@ test:
 ## Ruff lint (the same check CI runs; requires ruff on PATH).
 lint:
 	ruff check .
+
+## repro-lint: the AST-based determinism/hot-path invariant checker
+## (rules RPL001..RPL008; same blocking gate the invariants CI job runs).
+lint-invariants:
+	$(PY) -m repro lint src
+
+## mypy --strict over the allowlisted core modules (the typing ratchet;
+## see [tool.repro.typing-gate] in pyproject.toml).  Skips cleanly when
+## mypy is not installed — CI passes --require to make it blocking.
+typecheck:
+	$(PY) tools/typing_gate.py
 
 ## Build the docs site into site/ (fails on dead links, missing nav
 ## entries, or unimportable API directives — the same gate CI runs).

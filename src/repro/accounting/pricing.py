@@ -50,9 +50,10 @@ without pickling per-row objects.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Hashable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Hashable, Mapping, Sequence, cast
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.accounting.base import (
     AccountingMethod,
@@ -64,7 +65,19 @@ from repro.accounting.methods import CarbonBasedAccounting
 from repro.units import operational_carbon_g
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a sim cycle
+    from multiprocessing.shared_memory import SharedMemory
+
     from repro.sim.job import Job, JobOutcome
+
+#: Column types: FloatArray for priced quantities, IntArray for ids and
+#: codes, AnyArray where one annotation spans mixed-dtype columns.
+FloatArray = npt.NDArray[np.float64]
+IntArray = npt.NDArray[np.int64]
+AnyArray = npt.NDArray[Any]
+
+#: The comparable value-identity of a pricing catalogue
+#: (see :meth:`QuoteTable.fingerprint`).
+PricingFingerprint = tuple[object, ...]
 
 
 # ---------------------------------------------------------------------------
@@ -101,7 +114,24 @@ class OutcomeTable:
         name for name, _ in OUTCOME_FIELDS
     )
 
-    def __init__(self, machines: Sequence[str], **columns: np.ndarray) -> None:
+    # Column attributes are assigned dynamically from OUTCOME_FIELDS in
+    # __init__; these declarations give them static types.
+    machines: list[str]
+    job_id: IntArray
+    user: IntArray
+    machine_code: npt.NDArray[np.int32]
+    cores: IntArray
+    submit_s: FloatArray
+    start_s: FloatArray
+    end_s: FloatArray
+    energy_j: FloatArray
+    cost: FloatArray
+    work_core_hours: FloatArray
+    operational_carbon_g: FloatArray
+    attributed_carbon_g: FloatArray
+    _rows_cache: "list[JobOutcome] | None"
+
+    def __init__(self, machines: Sequence[str], **columns: AnyArray) -> None:
         self.machines = list(machines)
         n = None
         for name, dtype in OUTCOME_FIELDS:
@@ -113,7 +143,7 @@ class OutcomeTable:
             setattr(self, name, col)
         if len(self.machines) == 0 and (n or 0) > 0:
             raise ValueError("non-empty table needs a machine name table")
-        self._rows_cache: list | None = None
+        self._rows_cache = None
 
     def __len__(self) -> int:
         return len(self.job_id)
@@ -215,14 +245,16 @@ class OutcomeTable:
         return self.rows()[i]
 
     # ------------------------------------------------------------------
-    def __getstate__(self):
+    def __getstate__(self) -> dict[str, object]:
         """Pickle columns only — the row cache is rebuildable."""
-        state = {name: getattr(self, name) for name, _ in OUTCOME_FIELDS}
+        state: dict[str, object] = {
+            name: getattr(self, name) for name, _ in OUTCOME_FIELDS
+        }
         state["machines"] = self.machines
         return state
 
-    def __setstate__(self, state):
-        self.machines = state.pop("machines")
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.machines = cast("list[str]", state.pop("machines"))
         for name, _ in OUTCOME_FIELDS:
             setattr(self, name, state[name])
         self._rows_cache = None
@@ -288,22 +320,22 @@ class QuoteTable:
         # Populated by :meth:`build`; direct construction is internal.
         self.method_name: str = "?"
         self.machine_names: list[str] = []
-        self.pricing_fingerprint: tuple = ()
+        self.pricing_fingerprint: PricingFingerprint = ()
         self.row_of: dict[int, int] = {}
-        self.runtime: dict[str, np.ndarray] = {}
-        self.energy: dict[str, np.ndarray] = {}
-        self.cost: dict[str, np.ndarray] = {}
+        self.runtime: dict[str, FloatArray] = {}
+        self.energy: dict[str, FloatArray] = {}
+        self.cost: dict[str, FloatArray] = {}
         self.static_views: list[list[tuple[str, float, float, float]]] = []
         self.elig_rank = np.empty((0, 0), dtype=np.int32)
         #: The shared-memory mapping backing this table's columns when
         #: it came from :meth:`attach`; ``None`` for owned arrays.
-        self._shm = None
+        self._shm: "SharedMemory | None" = None
 
     def __len__(self) -> int:
         return len(self.job_id)
 
     @staticmethod
-    def fingerprint(pricings: Mapping[str, MachinePricing]) -> tuple:
+    def fingerprint(pricings: Mapping[str, MachinePricing]) -> PricingFingerprint:
         """Cheap value fingerprint of a pricing catalogue.
 
         Scenarios share machine *names* but differ in carbon traces and
@@ -467,7 +499,7 @@ class QuoteTable:
         from such tables instead of regenerating them)."""
         return self._shm is not None
 
-    def _shm_columns(self) -> list[tuple[str, np.ndarray]]:
+    def _shm_columns(self) -> list[tuple[str, AnyArray]]:
         """Every numeric column, in the fixed layout order."""
         cols = [
             ("job_id", self.job_id),
@@ -509,18 +541,27 @@ class QuoteTable:
             layout.append((field, arr.dtype.str, arr.shape, offset))
             offset += arr.nbytes
         shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
-        for (_, arr), (_, _, _, off) in zip(cols, layout):
-            dest = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=off)
-            dest[...] = arr
-            del dest
-        descriptor = QuoteTableShm(
-            shm_name=shm.name,
-            method_name=self.method_name,
-            machine_names=tuple(self.machine_names),
-            pricing_fingerprint=self.pricing_fingerprint,
-            n_jobs=len(self.job_id),
-            layout=tuple(layout),
-        )
+        try:
+            for (_, arr), (_, _, _, off) in zip(cols, layout):
+                dest = np.ndarray(
+                    arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=off
+                )
+                dest[...] = arr
+                del dest
+            descriptor = QuoteTableShm(
+                shm_name=shm.name,
+                method_name=self.method_name,
+                machine_names=tuple(self.machine_names),
+                pricing_fingerprint=self.pricing_fingerprint,
+                n_jobs=len(self.job_id),
+                layout=tuple(layout),
+            )
+        except BaseException:
+            # Nothing has seen the block's name yet, so a failed pack
+            # must unlink here or the named block outlives the process.
+            shm.close()
+            shm.unlink()
+            raise
         shm.close()
         return descriptor
 
@@ -539,31 +580,43 @@ class QuoteTable:
         from multiprocessing import shared_memory
 
         shm = shared_memory.SharedMemory(name=descriptor.shm_name)
-        arrays: dict[str, np.ndarray] = {}
-        for field, dtype_str, shape, offset in descriptor.layout:
-            arr = np.ndarray(
-                shape, dtype=np.dtype(dtype_str), buffer=shm.buf, offset=offset
-            )
-            arr.flags.writeable = False
-            arrays[field] = arr
-        table = cls()
-        table.method_name = descriptor.method_name
-        table.machine_names = list(descriptor.machine_names)
-        table.pricing_fingerprint = descriptor.pricing_fingerprint
-        table.job_id = arrays["job_id"]
-        table.user = arrays["user"]
-        table.cores = arrays["cores"]
-        table.submit = arrays["submit"]
-        table.work = arrays["work"]
-        table.elig_rank = arrays["elig_rank"]
-        for name in table.machine_names:
-            table.runtime[name] = arrays[f"runtime/{name}"]
-            table.energy[name] = arrays[f"energy/{name}"]
-            table.cost[name] = arrays[f"cost/{name}"]
-        table.row_of = {
-            int(jid): i for i, jid in enumerate(table.job_id.tolist())
-        }
-        table._rebuild_static_views()
+        try:
+            arrays: dict[str, AnyArray] = {}
+            for field, dtype_str, shape, offset in descriptor.layout:
+                arr = np.ndarray(
+                    shape, dtype=np.dtype(dtype_str), buffer=shm.buf, offset=offset
+                )
+                arr.flags.writeable = False
+                arrays[field] = arr
+            table = cls()
+            table.method_name = descriptor.method_name
+            table.machine_names = list(descriptor.machine_names)
+            table.pricing_fingerprint = descriptor.pricing_fingerprint
+            table.job_id = arrays["job_id"]
+            table.user = arrays["user"]
+            table.cores = arrays["cores"]
+            table.submit = arrays["submit"]
+            table.work = arrays["work"]
+            table.elig_rank = arrays["elig_rank"]
+            for name in table.machine_names:
+                table.runtime[name] = arrays[f"runtime/{name}"]
+                table.energy[name] = arrays[f"energy/{name}"]
+                table.cost[name] = arrays[f"cost/{name}"]
+            table.row_of = {
+                int(jid): i for i, jid in enumerate(table.job_id.tolist())
+            }
+            table._rebuild_static_views()
+        except BaseException:
+            # A corrupt descriptor (bad layout/offsets) must not leak the
+            # mapping.  Half-built views may still pin the buffer, in
+            # which case close() raises BufferError — swallow it so the
+            # real failure propagates (the mapping then falls to GC).
+            arrays = {}
+            try:
+                shm.close()
+            except BufferError:
+                pass
+            raise
         table._shm = shm
         return table
 
@@ -632,7 +685,7 @@ class QuoteTable:
             pass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QuoteTableShm:
     """Picklable descriptor of a :meth:`QuoteTable.to_shm` block.
 
@@ -645,7 +698,7 @@ class QuoteTableShm:
     shm_name: str
     method_name: str
     machine_names: tuple[str, ...]
-    pricing_fingerprint: tuple
+    pricing_fingerprint: PricingFingerprint
     n_jobs: int
     layout: tuple[tuple[str, str, tuple[int, ...], int], ...]
 
@@ -661,7 +714,7 @@ class QuoteTableShm:
         block.unlink()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QuoteTableKey:
     """Hashable identity of one :class:`QuoteTable`.
 
@@ -676,7 +729,7 @@ class QuoteTableKey:
     machines: tuple[str, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QuoteTableCacheStats:
     """Point-in-time counters of one :class:`QuoteTableCache`.
 
@@ -981,7 +1034,7 @@ class PricingKernel:
 # ---------------------------------------------------------------------------
 # Sharded quote tables (streaming ingestion)
 # ---------------------------------------------------------------------------
-@dataclass
+@dataclass(slots=True)
 class QuoteTableShard:
     """One ingestion chunk's :class:`QuoteTable` plus retirement state.
 
@@ -1198,7 +1251,7 @@ def _price_batch(
     carbon: CarbonBasedAccounting,
     pricing: MachinePricing,
     batch: UsageBatch,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+) -> tuple[FloatArray, FloatArray, FloatArray]:
     """(cost, operational_g, attributed_g) of one same-machine batch.
 
     The single definition of the settlement math shared by the outcome
@@ -1269,7 +1322,7 @@ class SegmentLedger:
         self.cores.append(cores)
         return idx
 
-    def settle(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def settle(self) -> tuple[FloatArray, FloatArray, FloatArray]:
         """Price every segment; returns ``(cost, operational_g,
         attributed_g)`` arrays aligned with append order."""
         n = len(self)

@@ -30,6 +30,7 @@ tests; passing a directory bounds peak RSS for archive-scale traces.
 from __future__ import annotations
 
 from pathlib import Path
+from types import TracebackType
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -148,7 +149,12 @@ class OutcomeSpillStore:
     def __enter__(self) -> "OutcomeSpillStore":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.close()
 
 

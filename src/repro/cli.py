@@ -7,7 +7,8 @@ reproduction is drivable without writing Python:
 * ``simulate`` — the §5 study (Figs. 5/6, Table 6) at a chosen scale;
 * ``low-carbon`` — the §5.6 scenario (Fig. 7);
 * ``study`` — the §6 game study (Figs. 9/10);
-* ``quote`` — price a function on every machine under any method.
+* ``quote`` — price a function on every machine under any method;
+* ``lint`` — the repro-lint invariant checker (rules RPL001..RPL008).
 """
 
 from __future__ import annotations
@@ -166,6 +167,40 @@ def _cmd_quote(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the repro-lint invariant checker (``tools/repro_lint``).
+
+    The checker lives under ``tools/`` (it is development tooling, not
+    part of the simulator), so running from a checkout adds that
+    directory to ``sys.path`` on demand.  An installed package without
+    the ``tools/`` tree reports the situation instead of crashing.
+    """
+    try:
+        import repro_lint  # noqa: F401  (already importable: dev env)
+    except ImportError:
+        from pathlib import Path
+
+        tools_dir = Path(__file__).resolve().parents[2] / "tools"
+        if not (tools_dir / "repro_lint").is_dir():
+            print(
+                "repro lint: tools/repro_lint not found next to this "
+                "checkout; run from the repository root",
+                file=sys.stderr,
+            )
+            return 2
+        sys.path.insert(0, str(tools_dir))
+    from repro_lint.cli import main as lint_main
+
+    forward: list[str] = list(args.paths)
+    if args.select:
+        forward += ["--select", args.select]
+    if args.statistics:
+        forward.append("--statistics")
+    if args.list_rules:
+        forward.append("--list-rules")
+    return lint_main(forward)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -227,6 +262,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="materialize the whole trace (reference path)")
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.set_defaults(fn=_cmd_trace)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="check the determinism/hot-path invariants (repro-lint)",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    p_lint.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to report (default: all)",
+    )
+    p_lint.add_argument(
+        "--statistics", action="store_true",
+        help="append a per-rule violation count summary",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    p_lint.set_defaults(fn=_cmd_lint)
     return parser
 
 

@@ -99,6 +99,7 @@ def pricing_for_sim_machine(machine: SimMachine) -> MachinePricing:
     )
 
 
+# repro-lint: disable=RPL007 (one object per run, not per row; the lazy row/order caches live in __dict__ so pickling across sweep workers stays layout-stable)
 class SimulationResult:
     """All job outcomes of one (policy, method) simulation run.
 
@@ -262,6 +263,7 @@ class SimulationResult:
         )
 
 
+# repro-lint: disable=RPL007 (one object per run; inherits SimulationResult's __dict__-based lazy caches — see the waiver there)
 class StreamingSimulationResult(SimulationResult):
     """A simulation result whose rows live in an outcome spill store.
 
@@ -495,6 +497,18 @@ class MultiClusterSimulator:
         settlement batch efficiency against peak memory.
     """
 
+    __slots__ = (
+        "machines",
+        "method",
+        "policy",
+        "batched",
+        "quote_table",
+        "spill_dir",
+        "spill_block_jobs",
+        "pricings",
+        "_carbon",
+    )
+
     def __init__(
         self,
         machines: dict[str, SimMachine],
@@ -545,6 +559,7 @@ class MultiClusterSimulator:
                     runtime_s=runtime,
                     energy_j=energy,
                     queue_wait_s=clusters[name].estimated_wait_s(now),
+                    # repro-lint: disable=RPL004 (batched=False reference path; the equivalence tests compare the kernels against exactly this loop)
                     cost=self.method.charge(record, self.pricings[name]),
                 )
             )
@@ -690,48 +705,57 @@ class MultiClusterSimulator:
                 schedule_finish(end, (cluster.name, job.job_id, now))
 
         exhausted = False
-        while True:
-            if not exhausted and not calendar.arrivals_pending:
-                chunk = next(chunks, None)
-                while chunk is not None and not chunk:
+        try:
+            while True:
+                if not exhausted and not calendar.arrivals_pending:
                     chunk = next(chunks, None)
-                if chunk is None:
-                    exhausted = True
-                else:
-                    kernel.load_chunk(chunk)
-                    calendar.refill(chunk)
-            event = calendar.pop()
-            if event is None:
-                if exhausted:
-                    break
-                continue
-            now, kind, payload = event
-            if kind == ARRIVAL:
-                job = payload
-                views = [
-                    MachineView(
-                        name, rt, en, clusters[name].estimated_wait_s(now), cost
-                    )
-                    for name, rt, en, cost in views_of(job.job_id)
-                ]
-                if not views:
-                    kernel.discard(job.job_id)
+                    while chunk is not None and not chunk:
+                        chunk = next(chunks, None)
+                    if chunk is None:
+                        exhausted = True
+                    else:
+                        kernel.load_chunk(chunk)
+                        calendar.refill(chunk)
+                event = calendar.pop()
+                if event is None:
+                    if exhausted:
+                        break
                     continue
-                cluster = clusters[select(job, views)]
-                cluster.enqueue(job)
-                try_start(cluster, now)
-            else:
-                machine_name, job_id, start_s = payload
-                cluster = clusters[machine_name]
-                job = cluster.finish(job_id)
-                pending.append((job, machine_name, start_s, now))
-                if len(pending) >= block_jobs:
-                    store.append(kernel.price_block(pending))
-                    pending.clear()
-                try_start(cluster, now)
-        if pending:
-            store.append(kernel.price_block(pending))
-            pending.clear()
+                now, kind, payload = event
+                if kind == ARRIVAL:
+                    job = payload
+                    views = [
+                        MachineView(
+                            name, rt, en, clusters[name].estimated_wait_s(now), cost
+                        )
+                        for name, rt, en, cost in views_of(job.job_id)
+                    ]
+                    if not views:
+                        kernel.discard(job.job_id)
+                        continue
+                    cluster = clusters[select(job, views)]
+                    cluster.enqueue(job)
+                    try_start(cluster, now)
+                else:
+                    machine_name, job_id, start_s = payload
+                    cluster = clusters[machine_name]
+                    job = cluster.finish(job_id)
+                    pending.append((job, machine_name, start_s, now))
+                    if len(pending) >= block_jobs:
+                        store.append(kernel.price_block(pending))
+                        pending.clear()
+                    try_start(cluster, now)
+            if pending:
+                store.append(kernel.price_block(pending))
+                pending.clear()
+        except BaseException:
+            # A mid-flight failure (bad chunk, raising policy, pricing
+            # error) must not strand spilled ``block-*.npz`` segments on
+            # disk: on success the store's lifetime transfers to the
+            # returned result, but on the error path nobody else holds
+            # it, so unlink the segments before propagating.
+            store.close()
+            raise
         return StreamingSimulationResult(
             policy=self.policy.name,
             method=self.method.name,

@@ -92,7 +92,7 @@ from repro.sim.workload import Workload
 from repro.units import operational_carbon_g
 
 
-@dataclass
+@dataclass(slots=True)
 class _Progress:
     """Per-job execution state across segments."""
 
@@ -341,6 +341,31 @@ class MigratingSimulator:
         per-run quote-table build.  Validated against the workload at
         ``run()``; ignored when ``batched=False``.
     """
+
+    __slots__ = (
+        "machines",
+        "method",
+        "policy",
+        "reevaluate_every_s",
+        "overhead_s",
+        "min_saving",
+        "batched",
+        "quote_table",
+        "pricings",
+        "_carbon",
+        "_name_idx",
+        "_idle_w",
+        "tick_vector_min",
+        "probe_vector_min",
+        "multi_tick_max",
+        "multi_tick_batches",
+        "multi_tick_ticks",
+        "_ledger",
+        "_owners",
+        "_quoters",
+        "_running",
+        "_kernel",
+    )
 
     def __init__(
         self,
@@ -596,6 +621,7 @@ class MigratingSimulator:
                             runtime_s=job.runtime_s[name],
                             energy_j=job.energy_j[name],
                             queue_wait_s=clusters[name].estimated_wait_s(now),
+                            # repro-lint: disable=RPL004 (batched=False reference path; segment quotes here are the oracle the quote-table path is tested against)
                             cost=self.method.charge(
                                 self._segment_record(job, name, now, 1.0, False),
                                 self.pricings[name],

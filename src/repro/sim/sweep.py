@@ -390,21 +390,28 @@ def _result_to_shm(result: SimulationResult) -> dict:
     arrays = [np.ascontiguousarray(getattr(table, name)) for name, _ in OUTCOME_FIELDS]
     total = sum(a.nbytes for a in arrays)
     shm = shared_memory.SharedMemory(create=True, size=max(1, total))
-    layout = []
-    offset = 0
-    for (name, _), array in zip(OUTCOME_FIELDS, arrays):
-        view = np.ndarray(array.shape, array.dtype, buffer=shm.buf, offset=offset)
-        view[...] = array
-        layout.append((name, array.dtype.str, len(array), offset))
-        offset += array.nbytes
-    descriptor = {
-        "shm": shm.name,
-        "layout": layout,
-        "policy": result.policy,
-        "method": result.method,
-        "machines": result.machines,
-        "table_machines": table.machines,
-    }
+    try:
+        layout = []
+        offset = 0
+        for (name, _), array in zip(OUTCOME_FIELDS, arrays):
+            view = np.ndarray(array.shape, array.dtype, buffer=shm.buf, offset=offset)
+            view[...] = array
+            layout.append((name, array.dtype.str, len(array), offset))
+            offset += array.nbytes
+        descriptor = {
+            "shm": shm.name,
+            "layout": layout,
+            "policy": result.policy,
+            "method": result.method,
+            "machines": result.machines,
+            "table_machines": table.machines,
+        }
+    except BaseException:
+        # The parent never learns this block's name if packing fails, so
+        # the worker must unlink it here or it leaks until reboot.
+        shm.close()
+        shm.unlink()
+        raise
     shm.close()
     _unregister_shm(shm)
     return descriptor
@@ -624,6 +631,7 @@ class SweepRunner:
             if quote_table is None:
                 descriptor = self._shipped.get(key)
                 if descriptor is not None:
+                    # repro-lint: disable=RPL003 (ownership transfers to the process-wide _QUOTE_TABLES cache, which release()s on eviction/clear; the parent unlinks the named block after the sweep)
                     quote_table = QuoteTable.attach(descriptor)
                     # Pre-3.13 attach re-registers the block with the
                     # resource tracker the pool shares with the parent.
@@ -747,6 +755,7 @@ class SweepRunner:
                 continue
             table = _QUOTE_TABLES._tables.get(key)
             if table is not None:
+                # repro-lint: disable=RPL003 (descriptors land in self._shipped; run() unlinks them all via _release_shipped() in its finally)
                 shipped[key] = table.to_shm()
         self._shipped = shipped
 

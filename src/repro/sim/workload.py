@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.apps.registry import APP_REGISTRY
 from repro.ml.gmm import GaussianMixture
@@ -119,8 +120,14 @@ class StreamingWorkload:
 # ---------------------------------------------------------------------------
 # Counter model
 # ---------------------------------------------------------------------------
+#: Float/int/bool column types used throughout this module.
+FloatArray = npt.NDArray[np.float64]
+IntArray = npt.NDArray[np.int64]
+BoolArray = npt.NDArray[np.bool_]
+
+
 #: Feature space used throughout: (log10 instructions/s/core, log10 MPKI).
-def _signature_features(ips: float, mpki: float) -> np.ndarray:
+def _signature_features(ips: float, mpki: float) -> FloatArray:
     return np.array([np.log10(ips), np.log10(mpki + 1e-3)])
 
 
@@ -132,7 +139,7 @@ def _memory_intensity(log_mpki: float) -> float:
 
 def synthetic_ic_counter_data(
     n: int = 2000, seed: int = 0
-) -> np.ndarray:
+) -> FloatArray:
     """Synthetic Institutional-Cluster counter observations.
 
     Three workload populations (compute-bound, balanced, memory-bound)
@@ -187,21 +194,21 @@ def build_cross_platform_knn(
         if machines is not None
         else dict(PERF_CURVES)
     )
-    feats = []
-    mems = []
+    feats: list[FloatArray] = []
+    mems: list[float] = []
     for profile in APP_REGISTRY.values():
         sig = profile.signature
         feats.append(_signature_features(sig.ips, sig.llc_mpki))
-        mems.append(_memory_intensity(np.log10(sig.llc_mpki + 1e-3)))
+        mems.append(_memory_intensity(float(np.log10(sig.llc_mpki + 1e-3))))
     feats_arr = np.array(feats)
 
     models: dict[str, KNNRegressor] = {}
     for name, curve in curves.items():
-        targets = []
+        targets: list[list[float]] = []
         for m in mems:
             scale = curve.runtime_scale(m) * rng.lognormal(0.0, noise_sd)
             dyn = curve.dyn_watts_per_core * rng.lognormal(0.0, noise_sd)
-            targets.append([scale, dyn])
+            targets.append([float(scale), float(dyn)])
         knn = KNNRegressor(k=3)
         knn.fit(feats_arr, np.array(targets))
         models[name] = knn
@@ -233,23 +240,26 @@ class PatelWorkloadGenerator:
         self.knn = build_cross_platform_knn(machines, seed=self.config.seed)
 
     # ------------------------------------------------------------------
-    def _user_weights(self, rng: np.random.Generator) -> np.ndarray:
+    def _user_weights(self, rng: np.random.Generator) -> FloatArray:
         ranks = np.arange(1, self.config.n_users + 1)
         w = ranks ** (-self.config.zipf_exponent)
-        return w / w.sum()
+        return np.asarray(w / w.sum(), dtype=np.float64)
 
     def _sample_cores(
-        self, rng: np.random.Generator, large: np.ndarray
-    ) -> np.ndarray:
+        self, rng: np.random.Generator, large: BoolArray
+    ) -> IntArray:
         """Core sizes for templates whose >16-core status is ``large``."""
         n = len(large)
         small_idx = rng.choice(5, size=n, p=self.SMALL_WEIGHTS)
         large_idx = 5 + rng.choice(3, size=n, p=self.LARGE_WEIGHTS)
-        return self.CORE_MENU[np.where(large, large_idx, small_idx)]
+        return np.asarray(
+            self.CORE_MENU[np.where(large, large_idx, small_idx)],
+            dtype=np.int64,
+        )
 
     def _stratified_large_mask(
-        self, rng: np.random.Generator, counts: np.ndarray
-    ) -> np.ndarray:
+        self, rng: np.random.Generator, counts: IntArray
+    ) -> BoolArray:
         """Which templates request >16 cores.
 
         The paper's constraint is on *jobs* ("17% of jobs request more
@@ -282,7 +292,7 @@ class PatelWorkloadGenerator:
 
     def _make_templates(
         self, rng: np.random.Generator
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[IntArray, IntArray, FloatArray, FloatArray, FloatArray]:
         """All users' templates as flat arrays.
 
         Returns ``(counts, cores, base_runtime_s, features, utilization)``
@@ -341,7 +351,7 @@ class PatelWorkloadGenerator:
 
         # Cross-platform predictions, one KNN call per machine (vectorized).
         machine_names = list(self.machines)
-        pred: dict[str, np.ndarray] = {
+        pred: dict[str, FloatArray] = {
             name: self.knn[name].predict(feats) for name in machine_names
         }
 

@@ -199,6 +199,49 @@ class TestSpillStore:
         assert len(store.materialize()) == 4
 
 
+class TestSpillCleanupOnError:
+    def test_mid_flight_failure_unlinks_spilled_blocks(
+        self, trace_path, sim_machines, tmp_path
+    ):
+        """A run that dies mid-stream must not strand ``block-*.npz``
+        segments: nobody holds the store on the error path, so the
+        engine unlinks them before propagating."""
+        from repro.sim.workload import StreamingWorkload
+
+        saw_blocks = []
+
+        def poisoned():
+            # Small chunks so many refills happen; raise on the first
+            # refill *after* at least one block has been spilled, which
+            # is exactly the window where segments would otherwise leak.
+            inner = open_swf_stream(
+                trace_path, sim_machines, seed=SEED, chunk_jobs=13
+            ).chunks()
+            for chunk in inner:
+                if any(tmp_path.glob("block-*.npz")):
+                    saw_blocks.append(True)
+                    raise RuntimeError("poisoned stream")
+                yield chunk
+
+        stream = StreamingWorkload(
+            chunk_factory=poisoned,
+            machines=list(sim_machines),
+            source=str(trace_path),
+        )
+        sim = MultiClusterSimulator(
+            sim_machines,
+            all_methods()[0],
+            EFTPolicy(),
+            spill_dir=str(tmp_path),
+            spill_block_jobs=8,
+        )
+        with pytest.raises(RuntimeError, match="poisoned"):
+            sim.run(stream)
+        # Guard the fixture: the failure really did happen after spill.
+        assert saw_blocks
+        assert not list(tmp_path.glob("block-*.npz"))
+
+
 class TestCalendarRefill:
     def _job(self, job_id, submit):
         return Job(

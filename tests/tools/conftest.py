@@ -1,0 +1,14 @@
+"""Make the development tooling under ``tools/`` importable.
+
+``tools/`` is not a package on ``sys.path`` (it is deliberately outside
+the ``repro`` distribution), so these tests insert it the same way
+``python -m repro lint`` does.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TOOLS_DIR = REPO_ROOT / "tools"
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))

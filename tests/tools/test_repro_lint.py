@@ -1,0 +1,405 @@
+"""repro-lint: per-rule fixtures, suppression mechanics, CLI, and the
+src/ smoke gate.
+
+Every rule gets the same four-way treatment: a seeded violation is
+caught, the idiomatic rewrite is clean, a reasoned inline suppression
+waives the hit, and a reasonless suppression is rejected (reported as
+RPL000 *and* the original violation survives).
+"""
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+import repro_lint
+from repro_lint import RULE_CODES, lint_paths, lint_source
+from repro_lint.cli import main as lint_cli
+from repro_lint.linter import SUPPRESSION_CODE
+from repro_lint.rules import package_relative_path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+@dataclass(frozen=True)
+class RuleCase:
+    """One rule's fixture pair plus where its violation lands."""
+
+    code: str
+    rel: str  # package-relative path driving rule scope
+    bad: str
+    good: str
+    flag_line: int  # 1-indexed line the violation anchors to
+
+
+CASES = [
+    RuleCase(
+        code="RPL001",
+        rel="sim/engine.py",
+        bad=(
+            "import time\n"
+            "\n"
+            "def now():\n"
+            "    return time.time()\n"
+        ),
+        good=(
+            "def now(calendar):\n"
+            "    return calendar.now\n"
+        ),
+        flag_line=4,
+    ),
+    RuleCase(
+        code="RPL002",
+        rel="accounting/methods.py",
+        bad=(
+            "import numpy as np\n"
+            "\n"
+            "def draw():\n"
+            "    return np.random.rand(3)\n"
+        ),
+        good=(
+            "import numpy as np\n"
+            "\n"
+            "def draw(seed):\n"
+            "    return np.random.default_rng(seed).random(3)\n"
+        ),
+        flag_line=4,
+    ),
+    RuleCase(
+        code="RPL003",
+        rel="accounting/methods.py",
+        bad=(
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "\n"
+            "def leak():\n"
+            "    shm = SharedMemory(create=True, size=64)\n"
+            "    return shm.name\n"
+        ),
+        good=(
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "\n"
+            "def tidy():\n"
+            "    shm = SharedMemory(create=True, size=64)\n"
+            "    try:\n"
+            "        return bytes(shm.buf[:8])\n"
+            "    finally:\n"
+            "        shm.unlink()\n"
+        ),
+        flag_line=4,
+    ),
+    RuleCase(
+        code="RPL004",
+        rel="sim/shifting.py",
+        bad=(
+            "def total(method, records, pricing):\n"
+            "    out = 0.0\n"
+            "    for record in records:\n"
+            "        out += method.charge(record, pricing)\n"
+            "    return out\n"
+        ),
+        good=(
+            "def total(method, records, pricing):\n"
+            "    return float(method.charge_many(records, pricing).sum())\n"
+        ),
+        flag_line=4,
+    ),
+    RuleCase(
+        code="RPL005",
+        rel="sim/cluster.py",
+        bad=(
+            "import heapq\n"
+            "\n"
+            "def push(heap, item):\n"
+            "    heapq.heappush(heap, item)\n"
+        ),
+        good=(
+            "def push(calendar, when, payload):\n"
+            "    calendar.schedule_finish(when, payload)\n"
+        ),
+        flag_line=4,
+    ),
+    RuleCase(
+        code="RPL006",
+        rel="sim/policies.py",
+        bad=(
+            "def names(a, b):\n"
+            "    out = []\n"
+            "    for name in set(a) | set(b):\n"
+            "        out.append(name)\n"
+            "    return out\n"
+        ),
+        good=(
+            "def names(a, b):\n"
+            "    out = []\n"
+            "    for name in sorted(set(a) | set(b)):\n"
+            "        out.append(name)\n"
+            "    return out\n"
+        ),
+        flag_line=3,
+    ),
+    RuleCase(
+        code="RPL007",
+        rel="sim/cluster.py",
+        bad=(
+            "class Hot:\n"
+            "    def __init__(self):\n"
+            "        self.x = 1\n"
+        ),
+        good=(
+            "class Hot:\n"
+            "    __slots__ = (\"x\",)\n"
+            "\n"
+            "    def __init__(self):\n"
+            "        self.x = 1\n"
+        ),
+        flag_line=1,
+    ),
+    RuleCase(
+        code="RPL008",
+        rel="sim/sweep.py",
+        bad=(
+            "import pickle\n"
+            "\n"
+            "def ship(table):\n"
+            "    return pickle.dumps(table)\n"
+        ),
+        good=(
+            "def ship(table):\n"
+            "    return table.describe()\n"
+        ),
+        flag_line=4,
+    ),
+]
+
+CASE_IDS = [case.code for case in CASES]
+
+
+def _with_suppression(case: RuleCase, directive: str) -> str:
+    """Insert a comment-only directive line directly above the flagged
+    line (the waiver form that works for any node shape)."""
+    lines = case.bad.splitlines(keepends=True)
+    indent = case.bad.splitlines()[case.flag_line - 1]
+    pad = indent[: len(indent) - len(indent.lstrip())]
+    lines.insert(case.flag_line - 1, f"{pad}{directive}\n")
+    return "".join(lines)
+
+
+class TestPerRuleFixtures:
+    @pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+    def test_seeded_violation_caught(self, case):
+        violations = lint_source(case.bad, rel_path=case.rel)
+        assert codes(violations) == [case.code]
+        assert violations[0].line == case.flag_line
+        assert case.code in violations[0].render()
+
+    @pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+    def test_idiomatic_rewrite_clean(self, case):
+        assert lint_source(case.good, rel_path=case.rel) == []
+
+    @pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+    def test_reasoned_suppression_waives(self, case):
+        source = _with_suppression(
+            case, f"# repro-lint: disable={case.code} (test fixture reason)"
+        )
+        assert lint_source(source, rel_path=case.rel) == []
+
+    @pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+    def test_reasonless_suppression_rejected(self, case):
+        source = _with_suppression(
+            case, f"# repro-lint: disable={case.code}"
+        )
+        got = codes(lint_source(source, rel_path=case.rel))
+        # The malformed waiver is itself reported and waives nothing.
+        assert SUPPRESSION_CODE in got
+        assert case.code in got
+
+    @pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+    def test_out_of_package_paths_never_flagged(self, case):
+        assert lint_source(case.bad, rel_path="") == []
+
+
+class TestRuleScoping:
+    def test_heapq_allowed_in_events_module(self):
+        case = next(c for c in CASES if c.code == "RPL005")
+        assert lint_source(case.bad, rel_path="sim/events.py") == []
+
+    def test_pickle_allowed_outside_transport_modules(self):
+        case = next(c for c in CASES if c.code == "RPL008")
+        assert lint_source(case.bad, rel_path="sim/job.py") == []
+
+    def test_wall_clock_out_of_prefix_scope(self):
+        case = next(c for c in CASES if c.code == "RPL001")
+        assert lint_source(case.bad, rel_path="hardware/catalog.py") == []
+
+    def test_slots_rule_only_in_hot_modules(self):
+        case = next(c for c in CASES if c.code == "RPL007")
+        assert lint_source(case.bad, rel_path="sim/policies.py") == []
+
+    def test_package_relative_path(self):
+        assert (
+            package_relative_path("src/repro/sim/engine.py") == "sim/engine.py"
+        )
+        assert (
+            package_relative_path("/ck/src/repro/accounting/spill.py")
+            == "accounting/spill.py"
+        )
+        assert package_relative_path("tools/repro_lint/rules.py") == ""
+        assert package_relative_path("tests/sim/test_engine.py") == ""
+
+
+class TestRuleEdgeCases:
+    def test_shm_attach_needs_close(self):
+        source = (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "\n"
+            "def peek(name):\n"
+            "    shm = SharedMemory(name=name)\n"
+            "    return bytes(shm.buf[:8])\n"
+        )
+        assert codes(lint_source(source, rel_path="sim/sweep.py")) == ["RPL003"]
+        closed = source.replace(
+            "    return bytes(shm.buf[:8])\n",
+            "    try:\n"
+            "        return bytes(shm.buf[:8])\n"
+            "    finally:\n"
+            "        shm.close()\n",
+        )
+        assert lint_source(closed, rel_path="sim/sweep.py") == []
+
+    def test_unseeded_default_rng_flagged_seeded_ok(self):
+        bad = "import numpy as np\nrng = np.random.default_rng()\n"
+        good = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        assert codes(lint_source(bad, rel_path="sim/workload.py")) == ["RPL002"]
+        assert lint_source(good, rel_path="sim/workload.py") == []
+
+    def test_stdlib_random_instance_ok(self):
+        bad = "import random\nx = random.random()\n"
+        good = "import random\nx = random.Random(3).random()\n"
+        assert codes(lint_source(bad, rel_path="sim/workload.py")) == ["RPL002"]
+        assert lint_source(good, rel_path="sim/workload.py") == []
+
+    def test_import_alias_resolution(self):
+        source = "import time as clock\nt = clock.monotonic()\n"
+        assert codes(lint_source(source, rel_path="sim/engine.py")) == ["RPL001"]
+
+    def test_from_import_resolution(self):
+        source = "from time import perf_counter\nt = perf_counter()\n"
+        assert codes(lint_source(source, rel_path="faas/endpoint.py")) == [
+            "RPL001"
+        ]
+
+    def test_set_comprehension_iteration_flagged(self):
+        source = (
+            "def f(items):\n"
+            "    return [x for x in {i.name for i in items}]\n"
+        )
+        assert codes(lint_source(source, rel_path="sim/engine.py")) == [
+            "RPL006"
+        ]
+
+    def test_dataclass_slots_satisfies_rpl007(self):
+        source = (
+            "from dataclasses import dataclass\n"
+            "\n"
+            "@dataclass(slots=True)\n"
+            "class Hot:\n"
+            "    x: int\n"
+        )
+        assert lint_source(source, rel_path="sim/events.py") == []
+
+    def test_exception_classes_exempt_from_rpl007(self):
+        source = "class SimError(ValueError):\n    pass\n"
+        assert lint_source(source, rel_path="sim/events.py") == []
+
+
+class TestSuppressionMechanics:
+    REL = "sim/engine.py"
+
+    def test_trailing_comment_waives_its_line(self):
+        source = (
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=RPL001 (hardware probe)\n"
+        )
+        assert lint_source(source, rel_path=self.REL) == []
+
+    def test_multiple_codes_one_directive(self):
+        source = (
+            "import time, heapq\n"
+            "# repro-lint: disable=RPL001, RPL005 (reference path)\n"
+            "t = heapq.heappush([], time.time())\n"
+        )
+        assert lint_source(source, rel_path=self.REL) == []
+
+    def test_unknown_code_reported(self):
+        source = (
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=RPL999 (nope)\n"
+        )
+        got = codes(lint_source(source, rel_path=self.REL))
+        assert SUPPRESSION_CODE in got
+        assert "RPL001" in got
+
+    def test_stale_suppression_reported(self):
+        source = "# repro-lint: disable=RPL001 (nothing here needs it)\nx = 1\n"
+        got = lint_source(source, rel_path=self.REL)
+        assert codes(got) == [SUPPRESSION_CODE]
+        assert "stale" in got[0].message
+
+    def test_select_filters_rules(self):
+        source = (
+            "import time, heapq\n"
+            "t = heapq.heappush([], time.time())\n"
+        )
+        got = lint_source(source, rel_path=self.REL, select=["RPL005"])
+        assert codes(got) == ["RPL005"]
+
+
+class TestCliAndSmoke:
+    def _write_pkg_file(self, root: Path, rel: str, source: str) -> Path:
+        target = root / "src" / "repro" / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+        return target
+
+    def test_cli_reports_violations_exit_1(self, tmp_path, capsys):
+        case = CASES[0]
+        self._write_pkg_file(tmp_path, case.rel, case.bad)
+        rc = lint_cli([str(tmp_path / "src"), "--statistics"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert case.code in out
+        assert "found 1 violation" in out
+
+    def test_cli_clean_tree_exit_0(self, tmp_path, capsys):
+        case = CASES[0]
+        self._write_pkg_file(tmp_path, case.rel, case.good)
+        rc = lint_cli([str(tmp_path / "src")])
+        assert rc == 0
+
+    def test_cli_list_rules(self, capsys):
+        rc = lint_cli(["--list-rules"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for code in sorted(RULE_CODES):
+            assert code in out
+
+    def test_cli_missing_path_exit_2(self, tmp_path, capsys):
+        rc = lint_cli([str(tmp_path / "does-not-exist")])
+        assert rc == 2
+
+    def test_version_exported(self):
+        assert repro_lint.__version__
+
+    def test_src_tree_is_clean(self):
+        """The gate itself: the shipped source tree has zero violations
+        and zero reasonless suppressions."""
+        assert lint_paths([REPO_ROOT / "src"]) == []
+
+    def test_repro_cli_lint_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", str(REPO_ROOT / "src")]) == 0

@@ -1,0 +1,118 @@
+"""The strict-typing ratchet (tools/typing_gate.py).
+
+The load-bearing property is the ratchet itself: the founding modules
+can never leave the pyproject allowlist, and a bad allowlist fails
+before mypy ever runs.  mypy itself is exercised by CI's invariants
+job, not here — these tests pin the gate's own logic, including the
+3.10 parser fallback and the skip-without-mypy behaviour.
+"""
+
+import builtins
+
+import pytest
+
+import typing_gate
+from typing_gate import (
+    FOUNDING_MODULES,
+    _parse_toml_allowlist,
+    load_allowlist,
+    main,
+)
+
+
+def test_real_pyproject_allowlist_loads():
+    modules = load_allowlist()
+    assert FOUNDING_MODULES <= set(modules)
+
+
+def test_parser_fallback_matches_tomllib(monkeypatch):
+    """On 3.10 (no tomllib) the regex fallback must produce the same
+    allowlist the real parser does."""
+    text = typing_gate.PYPROJECT.read_text(encoding="utf-8")
+    expected = _parse_toml_allowlist(text)
+    real_import = builtins.__import__
+
+    def no_tomllib(name, *args, **kwargs):
+        if name == "tomllib":
+            raise ModuleNotFoundError("No module named 'tomllib'")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "__import__", no_tomllib)
+    assert _parse_toml_allowlist(text) == expected
+
+
+def _gate_pyproject(tmp_path, modules):
+    entries = "\n".join(f'    "{m}",' for m in modules)
+    text = (
+        "[tool.repro.typing-gate]\n"
+        "strict-modules = [\n"
+        f"{entries}\n"
+        "]\n"
+    )
+    path = tmp_path / "pyproject.toml"
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def test_removing_a_founding_module_fails(tmp_path, monkeypatch, capsys):
+    kept = sorted(FOUNDING_MODULES)[:-1]
+    monkeypatch.setattr(typing_gate, "PYPROJECT", _gate_pyproject(tmp_path, kept))
+    with pytest.raises(SystemExit) as err:
+        load_allowlist()
+    assert err.value.code == 1
+    assert "never ratchet out" in capsys.readouterr().err
+
+
+def test_nonexistent_listed_module_fails(tmp_path, monkeypatch, capsys):
+    modules = sorted(FOUNDING_MODULES) + ["src/repro/no_such_module.py"]
+    monkeypatch.setattr(
+        typing_gate, "PYPROJECT", _gate_pyproject(tmp_path, modules)
+    )
+    with pytest.raises(SystemExit) as err:
+        load_allowlist()
+    assert err.value.code == 1
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_duplicate_entry_fails(tmp_path, monkeypatch, capsys):
+    modules = sorted(FOUNDING_MODULES)
+    modules.append(modules[0])
+    monkeypatch.setattr(
+        typing_gate, "PYPROJECT", _gate_pyproject(tmp_path, modules)
+    )
+    with pytest.raises(SystemExit) as err:
+        load_allowlist()
+    assert err.value.code == 1
+    assert "duplicate" in capsys.readouterr().err
+
+
+def test_missing_gate_section_fails(tmp_path, monkeypatch):
+    path = tmp_path / "pyproject.toml"
+    path.write_text("[project]\nname = 'x'\n", encoding="utf-8")
+    monkeypatch.setattr(typing_gate, "PYPROJECT", path)
+    with pytest.raises(SystemExit):
+        load_allowlist()
+
+
+def test_list_mode(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for module in FOUNDING_MODULES:
+        assert module in out
+    assert "founding" in out
+
+
+def test_skips_cleanly_without_mypy(monkeypatch, capsys):
+    monkeypatch.setattr(
+        typing_gate.importlib.util, "find_spec", lambda name: None
+    )
+    assert main([]) == 0
+    assert "skipping" in capsys.readouterr().out
+
+
+def test_require_fails_without_mypy(monkeypatch, capsys):
+    monkeypatch.setattr(
+        typing_gate.importlib.util, "find_spec", lambda name: None
+    )
+    assert main(["--require"]) == 1
+    assert "--require" in capsys.readouterr().err

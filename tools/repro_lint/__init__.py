@@ -1,0 +1,46 @@
+"""repro-lint: AST-based invariant checker for the repro codebase.
+
+The simulator's correctness story rests on two contracts that ordinary
+linters cannot see:
+
+1. **Bit-identity** — every batched / vectorized / streaming path must
+   produce results exactly equal to the scalar seed semantics.  Wall-clock
+   reads, unseeded randomness, and unordered-set iteration all break this
+   silently.
+2. **Hot-path hygiene** — shared-memory blocks must never leak on error
+   paths, per-row Python work (scalar ``charge()`` in loops, ``__dict__``
+   lookups in hot classes) must not creep back into the columnar kernels.
+
+``repro_lint`` turns those contracts into eight machine-checked rules
+(RPL001..RPL008) with precise source locations and an inline suppression
+syntax that *requires* a human-readable reason::
+
+    t0 = time.perf_counter()  # repro-lint: disable=RPL001 (real hardware timing)
+
+A suppression without a reason is itself an error (RPL000), so the
+waiver trail stays auditable.
+
+Entry points:
+
+- ``python -m repro lint <paths>`` (via :mod:`repro.cli`)
+- ``python tools/repro_lint <paths>`` (standalone, no install needed)
+- :func:`lint_paths` / :func:`lint_source` for programmatic use.
+"""
+
+from .linter import (
+    RULE_CODES,
+    RULE_SUMMARIES,
+    Violation,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "RULE_CODES",
+    "RULE_SUMMARIES",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+]
+
+__version__ = "0.1.0"

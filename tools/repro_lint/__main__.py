@@ -1,0 +1,19 @@
+"""Standalone entry point: ``python tools/repro_lint [paths...]``.
+
+When executed as a *directory* (``python tools/repro_lint``), Python
+runs this file without the package on ``sys.path``; the bootstrap below
+makes the relative imports resolve either way.
+"""
+
+import sys
+
+if __package__ in (None, ""):  # executed as `python tools/repro_lint`
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from repro_lint.cli import main
+else:
+    from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

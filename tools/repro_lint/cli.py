@@ -1,0 +1,87 @@
+"""Command-line front end: ``repro lint`` / ``python tools/repro_lint``.
+
+Exit codes: 0 clean, 1 violations found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import Counter
+from typing import Sequence
+
+from .linter import RULE_CODES, RULE_SUMMARIES, lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST-based invariant checker for the repro determinism and "
+            "hot-path contracts (rules RPL001..RPL008)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to report (default: all)",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="append a per-rule violation count summary",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(RULE_SUMMARIES):
+            print(f"{code}  {RULE_SUMMARIES[code]}")
+        return 0
+
+    select: list[str] | None = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+        unknown = sorted(set(select) - RULE_CODES - {"RPL000"})
+        if unknown:
+            parser.error(
+                f"unknown rule code(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(RULE_CODES))}"
+            )
+
+    try:
+        violations = lint_paths(args.paths, select=select)
+    except OSError as exc:
+        print(f"repro lint: {exc}")
+        return 2
+
+    for violation in violations:
+        print(violation.render())
+    if args.statistics and violations:
+        counts = Counter(v.code for v in violations)
+        print()
+        for code, count in sorted(counts.items()):
+            print(f"{count:5d}  {code}  {RULE_SUMMARIES.get(code, 'invalid suppression')}")
+    if violations:
+        total = len(violations)
+        print(f"\nfound {total} violation{'s' if total != 1 else ''}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,275 @@
+"""Engine: file walking, suppression parsing, and violation reporting.
+
+The rule logic itself lives in :mod:`repro_lint.rules`; this module owns
+everything rule-agnostic — how a file becomes a list of
+:class:`Violation` objects, and how inline waivers are parsed and
+enforced.
+
+Suppression syntax
+------------------
+
+A violation on line *L* is waived by a trailing comment on *L*, or by a
+comment-only line directly above it::
+
+    value = time.time()  # repro-lint: disable=RPL001 (hardware monitor path)
+
+    # repro-lint: disable=RPL003 (ownership transfers to the table cache)
+    table = QuoteTable.attach(descriptor)
+
+Multiple codes may be listed comma-separated.  The parenthesised reason
+is **mandatory**: a suppression without one is reported as RPL000 and
+does not waive anything, so every escape hatch in the tree carries its
+own justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .rules import RULE_CODES, RULE_SUMMARIES, InvariantChecker, package_relative_path
+
+__all__ = [
+    "RULE_CODES",
+    "RULE_SUMMARIES",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+]
+
+#: Pseudo-rule for malformed suppressions (reason missing / unknown code).
+SUPPRESSION_CODE = "RPL000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=\s*(?P<codes>[A-Za-z0-9_,\s]+?)"
+    r"\s*(?:\((?P<reason>.*)\))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at a precise source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+
+@dataclass(frozen=True)
+class _Suppression:
+    line: int  # line whose violations this waives
+    comment_line: int
+    col: int
+    codes: frozenset[str]
+    reason: str
+
+
+def _iter_comments(source: str) -> Iterator[tokenize.TokenInfo]:
+    reader = io.StringIO(source).readline
+    try:
+        for tok in tokenize.generate_tokens(reader):
+            if tok.type == tokenize.COMMENT:
+                yield tok
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - ast
+        # ast.parse succeeded upstream, so this is unreachable in
+        # practice; stop yielding rather than crash the whole run.
+        return
+
+
+def _parse_suppressions(
+    source: str, path: str
+) -> tuple[list[_Suppression], list[Violation]]:
+    """Extract waivers and report malformed ones as RPL000."""
+    suppressions: list[_Suppression] = []
+    problems: list[Violation] = []
+    for tok in _iter_comments(source):
+        match = _SUPPRESS_RE.search(tok.string)
+        if match is None:
+            if "repro-lint:" in tok.string:
+                problems.append(
+                    Violation(
+                        path=path,
+                        line=tok.start[0],
+                        col=tok.start[1],
+                        code=SUPPRESSION_CODE,
+                        message=(
+                            "unparsable repro-lint directive; expected "
+                            "'# repro-lint: disable=RPLxxx (reason)'"
+                        ),
+                    )
+                )
+            continue
+        codes = frozenset(
+            part.strip() for part in match.group("codes").split(",") if part.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        unknown = sorted(c for c in codes if c not in RULE_CODES)
+        if unknown:
+            problems.append(
+                Violation(
+                    path=path,
+                    line=tok.start[0],
+                    col=tok.start[1],
+                    code=SUPPRESSION_CODE,
+                    message=(
+                        "suppression names unknown rule(s) "
+                        f"{', '.join(unknown)}; known codes are "
+                        f"{', '.join(sorted(RULE_CODES))}"
+                    ),
+                )
+            )
+            continue
+        if not reason:
+            problems.append(
+                Violation(
+                    path=path,
+                    line=tok.start[0],
+                    col=tok.start[1],
+                    code=SUPPRESSION_CODE,
+                    message=(
+                        "suppression is missing its mandatory reason; write "
+                        f"'# repro-lint: disable={','.join(sorted(codes))} "
+                        "(why this is safe)'"
+                    ),
+                )
+            )
+            continue
+        # A comment-only line waives the *next* line; a trailing comment
+        # waives its own line.
+        own_line = tok.line[: tok.start[1]].strip()
+        target = tok.start[0] + 1 if not own_line else tok.start[0]
+        suppressions.append(
+            _Suppression(
+                line=target,
+                comment_line=tok.start[0],
+                col=tok.start[1],
+                codes=codes,
+                reason=reason,
+            )
+        )
+    return suppressions, problems
+
+
+def lint_source(
+    source: str,
+    *,
+    rel_path: str,
+    display_path: str | None = None,
+    select: Sequence[str] | None = None,
+) -> list[Violation]:
+    """Lint one module's source text.
+
+    ``rel_path`` is the module's path relative to the ``repro`` package
+    root (e.g. ``"sim/engine.py"``) and drives rule scoping; tests pass
+    virtual paths here to exercise scope behaviour on fixture snippets.
+    ``display_path`` is what violation messages print (defaults to
+    ``rel_path``).
+    """
+    path = display_path or rel_path
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code=SUPPRESSION_CODE,
+                message=f"could not parse file: {exc.msg}",
+            )
+        ]
+
+    checker = InvariantChecker(rel_path=rel_path, path=path)
+    checker.visit(tree)
+    raw = checker.violations
+
+    suppressions, problems = _parse_suppressions(source, path)
+    waived: dict[int, set[str]] = {}
+    used: dict[tuple[int, str], bool] = {}
+    for sup in suppressions:
+        waived.setdefault(sup.line, set()).update(sup.codes)
+        for code in sup.codes:
+            used.setdefault((sup.line, code), False)
+
+    kept: list[Violation] = []
+    for violation in raw:
+        if violation.code in waived.get(violation.line, set()):
+            used[(violation.line, violation.code)] = True
+            continue
+        kept.append(violation)
+
+    # Waivers that matched nothing are stale — report them so dead
+    # suppressions get cleaned up instead of rotting as false comfort.
+    for sup in suppressions:
+        for code in sorted(sup.codes):
+            if not used.get((sup.line, code), False):
+                problems.append(
+                    Violation(
+                        path=path,
+                        line=sup.comment_line,
+                        col=sup.col,
+                        code=SUPPRESSION_CODE,
+                        message=(
+                            f"suppression for {code} matches no violation on "
+                            "its target line; remove the stale directive"
+                        ),
+                    )
+                )
+
+    kept.extend(problems)
+    if select:
+        wanted = set(select)
+        kept = [v for v in kept if v.code in wanted]
+    return sorted(kept, key=Violation.sort_key)
+
+
+def _iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            yield candidate
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    select: Sequence[str] | None = None,
+) -> list[Violation]:
+    """Lint files and directories; directories are walked recursively."""
+    violations: list[Violation] = []
+    for path in _iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        rel = package_relative_path(path)
+        violations.extend(
+            lint_source(
+                source,
+                rel_path=rel,
+                display_path=str(path),
+                select=select,
+            )
+        )
+    return sorted(violations, key=Violation.sort_key)
