@@ -23,7 +23,7 @@ lint:
 	ruff check .
 
 ## repro-lint: the AST-based determinism/hot-path invariant checker
-## (rules RPL001..RPL008; same blocking gate the invariants CI job runs).
+## (rules RPL001..RPL009; same blocking gate the invariants CI job runs).
 lint-invariants:
 	$(PY) -m repro lint src
 

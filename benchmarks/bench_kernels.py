@@ -247,6 +247,46 @@ def test_sweep_short_runs_kernel_cache(run_once, benchmark):
     assert all(r.n_jobs > 0 for r in results.values())
 
 
+def test_result_store_round_trip_8_policies(run_once, benchmark, tmp_path):
+    """Persisting and reloading a full 8-policy sweep through the
+    content-addressed result store (``sim/result_store.py``): the
+    put+get cycle the sweep service pays per computed grid point.  An
+    identical resubmit's cost is exactly the ``get`` half of this."""
+    from repro.accounting.pricing import QuoteTable
+    from repro.experiments._simulation import method_for, scenario, workload
+    from repro.sim.policies import standard_policies
+    from repro.sim.result_store import ResultStore, task_store_key
+    from repro.sim.sweep import SweepRunner, SweepTask
+
+    scale = 1500
+    runner = SweepRunner(
+        scenario_fn=scenario,
+        workload_fn=workload,
+        method_fn=method_for,
+        workers=1,
+    )
+    tasks = [
+        SweepTask("baseline", p.name, "EBA", scale, 0)
+        for p in standard_policies()
+    ]
+    results = runner.run(tasks)
+    machines = dict(scenario("baseline", 0))
+    fingerprint = QuoteTable.fingerprint(
+        {n: pricing_for_sim_machine(m) for n, m in machines.items()}
+    )
+    keys = {task: task_store_key(task, fingerprint) for task in tasks}
+    store = ResultStore(tmp_path)
+
+    def round_trip():
+        for task in tasks:
+            store.put(keys[task], results[task])
+        return [store.get(keys[task]) for task in tasks]
+
+    reloaded = run_once(benchmark, round_trip)
+    assert all(r is not None and r.n_jobs > 0 for r in reloaded)
+    assert store.stats().corrupt == 0
+
+
 def _segment_ledger(n: int) -> SegmentLedger:
     machines = low_carbon_scenario(days=20, seed=0)
     pricings = {m: pricing_for_sim_machine(s) for m, s in machines.items()}

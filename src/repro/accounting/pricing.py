@@ -50,7 +50,16 @@ without pickling per-row objects.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Hashable, Mapping, Sequence, cast
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Hashable,
+    Iterable,
+    Mapping,
+    Sequence,
+    cast,
+)
 
 import numpy as np
 import numpy.typing as npt
@@ -258,6 +267,201 @@ class OutcomeTable:
         for name, _ in OUTCOME_FIELDS:
             setattr(self, name, state[name])
         self._rows_cache = None
+
+    # ------------------------------------------------------------------
+    # Shared-memory transport (mirrors QuoteTable.to_shm()/attach(): the
+    # sender packs columns into one named block and ships the small
+    # picklable descriptor; the receiver copies out, closes, and unlinks).
+    def to_shm(self, hand_off: bool = False) -> OutcomeTableShm:
+        """Copy the columns into a shared-memory block.
+
+        Returns the :class:`OutcomeTableShm` descriptor another process
+        passes to :meth:`attach`.  With ``hand_off=True`` the caller
+        declares the *receiving* process responsible for
+        :meth:`OutcomeTableShm.unlink` (the sweep workers' result path),
+        and this process's resource tracker forgets the block.
+        """
+        return _pack_outcome_columns(
+            [self], len(self), self.machines, hand_off=hand_off
+        )
+
+    @classmethod
+    def stream_to_shm(
+        cls,
+        blocks: Iterable[OutcomeTable],
+        n_rows: int,
+        machines: Sequence[str],
+        hand_off: bool = False,
+    ) -> OutcomeTableShm:
+        """Pack an iterable of outcome blocks into one shm block.
+
+        The streamed-sweep result path: blocks come straight off an
+        :class:`~repro.accounting.spill.OutcomeSpillStore` iterator, so
+        only one block of rows is ever resident in this process while
+        packing ``n_rows`` total rows for the receiver.
+        """
+        return _pack_outcome_columns(blocks, n_rows, machines, hand_off=hand_off)
+
+    @classmethod
+    def attach(cls, descriptor: OutcomeTableShm) -> OutcomeTable:
+        """Rebuild a table from a descriptor (copy-out semantics).
+
+        Columns are copied into process-local arrays and the block is
+        closed immediately, so the returned table's lifetime is
+        independent of the block's.  The caller still owns
+        :meth:`OutcomeTableShm.unlink`.
+        """
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=descriptor.shm_name)
+        try:
+            columns = {
+                name: np.ndarray(
+                    (length,), np.dtype(ds), buffer=shm.buf, offset=off
+                ).copy()
+                for name, ds, length, off in descriptor.layout
+            }
+        finally:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - half-built views
+                pass
+        return cls(list(descriptor.machines), **columns)
+
+
+def fingerprint_digest(*parts: object) -> str:
+    """Stable hex digest of fingerprint material.
+
+    The content address used by the sweep result store
+    (:mod:`repro.sim.result_store`): callers fold a task's identity
+    fields together with a :data:`PricingFingerprint` and get back a
+    filesystem-safe key.  ``repr`` of the primitive fingerprint parts
+    (strings, ints, bools, ``None``, and shortest-roundtrip floats) is
+    deterministic across processes and platforms, so equal
+    configurations always map to the same digest and any value change —
+    a different carbon trace, a machine rename, a method swap — maps to
+    a different one.
+    """
+    import hashlib
+
+    return hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()
+
+
+def _forfeit_shm_cleanup(shm: SharedMemory) -> None:
+    """Hand a block's cleanup responsibility to another process.
+
+    The creating process must not let its resource tracker unlink the
+    block at interpreter exit — the receiving process unlinks after
+    copying out.  Best-effort: a no-op on platforms without the
+    tracker.
+    """
+    try:  # pragma: no cover - depends on interpreter internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(
+            shm._name, "shared_memory"
+        )  # type: ignore[attr-defined]
+    except Exception:
+        pass
+
+
+@dataclass(frozen=True, slots=True)
+class OutcomeTableShm:
+    """Picklable descriptor of an :meth:`OutcomeTable.to_shm` block.
+
+    Carries the shared-memory block name, the machine name table, and
+    the exact byte layout — ``(field, dtype, length, offset)`` per
+    column — needed to rebuild the columns with
+    :meth:`OutcomeTable.attach`.
+    """
+
+    shm_name: str
+    machines: tuple[str, ...]
+    layout: tuple[tuple[str, str, int, int], ...]
+
+    def unlink(self) -> None:
+        """Free the named block (receiver-side cleanup; idempotent)."""
+        from multiprocessing import shared_memory
+
+        try:
+            block = shared_memory.SharedMemory(name=self.shm_name)
+        except FileNotFoundError:
+            return
+        block.close()
+        block.unlink()
+
+
+def _outcome_shm_layout(n_rows: int) -> tuple[tuple[str, str, int, int], ...]:
+    """The fixed ``(field, dtype, length, offset)`` byte layout of an
+    ``n_rows``-row outcome block (column dtypes are static, so the
+    layout is computable before any data is seen)."""
+    layout: list[tuple[str, str, int, int]] = []
+    offset = 0
+    for name, dtype in OUTCOME_FIELDS:
+        dt = np.dtype(dtype)
+        layout.append((name, dt.str, n_rows, offset))
+        offset += n_rows * dt.itemsize
+    return tuple(layout)
+
+
+def _pack_outcome_columns(
+    blocks: Iterable[OutcomeTable],
+    n_rows: int,
+    machines: Sequence[str],
+    hand_off: bool,
+) -> OutcomeTableShm:
+    """Copy an iterable of outcome blocks into one shared block.
+
+    Blocks are consumed strictly one at a time, so packing a streamed
+    (spill-store-backed) result never materializes more than one block
+    of rows beyond the destination buffer itself.
+    """
+    from multiprocessing import shared_memory
+
+    machine_list = list(machines)
+    layout = _outcome_shm_layout(n_rows)
+    total = layout[-1][3] + n_rows * np.dtype(OUTCOME_FIELDS[-1][1]).itemsize
+    shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+    try:
+        views = {
+            name: np.ndarray((length,), np.dtype(ds), buffer=shm.buf, offset=off)
+            for name, ds, length, off in layout
+        }
+        row = 0
+        for block in blocks:
+            if block.machines != machine_list:
+                raise ValueError(
+                    "outcome block has a different machine table than "
+                    "the declared one"
+                )
+            n_block = len(block)
+            if row + n_block > n_rows:
+                raise ValueError("outcome blocks exceed the declared row count")
+            for name, _ in OUTCOME_FIELDS:
+                views[name][row : row + n_block] = getattr(block, name)
+            row += n_block
+        if row != n_rows:
+            raise ValueError("outcome blocks fall short of the declared row count")
+        descriptor = OutcomeTableShm(
+            shm_name=shm.name,
+            machines=tuple(machine_list),
+            layout=layout,
+        )
+    except BaseException:
+        # Nothing has seen the block's name yet, so a failed pack must
+        # unlink here or the named block outlives the process.
+        views = {}
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - half-built views
+            pass
+        shm.unlink()
+        raise
+    views = {}
+    shm.close()
+    if hand_off:
+        _forfeit_shm_cleanup(shm)
+    return descriptor
 
 
 # ---------------------------------------------------------------------------
@@ -1468,6 +1672,7 @@ __all__ = [
     "ELIG_RANK_INELIGIBLE",
     "OUTCOME_FIELDS",
     "OutcomeTable",
+    "OutcomeTableShm",
     "PricingKernel",
     "QuoteTable",
     "QuoteTableCache",
@@ -1477,4 +1682,5 @@ __all__ = [
     "SegmentLedger",
     "SettlementQueue",
     "ShardedPricingKernel",
+    "fingerprint_digest",
 ]

@@ -8,7 +8,9 @@ reproduction is drivable without writing Python:
 * ``low-carbon`` — the §5.6 scenario (Fig. 7);
 * ``study`` — the §6 game study (Figs. 9/10);
 * ``quote`` — price a function on every machine under any method;
-* ``lint`` — the repro-lint invariant checker (rules RPL001..RPL008).
+* ``sweep serve`` — the long-lived incremental sweep service
+  (JSON-lines on stdin/stdout, content-addressed result store);
+* ``lint`` — the repro-lint invariant checker (rules RPL001..RPL009).
 """
 
 from __future__ import annotations
@@ -167,6 +169,29 @@ def _cmd_quote(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep_serve(args: argparse.Namespace) -> int:
+    """Boot the long-lived sweep service on stdin/stdout JSON lines.
+
+    Blocks until a ``{"op": "shutdown"}`` request or EOF on stdin; the
+    result store at ``--store`` persists across invocations, so a
+    restarted service still serves previously computed grid points
+    without recomputing.
+    """
+    from repro.experiments._simulation import sweep_service
+    from repro.sim.sweep_service import serve_stdio
+
+    if not _apply_jobs(args):
+        return 2
+    service = sweep_service(
+        args.store,
+        workers=args.jobs,
+        mp_context=args.mp_context,
+        max_store_bytes=args.max_store_bytes,
+        max_retries=args.max_retries,
+    )
+    return serve_stdio(service, sys.stdin, sys.stdout)
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run the repro-lint invariant checker (``tools/repro_lint``).
 
@@ -262,6 +287,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="materialize the whole trace (reference path)")
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.set_defaults(fn=_cmd_trace)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="long-lived sweep service with an incremental store"
+    )
+    sweep_sub = p_sweep.add_subparsers(dest="sweep_command", required=True)
+    p_serve = sweep_sub.add_parser(
+        "serve",
+        help="serve sweep requests over stdin/stdout JSON lines",
+    )
+    p_serve.add_argument(
+        "--store", default=".repro-results",
+        help="result-store directory (default: .repro-results)",
+    )
+    p_serve.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="persistent worker count (default: "
+                              "$REPRO_SWEEP_WORKERS or the CPU count)")
+    p_serve.add_argument("--mp-context", default=None,
+                         help="fork | spawn | forkserver (default: "
+                              "$REPRO_SWEEP_MP_CONTEXT or the platform "
+                              "default)")
+    p_serve.add_argument("--max-store-bytes", type=int, default=None,
+                         help="LRU byte budget for the result store "
+                              "(default: unbounded)")
+    p_serve.add_argument("--max-retries", type=int, default=2,
+                         help="crash-retry budget per grid point")
+    p_serve.set_defaults(fn=_cmd_sweep_serve)
 
     p_lint = sub.add_parser(
         "lint",

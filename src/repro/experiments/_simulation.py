@@ -38,6 +38,7 @@ expressions over the same columns.
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import TYPE_CHECKING
 
 from repro.accounting.base import AccountingMethod
 from repro.accounting.methods import CarbonBasedAccounting, EnergyBasedAccounting
@@ -46,6 +47,9 @@ from repro.sim.policies import standard_policies
 from repro.sim.scenarios import SimMachine, baseline_scenario, low_carbon_scenario
 from repro.sim.sweep import SweepRunner, SweepTask
 from repro.sim.workload import PatelWorkloadGenerator, Workload, WorkloadConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.sweep_service import SweepService
 
 DEFAULT_SCALE = 6_000
 PAPER_SCALE = 71_190
@@ -105,6 +109,39 @@ def policy_sweep(
     ]
     results = runner.run(tasks)
     return {task.policy: results[task] for task in tasks}
+
+
+def sweep_service(
+    store_root: str,
+    *,
+    workers: int | None = None,
+    mp_context: str | None = None,
+    max_store_bytes: int | None = None,
+    max_retries: int = 2,
+) -> "SweepService":
+    """The stock long-lived sweep service over the memoized drivers.
+
+    Wires :func:`scenario` / :func:`workload` (shared, memoized) and the
+    full five-method catalogue
+    (:func:`repro.accounting.methods.method_by_name` — not the study's
+    EBA/CBA-only :func:`method_for`) to a
+    :class:`~repro.sim.sweep_service.SweepService` backed by a
+    content-addressed :class:`~repro.sim.result_store.ResultStore` at
+    ``store_root``.  This is what ``repro sweep serve`` runs.
+    """
+    from repro.accounting.methods import method_by_name
+    from repro.sim.result_store import ResultStore
+    from repro.sim.sweep_service import SweepService
+
+    return SweepService(
+        scenario,
+        workload,
+        method_by_name,
+        store=ResultStore(store_root, max_bytes=max_store_bytes),
+        workers=workers,
+        mp_context=mp_context,
+        max_retries=max_retries,
+    )
 
 
 def policy_sweep_serial(

@@ -79,7 +79,15 @@ class KNNRegressor:
         w = np.where(exact, 0.0, w)
         any_exact = exact.any(axis=1)
         w[any_exact] = exact[any_exact].astype(float)
-        w /= w.sum(axis=1, keepdims=True)
+        total = w.sum(axis=1, keepdims=True)
+        # Standardizing near-constant features can overflow every
+        # squared distance to inf, zeroing all the weights; fall back
+        # to a uniform mean so the prediction stays a convex
+        # combination of the neighbours instead of going NaN.
+        degenerate = total == 0.0
+        w = np.where(degenerate, 1.0, w)
+        total = np.where(degenerate, float(k), total)
+        w /= total
 
         preds = np.einsum("qk,qkt->qt", w, self._y[idx])
         return preds[:, 0] if self._single_output else preds

@@ -78,17 +78,14 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from functools import partial
 from itertools import product
-from multiprocessing import shared_memory
 from typing import Callable, Iterable, Mapping, Sequence
-
-import numpy as np
 
 from repro.accounting.base import AccountingMethod
 from repro.accounting.methods import method_by_name
 from repro.accounting.pricing import (
     ELIG_RANK_INELIGIBLE,
-    OUTCOME_FIELDS,
     OutcomeTable,
+    OutcomeTableShm,
     QuoteTable,
     QuoteTableCache,
     QuoteTableCacheStats,
@@ -98,6 +95,7 @@ from repro.accounting.pricing import (
 from repro.sim.engine import (
     MultiClusterSimulator,
     SimulationResult,
+    StreamingSimulationResult,
     pricing_for_sim_machine,
 )
 from repro.sim.job import Job
@@ -358,84 +356,57 @@ def _execute(runner: "SweepRunner", task: SweepTask):
 # ---------------------------------------------------------------------------
 # Pickle-free result transport
 # ---------------------------------------------------------------------------
-def _unregister_shm(shm: shared_memory.SharedMemory) -> None:
-    """Hand cleanup responsibility to the parent process.
+@dataclass(frozen=True, slots=True)
+class _ResultShm:
+    """Picklable envelope a worker ships instead of a pickled result:
+    the :class:`~repro.accounting.pricing.OutcomeTableShm` block
+    descriptor plus the scalar result identity."""
 
-    The creating worker must not let its resource tracker unlink the
-    block at interpreter exit — the parent unlinks after copying out.
-    Best-effort: on platforms without the tracker this is a no-op.
-    """
-    try:  # pragma: no cover - depends on interpreter internals
-        from multiprocessing import resource_tracker
-
-        resource_tracker.unregister(
-            shm._name, "shared_memory"
-        )  # type: ignore[attr-defined]
-    except Exception:
-        pass
+    table: OutcomeTableShm
+    policy: str
+    method: str
+    machines: Sequence[str]
 
 
-def _result_to_shm(result: SimulationResult) -> dict:
+def _result_to_shm(result: SimulationResult) -> _ResultShm:
     """Copy a result's column buffers into one shared-memory block and
-    return the picklable descriptor the parent rebuilds it from.
+    return the picklable envelope the parent rebuilds it from.
 
-    A :class:`~repro.sim.engine.StreamingSimulationResult` is
-    materialized here (``result.table`` concatenates its spilled
-    blocks): spill segments live in the worker's filesystem/tempdir and
-    must not outlive the worker, so the parent always receives a plain
-    in-memory result.  Sweep tasks are mid-size by construction; a
-    trace too large to materialize should not go through a fan-out
-    sweep in the first place."""
-    table = result.table
-    arrays = [np.ascontiguousarray(getattr(table, name)) for name, _ in OUTCOME_FIELDS]
-    total = sum(a.nbytes for a in arrays)
-    shm = shared_memory.SharedMemory(create=True, size=max(1, total))
-    try:
-        layout = []
-        offset = 0
-        for (name, _), array in zip(OUTCOME_FIELDS, arrays):
-            view = np.ndarray(array.shape, array.dtype, buffer=shm.buf, offset=offset)
-            view[...] = array
-            layout.append((name, array.dtype.str, len(array), offset))
-            offset += array.nbytes
-        descriptor = {
-            "shm": shm.name,
-            "layout": layout,
-            "policy": result.policy,
-            "method": result.method,
-            "machines": result.machines,
-            "table_machines": table.machines,
-        }
-    except BaseException:
-        # The parent never learns this block's name if packing fails, so
-        # the worker must unlink it here or it leaks until reboot.
-        shm.close()
-        shm.unlink()
-        raise
-    shm.close()
-    _unregister_shm(shm)
-    return descriptor
+    A :class:`~repro.sim.engine.StreamingSimulationResult` is packed
+    block-by-block straight off its spill store
+    (:meth:`OutcomeTable.stream_to_shm`), never materialized: spill
+    segments live in the worker's filesystem/tempdir and must not
+    outlive the worker, yet only one block of rows is resident here
+    while the parent receives the full concatenated columns."""
+    if isinstance(result, StreamingSimulationResult):
+        descriptor = OutcomeTable.stream_to_shm(
+            result.iter_tables(),
+            result.n_jobs,
+            result.store.machines,
+            hand_off=True,
+        )
+    else:
+        # repro-lint: disable=RPL003 (hand_off=True: the parent unlinks after _result_from_shm copies out, or via run()'s abort-path sweep)
+        descriptor = result.table.to_shm(hand_off=True)
+    return _ResultShm(
+        table=descriptor,
+        policy=result.policy,
+        method=result.method,
+        machines=result.machines,
+    )
 
 
-def _result_from_shm(descriptor: dict) -> SimulationResult:
-    """Rebuild a :class:`SimulationResult` from a worker's descriptor,
+def _result_from_shm(payload: _ResultShm) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from a worker's envelope,
     copying the columns out and unlinking the shared block."""
-    shm = shared_memory.SharedMemory(name=descriptor["shm"])
     try:
-        columns = {
-            name: np.ndarray(
-                (length,), np.dtype(dtype), buffer=shm.buf, offset=offset
-            ).copy()
-            for name, dtype, length, offset in descriptor["layout"]
-        }
+        table = OutcomeTable.attach(payload.table)
     finally:
-        shm.close()
-        shm.unlink()
-    table = OutcomeTable(descriptor["table_machines"], **columns)
+        payload.table.unlink()
     return SimulationResult(
-        policy=descriptor["policy"],
-        method=descriptor["method"],
-        machines=descriptor["machines"],
+        policy=payload.policy,
+        method=payload.method,
+        machines=list(payload.machines),
         table=table,
     )
 
@@ -706,7 +677,7 @@ class SweepRunner:
                 for item in pool.map(partial(worker, self), tasks):
                     raw.append(item)
             results = [
-                _result_from_shm(r) if isinstance(r, dict) else r
+                _result_from_shm(r) if isinstance(r, _ResultShm) else r
                 for r, _ in raw
             ]
         except BaseException:
@@ -716,11 +687,9 @@ class SweepRunner:
             # responsibility to this process).
             for item in raw:
                 payload = item[0] if isinstance(item, tuple) else item
-                if isinstance(payload, dict):
+                if isinstance(payload, _ResultShm):
                     try:
-                        block = shared_memory.SharedMemory(name=payload["shm"])
-                        block.close()
-                        block.unlink()
+                        payload.table.unlink()
                     except OSError:
                         pass
             raise

@@ -1,0 +1,781 @@
+"""Long-lived sweep service: persistent workers + incremental store.
+
+:class:`~repro.sim.sweep.SweepRunner` is a batch engine: one call fans
+a grid over a fresh pool and returns everything at once.  The
+policy-search loops behind the paper's Table 6 and Fig. 7 instead issue
+*streams* of heavily overlapping grids, so this module keeps the
+expensive state alive between submissions:
+
+* a **persistent worker pool** on ``SweepRunner``'s transport (fork /
+  spawn / forkserver processes, shared-memory result return, worker-
+  local quote-table caches that stay warm across tasks);
+* an **async submission queue**: :meth:`SweepService.submit` returns a
+  :class:`SweepSubmission` immediately and results stream through it
+  as they land, store hits first;
+* the **content-addressed result store**
+  (:class:`~repro.sim.result_store.ResultStore`): every computed grid
+  point is persisted under its config fingerprint, so a resubmitted
+  grid costs zero simulations and a superset grid computes only the
+  delta.
+
+Robustness contract
+-------------------
+A worker that *crashes* mid-task (kill -9, OOM) is detected by
+liveness polling, replaced, and its task retried with bounded
+exponential backoff (``max_retries``); results are delivered exactly
+once even when a crash races the result message.  A worker that
+*raises* is deterministic — the same inputs would raise again — so the
+error is surfaced through the submission without retrying.  A corrupt
+or truncated store entry is a miss (the store recomputes, never
+crashes — see :mod:`repro.sim.result_store`).
+
+Service stats (queue depth, in-flight count, retries, restarts, store
+hit/miss/eviction counters) surface through :meth:`SweepService.stats`
+the same way ``QuoteTableCache`` stats already do, and stream over the
+``repro sweep serve`` JSON-lines protocol (:func:`serve_stdio`) for
+operators and the CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import queue
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import IO, Any, Callable, Iterator, Mapping, Sequence
+
+from repro.accounting.base import AccountingMethod
+from repro.accounting.methods import all_methods, method_by_name
+from repro.accounting.pricing import PricingFingerprint, QuoteTable
+from repro.sim.engine import SimulationResult, pricing_for_sim_machine
+from repro.sim.policies import standard_policies
+from repro.sim.result_store import ResultStore, ResultStoreStats, task_store_key
+from repro.sim.sweep import (
+    MP_CONTEXT_ENV,
+    SHM_ENV,
+    SweepRunner,
+    SweepTask,
+    _ResultShm,
+    _result_from_shm,
+    _result_to_shm,
+    resolve_workers,
+    sweep_grid,
+)
+
+#: ``(scenario_name, seed) -> machines`` — the memoized scenario builder
+#: (:func:`repro.experiments._simulation.scenario` is the stock one).
+ScenarioFn = Callable[[str, int], Any]
+#: ``(scenario_name, scale, seed) -> Workload`` — likewise memoized.
+WorkloadFn = Callable[[str, int, int], Any]
+#: ``method_name -> AccountingMethod`` (all five §4.2 methods).
+MethodFn = Callable[[str], AccountingMethod]
+
+#: Dispatcher poll period: how often worker liveness is checked while
+#: the result queue is idle.  Latency floor for crash detection only —
+#: results themselves wake the dispatcher immediately.
+POLL_INTERVAL_S = 0.05
+
+
+class SweepTaskError(RuntimeError):
+    """A grid point failed permanently (deterministic worker exception,
+    retry budget exhausted, or the service closed underneath it)."""
+
+    def __init__(self, task: SweepTask, message: str) -> None:
+        super().__init__(f"sweep task {task} failed: {message}")
+        self.task = task
+        self.message = message
+
+
+@dataclass(frozen=True, slots=True)
+class SweepServiceStats:
+    """Point-in-time service counters (plus the store's own)."""
+
+    submitted: int
+    completed: int
+    from_store: int
+    computed: int
+    failed: int
+    retries: int
+    worker_restarts: int
+    queue_depth: int
+    in_flight: int
+    workers: int
+    store: ResultStoreStats
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "from_store": self.from_store,
+            "computed": self.computed,
+            "failed": self.failed,
+            "retries": self.retries,
+            "worker_restarts": self.worker_restarts,
+            "queue_depth": self.queue_depth,
+            "in_flight": self.in_flight,
+            "workers": self.workers,
+            "store": self.store.as_dict(),
+        }
+
+
+class SweepSubmission:
+    """Streaming handle for one submitted grid.
+
+    Results arrive in completion order — store hits first (delivered
+    synchronously at submit time), computed points as workers finish.
+    :meth:`results` is one-shot: it consumes the stream.
+    """
+
+    def __init__(self, tasks: Sequence[SweepTask]) -> None:
+        self.tasks = list(tasks)
+        self._queue: queue.Queue[
+            tuple[SweepTask, SimulationResult | None, str | None]
+        ] = queue.Queue()
+        self._count_lock = threading.Lock()
+        #: Tasks served from the result store without computing.
+        self.from_store = 0
+        #: Tasks computed by the worker pool for this submission.
+        self.computed = 0
+        #: Tasks that failed permanently.
+        self.failed = 0
+
+    # -- service side --------------------------------------------------
+    def _deliver(
+        self, task: SweepTask, result: SimulationResult, from_store: bool
+    ) -> None:
+        with self._count_lock:
+            if from_store:
+                self.from_store += 1
+            else:
+                self.computed += 1
+        self._queue.put((task, result, None))
+
+    def _fail(self, task: SweepTask, message: str) -> None:
+        with self._count_lock:
+            self.failed += 1
+        self._queue.put((task, None, message))
+
+    # -- client side ---------------------------------------------------
+    def results(
+        self, timeout: float | None = None
+    ) -> Iterator[tuple[SweepTask, SimulationResult]]:
+        """Yield ``(task, result)`` pairs as they land.
+
+        Raises :class:`SweepTaskError` for a permanently failed task
+        and ``queue.Empty`` if ``timeout`` (per result) expires.
+        """
+        for _ in range(len(self.tasks)):
+            task, result, error = self._queue.get(timeout=timeout)
+            if error is not None or result is None:
+                raise SweepTaskError(task, error or "no result")
+            yield task, result
+
+    def wait(
+        self, timeout: float | None = None
+    ) -> dict[SweepTask, SimulationResult]:
+        """Block until every task resolved; results keyed by task."""
+        return dict(self.results(timeout=timeout))
+
+
+class _Job:
+    """One in-flight grid point (shared by all submissions wanting it)."""
+
+    __slots__ = ("job_id", "task", "key", "waiters", "attempts", "resolved")
+
+    def __init__(self, job_id: int, task: SweepTask, key: str) -> None:
+        self.job_id = job_id
+        self.task = task
+        self.key = key
+        self.waiters: list[tuple[SweepSubmission, SweepTask]] = []
+        self.attempts = 0
+        self.resolved = False
+
+
+class _Worker:
+    """A pool member: its process, dedicated inbox, and current job."""
+
+    __slots__ = ("name", "process", "inbox", "job")
+
+    def __init__(self, name: str, process: Any, inbox: Any) -> None:
+        self.name = name
+        self.process = process
+        self.inbox = inbox
+        self.job: _Job | None = None
+
+
+def _service_worker(
+    name: str,
+    inbox: Any,
+    results: Any,
+    scenario_fn: ScenarioFn,
+    workload_fn: WorkloadFn,
+    method_fn: MethodFn,
+    use_shm: bool,
+) -> None:
+    """Worker main loop: pull ``(job_id, task)``, push a result message.
+
+    Reuses :meth:`SweepRunner.run_task` so the worker-local quote-table
+    cache stays warm across every task this worker ever runs (the point
+    of a persistent pool).  Deterministic exceptions are reported as
+    ``error`` messages — the worker itself never dies on a bad task.
+    """
+    runner = SweepRunner(
+        scenario_fn, workload_fn, method_fn, workers=1, shared_memory=use_shm
+    )
+    while True:
+        item = inbox.get()
+        if item is None:
+            break
+        job_id, task = item
+        try:
+            result = runner.run_task(task)
+            payload: object = result
+            if use_shm:
+                try:
+                    payload = _result_to_shm(result)
+                except OSError:
+                    payload = result
+        except Exception as exc:
+            results.put(("error", job_id, name, f"{type(exc).__name__}: {exc}"))
+        else:
+            results.put(("ok", job_id, name, payload))
+
+
+class SweepService:
+    """The long-lived sweep service (see the module docstring).
+
+    Parameters
+    ----------
+    scenario_fn / workload_fn / method_fn:
+        Same contract as :class:`~repro.sim.sweep.SweepRunner`; must be
+        picklable module-level callables under non-fork contexts.
+        ``method_fn`` defaults to
+        :func:`repro.accounting.methods.method_by_name` (all five
+        methods).
+    store:
+        The :class:`~repro.sim.result_store.ResultStore` backing
+        incremental resubmission.
+    workers:
+        Pool size (``None``: ``REPRO_SWEEP_WORKERS`` or the CPU count).
+    mp_context:
+        ``"fork"`` / ``"spawn"`` / ``"forkserver"`` (``None``:
+        ``REPRO_SWEEP_MP_CONTEXT`` or the platform default).
+    shared_memory:
+        Ship computed results as shared-memory blocks (``None``:
+        ``REPRO_SWEEP_SHM``, default on).
+    max_retries:
+        Crash-retry budget per task; attempt ``n`` backs off
+        ``retry_backoff_s * 2**(n-1)`` seconds before requeueing.
+    """
+
+    def __init__(
+        self,
+        scenario_fn: ScenarioFn,
+        workload_fn: WorkloadFn,
+        method_fn: MethodFn | None = None,
+        *,
+        store: ResultStore,
+        workers: int | None = None,
+        mp_context: str | None = None,
+        shared_memory: bool | None = None,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+    ) -> None:
+        self.scenario_fn = scenario_fn
+        self.workload_fn = workload_fn
+        self.method_fn: MethodFn = method_fn or method_by_name
+        self.store = store
+        self.workers = resolve_workers(workers)
+        if mp_context is None:
+            mp_context = os.environ.get(MP_CONTEXT_ENV) or None
+        self._ctx = multiprocessing.get_context(mp_context)
+        if shared_memory is None:
+            shared_memory = os.environ.get(SHM_ENV, "1").lower() not in (
+                "0",
+                "false",
+            )
+        self.shared_memory = shared_memory
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+
+        self._lock = threading.Lock()
+        self._results_q: Any = self._ctx.Queue()
+        self._workers: dict[str, _Worker] = {}
+        self._idle: deque[str] = deque()
+        self._backlog: deque[_Job] = deque()
+        self._jobs: dict[int, _Job] = {}
+        self._jobs_by_key: dict[str, _Job] = {}
+        self._job_counter = 0
+        self._worker_counter = 0
+        self._fingerprints: dict[tuple[str, int], PricingFingerprint] = {}
+        self._timers: set[threading.Timer] = set()
+        self._stop = threading.Event()
+        self._dispatcher: threading.Thread | None = None
+        self._closed = False
+        self._submitted = 0
+        self._from_store = 0
+        self._computed = 0
+        self._failed = 0
+        self._retries = 0
+        self._restarts = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        """Boot the pool and dispatcher (idempotent; lazy via submit)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SweepService is closed")
+            if self._dispatcher is not None:
+                return
+            for _ in range(self.workers):
+                self._spawn_worker_locked()
+            dispatcher = threading.Thread(
+                target=self._dispatch_loop,
+                name="repro-sweep-dispatcher",
+                daemon=True,
+            )
+            self._dispatcher = dispatcher
+        dispatcher.start()
+
+    def _spawn_worker_locked(self) -> _Worker:
+        name = f"w{self._worker_counter}"
+        self._worker_counter += 1
+        inbox: Any = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_service_worker,
+            args=(
+                name,
+                inbox,
+                self._results_q,
+                self.scenario_fn,
+                self.workload_fn,
+                self.method_fn,
+                self.shared_memory,
+            ),
+            name=f"repro-sweep-{name}",
+            daemon=True,
+        )
+        process.start()
+        worker = _Worker(name, process, inbox)
+        self._workers[name] = worker
+        self._idle.append(name)
+        return worker
+
+    def warm(self, tasks: Sequence[SweepTask]) -> None:
+        """Pre-build the grid's workloads and quote tables in-process.
+
+        Useful before :meth:`start` under the fork context: workers
+        then inherit every warmed table copy-on-write.  Harmless (just
+        not shared) once workers exist or under spawn.
+        """
+        runner = SweepRunner(
+            self.scenario_fn, self.workload_fn, self.method_fn, workers=1
+        )
+        runner._warm(tasks)
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop workers and the dispatcher; fail outstanding jobs.
+
+        Idempotent.  Queued shared-memory result blocks that never got
+        delivered are unlinked here so nothing outlives the service.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._stop.set()
+        for timer in list(self._timers):
+            timer.cancel()
+        self._timers.clear()
+        with self._lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            self._resolve(job, error="service closed")
+        with self._lock:
+            workers = list(self._workers.values())
+        for worker in workers:
+            try:
+                worker.inbox.put(None)
+            except (OSError, ValueError):
+                pass
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=timeout)
+        for worker in workers:
+            worker.process.join(timeout=timeout)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+        self._drain_result_queue()
+
+    def __enter__(self) -> SweepService:
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _drain_result_queue(self) -> None:
+        """Unlink any undelivered shared-memory payloads at shutdown."""
+        while True:
+            try:
+                message = self._results_q.get_nowait()
+            except (queue.Empty, OSError, ValueError):
+                return
+            payload = message[3]
+            if isinstance(payload, _ResultShm):
+                try:
+                    payload.table.unlink()
+                except OSError:
+                    pass
+
+    # -- keying --------------------------------------------------------
+    def _pricing_fingerprint(
+        self, scenario: str, seed: int
+    ) -> PricingFingerprint:
+        memo_key = (scenario, seed)
+        fingerprint = self._fingerprints.get(memo_key)
+        if fingerprint is None:
+            machines = dict(self.scenario_fn(scenario, seed))
+            pricings = {
+                name: pricing_for_sim_machine(machine)
+                for name, machine in machines.items()
+            }
+            fingerprint = QuoteTable.fingerprint(pricings)
+            self._fingerprints[memo_key] = fingerprint
+        return fingerprint
+
+    def store_key(self, task: SweepTask) -> str:
+        """The content address of ``task``'s result (see
+        :func:`repro.sim.result_store.task_store_key`)."""
+        return task_store_key(
+            task, self._pricing_fingerprint(task.scenario, task.seed)
+        )
+
+    # -- submission ----------------------------------------------------
+    def submit(self, tasks: Sequence[SweepTask]) -> SweepSubmission:
+        """Queue a grid; returns the streaming handle immediately.
+
+        Store hits are delivered synchronously before this returns;
+        misses are queued (deduplicated against identical in-flight
+        grid points, so overlapping submissions share one computation).
+        """
+        self.start()
+        submission = SweepSubmission(tasks)
+        for task in submission.tasks:
+            key = self.store_key(task)
+            cached = self.store.get(key)
+            if cached is not None:
+                with self._lock:
+                    self._submitted += 1
+                    self._from_store += 1
+                submission._deliver(task, cached, from_store=True)
+                continue
+            with self._lock:
+                self._submitted += 1
+                job = self._jobs_by_key.get(key)
+                if job is None:
+                    job = _Job(self._job_counter, task, key)
+                    self._job_counter += 1
+                    self._jobs[job.job_id] = job
+                    self._jobs_by_key[key] = job
+                    self._backlog.append(job)
+                job.waiters.append((submission, task))
+        return submission
+
+    def run(
+        self, tasks: Sequence[SweepTask]
+    ) -> dict[SweepTask, SimulationResult]:
+        """Submit and block: the drop-in synchronous entry point."""
+        return self.submit(tasks).wait()
+
+    # -- dispatcher ----------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            self._assign_ready()
+            try:
+                message = self._results_q.get(timeout=POLL_INTERVAL_S)
+            except queue.Empty:
+                self._reap_dead_workers()
+                continue
+            except (OSError, ValueError):  # queue closed under us
+                return
+            self._handle_message(message)
+
+    def _assign_ready(self) -> None:
+        while True:
+            with self._lock:
+                if not self._backlog or not self._idle:
+                    return
+                name = self._idle.popleft()
+                worker = self._workers.get(name)
+                if worker is None:
+                    continue
+                job = self._backlog.popleft()
+                if job.resolved:
+                    self._idle.appendleft(name)
+                    continue
+                worker.job = job
+            try:
+                worker.inbox.put((job.job_id, job.task))
+            except (OSError, ValueError):
+                # Worker torn down between pick and put; requeue.
+                with self._lock:
+                    worker.job = None
+                    self._backlog.appendleft(job)
+
+    def _handle_message(self, message: tuple[str, int, str, object]) -> None:
+        kind, job_id, worker_name, payload = message
+        with self._lock:
+            worker = self._workers.get(worker_name)
+            if (
+                worker is not None
+                and worker.job is not None
+                and worker.job.job_id == job_id
+            ):
+                worker.job = None
+                self._idle.append(worker_name)
+            job = self._jobs.get(job_id)
+        if job is None or job.resolved:
+            # A crash-retry raced the original result message: the job
+            # already resolved, so just free the duplicate's block.
+            if isinstance(payload, _ResultShm):
+                try:
+                    payload.table.unlink()
+                except OSError:
+                    pass
+            return
+        if kind == "ok":
+            if isinstance(payload, _ResultShm):
+                result = _result_from_shm(payload)
+            else:
+                assert isinstance(payload, SimulationResult)
+                result = payload
+            try:
+                self.store.put(job.key, result)
+            except OSError:
+                pass  # a full/read-only store must not fail the sweep
+            self._resolve(job, result=result)
+        else:
+            # Deterministic worker exception: the same inputs would
+            # raise again, so retrying is waste — surface it.
+            self._resolve(job, error=str(payload))
+
+    def _reap_dead_workers(self) -> None:
+        """Crash detection: replace dead workers, retry their tasks."""
+        orphans: list[_Job] = []
+        with self._lock:
+            dead = [
+                worker
+                for worker in self._workers.values()
+                if not worker.process.is_alive()
+            ]
+            for worker in dead:
+                del self._workers[worker.name]
+                try:
+                    self._idle.remove(worker.name)
+                except ValueError:
+                    pass
+                if worker.job is not None:
+                    orphans.append(worker.job)
+                    worker.job = None
+                self._restarts += 1
+                self._spawn_worker_locked()
+        for job in orphans:
+            if job.resolved:
+                continue
+            job.attempts += 1
+            if job.attempts > self.max_retries:
+                self._resolve(
+                    job,
+                    error=(
+                        f"worker died {job.attempts} time(s) running this "
+                        "task; retry budget exhausted"
+                    ),
+                )
+                continue
+            with self._lock:
+                self._retries += 1
+            delay = self.retry_backoff_s * (2 ** (job.attempts - 1))
+            self._schedule_retry(job, delay)
+
+    def _schedule_retry(self, job: _Job, delay: float) -> None:
+        timer: threading.Timer
+
+        def fire() -> None:
+            self._timers.discard(timer)
+            with self._lock:
+                if job.resolved or self._stop.is_set():
+                    return
+                self._backlog.append(job)
+
+        timer = threading.Timer(delay, fire)
+        timer.daemon = True
+        self._timers.add(timer)
+        timer.start()
+
+    def _resolve(
+        self,
+        job: _Job,
+        result: SimulationResult | None = None,
+        error: str | None = None,
+    ) -> None:
+        """Deliver a job's outcome to every waiter, exactly once."""
+        with self._lock:
+            if job.resolved:
+                return
+            job.resolved = True
+            self._jobs.pop(job.job_id, None)
+            if self._jobs_by_key.get(job.key) is job:
+                del self._jobs_by_key[job.key]
+            waiters, job.waiters = job.waiters, []
+            if error is None:
+                self._computed += 1
+            else:
+                self._failed += 1
+        for submission, task in waiters:
+            if error is None and result is not None:
+                submission._deliver(task, result, from_store=False)
+            else:
+                submission._fail(task, error or "no result")
+
+    # -- introspection -------------------------------------------------
+    def stats(self) -> SweepServiceStats:
+        """Current counters; ``store`` nests the store's own stats."""
+        with self._lock:
+            in_flight = sum(
+                1 for w in self._workers.values() if w.job is not None
+            )
+            snapshot = SweepServiceStats(
+                submitted=self._submitted,
+                completed=self._from_store + self._computed,
+                from_store=self._from_store,
+                computed=self._computed,
+                failed=self._failed,
+                retries=self._retries,
+                worker_restarts=self._restarts,
+                queue_depth=len(self._backlog),
+                in_flight=in_flight,
+                workers=len(self._workers),
+                store=self.store.stats(),
+            )
+        return snapshot
+
+
+# ---------------------------------------------------------------------------
+# JSON-lines protocol (`repro sweep serve`)
+# ---------------------------------------------------------------------------
+def _result_summary(task: SweepTask, result: SimulationResult) -> dict[str, object]:
+    """The scalar identity of one result, full float precision.
+
+    ``json.dumps`` emits shortest-roundtrip reprs, so two runs agree on
+    these lines iff the underlying floats are bit-identical — the CI
+    gate compares them textually.
+    """
+    return {
+        "scenario": task.scenario,
+        "policy": task.policy,
+        "method": task.method,
+        "scale": task.scale,
+        "seed": task.seed,
+        "n_jobs": result.n_jobs,
+        "makespan_s": result.makespan_s,
+        "total_cost": result.total_cost(),
+        "total_energy_j": result.total_energy_j(),
+        "total_attributed_carbon_g": result.total_attributed_carbon_g(),
+        "mean_queue_wait_s": result.mean_queue_wait_s(),
+    }
+
+
+def serve_stdio(
+    service: SweepService,
+    in_stream: IO[str],
+    out_stream: IO[str],
+) -> int:
+    """The ``repro sweep serve`` control loop: JSON lines in and out.
+
+    Requests (one JSON object per line): ``{"op": "sweep", "scenarios":
+    [...], "policies": [...], "methods": [...], "scales": [...],
+    "seeds": [...]}`` streams one ``result`` event per grid point
+    (store hits first) then a ``sweep-done`` event with the
+    submission's from-store/computed split and full service stats;
+    ``{"op": "stats"}`` emits a ``stats`` event; ``{"op": "shutdown"}``
+    stops the service.  Malformed input produces an ``error`` event,
+    never a crash.
+    """
+
+    def emit(event: Mapping[str, object]) -> None:
+        out_stream.write(json.dumps(event, sort_keys=True) + "\n")
+        out_stream.flush()
+
+    emit(
+        {
+            "event": "ready",
+            "workers": service.workers,
+            "store": str(service.store.root),
+        }
+    )
+    try:
+        for line in in_stream:
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                request = json.loads(text)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                emit({"event": "error", "message": f"bad request: {exc}"})
+                continue
+            op = request.get("op")
+            if op == "shutdown":
+                emit({"event": "bye"})
+                break
+            if op == "stats":
+                emit({"event": "stats", **service.stats().as_dict()})
+                continue
+            if op != "sweep":
+                emit({"event": "error", "message": f"unknown op {op!r}"})
+                continue
+            tasks = sweep_grid(
+                scenarios=request.get("scenarios", ["baseline"]),
+                policies=request.get("policies")
+                or [p.name for p in standard_policies()],
+                methods=request.get("methods")
+                or [m.name for m in all_methods()],
+                scales=request.get("scales", [250]),
+                seeds=request.get("seeds", [0]),
+            )
+            submission = service.submit(tasks)
+            try:
+                for task, result in submission.results():
+                    emit({"event": "result", **_result_summary(task, result)})
+            except SweepTaskError as exc:
+                emit({"event": "error", "message": str(exc)})
+                continue
+            emit(
+                {
+                    "event": "sweep-done",
+                    "tasks": len(tasks),
+                    "from_store": submission.from_store,
+                    "computed": submission.computed,
+                    "stats": service.stats().as_dict(),
+                }
+            )
+    finally:
+        service.close()
+    return 0
+
+
+__all__ = [
+    "POLL_INTERVAL_S",
+    "SweepService",
+    "SweepServiceStats",
+    "SweepSubmission",
+    "SweepTaskError",
+    "serve_stdio",
+]

@@ -88,3 +88,16 @@ def test_prediction_within_target_hull(points, query):
     model = KNNRegressor(k=3).fit(x, y)
     pred = model.predict([[query]])[0]
     assert y.min() - 1e-9 <= pred <= y.max() + 1e-9
+
+
+def test_near_constant_feature_never_predicts_nan():
+    """Standardizing a near-constant feature (std ~1e-158) overflows
+    every squared distance to inf, which used to zero all IDW weights
+    and emit a NaN prediction; the regressor now falls back to a
+    uniform mean over the neighbours (hypothesis-found regression)."""
+    x = np.array([[0.0], [1.2699038738388975e-157]])
+    y = np.array([0.25, 0.75])
+    with np.errstate(over="ignore"):
+        pred = KNNRegressor(k=3).fit(x, y).predict([[1.0]])[0]
+    assert np.isfinite(pred)
+    assert y.min() <= pred <= y.max()

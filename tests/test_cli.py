@@ -55,6 +55,31 @@ class TestStudyAndSim:
         assert "Fig. 7a" in capsys.readouterr().out
 
 
+class TestSweepServe:
+    def test_serve_stats_and_shutdown(self, tmp_path, monkeypatch, capsys):
+        import io
+        import json
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO('{"op": "stats"}\n{"op": "shutdown"}\n')
+        )
+        assert (
+            main(["sweep", "serve", "--store", str(tmp_path), "--jobs", "1"])
+            == 0
+        )
+        events = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+        ]
+        assert [e["event"] for e in events] == ["ready", "stats", "bye"]
+        assert events[0]["workers"] == 1
+        assert events[1]["store"]["entries"] == 0
+
+    def test_sweep_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["sweep"])
+
+
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])

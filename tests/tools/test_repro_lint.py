@@ -173,6 +173,21 @@ CASES = [
         ),
         flag_line=4,
     ),
+    RuleCase(
+        code="RPL009",
+        rel="sim/result_store.py",
+        bad=(
+            "def read(path):\n"
+            "    fh = open(path, 'rb')\n"
+            "    return fh.read()\n"
+        ),
+        good=(
+            "def read(path):\n"
+            "    with open(path, 'rb') as fh:\n"
+            "        return fh.read()\n"
+        ),
+        flag_line=2,
+    ),
 ]
 
 CASE_IDS = [case.code for case in CASES]
@@ -314,6 +329,48 @@ class TestRuleEdgeCases:
     def test_exception_classes_exempt_from_rpl007(self):
         source = "class SimError(ValueError):\n    pass\n"
         assert lint_source(source, rel_path="sim/events.py") == []
+
+    def test_rpl009_lock_acquire_needs_release(self):
+        source = (
+            "def grab(lock):\n"
+            "    lock.acquire()\n"
+            "    return 1\n"
+        )
+        assert codes(
+            lint_source(source, rel_path="sim/sweep_service.py")
+        ) == ["RPL009"]
+        paired = (
+            "def grab(lock):\n"
+            "    lock.acquire()\n"
+            "    try:\n"
+            "        return 1\n"
+            "    finally:\n"
+            "        lock.release()\n"
+        )
+        assert lint_source(paired, rel_path="sim/sweep_service.py") == []
+
+    def test_rpl009_with_managed_lock_clean(self):
+        source = (
+            "def grab(lock):\n"
+            "    with lock.acquire():\n"
+            "        return 1\n"
+        )
+        assert lint_source(source, rel_path="sim/result_store.py") == []
+
+    def test_rpl009_open_with_same_function_close_clean(self):
+        source = (
+            "def read(path):\n"
+            "    fh = open(path, 'rb')\n"
+            "    try:\n"
+            "        return fh.read()\n"
+            "    finally:\n"
+            "        fh.close()\n"
+        )
+        assert lint_source(source, rel_path="sim/result_store.py") == []
+
+    def test_rpl009_scoped_to_service_modules(self):
+        case = next(c for c in CASES if c.code == "RPL009")
+        assert lint_source(case.bad, rel_path="sim/engine.py") == []
 
 
 class TestSuppressionMechanics:

@@ -1,0 +1,23 @@
+"""The sweep-service CI driver at test scale.
+
+``tools/sweep_service_ci.py`` is the same three-pass gate the
+``sweep-service`` CI job runs (two server subprocesses over one store);
+here it runs at a smaller scale so the tier-1 suite exercises the real
+``repro sweep serve`` subprocess path end to end.
+"""
+
+from sweep_service_ci import GateFailure, run_gate
+
+
+def test_gate_passes_at_small_scale(tmp_path):
+    stats = run_gate(
+        str(tmp_path / "store"), scale=60, jobs=2, verbose=False
+    )
+    assert stats["failed"] == 0
+    assert stats["store"]["corrupt"] == 0
+
+
+def test_gate_failure_is_a_clean_assertion():
+    # The gate's failure channel is an AssertionError subclass so a
+    # pytest caller gets a readable diff, not a traceback soup.
+    assert issubclass(GateFailure, AssertionError)

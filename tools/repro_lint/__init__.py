@@ -12,7 +12,7 @@ linters cannot see:
    lookups in hot classes) must not creep back into the columnar kernels.
 
 ``repro_lint`` turns those contracts into eight machine-checked rules
-(RPL001..RPL008) with precise source locations and an inline suppression
+(RPL001..RPL009) with precise source locations and an inline suppression
 syntax that *requires* a human-readable reason::
 
     t0 = time.perf_counter()  # repro-lint: disable=RPL001 (real hardware timing)

@@ -17,7 +17,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro lint",
         description=(
             "AST-based invariant checker for the repro determinism and "
-            "hot-path contracts (rules RPL001..RPL008)."
+            "hot-path contracts (rules RPL001..RPL009)."
         ),
     )
     parser.add_argument(

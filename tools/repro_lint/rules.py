@@ -1,4 +1,4 @@
-"""The eight repro-specific invariant rules (RPL001..RPL008).
+"""The nine repro-specific invariant rules (RPL001..RPL009).
 
 Each rule encodes one clause of the repo's determinism / hot-path
 contract (see ``docs/architecture/invariants.md`` for the rationale and
@@ -39,6 +39,7 @@ RULE_SUMMARIES: dict[str, str] = {
     "RPL006": "no ordering-sensitive iteration over set expressions",
     "RPL007": "classes in hot modules must declare __slots__",
     "RPL008": "no pickle in modules with a shared-memory transport",
+    "RPL009": "file handles and locks must pair acquire with release",
 }
 RULE_CODES = frozenset(RULE_SUMMARIES)
 
@@ -91,6 +92,17 @@ _MODULE_SCOPES: dict[str, frozenset[str]] = {
             "sim/engine.py",
             "sim/migration.py",
             "sim/sweep.py",
+        }
+    ),
+    # Modules owning long-lived file handles / cross-thread locks (the
+    # sweep service and its result store): a handle opened or a lock
+    # acquired outside `with` and never closed/released in the same
+    # function leaks across the service's lifetime — exactly the bug
+    # class a persistent process cannot shrug off at exit.
+    "RPL009": frozenset(
+        {
+            "sim/result_store.py",
+            "sim/sweep_service.py",
         }
     ),
 }
@@ -173,11 +185,16 @@ def package_relative_path(path: str | Path) -> str:
 
 @dataclass
 class _FunctionRecord:
-    """Per-function bookkeeping for the shared-memory pairing rule."""
+    """Per-function bookkeeping for the resource pairing rules
+    (RPL003 shared memory, RPL009 file handles and locks)."""
 
     shm_sites: list[tuple[ast.AST, str]] = field(default_factory=list)
     has_unlink: bool = False
     has_closing: bool = False
+    open_sites: list[ast.AST] = field(default_factory=list)
+    acquire_sites: list[ast.AST] = field(default_factory=list)
+    has_file_close: bool = False
+    has_release: bool = False
 
 
 class InvariantChecker(ast.NodeVisitor):
@@ -192,6 +209,9 @@ class InvariantChecker(ast.NodeVisitor):
         self._imported_modules: set[str] = set()
         self._loop_depth = 0
         self._fn_stack: list[_FunctionRecord] = []
+        #: Call nodes that are `with`-item context expressions — their
+        #: cleanup is structurally guaranteed, so RPL009 skips them.
+        self._managed_calls: set[int] = set()
 
     # -- scoping ----------------------------------------------------------
 
@@ -279,7 +299,34 @@ class InvariantChecker(ast.NodeVisitor):
     visit_FunctionDef = _visit_function
     visit_AsyncFunctionDef = _visit_function
 
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        for item in node.items:
+            self._managed_calls.add(id(item.context_expr))
+        self.generic_visit(node)
+
+    visit_With = _visit_with
+    visit_AsyncWith = _visit_with
+
     def _finalize_function(self, record: _FunctionRecord) -> None:
+        for site in record.open_sites:
+            if not record.has_file_close:
+                self._flag(
+                    "RPL009",
+                    site,
+                    "file handle opened outside a 'with' block and this "
+                    "function never close()s; use 'with open(...)' (or pair "
+                    "the handle with close() in try/finally) so a long-lived "
+                    "service cannot leak descriptors",
+                )
+        for site in record.acquire_sites:
+            if not record.has_release:
+                self._flag(
+                    "RPL009",
+                    site,
+                    "lock acquire() outside a 'with' block and this function "
+                    "never release()s; prefer 'with lock:' so every exit "
+                    "path — including exceptions — releases it",
+                )
         for site, kind in record.shm_sites:
             if kind == "create" and not record.has_unlink:
                 self._flag(
@@ -408,6 +455,7 @@ class InvariantChecker(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         dotted = self._dotted(node.func)
         self._record_shm_activity(node, dotted)
+        self._record_resource_activity(node, dotted)
         if dotted:
             self._check_wall_clock(node, dotted)
             self._check_randomness(node, dotted)
@@ -496,6 +544,36 @@ class InvariantChecker(ast.NodeVisitor):
                 "per-row charge() re-introduces the O(n) Python overhead "
                 "the columnar kernels exist to avoid",
             )
+
+    def _record_resource_activity(
+        self, node: ast.Call, dotted: str | None
+    ) -> None:
+        """RPL009 bookkeeping: unmanaged open()/acquire() call sites and
+        the close()/release() calls that may pair them."""
+        if not self._fn_stack:
+            return
+        record = self._fn_stack[-1]
+        name = ""
+        if isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+        elif isinstance(node.func, ast.Name):
+            name = node.func.id
+        if name == "close":
+            record.has_file_close = True
+        elif "release" in name:
+            record.has_release = True
+        if not self._enabled("RPL009") or id(node) in self._managed_calls:
+            return
+        is_open = name == "open" or dotted in (
+            "open",
+            "io.open",
+            "os.open",
+            "os.fdopen",
+        )
+        if is_open:
+            record.open_sites.append(node)
+        elif name == "acquire":
+            record.acquire_sites.append(node)
 
     def _record_shm_activity(self, node: ast.Call, dotted: str | None) -> None:
         if not self._fn_stack:

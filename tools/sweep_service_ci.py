@@ -1,0 +1,302 @@
+"""CI gate for ``repro sweep serve``: incremental resubmission end to end.
+
+Drives two *separate* server processes over one shared result store:
+
+1. **Server A, pass 1** — the full 8-policy grid (one method), cold
+   store: every grid point must be computed.
+2. **Server B, pass 2** — the identical grid after a server restart:
+   at least ``--min-store-fraction`` (default 90%) of the grid must be
+   served from the store, and the ``result`` event lines must be
+   *textually identical* to pass 1's (``json.dumps`` emits
+   shortest-roundtrip floats, so matching lines mean bit-identical
+   scalars).
+3. **Server B, pass 3** — a strict superset (a second method): only
+   the delta may be computed; the overlap must come from the store.
+
+Exits nonzero with a diagnostic on any violation.  The same checks are
+importable (``run_gate``) so the test suite can run them at a smaller
+scale in-process.
+
+Usage::
+
+    python tools/sweep_service_ci.py [--store DIR] [--scale N] [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import queue
+import subprocess
+import sys
+import tempfile
+import threading
+from pathlib import Path
+from typing import Any, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The 8-policy grid is implied: a ``sweep`` request without
+#: ``"policies"`` fans over every standard policy server-side.
+BASE_METHODS = ["EBA"]
+SUPERSET_METHODS = ["EBA", "CBA"]
+N_POLICIES = 8
+
+READ_TIMEOUT_S = 300.0
+
+
+class GateFailure(AssertionError):
+    """A sweep-service CI invariant did not hold."""
+
+
+class ServeClient:
+    """One ``repro sweep serve`` process spoken to over JSON lines."""
+
+    def __init__(
+        self,
+        store: str,
+        scale: int,
+        jobs: int,
+        python: str = sys.executable,
+    ) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p
+            for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH"))
+            if p
+        )
+        self.scale = scale
+        self.proc = subprocess.Popen(
+            [python, "-m", "repro", "sweep", "serve", "--store", store,
+             "--jobs", str(jobs)],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        self._lines: queue.Queue[str | None] = queue.Queue()
+        self._reader = threading.Thread(target=self._pump, daemon=True)
+        self._reader.start()
+        ready = self.read_event()
+        if ready.get("event") != "ready":
+            raise GateFailure(f"expected ready event, got {ready}")
+
+    def _pump(self) -> None:
+        assert self.proc.stdout is not None
+        for line in self.proc.stdout:
+            self._lines.put(line)
+        self._lines.put(None)
+
+    def send(self, request: dict[str, Any]) -> None:
+        assert self.proc.stdin is not None
+        self.proc.stdin.write(json.dumps(request) + "\n")
+        self.proc.stdin.flush()
+
+    def read_event(self) -> dict[str, Any]:
+        try:
+            line = self._lines.get(timeout=READ_TIMEOUT_S)
+        except queue.Empty:
+            raise GateFailure(
+                f"server silent for {READ_TIMEOUT_S:.0f}s\n{self._stderr()}"
+            ) from None
+        if line is None:
+            raise GateFailure(f"server exited early\n{self._stderr()}")
+        event = json.loads(line)
+        if not isinstance(event, dict):
+            raise GateFailure(f"non-object event: {line!r}")
+        return event
+
+    def sweep(self, methods: Sequence[str]) -> tuple[list[str], dict[str, Any]]:
+        """Run one sweep; returns (sorted result lines, sweep-done event)."""
+        self.send(
+            {
+                "op": "sweep",
+                "scenarios": ["baseline"],
+                "methods": list(methods),
+                "scales": [self.scale],
+                "seeds": [0],
+            }
+        )
+        results: list[str] = []
+        while True:
+            event = self.read_event()
+            kind = event.get("event")
+            if kind == "result":
+                results.append(json.dumps(event, sort_keys=True))
+            elif kind == "sweep-done":
+                return sorted(results), event
+            elif kind == "error":
+                raise GateFailure(f"sweep failed: {event.get('message')}")
+            else:
+                raise GateFailure(f"unexpected event {event}")
+
+    def stats(self) -> dict[str, Any]:
+        self.send({"op": "stats"})
+        event = self.read_event()
+        if event.get("event") != "stats":
+            raise GateFailure(f"expected stats event, got {event}")
+        return event
+
+    def close(self) -> None:
+        try:
+            if self.proc.poll() is None:
+                self.send({"op": "shutdown"})
+                self.proc.wait(timeout=60)
+        except (OSError, ValueError, subprocess.TimeoutExpired):
+            self.proc.kill()
+            self.proc.wait()
+        finally:
+            for stream in (self.proc.stdin, self.proc.stdout, self.proc.stderr):
+                if stream is not None:
+                    stream.close()
+
+    def _stderr(self) -> str:
+        self.proc.kill()
+        self.proc.wait()
+        assert self.proc.stderr is not None
+        return "--- server stderr ---\n" + self.proc.stderr.read()
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise GateFailure(message)
+
+
+def run_gate(
+    store: str,
+    scale: int = 250,
+    jobs: int = 2,
+    min_store_fraction: float = 0.9,
+    python: str = sys.executable,
+    verbose: bool = True,
+) -> dict[str, Any]:
+    """The three-pass incremental-store gate; returns server B's stats."""
+
+    def say(message: str) -> None:
+        if verbose:
+            print(f"sweep-service gate: {message}", flush=True)
+
+    base_n = N_POLICIES * len(BASE_METHODS)
+    superset_n = N_POLICIES * len(SUPERSET_METHODS)
+
+    server_a = ServeClient(store, scale, jobs, python=python)
+    try:
+        lines1, done1 = server_a.sweep(BASE_METHODS)
+    finally:
+        server_a.close()
+    say(
+        f"pass 1 (cold store): {done1['tasks']} tasks, "
+        f"computed={done1['computed']} from_store={done1['from_store']}"
+    )
+    _check(done1["tasks"] == base_n, f"pass 1 expected {base_n} tasks: {done1}")
+    _check(
+        done1["computed"] == base_n and done1["from_store"] == 0,
+        f"cold store must compute every grid point: {done1}",
+    )
+
+    server_b = ServeClient(store, scale, jobs, python=python)
+    try:
+        lines2, done2 = server_b.sweep(BASE_METHODS)
+        say(
+            f"pass 2 (identical resubmit, new server): "
+            f"computed={done2['computed']} from_store={done2['from_store']}"
+        )
+        fraction = done2["from_store"] / done2["tasks"]
+        _check(
+            fraction >= min_store_fraction,
+            f"pass 2 served {fraction:.0%} from store "
+            f"(need >= {min_store_fraction:.0%}): {done2}",
+        )
+        _check(
+            done2["computed"] == 0,
+            f"identical resubmit must compute zero grid points: {done2}",
+        )
+        _check(
+            lines1 == lines2,
+            "pass 2 results are not bit-identical to pass 1:\n"
+            + "\n".join(
+                f"  pass1: {a}\n  pass2: {b}"
+                for a, b in zip(lines1, lines2)
+                if a != b
+            ),
+        )
+
+        lines3, done3 = server_b.sweep(SUPERSET_METHODS)
+        say(
+            f"pass 3 (superset grid): {done3['tasks']} tasks, "
+            f"computed={done3['computed']} from_store={done3['from_store']}"
+        )
+        _check(
+            done3["tasks"] == superset_n,
+            f"pass 3 expected {superset_n} tasks: {done3}",
+        )
+        _check(
+            done3["from_store"] == base_n
+            and done3["computed"] == superset_n - base_n,
+            f"superset must compute only the delta: {done3}",
+        )
+        _check(
+            set(lines1) <= set(lines3),
+            "superset results do not contain the base grid's results",
+        )
+
+        stats = server_b.stats()
+        say(
+            f"server B stats: from_store={stats['from_store']} "
+            f"computed={stats['computed']} "
+            f"store hits={stats['store']['hits']} "
+            f"misses={stats['store']['misses']}"
+        )
+        _check(
+            stats["from_store"] == base_n + base_n
+            and stats["computed"] == superset_n - base_n,
+            f"server B cumulative counters off: {stats}",
+        )
+        _check(
+            stats["failed"] == 0 and stats["worker_restarts"] == 0,
+            f"unexpected failures/restarts: {stats}",
+        )
+    finally:
+        server_b.close()
+    say("OK")
+    return stats
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="result-store directory (default: a fresh temp dir)",
+    )
+    parser.add_argument("--scale", type=int, default=250)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--min-store-fraction", type=float, default=0.9)
+    args = parser.parse_args(argv)
+    try:
+        if args.store is None:
+            with tempfile.TemporaryDirectory(prefix="repro-store-") as store:
+                run_gate(
+                    store,
+                    scale=args.scale,
+                    jobs=args.jobs,
+                    min_store_fraction=args.min_store_fraction,
+                )
+        else:
+            run_gate(
+                args.store,
+                scale=args.scale,
+                jobs=args.jobs,
+                min_store_fraction=args.min_store_fraction,
+            )
+    except GateFailure as failure:
+        print(f"sweep-service gate: FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
