@@ -35,10 +35,19 @@ from repro.sim.cluster import ClusterSim
 from repro.sim.engine import MultiClusterSimulator, pricing_for_sim_machine
 from repro.sim.job import Job
 from repro.sim.migration import MigratingSimulator, RunningTable, _Progress
-from repro.sim.policies import EFTPolicy, GreedyPolicy
-from repro.sim.scenarios import baseline_scenario, low_carbon_scenario
+from repro.sim.policies import EFTPolicy, GreedyPolicy, LargestFirstPolicy
+from repro.sim.scenarios import (
+    baseline_scenario,
+    low_carbon_scenario,
+    tiered_fleet_scenario,
+)
 from repro.sim.swf import write_synthetic_swf
-from repro.sim.workload import PatelWorkloadGenerator, WorkloadConfig
+from repro.sim.workload import (
+    PatelWorkloadGenerator,
+    StragglerConfig,
+    WorkloadConfig,
+    inject_stragglers,
+)
 
 _PROBE = Path(__file__).resolve().parents[1] / "tools" / "swf_stream_probe.py"
 
@@ -84,6 +93,25 @@ def test_engine_throughput_2k_jobs(run_once, benchmark):
     cfg = WorkloadConfig(n_base_jobs=1000, seed=0)
     wl = PatelWorkloadGenerator(machines, cfg).generate()
     sim = MultiClusterSimulator(machines, EnergyBasedAccounting(), GreedyPolicy())
+    result = run_once(benchmark, sim.run, wl)
+    assert result.n_jobs == len(wl)
+
+
+def test_tiered_fleet_throughput(run_once, benchmark):
+    """The tiered-fleet hot path: skewed core counts, per-tier slot
+    caps (the cap branch runs on every start attempt), straggler-
+    inflated runtimes, and the largest-first policy's per-arrival view
+    sort.  Guards the concurrency-cap bookkeeping added to the cluster
+    event core."""
+    machines = tiered_fleet_scenario(days=10, seed=0)
+    cfg = WorkloadConfig(n_base_jobs=1000, seed=0)
+    wl = inject_stragglers(
+        PatelWorkloadGenerator(machines, cfg).generate(),
+        StragglerConfig(frac=0.1, sigma=1.0, seed=0),
+    )
+    sim = MultiClusterSimulator(
+        machines, EnergyBasedAccounting(), LargestFirstPolicy()
+    )
     result = run_once(benchmark, sim.run, wl)
     assert result.n_jobs == len(wl)
 

@@ -67,6 +67,7 @@ DEFAULT_RSS_THRESHOLD = 0.30
 #: all; listing it here turns that into a gate failure.
 REQUIRED_BENCHMARKS = (
     "test_engine_throughput_2k_jobs",
+    "test_tiered_fleet_throughput",
     "test_workload_generation_2k",
     "test_event_loop_throughput",
     "test_migration_throughput_1k_jobs",

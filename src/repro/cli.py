@@ -7,6 +7,9 @@ reproduction is drivable without writing Python:
 * ``simulate`` — the §5 study (Figs. 5/6, Table 6) at a chosen scale;
 * ``low-carbon`` — the §5.6 scenario (Fig. 7);
 * ``study`` — the §6 game study (Figs. 9/10);
+* ``tiers`` — the tiered worker-fleet straggler study (beyond the
+  paper: per-tier utilization/bottleneck metrics and the fairness
+  spread of user charges under all five methods);
 * ``quote`` — price a function on every machine under any method;
 * ``sweep serve`` — the long-lived incremental sweep service
   (JSON-lines on stdin/stdout, content-addressed result store);
@@ -105,6 +108,22 @@ def _cmd_study(args: argparse.Namespace) -> int:
     print(fig9_user_study.format_report(n_users=args.users, seed=args.seed))
     print()
     print(fig10_job_probability.format_report(n_users=args.users, seed=args.seed))
+    return 0
+
+
+def _cmd_tiers(args: argparse.Namespace) -> int:
+    from repro.experiments import tiers_study
+
+    if not _apply_jobs(args):
+        return 2
+    print(
+        tiers_study.format_report(
+            scale=args.scale,
+            seed=args.seed,
+            straggler_frac=args.straggler_frac,
+            straggler_sigma=args.straggler_sigma,
+        )
+    )
     return 0
 
 
@@ -261,6 +280,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_study.add_argument("--users", type=int, default=90)
     p_study.add_argument("--seed", type=int, default=11)
     p_study.set_defaults(fn=_cmd_study)
+
+    p_tiers = sub.add_parser(
+        "tiers", help="run the tiered worker-fleet straggler study"
+    )
+    p_tiers.add_argument("--scale", type=int, default=1_500,
+                         help="base jobs before the x2 repetition")
+    p_tiers.add_argument("--seed", type=int, default=0)
+    p_tiers.add_argument("--straggler-frac", type=float, default=0.08,
+                         help="fraction of jobs that straggle")
+    p_tiers.add_argument("--straggler-sigma", type=float, default=1.0,
+                         help="lognormal tail weight of the inflation")
+    p_tiers.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="parallel sweep workers (default: "
+                              "$REPRO_SWEEP_WORKERS or the CPU count)")
+    p_tiers.set_defaults(fn=_cmd_tiers)
 
     p_quote = sub.add_parser("quote", help="price a function across machines")
     p_quote.add_argument("function", help="benchmark function name, e.g. Cholesky")

@@ -44,9 +44,22 @@ from repro.accounting.base import AccountingMethod
 from repro.accounting.methods import CarbonBasedAccounting, EnergyBasedAccounting
 from repro.sim.engine import MultiClusterSimulator, SimulationResult
 from repro.sim.policies import standard_policies
-from repro.sim.scenarios import SimMachine, baseline_scenario, low_carbon_scenario
+from repro.sim.scenarios import (
+    SimMachine,
+    baseline_scenario,
+    is_tiered_scenario,
+    low_carbon_scenario,
+    parse_tiered_scenario,
+    tiered_fleet_scenario,
+)
 from repro.sim.sweep import SweepRunner, SweepTask
-from repro.sim.workload import PatelWorkloadGenerator, Workload, WorkloadConfig
+from repro.sim.workload import (
+    PatelWorkloadGenerator,
+    StragglerConfig,
+    Workload,
+    WorkloadConfig,
+    inject_stragglers,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.sweep_service import SweepService
@@ -63,22 +76,33 @@ def method_for(name: str) -> AccountingMethod:
     raise KeyError(f"simulation methods are EBA or CBA, not {name!r}")
 
 
-@lru_cache(maxsize=4)
+@lru_cache(maxsize=8)
 def scenario(name: str, seed: int = 0) -> tuple[tuple[str, SimMachine], ...]:
     if name == "baseline":
         machines = baseline_scenario(days=40, seed=seed)
     elif name == "low-carbon":
         machines = low_carbon_scenario(days=40, seed=seed)
+    elif is_tiered_scenario(name):
+        # The straggler knobs ride in the name but only shape the
+        # workload; every tiered variant shares one hardware fleet.
+        parse_tiered_scenario(name)  # validate the knob encoding early
+        machines = tiered_fleet_scenario(days=40, seed=seed)
     else:
         raise KeyError(f"unknown scenario {name!r}")
     return tuple(machines.items())
 
 
-@lru_cache(maxsize=4)
+@lru_cache(maxsize=8)
 def workload(scenario_name: str, scale: int, seed: int = 0) -> Workload:
     machines = dict(scenario(scenario_name, seed))
     cfg = WorkloadConfig(n_base_jobs=scale, seed=seed)
-    return PatelWorkloadGenerator(machines, cfg).generate()
+    generated = PatelWorkloadGenerator(machines, cfg).generate()
+    if is_tiered_scenario(scenario_name):
+        frac, sigma = parse_tiered_scenario(scenario_name)
+        generated = inject_stragglers(
+            generated, StragglerConfig(frac=frac, sigma=sigma, seed=seed)
+        )
+    return generated
 
 
 @lru_cache(maxsize=16)

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.sim.engine import SimulationResult
+from repro.sim.metrics import TierFairness, TierMetrics
 from repro.units import JOULES_PER_KWH
 
 
@@ -201,4 +202,47 @@ def format_fleet_report(report: FleetReport) -> str:
         f"{report.total_energy_mwh:>9.3f}{'':>12}"
         f"{report.total_operational_kg:>10.1f}"
     )
+    return "\n".join(lines)
+
+
+def format_tier_metrics(rows: list[TierMetrics]) -> str:
+    """Fixed-width rendering of a tiered-fleet run's per-tier view.
+
+    Rows come from :func:`repro.sim.metrics.tier_metrics`; the tier
+    with the worst mean queue wait is flagged as the bottleneck.
+    """
+    header = (
+        f"{'Tier':<10}{'Jobs':>8}{'Stragg':>8}{'Core-h':>12}"
+        f"{'StraggCh':>10}{'Util%':>8}{'Wait(h)':>9}  Bottleneck"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.machine:<10}{r.jobs:>8}{r.straggler_jobs:>8}"
+            f"{r.core_hours:>12.0f}{r.straggler_core_hours:>10.0f}"
+            f"{100.0 * r.utilization:>8.1f}{r.mean_queue_wait_h:>9.2f}"
+            f"  {'<-- ' if r.bottleneck else ''}"
+        )
+    return "\n".join(lines)
+
+
+def format_tier_fairness(rows: list[TierFairness]) -> str:
+    """Fixed-width rendering of the per-tier charge-intensity spread.
+
+    Rows come from :func:`repro.sim.metrics.tier_fairness`: users are
+    grouped by the tier that served most of their work, and each row
+    shows what that group paid per core-hour of machine-independent
+    requested work — the fairness question tier skew raises.
+    """
+    header = (
+        f"{'Tier':<10}{'Users':>8}{'Mean $/core-h':>15}"
+        f"{'Min':>12}{'Max':>12}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.machine:<10}{r.users:>8}{r.mean_cost_per_core_hour:>15.4f}"
+            f"{r.min_cost_per_core_hour:>12.4f}"
+            f"{r.max_cost_per_core_hour:>12.4f}"
+        )
     return "\n".join(lines)

@@ -15,10 +15,17 @@ the window.  A real scan runs only when the index says some job may
 actually start, and the scan is the seed's exact bounded FCFS+backfill
 loop, so start decisions are bit-identical to always rescanning.
 
-Two paper-specific rules live here:
+Three machine-specific rules live here:
 
 * **one running job per user per cluster** (§5.3) — queued jobs whose
   user already runs on this cluster are skipped until that job ends;
+* **per-machine concurrency caps** (the tiered fleets' worker-slot
+  limits): when ``SimMachine.max_concurrent_jobs`` is set, at most that
+  many jobs run at once regardless of free cores.  Cap-blocked jobs
+  stay in the window, and because the ready-queue index never learns
+  about the cap, ``reindex`` keeps the queue marked scan-needed while a
+  cores-and-user-startable job waits on a slot — so the next finish
+  rescans and no start is ever missed;
 * **queue-time estimation** for the EFT/Mixed policies: expected wait is
   the committed core-seconds (running remainders + queued demand)
   divided by total capacity — the standard backlog heuristic.  Running
@@ -60,6 +67,7 @@ class ClusterSim:
         "_queued_core_s",
         "_running_cores",
         "_running_end_core_s",
+        "max_concurrent",
     )
 
     def __init__(self, machine: SimMachine, backfill_window: int = 64) -> None:
@@ -82,6 +90,10 @@ class ClusterSim:
         self._queued_core_s = 0.0
         self._running_cores = 0
         self._running_end_core_s = 0.0
+        #: Worker-slot cap (None = uncapped, the paper's machines).
+        self.max_concurrent: int | None = machine.max_concurrent_jobs
+        if self.max_concurrent is not None and self.max_concurrent < 1:
+            raise ValueError("max_concurrent_jobs must be >= 1")
 
     # ------------------------------------------------------------------
     @property
@@ -138,6 +150,11 @@ class ClusterSim:
         ready = self._ready
         if not ready.jobs or self.free_cores <= 0:
             return []
+        cap = self.max_concurrent
+        if cap is not None and len(self.running) >= cap:
+            # Every slot is taken: nothing can start, and the queue's
+            # scan-needed flag stays set for the finish that frees one.
+            return []
         if not ready.scan_needed():
             return []
         started: list[Job] = []
@@ -148,7 +165,11 @@ class ClusterSim:
         while queue and scanned < self.backfill_window:
             job = queue.popleft()
             scanned += 1
-            if job.cores <= self.free_cores and job.user not in busy:
+            if (
+                job.cores <= self.free_cores
+                and job.user not in busy
+                and (cap is None or len(self.running) < cap)
+            ):
                 self._start(job, now)
                 started.append(job)
             else:

@@ -38,6 +38,8 @@ suite uses to assert exact equivalence.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
 from repro.accounting.base import (
@@ -225,7 +227,7 @@ class SimulationResult:
         return _seq_sum(table.start_s - table.submit_s) / len(table)
 
     # ------------------------------------------------------------------
-    def iter_tables(self):
+    def iter_tables(self) -> Iterator[OutcomeTable]:
         """The result as a sequence of completion-ordered column blocks.
 
         In-memory results are a single block; streamed results yield
@@ -307,7 +309,7 @@ class StreamingSimulationResult(SimulationResult):
             self.__dict__["_table_cache"] = cached
         return cached
 
-    def iter_tables(self):
+    def iter_tables(self) -> Iterator[OutcomeTable]:
         yield from self.store.blocks()
 
     # ------------------------------------------------------------------

@@ -3,13 +3,23 @@
 Table 6 reports energy in MWh and carbon in kgCO2e; Fig. 5a reports work
 in millions of core-hours under a fixed allocation.  ``summarize``
 produces one row of those units per (policy, method) run.
+
+The tiered-fleet study adds two more views (ROADMAP item 3):
+:func:`tier_metrics` — per-tier utilization, straggler load, and the
+bottleneck tier — and :func:`tier_fairness`, which groups users by the
+tier that served most of their work and compares what each group paid
+per core-hour of (machine-independent) requested work.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.sim.engine import SimulationResult
+from repro.sim.scenarios import SimMachine
+from repro.sim.workload import StragglerConfig, straggler_mask
 from repro.units import JOULES_PER_KWH
 
 
@@ -74,3 +84,159 @@ def format_summaries(rows: list[PolicySummary]) -> str:
             f"{r.attributed_carbon_kg:>10.1f}{r.makespan_hours:>13.1f}"
         )
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Tiered-fleet views
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TierMetrics:
+    """One tier's (machine's) share of a tiered-fleet run."""
+
+    machine: str
+    jobs: int
+    straggler_jobs: int
+    #: Served core-hours: cores x wall duration, per tier.
+    core_hours: float
+    straggler_core_hours: float
+    #: Served core-hours over (tier cores x fleet makespan).
+    utilization: float
+    mean_queue_wait_h: float
+    cost: float
+    #: True for the tier with the worst mean queue wait (among tiers
+    #: that served any jobs) — the fleet's current bottleneck.
+    bottleneck: bool
+
+
+def tier_metrics(
+    result: SimulationResult,
+    machines: dict[str, SimMachine],
+    straggler: StragglerConfig | None = None,
+) -> list[TierMetrics]:
+    """Per-tier utilization / straggler / bottleneck metrics.
+
+    Works block-wise over ``result.iter_tables()`` so streamed results
+    aggregate without materializing.  ``straggler`` (the config the
+    workload was inflated with) re-derives the straggler set from job
+    ids — injection is a pure function of ``(seed, job_id)``, so no
+    side channel is needed.
+    """
+    agg: dict[str, list[float]] = {
+        name: [0.0, 0.0, 0.0, 0.0, 0.0, 0.0] for name in machines
+    }  # jobs, core_s, wait_s, cost, straggler_jobs, straggler_core_s
+    for table in result.iter_tables():
+        n_m = len(table.machines)
+        code = table.machine_code
+        dur_core_s = table.cores * (table.end_s - table.start_s)
+        jobs_b = np.bincount(code, minlength=n_m)
+        core_b = np.bincount(code, weights=dur_core_s, minlength=n_m)
+        wait_b = np.bincount(
+            code, weights=table.start_s - table.submit_s, minlength=n_m
+        )
+        cost_b = np.bincount(code, weights=table.cost, minlength=n_m)
+        if straggler is not None:
+            hit = straggler_mask(table.job_id, straggler)
+            s_jobs_b = np.bincount(code[hit], minlength=n_m)
+            s_core_b = np.bincount(
+                code[hit], weights=dur_core_s[hit], minlength=n_m
+            )
+        else:
+            s_jobs_b = np.zeros(n_m)
+            s_core_b = np.zeros(n_m)
+        for i, name in enumerate(table.machines):
+            acc = agg.setdefault(name, [0.0] * 6)
+            acc[0] += float(jobs_b[i])
+            acc[1] += float(core_b[i])
+            acc[2] += float(wait_b[i])
+            acc[3] += float(cost_b[i])
+            acc[4] += float(s_jobs_b[i])
+            acc[5] += float(s_core_b[i])
+
+    makespan_s = result.makespan_s
+    waits = {
+        name: acc[2] / acc[0] for name, acc in agg.items() if acc[0] > 0
+    }
+    worst = max(waits, key=lambda name: waits[name]) if waits else None
+    rows: list[TierMetrics] = []
+    for name, acc in agg.items():
+        jobs = int(acc[0])
+        cores = machines[name].total_cores if name in machines else 0
+        capacity_core_s = cores * makespan_s
+        rows.append(
+            TierMetrics(
+                machine=name,
+                jobs=jobs,
+                straggler_jobs=int(acc[4]),
+                core_hours=acc[1] / 3600.0,
+                straggler_core_hours=acc[5] / 3600.0,
+                utilization=(
+                    acc[1] / capacity_core_s if capacity_core_s > 0 else 0.0
+                ),
+                mean_queue_wait_h=(acc[2] / jobs / 3600.0 if jobs else 0.0),
+                cost=acc[3],
+                bottleneck=name == worst,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class TierFairness:
+    """Charge intensity of the users a tier predominantly served.
+
+    ``cost_per_core_hour`` divides each user's total charge by their
+    *machine-independent* requested work (``work_core_hours``), so a
+    slow tier doesn't look expensive merely for being slow — only for
+    being charged more per unit of the same work.
+    """
+
+    machine: str
+    users: int
+    mean_cost_per_core_hour: float
+    min_cost_per_core_hour: float
+    max_cost_per_core_hour: float
+
+
+def tier_fairness(result: SimulationResult) -> list[TierFairness]:
+    """Group users by dominant tier and compare charge intensities.
+
+    A user's dominant tier is the machine that served the most of their
+    work.  Returns one row per tier that dominates at least one user,
+    in ``result.machines`` order.
+    """
+    tables = list(result.iter_tables())
+    names = result.machines
+    user = np.concatenate([t.user for t in tables])
+    if user.size == 0:
+        return []
+    code = np.concatenate([t.machine_code for t in tables])
+    cost = np.concatenate([t.cost for t in tables])
+    work = np.concatenate([t.work_core_hours for t in tables])
+    for t in tables:
+        if list(t.machines) != list(names):
+            raise ValueError("inconsistent machine coding across blocks")
+
+    users, uidx = np.unique(user, return_inverse=True)
+    work_um = np.zeros((len(users), len(names)))
+    np.add.at(work_um, (uidx, code), work)
+    dominant = work_um.argmax(axis=1)
+    cost_u = np.bincount(uidx, weights=cost, minlength=len(users))
+    work_u = np.bincount(uidx, weights=work, minlength=len(users))
+    intensity = cost_u / np.maximum(work_u, 1e-300)
+
+    rows: list[TierFairness] = []
+    for mi, name in enumerate(names):
+        sel = dominant == mi
+        if not bool(sel.any()):
+            continue
+        vals = intensity[sel]
+        rows.append(
+            TierFairness(
+                machine=name,
+                users=int(sel.sum()),
+                mean_cost_per_core_hour=float(vals.mean()),
+                min_cost_per_core_hour=float(vals.min()),
+                max_cost_per_core_hour=float(vals.max()),
+            )
+        )
+    return rows

@@ -117,6 +117,45 @@ class RuntimePolicy(Policy):
         return min(views, key=lambda v: v.runtime_s).machine
 
 
+class LargestFirstPolicy(Policy):
+    """Largest-first greedy assignment for tiered worker fleets.
+
+    The subset-strategy heuristic (ROADMAP item 3): prefer the largest
+    (fastest) tier that can take the job *now* — i.e. whose estimated
+    queue wait is zero, which is how a free worker slot surfaces in the
+    view — and only spill down-tier when the larger tiers are saturated
+    (their concurrency caps and core commitments both show up as queue
+    wait).  If every tier is busy, queue on the least-backlogged one,
+    preferring the larger tier on ties.
+
+    Tier preference defaults to the tiered scenario's Large > Medium >
+    Small; unknown machines sort after known tiers, alphabetically, so
+    the policy degrades gracefully on non-tiered fleets.
+    """
+
+    name = "LargestFirst"
+
+    #: Default preference order, largest tier first (kept in sync with
+    #: ``repro.sim.scenarios.TIER_ORDER`` by a scenario test).
+    DEFAULT_ORDER = ("Large", "Medium", "Small")
+
+    def __init__(self, order: tuple[str, ...] | None = None) -> None:
+        tiers = order if order is not None else self.DEFAULT_ORDER
+        self._rank = {tier: i for i, tier in enumerate(tiers)}
+        self._unknown = len(tiers)
+
+    def _key(self, view: MachineView) -> tuple[int, str]:
+        return (self._rank.get(view.machine, self._unknown), view.machine)
+
+    def select(self, job: Job, views: list[MachineView]) -> str:
+        ordered = sorted(views, key=self._key)
+        for view in ordered:
+            if view.queue_wait_s <= 0.0:
+                return view.machine
+        # min() keeps the first minimum, i.e. the largest tier on ties.
+        return min(ordered, key=lambda v: v.queue_wait_s).machine
+
+
 class FixedMachinePolicy(Policy):
     """Always submit to one machine (the Theta / IC / FASTER policies).
 

@@ -22,6 +22,12 @@ encode the qualitative hardware facts §5 relies on:
 * **Theta** (2017 KNL): slow cores (2-4x IC runtimes) with modest power,
   making it *inefficient in energy per unit of work* — the paper's
   example of a machine EBA prices out.
+
+Beyond the paper, :func:`tiered_fleet_scenario` models a three-tier
+data-migration worker fleet (ROADMAP item 3): many slow Small nodes, a
+mid-size Medium pool, and a handful of fast Large nodes with a per-tier
+concurrency cap — a workload class the source paper never ran, used to
+test whether the five accounting methods stay fair under tier skew.
 """
 
 from __future__ import annotations
@@ -32,10 +38,13 @@ from repro.carbon.embodied import DoubleDecliningBalance, carbon_rate_per_hour
 from repro.carbon.grids import trace_for_region
 from repro.carbon.intensity import CarbonIntensityTrace
 from repro.hardware.catalog import (
+    I7_10700,
     LOW_CARBON_REGION,
     SIMULATION_CARBON_INTENSITY,
     SIMULATION_MACHINES,
     SIMULATION_YEAR,
+    XEON_6248R,
+    XEON_PLATINUM_8380,
 )
 from repro.hardware.node import NodeSpec
 
@@ -82,6 +91,10 @@ class SimMachine:
     intensity: CarbonIntensityTrace
     carbon_rate_g_per_h: float  # per node, Table 5 column
     perf: PerfCurve
+    #: Cluster-wide cap on concurrently running jobs (``None`` = no cap,
+    #: the paper's machines).  Tiered fleets use it to model per-tier
+    #: worker-slot limits independent of core capacity.
+    max_concurrent_jobs: int | None = None
 
     @property
     def name(self) -> str:
@@ -165,3 +178,165 @@ def low_carbon_scenario(days: int = 365, seed: int = 0) -> dict[str, SimMachine]
         trace = trace_for_region(region, days=days, seed=seed)
         machines[node.name] = _machine(node, trace)
     return machines
+
+
+# ---------------------------------------------------------------------------
+# Tiered data-migration fleet (ROADMAP item 3)
+# ---------------------------------------------------------------------------
+
+#: Tier names from largest (fastest, scarcest) to smallest — the
+#: preference order of the largest-first policy.
+TIER_ORDER: tuple[str, ...] = ("Large", "Medium", "Small")
+
+#: Default straggler knobs baked into the bare ``"tiered"`` scenario
+#: name; variants encode overrides in the name itself (see
+#: :func:`tiered_scenario_name`) so sweep/store keys change with them.
+DEFAULT_STRAGGLER_FRAC = 0.08
+DEFAULT_STRAGGLER_SIGMA = 1.0
+
+TIERED_SCENARIO = "tiered"
+
+#: Many cheap desktop-class workers: slow per core, no slot cap.
+SMALL_TIER_NODE = NodeSpec(
+    name="Small",
+    cpu=I7_10700,
+    sockets=1,
+    year_deployed=2022,
+    idle_power_watts=6.51,
+    embodied_carbon_g=445_300.0,
+    node_count=24,
+    dram_gb=32,
+)
+
+#: A mid-size server pool, IC-grade silicon.
+MEDIUM_TIER_NODE = NodeSpec(
+    name="Medium",
+    cpu=XEON_6248R,
+    sockets=2,
+    year_deployed=2021,
+    idle_power_watts=136.0,
+    embodied_carbon_g=1_015_800.0,
+    node_count=6,
+    dram_gb=192,
+)
+
+#: A handful of wide, fast nodes — the scarce tier the largest-first
+#: policy drains first.
+LARGE_TIER_NODE = NodeSpec(
+    name="Large",
+    cpu=XEON_PLATINUM_8380,
+    sockets=2,
+    year_deployed=2022,
+    idle_power_watts=210.0,
+    embodied_carbon_g=2_867_400.0,
+    node_count=3,
+    dram_gb=512,
+)
+
+#: Per-tier extrapolation curves.  Large is the fastest tier (below-IC
+#: runtimes, moderate dynamic power thanks to wide low-clock dies);
+#: Small reuses desktop-class behaviour with a milder memory penalty.
+#: Dynamic power per core keeps idle + cores * dyn <= node TDP.
+TIER_PERF_CURVES: dict[str, PerfCurve] = {
+    "Large": PerfCurve(base=0.85, slope=-0.10, dyn_watts_per_core=4.0),
+    "Medium": PerfCurve(base=1.0, slope=0.0, dyn_watts_per_core=5.7),
+    "Small": PerfCurve(base=1.6, slope=0.5, dyn_watts_per_core=3.65),
+}
+
+#: Worker-slot caps per tier (``None`` = uncapped).  The Large tier is
+#: deliberately slot-starved relative to its core count so the cap —
+#: not core capacity — is its bottleneck under largest-first pressure.
+TIER_CONCURRENCY_LIMITS: dict[str, int | None] = {
+    "Large": 6,
+    "Medium": 16,
+    "Small": None,
+}
+
+#: One fleet, one grid: all tiers share a region so the accounting
+#: differences under test come from hardware skew, not carbon skew.
+TIERED_FLEET_REGION = "US-MIDW"
+
+_TIER_NODES: dict[str, NodeSpec] = {
+    "Large": LARGE_TIER_NODE,
+    "Medium": MEDIUM_TIER_NODE,
+    "Small": SMALL_TIER_NODE,
+}
+
+
+def tiered_fleet_scenario(days: int = 365, seed: int = 0) -> dict[str, SimMachine]:
+    """The three-tier worker fleet, largest tier first.
+
+    Core capacity is skewed small-heavy (384 Small cores vs. 288 Medium
+    vs. 240 Large) while speed is skewed the other way, and the Large
+    tier carries a concurrency cap well below what its cores admit —
+    the configuration that separates "fair" from "merely conserved"
+    charging under straggler inflation.
+    """
+    trace = trace_for_region(TIERED_FLEET_REGION, days=days, seed=seed)
+    machines = {}
+    for tier in TIER_ORDER:
+        node = _TIER_NODES[tier]
+        rate = carbon_rate_per_hour(
+            node.embodied_carbon_g,
+            node.age_years(SIMULATION_YEAR),
+            DoubleDecliningBalance(),
+        )
+        machines[tier] = SimMachine(
+            node=node,
+            intensity=trace,
+            carbon_rate_g_per_h=rate,
+            perf=TIER_PERF_CURVES[tier],
+            max_concurrent_jobs=TIER_CONCURRENCY_LIMITS[tier],
+        )
+    return machines
+
+
+def tiered_scenario_name(
+    straggler_frac: float = DEFAULT_STRAGGLER_FRAC,
+    straggler_sigma: float = DEFAULT_STRAGGLER_SIGMA,
+) -> str:
+    """Scenario name encoding the straggler knobs.
+
+    The bare name ``"tiered"`` means the defaults; any override is
+    spelled out (``"tiered:frac=0.2,sigma=1.5"``).  Because sweep tasks
+    and result-store keys fingerprint the scenario *name*, distinct
+    knob settings can never alias to a stale stored result.
+    """
+    if (
+        straggler_frac == DEFAULT_STRAGGLER_FRAC
+        and straggler_sigma == DEFAULT_STRAGGLER_SIGMA
+    ):
+        return TIERED_SCENARIO
+    return (
+        f"{TIERED_SCENARIO}:frac={float(straggler_frac)!r}"
+        f",sigma={float(straggler_sigma)!r}"
+    )
+
+
+def is_tiered_scenario(name: str) -> bool:
+    return name == TIERED_SCENARIO or name.startswith(TIERED_SCENARIO + ":")
+
+
+def parse_tiered_scenario(name: str) -> tuple[float, float]:
+    """``(straggler_frac, straggler_sigma)`` for a tiered scenario name.
+
+    Raises ``KeyError`` for non-tiered names or unknown knobs, matching
+    the unknown-scenario contract in ``experiments._simulation``.
+    """
+    if name == TIERED_SCENARIO:
+        return DEFAULT_STRAGGLER_FRAC, DEFAULT_STRAGGLER_SIGMA
+    prefix = TIERED_SCENARIO + ":"
+    if not name.startswith(prefix):
+        raise KeyError(f"not a tiered scenario name {name!r}")
+    frac, sigma = DEFAULT_STRAGGLER_FRAC, DEFAULT_STRAGGLER_SIGMA
+    for part in name[len(prefix) :].split(","):
+        key, sep, value = part.partition("=")
+        if not sep:
+            raise KeyError(f"malformed tiered knob {part!r} in {name!r}")
+        if key == "frac":
+            frac = float(value)
+        elif key == "sigma":
+            sigma = float(value)
+        else:
+            raise KeyError(f"unknown tiered knob {key!r} in {name!r}")
+    return frac, sigma

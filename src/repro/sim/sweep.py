@@ -99,7 +99,12 @@ from repro.sim.engine import (
     pricing_for_sim_machine,
 )
 from repro.sim.job import Job
-from repro.sim.policies import FixedMachinePolicy, Policy, standard_policies
+from repro.sim.policies import (
+    FixedMachinePolicy,
+    LargestFirstPolicy,
+    Policy,
+    standard_policies,
+)
 from repro.sim.scenarios import SimMachine
 from repro.sim.workload import Workload, WorkloadConfig
 
@@ -236,14 +241,19 @@ def resolve_workers(explicit: int | None = None) -> int:
 
 
 def policy_by_name(name: str) -> Policy:
-    """Instantiate a §5.3 policy from its table name.
+    """Instantiate a policy from its table name.
 
-    Unknown names become single-machine policies, matching how the
-    paper labels the Theta/IC/FASTER rows by machine.
+    Resolves the eight §5.3 policies plus the tiered fleets'
+    ``LargestFirst`` (kept out of :func:`standard_policies` so the
+    paper's 8-policy grids stay exactly the paper's); any other name
+    becomes a single-machine policy, matching how the paper labels the
+    Theta/IC/FASTER rows by machine.
     """
     for policy in standard_policies():
         if policy.name == name:
             return policy
+    if name == LargestFirstPolicy.name:
+        return LargestFirstPolicy()
     return FixedMachinePolicy(name)
 
 

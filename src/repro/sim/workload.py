@@ -27,7 +27,7 @@ jobs bit-for-bit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 import numpy.typing as npt
@@ -412,3 +412,163 @@ class PatelWorkloadGenerator:
 
         jobs.sort(key=lambda j: j.submit_s)
         return Workload(jobs=jobs, config=cfg, machines=machine_names)
+
+
+# ---------------------------------------------------------------------------
+# Straggler injection
+# ---------------------------------------------------------------------------
+# The tiered-fleet scenarios (ROADMAP item 3) model stragglers — jobs
+# whose runtime inflates far past their template's prediction — with a
+# seeded heavy-tailed (lognormal) multiplier.  The draw is a *pure
+# function of (seed, job_id)* built from splitmix64-style integer
+# mixing rather than an RNG stream, so injection is order-, chunk- and
+# process-invariant: applying it chunk by chunk to a
+# :class:`StreamingWorkload` yields bit-identical jobs to applying it
+# to the whole workload at once, and spawn-pool workers that re-derive
+# the workload see the exact same stragglers.
+
+_U64 = np.uint64
+_SPLITMIX_GAMMA = _U64(0x9E3779B97F4A7C15)
+_U64_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+@dataclass(frozen=True)
+class StragglerConfig:
+    """Knobs of the seeded heavy-tailed straggler model.
+
+    A fraction ``frac`` of jobs (selected by hash, not by position)
+    have their runtime — and, power being held, their energy — on
+    *every* machine multiplied by ``1 + scale * exp(sigma * z)`` with
+    ``z`` a standard normal: a lognormal tail on top of the job's own
+    duration, with median extra runtime ``scale`` and tail weight
+    ``sigma``.
+    """
+
+    frac: float = 0.08
+    sigma: float = 1.0
+    #: Median *extra* runtime of a straggler, as a multiple of the
+    #: job's own (un-inflated) runtime.
+    scale: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.frac <= 1.0:
+            raise ValueError("frac must be in [0, 1]")
+        if self.sigma < 0.0:
+            raise ValueError("sigma must be >= 0")
+        if self.scale <= 0.0:
+            raise ValueError("scale must be positive")
+
+
+def _mix64(x: npt.NDArray[np.uint64]) -> npt.NDArray[np.uint64]:
+    """The splitmix64 finalizer, elementwise over uint64 (wrapping)."""
+    x = (x ^ (x >> _U64(30))) * _U64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> _U64(27))) * _U64(0x94D049BB133111EB)
+    return x ^ (x >> _U64(31))
+
+
+def _hash_u01(ids: IntArray, seed: int, stream: int) -> FloatArray:
+    """One uniform in (0, 1] per job id, pure in (seed, id, stream)."""
+    base = _mix64(
+        np.array(
+            [(seed & _U64_MASK) + (stream + 1) * 0x9E3779B97F4A7C15 & _U64_MASK],
+            dtype=np.uint64,
+        )
+    )
+    x = _mix64(_mix64(ids.astype(np.uint64) * _SPLITMIX_GAMMA ^ base))
+    # Top 53 bits -> (0, 1]: never zero, so log() below stays finite.
+    return ((x >> _U64(11)).astype(np.float64) + 1.0) * 2.0**-53
+
+
+def straggler_factors(
+    job_ids: IntArray, config: StragglerConfig
+) -> FloatArray:
+    """Per-job runtime inflation factors, all ``>= 1.0``.
+
+    Pure in ``(config, job_id)``: the same id gets the same factor in
+    any order, any chunking, and any process.  Non-stragglers get
+    exactly ``1.0`` so un-inflated jobs can be reused untouched.
+    """
+    ids = np.ascontiguousarray(job_ids, dtype=np.int64)
+    factors = np.ones(ids.shape[0], dtype=np.float64)
+    if ids.shape[0] == 0 or config.frac == 0.0:
+        return factors
+    select = _hash_u01(ids, config.seed, 0)
+    hit = select < config.frac
+    if not bool(hit.any()):
+        return factors
+    # Box-Muller from two hashed uniforms: one standard normal per job.
+    u1 = _hash_u01(ids, config.seed, 1)
+    u2 = _hash_u01(ids, config.seed, 2)
+    z = np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+    tail = 1.0 + config.scale * np.exp(config.sigma * z)
+    factors[hit] = tail[hit]
+    return factors
+
+
+def straggler_mask(job_ids: IntArray, config: StragglerConfig) -> BoolArray:
+    """True where a job straggles (used by the per-tier metrics)."""
+    mask: BoolArray = straggler_factors(job_ids, config) > 1.0
+    return mask
+
+
+def apply_stragglers(
+    jobs: Sequence[Job], config: StragglerConfig
+) -> list[Job]:
+    """Straggler-inflated copies of ``jobs`` (same ids, same order).
+
+    Runtime and energy inflate by the same per-job factor on every
+    machine (power held constant while the job drags on); submit times
+    and core requests are untouched, so submit ordering is preserved.
+    """
+    if not jobs:
+        return []
+    ids = np.fromiter(
+        (job.job_id for job in jobs), dtype=np.int64, count=len(jobs)
+    )
+    factors = straggler_factors(ids, config)
+    out: list[Job] = []
+    for job, factor in zip(jobs, factors.tolist()):
+        if factor == 1.0:
+            out.append(job)
+            continue
+        out.append(
+            Job(
+                job_id=job.job_id,
+                user=job.user,
+                cores=job.cores,
+                submit_s=job.submit_s,
+                runtime_s={m: rt * factor for m, rt in job.runtime_s.items()},
+                energy_j={m: en * factor for m, en in job.energy_j.items()},
+            )
+        )
+    return out
+
+
+def inject_stragglers(workload: Workload, config: StragglerConfig) -> Workload:
+    """A straggler-inflated copy of a whole in-memory workload."""
+    return Workload(
+        jobs=apply_stragglers(workload.jobs, config),
+        config=workload.config,
+        machines=list(workload.machines),
+    )
+
+
+def straggle_stream(
+    stream: StreamingWorkload, config: StragglerConfig
+) -> StreamingWorkload:
+    """Chunk-wise straggler inflation over a streaming workload.
+
+    Because factors are pure per ``(seed, job_id)``, this is
+    bit-identical to inflating the materialized workload, at any chunk
+    size — the property the tiered test harness pins.
+    """
+
+    def factory() -> Iterator[list[Job]]:
+        return (apply_stragglers(chunk, config) for chunk in stream.chunks())
+
+    return StreamingWorkload(
+        chunk_factory=factory,
+        machines=list(stream.machines),
+        source=f"{stream.source} (+stragglers seed={config.seed})",
+    )

@@ -18,8 +18,17 @@ from repro.hardware.catalog import (
     MachineCatalog,
     TABLE1_CARBON_INTENSITY,
 )
-from repro.sim.scenarios import baseline_scenario, low_carbon_scenario
-from repro.sim.workload import PatelWorkloadGenerator, WorkloadConfig
+from repro.sim.scenarios import (
+    baseline_scenario,
+    low_carbon_scenario,
+    tiered_fleet_scenario,
+)
+from repro.sim.workload import (
+    PatelWorkloadGenerator,
+    StragglerConfig,
+    WorkloadConfig,
+    inject_stragglers,
+)
 
 
 @pytest.fixture(scope="session")
@@ -61,6 +70,34 @@ def low_carbon_machines():
 def small_workload(sim_machines):
     cfg = WorkloadConfig(n_base_jobs=400, n_users=60, seed=1)
     return PatelWorkloadGenerator(sim_machines, cfg).generate()
+
+
+@pytest.fixture(scope="session")
+def tiered_machines():
+    return tiered_fleet_scenario(days=20, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiered_straggler_config():
+    """Aggressive knobs so the straggler paths are well-exercised."""
+    return StragglerConfig(frac=0.15, sigma=1.2, seed=1)
+
+
+@pytest.fixture(scope="session")
+def tiered_workload(tiered_machines, tiered_straggler_config):
+    """A skewed-tier workload with stragglers and real contention.
+
+    The two-day arrival window keeps the Large tier's slot cap binding
+    for most of the run, so the cap/queue paths are genuinely hit.
+    """
+    cfg = WorkloadConfig(
+        n_base_jobs=300,
+        n_users=40,
+        arrival_window_s=2 * 24 * 3600.0,
+        seed=1,
+    )
+    wl = PatelWorkloadGenerator(tiered_machines, cfg).generate()
+    return inject_stragglers(wl, tiered_straggler_config)
 
 
 @pytest.fixture

@@ -15,6 +15,7 @@ remainders, not full runtimes), so the comparison isolates the
 scheduling machinery from that intentional behaviour change.
 """
 
+import dataclasses
 import heapq
 import random
 from collections import deque
@@ -36,6 +37,7 @@ from repro.sim.migration import MigratingSimulator
 from repro.sim.policies import (
     EFTPolicy,
     GreedyPolicy,
+    LargestFirstPolicy,
     MachineView,
     MixedPolicy,
 )
@@ -72,6 +74,7 @@ class SeedCluster:
         self._queued_core_s = 0.0
         self._running_cores = 0
         self._running_end_core_s = 0.0
+        self.max_concurrent = machine.max_concurrent_jobs
 
     def estimated_wait_s(self, now: float) -> float:
         committed = self._queued_core_s + (
@@ -91,10 +94,15 @@ class SeedCluster:
         scanned = 0
         remaining: deque[Job] = deque()
         busy = self._busy_users
+        cap = self.max_concurrent
         while self.queue and scanned < self.backfill_window:
             job = self.queue.popleft()
             scanned += 1
-            if job.cores <= self.free_cores and job.user not in busy:
+            if (
+                job.cores <= self.free_cores
+                and job.user not in busy
+                and (cap is None or len(self.running) < cap)
+            ):
                 self._start(job, now)
                 started.append(job)
             else:
@@ -471,8 +479,13 @@ def assert_results_identical(a: SimulationResult, b: SimulationResult) -> None:
 class TestReadyQueueEquivalence:
     @pytest.mark.parametrize("window", [1, 2, 7, 64])
     @pytest.mark.parametrize("seed", [0, 1, 2])
-    def test_random_sequences_match_seed_scan(self, sim_machines, window, seed):
-        machine = sim_machines["IC"]  # 576 cores
+    @pytest.mark.parametrize("cap", [None, 3], ids=["uncapped", "cap3"])
+    def test_random_sequences_match_seed_scan(
+        self, sim_machines, window, seed, cap
+    ):
+        machine = dataclasses.replace(
+            sim_machines["IC"], max_concurrent_jobs=cap
+        )  # 576 cores
         rng = random.Random(97 * seed + window)
         new = ClusterSim(machine, backfill_window=window)
         ref = SeedCluster(machine, backfill_window=window)
@@ -519,47 +532,75 @@ def migration_workload(low_carbon_machines):
     return PatelWorkloadGenerator(low_carbon_machines, cfg).generate()
 
 
+@pytest.fixture(scope="module", params=["baseline", "tiered"])
+def engine_case(request, sim_machines, small_workload, tiered_machines, tiered_workload):
+    """(machines, workload) pairs the engine equivalence runs over.
+
+    ``tiered`` covers heterogeneous tiers: skewed core counts, per-tier
+    concurrency caps (mirrored by :class:`SeedCluster`), and
+    straggler-inflated runtimes.
+    """
+    if request.param == "baseline":
+        return sim_machines, small_workload
+    return tiered_machines, tiered_workload
+
+
 class TestEngineEquivalence:
     @pytest.mark.parametrize("method", all_methods(), ids=lambda m: m.name)
     @pytest.mark.parametrize(
-        "policy", [GreedyPolicy(), EFTPolicy(), MixedPolicy()], ids=lambda p: p.name
+        "policy",
+        [GreedyPolicy(), EFTPolicy(), MixedPolicy(), LargestFirstPolicy()],
+        ids=lambda p: p.name,
     )
-    def test_bit_identical_to_seed_loop(
-        self, sim_machines, small_workload, method, policy
-    ):
-        reference = seed_engine_run(sim_machines, method, policy, small_workload)
-        batched = MultiClusterSimulator(sim_machines, method, policy).run(
-            small_workload
-        )
+    def test_bit_identical_to_seed_loop(self, engine_case, method, policy):
+        machines, wl = engine_case
+        reference = seed_engine_run(machines, method, policy, wl)
+        batched = MultiClusterSimulator(machines, method, policy).run(wl)
         scalar = MultiClusterSimulator(
-            sim_machines, method, policy, batched=False
-        ).run(small_workload)
+            machines, method, policy, batched=False
+        ).run(wl)
         assert_results_identical(batched, reference)
         assert_results_identical(scalar, reference)
 
 
+@pytest.fixture(scope="module", params=["low-carbon", "tiered"])
+def migration_case(
+    request,
+    low_carbon_machines,
+    migration_workload,
+    tiered_machines,
+    tiered_workload,
+):
+    """Fleets the migration equivalence runs over: the homogeneous
+    low-carbon room and the tiered fleet (slot caps, straggler-inflated
+    runtimes) — migrations must respect destination caps on both the
+    seed port and the simulator."""
+    if request.param == "low-carbon":
+        return low_carbon_machines, migration_workload
+    return tiered_machines, tiered_workload
+
+
 class TestMigrationEquivalence:
     @pytest.mark.parametrize("method", all_methods(), ids=lambda m: m.name)
-    def test_bit_identical_to_seed_loop(
-        self, low_carbon_machines, migration_workload, method
-    ):
+    def test_bit_identical_to_seed_loop(self, migration_case, method):
+        machines, wl = migration_case
         reference = seed_migration_run(
-            low_carbon_machines,
+            machines,
             method,
             GreedyPolicy(),
-            migration_workload,
+            wl,
             min_saving=0.15,
         )
         batched = MigratingSimulator(
-            low_carbon_machines, method, GreedyPolicy(), min_saving=0.15
-        ).run(migration_workload)
+            machines, method, GreedyPolicy(), min_saving=0.15
+        ).run(wl)
         scalar = MigratingSimulator(
-            low_carbon_machines,
+            machines,
             method,
             GreedyPolicy(),
             min_saving=0.15,
             batched=False,
-        ).run(migration_workload)
+        ).run(wl)
         assert_results_identical(batched, reference)
         assert_results_identical(scalar, reference)
 

@@ -107,6 +107,27 @@ class TestKeying:
             task, other_fp
         )
 
+    def test_tiered_straggler_knobs_fold_into_key(self, pricing_fp):
+        """Straggler knobs ride in the scenario name, so every knob
+        setting is its own store entry — a tuned run can never be
+        served a stale default-knob result."""
+        from repro.sim.scenarios import tiered_scenario_name
+
+        names = [
+            tiered_scenario_name(),  # "tiered", the defaults
+            tiered_scenario_name(0.2, 1.0),
+            tiered_scenario_name(0.08, 2.5),
+            tiered_scenario_name(0.2, 2.5),
+        ]
+        keys = {
+            task_store_key(
+                SweepTask(name, "LargestFirst", "EBA", SCALE, SEED),
+                pricing_fp,
+            )
+            for name in names
+        }
+        assert len(keys) == len(names)
+
 
 class TestRoundTrip:
     @pytest.mark.parametrize("method", METHOD_NAMES)
@@ -127,6 +148,29 @@ class TestRoundTrip:
         store.put(key, sample_results["EBA"])
         assert store.stats().entries == 1
         assert_results_equal(store.get(key), sample_results["EBA"])
+
+    def test_tiered_straggler_run_round_trips(self, tmp_path):
+        """A tiered run (slot caps, straggler-inflated runtimes) stores
+        and loads bit-identically, keyed by its own pricing catalogue."""
+        from repro.experiments._simulation import scenario, workload
+        from repro.sim.policies import LargestFirstPolicy
+
+        tiered = dict(scenario("tiered", SEED))
+        wl = workload("tiered", SCALE, SEED)
+        result = MultiClusterSimulator(
+            tiered, method_by_name("CBA"), LargestFirstPolicy()
+        ).run(wl)
+        fp = QuoteTable.fingerprint(
+            {n: pricing_for_sim_machine(m) for n, m in tiered.items()}
+        )
+        key = task_store_key(
+            SweepTask("tiered", "LargestFirst", "CBA", SCALE, SEED), fp
+        )
+        store = ResultStore(tmp_path)
+        store.put(key, result)
+        got = store.get(key)
+        assert got is not None
+        assert_results_equal(got, result)
 
     def test_unknown_key_is_a_miss(self, tmp_path):
         store = ResultStore(tmp_path)

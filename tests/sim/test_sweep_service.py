@@ -274,6 +274,28 @@ class TestIntrospection:
         finally:
             service.close()
 
+    def test_tiered_knobs_change_store_key(self, tmp_path):
+        """Regression: straggler/tier knobs are part of the scenario
+        name, so tuning them can never alias a stale store entry."""
+        from repro.sim.scenarios import tiered_scenario_name
+
+        service = _service(tmp_path)
+        try:
+
+            def key(name):
+                return service.store_key(
+                    SweepTask(name, "LargestFirst", "EBA", SCALE, SEED)
+                )
+
+            keys = {
+                key(tiered_scenario_name()),
+                key(tiered_scenario_name(0.3, 1.0)),
+                key(tiered_scenario_name(0.08, 0.5)),
+            }
+            assert len(keys) == 3
+        finally:
+            service.close()
+
 
 class TestServeStdio:
     def _serve(self, tmp_path, lines):

@@ -65,6 +65,7 @@ _MODULE_SCOPES: dict[str, frozenset[str]] = {
     "RPL004": frozenset(
         {
             "sim/engine.py",
+            "sim/metrics.py",
             "sim/migration.py",
             "sim/shifting.py",
             "faas/platform.py",

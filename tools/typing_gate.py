@@ -41,6 +41,7 @@ FOUNDING_MODULES: frozenset[str] = frozenset(
         "src/repro/accounting/pricing.py",
         "src/repro/sim/events.py",
         "src/repro/sim/workload.py",
+        "src/repro/sim/metrics.py",
         "src/repro/sim/result_store.py",
         "src/repro/sim/sweep_service.py",
     }
